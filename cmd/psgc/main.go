@@ -1,0 +1,150 @@
+// Command psgc compiles and runs programs of the simply-typed source
+// language on the λGC abstract machine, linked against one of the three
+// type-safe collectors of "Principled Scavenging".
+//
+// Usage:
+//
+//	psgc [flags] file.src        compile and run a program
+//	psgc [flags] -e 'expr'       compile and run an inline program
+//
+// Flags:
+//
+//	-gc basic|forwarding|generational    collector (default basic)
+//	-capacity N                          region capacity triggering GC (default 64; 0 = never collect)
+//	-fixed                               disable heap growth
+//	-check                               re-check machine-state well-formedness every step
+//	-stats                               print memory statistics
+//	-show source|cps|clos|gc             print an intermediate form and exit
+//	-interp                              run the reference evaluator instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"psgc"
+	"psgc/internal/closconv"
+	"psgc/internal/cps"
+	"psgc/internal/source"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psgc: ")
+
+	var (
+		gcName   = flag.String("gc", "basic", "collector: basic, forwarding, or generational")
+		capacity = flag.Int("capacity", 64, "region capacity at which ifgc triggers a collection (0 disables)")
+		fixed    = flag.Bool("fixed", false, "disable the survivor-driven heap growth policy")
+		check    = flag.Bool("check", false, "re-check machine-state well-formedness after every step (slow)")
+		stats    = flag.Bool("stats", false, "print memory statistics")
+		show     = flag.String("show", "", "print an intermediate form (source, cps, clos, gc) and exit")
+		expr     = flag.String("e", "", "inline program text instead of a file")
+		interp   = flag.Bool("interp", false, "run the reference evaluator (no regions, no GC)")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *expr != "":
+		src = *expr
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *interp {
+		n, err := psgc.Interpret(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(n)
+		return
+	}
+
+	var col psgc.Collector
+	switch *gcName {
+	case "basic":
+		col = psgc.Basic
+	case "forwarding":
+		col = psgc.Forwarding
+	case "generational":
+		col = psgc.Generational
+	default:
+		log.Fatalf("unknown collector %q (want basic, forwarding, or generational)", *gcName)
+	}
+
+	if *show != "" {
+		showForm(src, col, *show)
+		return
+	}
+
+	compiled, err := psgc.Compile(src, col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := compiled.Run(psgc.RunOptions{
+		Capacity:       *capacity,
+		FixedCapacity:  *fixed,
+		CheckEveryStep: *check,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Value)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "collector:   %s\n", col)
+		fmt.Fprintf(os.Stderr, "steps:       %d\n", res.Steps)
+		fmt.Fprintf(os.Stderr, "collections: %d\n", res.Collections)
+		fmt.Fprintf(os.Stderr, "puts:        %d\n", res.Stats.Puts)
+		fmt.Fprintf(os.Stderr, "reclaimed:   %d cells in %d regions\n",
+			res.Stats.CellsReclaimed, res.Stats.RegionsReclaimed)
+		fmt.Fprintf(os.Stderr, "max live:    %d cells\n", res.Stats.MaxLiveCells)
+	}
+}
+
+func showForm(src string, col psgc.Collector, form string) {
+	p, err := source.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch form {
+	case "source":
+		fmt.Println(p)
+	case "cps":
+		cp, err := cps.Convert(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(cp)
+	case "clos":
+		cp, err := cps.Convert(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lp, err := closconv.Convert(cp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(lp)
+	case "gc":
+		compiled, err := psgc.CompileProgram(p, col)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, nf := range compiled.Prog.Code {
+			fmt.Printf("-- cd.%d: %s\n%s\n\n", i, nf.Name, nf.Fun)
+		}
+		fmt.Printf("-- main\n%s\n", compiled.Prog.Main)
+	default:
+		log.Fatalf("unknown form %q (want source, cps, clos, or gc)", form)
+	}
+}

@@ -1,0 +1,3 @@
+module psgc
+
+go 1.22

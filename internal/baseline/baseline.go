@@ -1,0 +1,244 @@
+// Package baseline implements the *untrusted* comparison points of the
+// paper's discussion: a copying collector written directly in Go over the
+// same region memory (what every system before the paper had to trust,
+// §1-2), a Wang–Appel-style pair-per-object forwarding representation
+// (§7's footnote 1), and the code-size model of Wang–Appel's
+// monomorphization approach (§2.1). These exist so the benchmarks can
+// regenerate the paper's comparative claims; nothing here is typechecked
+// by λGC.
+package baseline
+
+import (
+	"fmt"
+
+	"psgc/internal/clos"
+	"psgc/internal/gclang"
+	"psgc/internal/regions"
+	"psgc/internal/tags"
+)
+
+// Stats reports the work an untyped collection performed.
+type Stats struct {
+	// Copied is the number of heap cells written to the to-space.
+	Copied int
+	// Visits is the number of object visits (≥ Copied when forwarding
+	// shortcuts re-visits).
+	Visits int
+}
+
+// CopyRoot performs a stop-and-copy collection in plain Go: it traverses
+// the Base-dialect representation of a value of the given tag rooted at
+// root, copying every reachable cell into a fresh region, and returns the
+// relocated root, the new region, and statistics. With forwarding enabled
+// it keeps a host-side forwarding table (the luxury the type-safe
+// collector of Fig. 9 has to build inside the heap); without it, shared
+// structure is duplicated exactly like Fig. 4's copy.
+func CopyRoot(mem *regions.Memory[gclang.Value], tag tags.Tag, root gclang.Value, forwarding bool) (gclang.Value, regions.Name, Stats, error) {
+	to := mem.NewRegion()
+	c := &copier{mem: mem, to: to}
+	if forwarding {
+		c.fwd = map[regions.Addr]gclang.Value{}
+	}
+	out, err := c.copy(tag, root)
+	if err != nil {
+		return nil, "", Stats{}, err
+	}
+	return out, to, c.stats, nil
+}
+
+type copier struct {
+	mem   *regions.Memory[gclang.Value]
+	to    regions.Name
+	fwd   map[regions.Addr]gclang.Value
+	stats Stats
+}
+
+func (c *copier) copy(tag tags.Tag, v gclang.Value) (gclang.Value, error) {
+	c.stats.Visits++
+	nf, err := tags.Normalize(tag)
+	if err != nil {
+		return nil, err
+	}
+	switch t := nf.(type) {
+	case tags.Int:
+		return v, nil
+	case tags.Code:
+		return v, nil // code lives in cd, never copied
+	case tags.Prod:
+		addr, ok := v.(gclang.AddrV)
+		if !ok {
+			return nil, fmt.Errorf("baseline: pair value %s is not a reference", v)
+		}
+		if c.fwd != nil {
+			if f, ok := c.fwd[addr.Addr]; ok {
+				return f, nil
+			}
+		}
+		cell, err := c.mem.Get(addr.Addr)
+		if err != nil {
+			return nil, err
+		}
+		pair, ok := cell.(gclang.PairV)
+		if !ok {
+			return nil, fmt.Errorf("baseline: pair cell holds %s", cell)
+		}
+		l, err := c.copy(t.L, pair.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.copy(t.R, pair.R)
+		if err != nil {
+			return nil, err
+		}
+		na, err := c.mem.Put(c.to, gclang.PairV{L: l, R: r})
+		if err != nil {
+			return nil, err
+		}
+		c.stats.Copied++
+		out := gclang.AddrV{Addr: na}
+		if c.fwd != nil {
+			c.fwd[addr.Addr] = out
+		}
+		return out, nil
+	case tags.Exist:
+		addr, ok := v.(gclang.AddrV)
+		if !ok {
+			return nil, fmt.Errorf("baseline: package value %s is not a reference", v)
+		}
+		if c.fwd != nil {
+			if f, ok := c.fwd[addr.Addr]; ok {
+				return f, nil
+			}
+		}
+		cell, err := c.mem.Get(addr.Addr)
+		if err != nil {
+			return nil, err
+		}
+		pk, ok := cell.(gclang.PackTag)
+		if !ok {
+			return nil, fmt.Errorf("baseline: package cell holds %s", cell)
+		}
+		inner := tags.Subst(t.Body, t.Bound, pk.Tag)
+		nv, err := c.copy(inner, pk.Val)
+		if err != nil {
+			return nil, err
+		}
+		na, err := c.mem.Put(c.to, gclang.PackTag{
+			Bound: pk.Bound, Kind: pk.Kind, Tag: pk.Tag, Val: nv, Body: pk.Body,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.stats.Copied++
+		out := gclang.AddrV{Addr: na}
+		if c.fwd != nil {
+			c.fwd[addr.Addr] = out
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("baseline: cannot copy open tag %s", nf)
+	}
+}
+
+// SpaceModel compares per-object space overheads of the two forwarding
+// disciplines of §7: the paper's single tag bit per object versus Wang and
+// Appel's extra forwarding-pointer word paired with every object.
+type SpaceModel struct {
+	Objects      int // boxed objects in the heap
+	TagBitsWords int // whole-heap overhead of the 1-bit scheme, in words
+	PairedWords  int // overhead of the pair-per-object scheme, in words
+}
+
+// SpaceOverhead computes the space model for a heap of n boxed objects,
+// assuming a word holds 64 tag bits when bits are packed.
+func SpaceOverhead(objects int) SpaceModel {
+	return SpaceModel{
+		Objects:      objects,
+		TagBitsWords: (objects + 63) / 64,
+		PairedWords:  objects,
+	}
+}
+
+// SpecializationCount models the code-size cost of Wang–Appel's
+// monomorphization approach (§2.1): a specialized gc/copy pair is
+// generated for every distinct type in the program. It returns the number
+// of distinct (normalized) tags reachable from a λCLOS program's type
+// annotations, closed under components — each would need its own copy
+// routine — versus the constant 6 code blocks of the ITA collector.
+func SpecializationCount(p clos.Program) int {
+	seen := map[string]bool{}
+	var visit func(t tags.Tag)
+	visit = func(t tags.Tag) {
+		nf, err := tags.Normalize(t)
+		if err != nil {
+			return
+		}
+		key := nf.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		switch t := nf.(type) {
+		case tags.Prod:
+			visit(t.L)
+			visit(t.R)
+		case tags.Code:
+			for _, a := range t.Args {
+				visit(a)
+			}
+		case tags.Exist:
+			visit(t.Body)
+		case tags.Lam:
+			visit(t.Body)
+		}
+	}
+	var walkTerm func(e clos.Term)
+	var walkValue func(v clos.Value)
+	walkValue = func(v clos.Value) {
+		switch v := v.(type) {
+		case clos.PairV:
+			walkValue(v.L)
+			walkValue(v.R)
+		case clos.Pack:
+			visit(v.Witness)
+			visit(tags.Exist{Bound: v.Bound, Body: v.Body})
+			walkValue(v.Val)
+		}
+	}
+	walkTerm = func(e clos.Term) {
+		switch e := e.(type) {
+		case clos.LetVal:
+			walkValue(e.V)
+			walkTerm(e.Body)
+		case clos.LetProj:
+			walkValue(e.V)
+			walkTerm(e.Body)
+		case clos.LetArith:
+			walkValue(e.L)
+			walkValue(e.R)
+			walkTerm(e.Body)
+		case clos.App:
+			walkValue(e.Fn)
+			walkValue(e.Arg)
+		case clos.Open:
+			walkValue(e.V)
+			walkTerm(e.Body)
+		case clos.If0:
+			walkValue(e.V)
+			walkTerm(e.Then)
+			walkTerm(e.Else)
+		case clos.Halt:
+			walkValue(e.V)
+		}
+	}
+	for _, f := range p.Funs {
+		visit(f.ParamType)
+		walkTerm(f.Body)
+	}
+	walkTerm(p.Main)
+	return len(seen)
+}
+
+// ITACollectorBlocks is the fixed code-block count of the library
+// collector (gc, gcend, copy, copypair1, copypair2, copyexist1).
+const ITACollectorBlocks = 6

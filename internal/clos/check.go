@@ -1,0 +1,237 @@
+package clos
+
+import (
+	"fmt"
+
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// The λCLOS static semantics (§3). Types are tags; type equality is tag
+// equality up to β-reduction (tag functions only arise from typecase
+// analysis, but open's body type mentions applications te t, so EqualNF is
+// the right notion throughout).
+
+// Env carries Θ (tag variables in scope) and Γ (term variables).
+type Env struct {
+	Theta tags.KindEnv
+	Gamma map[names.Name]tags.Tag
+	Funs  map[names.Name]tags.Tag // top-level code types τ→0
+}
+
+func (e *Env) clone() *Env {
+	out := &Env{
+		Theta: make(tags.KindEnv, len(e.Theta)),
+		Gamma: make(map[names.Name]tags.Tag, len(e.Gamma)),
+		Funs:  e.Funs,
+	}
+	for n, k := range e.Theta {
+		out.Theta[n] = k
+	}
+	for n, t := range e.Gamma {
+		out.Gamma[n] = t
+	}
+	return out
+}
+
+func (e *Env) withVar(x names.Name, t tags.Tag) *Env {
+	out := e.clone()
+	out.Gamma[x] = t
+	return out
+}
+
+func (e *Env) withTag(t names.Name) *Env {
+	out := e.clone()
+	out.Theta[t] = kinds.Omega{}
+	return out
+}
+
+func typeErr(where fmt.Stringer, format string, args ...any) error {
+	return fmt.Errorf("clos: %s: in %s", fmt.Sprintf(format, args...), where)
+}
+
+// SynthValue computes the type of a value.
+func SynthValue(env *Env, v Value) (tags.Tag, error) {
+	switch v := v.(type) {
+	case Num:
+		return tags.Int{}, nil
+	case Var:
+		t, ok := env.Gamma[v.Name]
+		if !ok {
+			return nil, typeErr(v, "unbound variable %s", v.Name)
+		}
+		return t, nil
+	case FunV:
+		t, ok := env.Funs[v.Name]
+		if !ok {
+			return nil, typeErr(v, "unknown function %s", v.Name)
+		}
+		return t, nil
+	case PairV:
+		l, err := SynthValue(env, v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SynthValue(env, v.R)
+		if err != nil {
+			return nil, err
+		}
+		return tags.Prod{L: l, R: r}, nil
+	case Pack:
+		if err := wellKinded(env, v.Witness); err != nil {
+			return nil, typeErr(v, "%v", err)
+		}
+		want := tags.Subst(v.Body, v.Bound, v.Witness)
+		got, err := SynthValue(env, v.Val)
+		if err != nil {
+			return nil, err
+		}
+		eq, err := tags.EqualNF(got, want)
+		if err != nil {
+			return nil, typeErr(v, "%v", err)
+		}
+		if !eq {
+			return nil, typeErr(v, "package payload has type %s, want %s", got, want)
+		}
+		res := tags.Exist{Bound: v.Bound, Body: v.Body}
+		if err := wellKinded(env, res); err != nil {
+			return nil, typeErr(v, "%v", err)
+		}
+		return res, nil
+	default:
+		panic(fmt.Sprintf("clos: unknown value %T", v))
+	}
+}
+
+func wellKinded(env *Env, t tags.Tag) error {
+	k, err := tags.Check(env.Theta, t)
+	if err != nil {
+		return err
+	}
+	if !k.Equal(kinds.Omega{}) {
+		return fmt.Errorf("type %s has kind %s, want Ω", t, k)
+	}
+	return nil
+}
+
+func checkValue(env *Env, v Value, want tags.Tag) error {
+	got, err := SynthValue(env, v)
+	if err != nil {
+		return err
+	}
+	eq, err := tags.EqualNF(got, want)
+	if err != nil {
+		return typeErr(v, "%v", err)
+	}
+	if !eq {
+		return typeErr(v, "has type %s, want %s", got, want)
+	}
+	return nil
+}
+
+// CheckTerm implements the λCLOS term judgment.
+func CheckTerm(env *Env, e Term) error {
+	switch e := e.(type) {
+	case LetVal:
+		t, err := SynthValue(env, e.V)
+		if err != nil {
+			return err
+		}
+		return CheckTerm(env.withVar(e.X, t), e.Body)
+	case LetProj:
+		t, err := SynthValue(env, e.V)
+		if err != nil {
+			return err
+		}
+		nf, err := tags.Normalize(t)
+		if err != nil {
+			return typeErr(e, "%v", err)
+		}
+		p, ok := nf.(tags.Prod)
+		if !ok {
+			return typeErr(e, "projection from non-pair type %s", nf)
+		}
+		picked := p.L
+		if e.I == 2 {
+			picked = p.R
+		}
+		return CheckTerm(env.withVar(e.X, picked), e.Body)
+	case LetArith:
+		if err := checkValue(env, e.L, tags.Int{}); err != nil {
+			return err
+		}
+		if err := checkValue(env, e.R, tags.Int{}); err != nil {
+			return err
+		}
+		return CheckTerm(env.withVar(e.X, tags.Int{}), e.Body)
+	case App:
+		t, err := SynthValue(env, e.Fn)
+		if err != nil {
+			return err
+		}
+		nf, err := tags.Normalize(t)
+		if err != nil {
+			return typeErr(e, "%v", err)
+		}
+		code, ok := nf.(tags.Code)
+		if !ok || len(code.Args) != 1 {
+			return typeErr(e, "call of non-unary-code type %s", nf)
+		}
+		return checkValue(env, e.Arg, code.Args[0])
+	case Open:
+		t, err := SynthValue(env, e.V)
+		if err != nil {
+			return err
+		}
+		nf, err := tags.Normalize(t)
+		if err != nil {
+			return typeErr(e, "%v", err)
+		}
+		ex, ok := nf.(tags.Exist)
+		if !ok {
+			return typeErr(e, "open of non-existential type %s", nf)
+		}
+		bodyTy := tags.Subst(ex.Body, ex.Bound, tags.Var{Name: e.T})
+		return CheckTerm(env.withTag(e.T).withVar(e.X, bodyTy), e.Body)
+	case If0:
+		if err := checkValue(env, e.V, tags.Int{}); err != nil {
+			return err
+		}
+		if err := CheckTerm(env, e.Then); err != nil {
+			return err
+		}
+		return CheckTerm(env, e.Else)
+	case Halt:
+		return checkValue(env, e.V, tags.Int{})
+	default:
+		panic(fmt.Sprintf("clos: unknown term %T", e))
+	}
+}
+
+// CheckProgram typechecks a whole λCLOS program. Function bodies are
+// checked closed: only the parameter and the letrec names are in scope.
+func CheckProgram(p Program) error {
+	funs := make(map[names.Name]tags.Tag, len(p.Funs))
+	for _, f := range p.Funs {
+		if _, dup := funs[f.Name]; dup {
+			return fmt.Errorf("clos: duplicate function %s", f.Name)
+		}
+		funs[f.Name] = tags.Code{Args: []tags.Tag{f.ParamType}}
+	}
+	for _, f := range p.Funs {
+		env := &Env{Theta: tags.KindEnv{}, Gamma: map[names.Name]tags.Tag{}, Funs: funs}
+		if err := wellKinded(env, f.ParamType); err != nil {
+			return fmt.Errorf("clos: function %s parameter: %w", f.Name, err)
+		}
+		env.Gamma[f.Param] = f.ParamType
+		if err := CheckTerm(env, f.Body); err != nil {
+			return fmt.Errorf("clos: in function %s: %w", f.Name, err)
+		}
+	}
+	env := &Env{Theta: tags.KindEnv{}, Gamma: map[names.Name]tags.Tag{}, Funs: funs}
+	if err := CheckTerm(env, p.Main); err != nil {
+		return fmt.Errorf("clos: in main: %w", err)
+	}
+	return nil
+}

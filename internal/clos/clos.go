@@ -1,0 +1,171 @@
+// Package clos implements λCLOS, the paper's post-CPS, post-closure-
+// conversion language (§3): fully closed top-level functions, values
+// including existential packages for closures, and CPS terms. Types are
+// tags (package tags) — exactly the correspondence §4.2 exploits when
+// translating to λGC.
+package clos
+
+import (
+	"fmt"
+	"strings"
+
+	"psgc/internal/names"
+	"psgc/internal/source"
+	"psgc/internal/tags"
+)
+
+// Value is a λCLOS value.
+type Value interface {
+	isValue()
+	String() string
+}
+
+// Num is an integer literal n.
+type Num struct {
+	N int
+}
+
+// Var is a variable x.
+type Var struct {
+	Name names.Name
+}
+
+// FunV references a top-level (letrec-bound) function f.
+type FunV struct {
+	Name names.Name
+}
+
+// PairV is (v1, v2).
+type PairV struct {
+	L, R Value
+}
+
+// Pack is the existential package ⟨t = τ, v : τ2⟩ of type ∃t.τ2 — the
+// closure representation (§3, [10, 9]).
+type Pack struct {
+	Bound   names.Name
+	Witness tags.Tag
+	Val     Value
+	Body    tags.Tag
+}
+
+func (Num) isValue()   {}
+func (Var) isValue()   {}
+func (FunV) isValue()  {}
+func (PairV) isValue() {}
+func (Pack) isValue()  {}
+
+func (v Num) String() string   { return fmt.Sprintf("%d", v.N) }
+func (v Var) String() string   { return v.Name.String() }
+func (v FunV) String() string  { return v.Name.String() }
+func (v PairV) String() string { return fmt.Sprintf("(%s, %s)", v.L, v.R) }
+func (v Pack) String() string {
+	return fmt.Sprintf("⟨%s=%s, %s : %s⟩", v.Bound, v.Witness, v.Val, v.Body)
+}
+
+// Term is a λCLOS term.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// LetVal is let x = v in e.
+type LetVal struct {
+	X    names.Name
+	V    Value
+	Body Term
+}
+
+// LetProj is let x = πi v in e.
+type LetProj struct {
+	X    names.Name
+	I    int
+	V    Value
+	Body Term
+}
+
+// LetArith is the workload extension's arithmetic binding.
+type LetArith struct {
+	X    names.Name
+	Op   source.BinOp
+	L, R Value
+	Body Term
+}
+
+// App is v1(v2).
+type App struct {
+	Fn, Arg Value
+}
+
+// Open is open v as ⟨t, x⟩ in e.
+type Open struct {
+	V    Value
+	T, X names.Name
+	Body Term
+}
+
+// If0 branches on zero (workload extension).
+type If0 struct {
+	V          Value
+	Then, Else Term
+}
+
+// Halt ends execution with an integer.
+type Halt struct {
+	V Value
+}
+
+func (LetVal) isTerm()   {}
+func (LetProj) isTerm()  {}
+func (LetArith) isTerm() {}
+func (App) isTerm()      {}
+func (Open) isTerm()     {}
+func (If0) isTerm()      {}
+func (Halt) isTerm()     {}
+
+func (e LetVal) String() string {
+	return fmt.Sprintf("let %s = %s in\n%s", e.X, e.V, e.Body)
+}
+
+func (e LetProj) String() string {
+	return fmt.Sprintf("let %s = π%d %s in\n%s", e.X, e.I, e.V, e.Body)
+}
+
+func (e LetArith) String() string {
+	return fmt.Sprintf("let %s = %s %s %s in\n%s", e.X, e.L, e.Op, e.R, e.Body)
+}
+
+func (e App) String() string  { return fmt.Sprintf("%s(%s)", e.Fn, e.Arg) }
+func (e Halt) String() string { return fmt.Sprintf("halt %s", e.V) }
+
+func (e Open) String() string {
+	return fmt.Sprintf("open %s as ⟨%s, %s⟩ in\n%s", e.V, e.T, e.X, e.Body)
+}
+
+func (e If0) String() string {
+	return fmt.Sprintf("if0 %s (%s) (%s)", e.V, e.Then, e.Else)
+}
+
+// FunDef is a letrec-bound, fully closed, unary function λ(x:τ).e.
+type FunDef struct {
+	Name      names.Name
+	Param     names.Name
+	ParamType tags.Tag
+	Body      Term
+}
+
+// Program is letrec f… in e.
+type Program struct {
+	Funs []FunDef
+	Main Term
+}
+
+// String renders the program.
+func (p Program) String() string {
+	var b strings.Builder
+	for _, f := range p.Funs {
+		fmt.Fprintf(&b, "letrec %s = λ(%s : %s).\n%s\n", f.Name, f.Param, f.ParamType, f.Body)
+	}
+	b.WriteString(p.Main.String())
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package clos
+
+import (
+	"strings"
+	"testing"
+
+	"psgc/internal/source"
+	"psgc/internal/tags"
+)
+
+// A hand-written λCLOS program exercising every construct: a closed
+// top-level function, a closure package, arithmetic, projection, open,
+// if0, halt.
+func sampleProgram() Program {
+	// addfn(p : (int × int)) = halt (π1 p + π2 p)
+	addfn := FunDef{
+		Name: "addfn", Param: "p",
+		ParamType: tags.Prod{L: tags.Int{}, R: tags.Int{}},
+		Body: LetProj{X: "a", I: 1, V: Var{Name: "p"},
+			Body: LetProj{X: "b", I: 2, V: Var{Name: "p"},
+				Body: LetArith{X: "s", Op: source.OpAdd, L: Var{Name: "a"}, R: Var{Name: "b"},
+					Body: Halt{V: Var{Name: "s"}}}}},
+	}
+	// main: build a closure ⟨t=int, (addfn-as-code?, 40)⟩ is not directly
+	// expressible (addfn is not closure-converted), so exercise open with
+	// a simple package instead, then call addfn.
+	cloBody := tags.Prod{L: tags.Var{Name: "tenv"}, R: tags.Int{}}
+	pk := Pack{Bound: "tenv", Witness: tags.Int{}, Val: PairV{L: Num{N: 2}, R: Num{N: 3}},
+		Body: cloBody}
+	main := LetVal{X: "c", V: pk,
+		Body: Open{V: Var{Name: "c"}, T: "t", X: "w",
+			Body: LetProj{X: "x2", I: 2, V: Var{Name: "w"},
+				Body: If0{V: Var{Name: "x2"},
+					Then: Halt{V: Num{N: 0}},
+					Else: LetVal{X: "pa", V: PairV{L: Num{N: 40}, R: Var{Name: "x2"}},
+						Body: App{Fn: FunV{Name: "addfn"}, Arg: Var{Name: "pa"}}}}}}}
+	return Program{Funs: []FunDef{addfn}, Main: main}
+}
+
+func TestCheckAndRunSample(t *testing.T) {
+	p := sampleProgram()
+	if err := CheckProgram(p); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	n, steps, err := Run(p, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 43 {
+		t.Errorf("result = %d, want 43", n)
+	}
+	if steps == 0 {
+		t.Errorf("no steps counted")
+	}
+}
+
+func TestCheckerRejections(t *testing.T) {
+	intT := tags.Tag(tags.Int{})
+	cases := []struct {
+		name string
+		p    Program
+		want string
+	}{
+		{"unbound var", Program{Main: Halt{V: Var{Name: "x"}}}, "unbound"},
+		{"halt pair", Program{Main: Halt{V: PairV{L: Num{N: 1}, R: Num{N: 2}}}}, "want Int"},
+		{"proj from int", Program{Main: LetProj{X: "x", I: 1, V: Num{N: 1}, Body: Halt{V: Num{N: 0}}}}, "non-pair"},
+		{"call non-function", Program{Main: App{Fn: Num{N: 1}, Arg: Num{N: 2}}}, "non-unary-code"},
+		{"open non-package", Program{Main: Open{V: Num{N: 1}, T: "t", X: "x", Body: Halt{V: Num{N: 0}}}}, "non-existential"},
+		{"if0 on pair", Program{Main: If0{V: PairV{L: Num{N: 1}, R: Num{N: 2}},
+			Then: Halt{V: Num{N: 0}}, Else: Halt{V: Num{N: 0}}}}, "want Int"},
+		{"arith on pair", Program{Main: LetArith{X: "x", Op: source.OpAdd,
+			L: PairV{L: Num{N: 1}, R: Num{N: 2}}, R: Num{N: 1}, Body: Halt{V: Num{N: 0}}}}, "want Int"},
+		{"unknown fun", Program{Main: App{Fn: FunV{Name: "ghost"}, Arg: Num{N: 1}}}, "unknown function"},
+		{"dup fun", Program{Funs: []FunDef{
+			{Name: "f", Param: "x", ParamType: intT, Body: Halt{V: Var{Name: "x"}}},
+			{Name: "f", Param: "x", ParamType: intT, Body: Halt{V: Var{Name: "x"}}},
+		}, Main: Halt{V: Num{N: 0}}}, "duplicate"},
+		{"open body, not closed", Program{Funs: []FunDef{
+			{Name: "f", Param: "x", ParamType: intT, Body: Halt{V: Var{Name: "y"}}},
+		}, Main: Halt{V: Num{N: 0}}}, "unbound"},
+		{"bad package payload", Program{Main: LetVal{X: "c",
+			V:    Pack{Bound: "t", Witness: tags.Int{}, Val: PairV{L: Num{N: 1}, R: Num{N: 2}}, Body: tags.Var{Name: "t"}},
+			Body: Halt{V: Num{N: 0}}}}, "payload"},
+		{"arg mismatch", Program{Funs: []FunDef{
+			{Name: "f", Param: "x", ParamType: intT, Body: Halt{V: Var{Name: "x"}}},
+		}, Main: App{Fn: FunV{Name: "f"}, Arg: PairV{L: Num{N: 1}, R: Num{N: 2}}}}, "want"},
+	}
+	for _, c := range cases {
+		err := CheckProgram(c.p)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestOpenRefinesWitness(t *testing.T) {
+	// Opening ⟨t=Int, 5 : t⟩ gives x : t — abstract, so halt x must be
+	// rejected even though the runtime value is an int.
+	p := Program{Main: LetVal{X: "c",
+		V:    Pack{Bound: "t", Witness: tags.Int{}, Val: Num{N: 5}, Body: tags.Var{Name: "t"}},
+		Body: Open{V: Var{Name: "c"}, T: "u", X: "x", Body: Halt{V: Var{Name: "x"}}}}}
+	if err := CheckProgram(p); err == nil {
+		t.Errorf("halt on abstract-typed value accepted")
+	}
+}
+
+func TestEvalFuel(t *testing.T) {
+	loop := Program{
+		Funs: []FunDef{{Name: "f", Param: "x", ParamType: tags.Int{},
+			Body: App{Fn: FunV{Name: "f"}, Arg: Var{Name: "x"}}}},
+		Main: App{Fn: FunV{Name: "f"}, Arg: Num{N: 0}},
+	}
+	if err := CheckProgram(loop); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(loop, 100); err != ErrFuel {
+		t.Errorf("want ErrFuel, got %v", err)
+	}
+}
+
+func TestFunctionBodiesAreClosed(t *testing.T) {
+	// A function body referencing a main-term local must be rejected.
+	p := Program{
+		Funs: []FunDef{{Name: "f", Param: "x", ParamType: tags.Int{},
+			Body: Halt{V: Var{Name: "mainlocal"}}}},
+		Main: LetVal{X: "mainlocal", V: Num{N: 1},
+			Body: App{Fn: FunV{Name: "f"}, Arg: Num{N: 0}}},
+	}
+	if err := CheckProgram(p); err == nil {
+		t.Errorf("open function body accepted")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := sampleProgram().String()
+	for _, frag := range []string{"letrec addfn", "halt", "open", "if0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestShadowingInEnv(t *testing.T) {
+	// let x = 1 in let x = (2,3) in π1 x — inner binding shadows.
+	p := Program{Main: LetVal{X: "x", V: Num{N: 1},
+		Body: LetVal{X: "x", V: PairV{L: Num{N: 2}, R: Num{N: 3}},
+			Body: LetProj{X: "y", I: 1, V: Var{Name: "x"},
+				Body: Halt{V: Var{Name: "y"}}}}}}
+	if err := CheckProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := Run(p, 100)
+	if err != nil || n != 2 {
+		t.Errorf("got %d, %v; want 2", n, err)
+	}
+}

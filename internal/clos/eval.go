@@ -1,0 +1,202 @@
+package clos
+
+import (
+	"errors"
+	"fmt"
+
+	"psgc/internal/names"
+	"psgc/internal/source"
+)
+
+// The λCLOS reference evaluator: an environment machine over CPS terms.
+// It is the last reference point before the region-and-GC world, used by
+// the differential tests.
+
+type rtValue interface{ isRT() }
+
+type rtNum struct{ n int }
+
+type rtPair struct{ l, r rtValue }
+
+type rtFun struct{ name names.Name }
+
+type rtPack struct{ val rtValue }
+
+func (rtNum) isRT()  {}
+func (rtPair) isRT() {}
+func (rtFun) isRT()  {}
+func (rtPack) isRT() {}
+
+type rtEnv struct {
+	name names.Name
+	val  rtValue
+	next *rtEnv
+}
+
+func (e *rtEnv) lookup(n names.Name) (rtValue, bool) {
+	for ; e != nil; e = e.next {
+		if e.name == n {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// ErrFuel is returned when evaluation exceeds its step budget.
+var ErrFuel = errors.New("clos: evaluation out of fuel")
+
+// Run executes a λCLOS program to halt, returning the integer result and
+// the number of machine steps taken.
+func Run(p Program, fuel int) (int, int, error) {
+	funs := map[names.Name]FunDef{}
+	for _, f := range p.Funs {
+		funs[f.Name] = f
+	}
+	env := (*rtEnv)(nil)
+	term := p.Main
+	steps := 0
+	for {
+		if fuel <= 0 {
+			return 0, steps, ErrFuel
+		}
+		fuel--
+		steps++
+		switch e := term.(type) {
+		case Halt:
+			v, err := eval(env, e.V)
+			if err != nil {
+				return 0, steps, err
+			}
+			n, ok := v.(rtNum)
+			if !ok {
+				return 0, steps, fmt.Errorf("clos: halt with non-integer")
+			}
+			return n.n, steps, nil
+		case LetVal:
+			v, err := eval(env, e.V)
+			if err != nil {
+				return 0, steps, err
+			}
+			env = &rtEnv{name: e.X, val: v, next: env}
+			term = e.Body
+		case LetProj:
+			v, err := eval(env, e.V)
+			if err != nil {
+				return 0, steps, err
+			}
+			p, ok := v.(rtPair)
+			if !ok {
+				return 0, steps, fmt.Errorf("clos: projection from non-pair")
+			}
+			picked := p.l
+			if e.I == 2 {
+				picked = p.r
+			}
+			env = &rtEnv{name: e.X, val: picked, next: env}
+			term = e.Body
+		case LetArith:
+			l, err := eval(env, e.L)
+			if err != nil {
+				return 0, steps, err
+			}
+			r, err := eval(env, e.R)
+			if err != nil {
+				return 0, steps, err
+			}
+			ln, lok := l.(rtNum)
+			rn, rok := r.(rtNum)
+			if !lok || !rok {
+				return 0, steps, fmt.Errorf("clos: arithmetic on non-integers")
+			}
+			var n int
+			switch e.Op {
+			case source.OpAdd:
+				n = ln.n + rn.n
+			case source.OpSub:
+				n = ln.n - rn.n
+			case source.OpMul:
+				n = ln.n * rn.n
+			}
+			env = &rtEnv{name: e.X, val: rtNum{n}, next: env}
+			term = e.Body
+		case If0:
+			v, err := eval(env, e.V)
+			if err != nil {
+				return 0, steps, err
+			}
+			n, ok := v.(rtNum)
+			if !ok {
+				return 0, steps, fmt.Errorf("clos: if0 on non-integer")
+			}
+			if n.n == 0 {
+				term = e.Then
+			} else {
+				term = e.Else
+			}
+		case Open:
+			v, err := eval(env, e.V)
+			if err != nil {
+				return 0, steps, err
+			}
+			pk, ok := v.(rtPack)
+			if !ok {
+				return 0, steps, fmt.Errorf("clos: open of non-package")
+			}
+			env = &rtEnv{name: e.X, val: pk.val, next: env}
+			term = e.Body
+		case App:
+			fn, err := eval(env, e.Fn)
+			if err != nil {
+				return 0, steps, err
+			}
+			arg, err := eval(env, e.Arg)
+			if err != nil {
+				return 0, steps, err
+			}
+			f, ok := fn.(rtFun)
+			if !ok {
+				return 0, steps, fmt.Errorf("clos: call of non-function")
+			}
+			def, ok := funs[f.name]
+			if !ok {
+				return 0, steps, fmt.Errorf("clos: unknown function %s", f.name)
+			}
+			env = &rtEnv{name: def.Param, val: arg, next: nil}
+			term = def.Body
+		default:
+			return 0, steps, fmt.Errorf("clos: unknown term %T", term)
+		}
+	}
+}
+
+func eval(env *rtEnv, v Value) (rtValue, error) {
+	switch v := v.(type) {
+	case Num:
+		return rtNum{v.N}, nil
+	case Var:
+		if rv, ok := env.lookup(v.Name); ok {
+			return rv, nil
+		}
+		return nil, fmt.Errorf("clos: unbound variable %s", v.Name)
+	case FunV:
+		return rtFun{v.Name}, nil
+	case PairV:
+		l, err := eval(env, v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eval(env, v.R)
+		if err != nil {
+			return nil, err
+		}
+		return rtPair{l, r}, nil
+	case Pack:
+		inner, err := eval(env, v.Val)
+		if err != nil {
+			return nil, err
+		}
+		return rtPack{val: inner}, nil
+	default:
+		return nil, fmt.Errorf("clos: unknown value %T", v)
+	}
+}

@@ -1,0 +1,196 @@
+package collector
+
+import (
+	"psgc/internal/gclang"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// Basic holds the cd layout of the basic stop-and-copy collector
+// (Fig. 12): gc, gcend, copy, copypair1, copypair2, copyexist1.
+type Basic struct {
+	Layout *Layout
+	GC     names.Name // entry point block name
+	Copy   names.Name
+}
+
+// basicProto is the continuation protocol of the basic collector: three
+// regions (from, to, continuations), results typed M_r2(τ).
+func basicProto() proto {
+	return proto{
+		rnames: []names.Name{"r1", "r2", "r3"},
+		result: func(tag tags.Tag) gclang.Type {
+			return gclang.MT{Rs: []gclang.Region{rv("r2")}, Tag: tag}
+		},
+	}
+}
+
+// mOf builds M_ρ(τ) for the base/forw dialects.
+func mOf(r gclang.Region, tag tags.Tag) gclang.Type {
+	return gclang.MT{Rs: []gclang.Region{r}, Tag: tag}
+}
+
+// BuildBasic adds the basic collector's six code blocks to the layout and
+// returns their names. The entry point is
+//
+//	gc : ∀[t:Ω][r1](M_r1((t)→0), M_r1(t)) → 0
+//
+// exactly the shape the λCLOS translation's ifgc sites call (Fig. 3).
+func BuildBasic(l *Layout) Basic {
+	p := basicProto()
+	t := tv("t")
+
+	gcName := names.Name("gc")
+	gcendName := names.Name("gcend")
+	copyName := names.Name("copy")
+	pair1Name := names.Name("copypair1")
+	pair2Name := names.Name("copypair2")
+	exist1Name := names.Name("copyexist1")
+
+	// Reserve offsets in Fig. 12's order; bodies refer to each other via
+	// these addresses, so we add placeholder entries first and patch the
+	// real bodies in below.
+	for _, n := range []names.Name{gcName, gcendName, copyName, pair1Name, pair2Name, exist1Name} {
+		l.Add(n, gclang.LamV{})
+	}
+	gcend := l.Addr(gcendName)
+	copyA := l.Addr(copyName)
+	pair1 := l.Addr(pair1Name)
+	pair2 := l.Addr(pair2Name)
+	exist1 := l.Addr(exist1Name)
+
+	fTy := func(arg tags.Tag, r gclang.Region) gclang.Type { return mOf(r, codeTag(arg)) }
+
+	// gc[t:Ω][r1](f : M_r1((t)→0), x : M_r1(t)) =
+	//   let region r2 in let region r3 in
+	//   let k = put[r3] ⟨…gcend closure, env = f…⟩ in
+	//   copy[t][r1,r2,r3](x, k)
+	l.Funs[l.Offset(gcName)].Fun = gclang.LamV{
+		TParams: []gclang.TParam{{Name: "t", Kind: omega}},
+		RParams: []names.Name{"r1"},
+		Params: []gclang.Param{
+			{Name: "f", Ty: fTy(t, rv("r1"))},
+			{Name: "x", Ty: mOf(rv("r1"), t)},
+		},
+		Body: gclang.LetRegionT{R: "r2", Body: gclang.LetRegionT{R: "r3",
+			Body: let("k", put(rv("r3"),
+				p.mkCont(t, gcend, t, tags.Int{}, idTag, fTy(t, rv("r1")), vr("f"))),
+				gclang.AppT{Fn: copyA, Tags: []tags.Tag{t}, Rs: p.regions(),
+					Args: []gV{vr("x"), vr("k")}})}},
+	}
+
+	// gcend[t1,t2,te][r1,r2,r3](y : M_r2(t1), f : M_r1((t1)→0)) =
+	//   only {r2} in f[][r2](y)
+	l.Funs[l.Offset(gcendName)].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "y", Ty: mOf(rv("r2"), tv("t1"))},
+			{Name: "f", Ty: fTy(tv("t1"), rv("r1"))},
+		},
+		Body: gclang.OnlyT{Delta: []gR{rv("r2")},
+			Body: gclang.AppT{Fn: vr("f"), Rs: []gR{rv("r2")}, Args: []gV{vr("y")}}},
+	}
+
+	// copy[t:Ω][r1,r2,r3](x : M_r1(t), k : tk[t]) = typecase t of …
+	prodT := tags.Prod{L: tv("t1"), R: tv("t2")}
+	existT := tags.Exist{Bound: "u", Body: tags.App{Fn: tv("te"), Arg: tv("u")}}
+	l.Funs[l.Offset(copyName)].Fun = gclang.LamV{
+		TParams: []gclang.TParam{{Name: "t", Kind: omega}},
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x", Ty: mOf(rv("r1"), t)},
+			{Name: "k", Ty: p.tkTy(t)},
+		},
+		Body: gclang.TypecaseT{
+			Tag:    t,
+			IntArm: p.retk(vr("k"), vr("x")),
+			TL:     "tλ",
+			LamArm: p.retk(vr("k"), vr("x")),
+			T1:     "t1", T2: "t2",
+			// t1×t2 ⇒ start copying the first component; the second and k
+			// travel in copypair1's environment.
+			ProdArm: let("y", get(vr("x")),
+				let("x1", proj(1, vr("y")),
+					let("x2", proj(2, vr("y")),
+						let("k1", put(rv("r3"), p.mkCont(tv("t1"), pair1, tv("t1"), tv("t2"), idTag,
+							gclang.ProdT{L: mOf(rv("r1"), tv("t2")), R: p.tkTy(prodT)},
+							gclang.PairV{L: vr("x2"), R: vr("k")})),
+							gclang.AppT{Fn: copyA, Tags: []tags.Tag{tv("t1")}, Rs: p.regions(),
+								Args: []gV{vr("x1"), vr("k1")}})))),
+			Te: "te",
+			// ∃te ⇒ open the package and copy the payload; k travels as
+			// copyexist1's environment.
+			ExistArm: let("y", get(vr("x")),
+				gclang.OpenTagT{V: vr("y"), T: "tx", X: "z",
+					Body: let("k1", put(rv("r3"), p.mkCont(
+						tags.App{Fn: tv("te"), Arg: tv("tx")}, exist1, tv("tx"), tags.Int{}, tv("te"),
+						p.tkTy(existT), vr("k"))),
+						gclang.AppT{Fn: copyA,
+							Tags: []tags.Tag{tags.App{Fn: tv("te"), Arg: tv("tx")}},
+							Rs:   p.regions(), Args: []gV{vr("z"), vr("k1")}})}),
+		},
+	}
+
+	// copypair1[t1,t2,te][r1,r2,r3](x1 : M_r2(t1), c : M_r1(t2) × tk[t1×t2]):
+	//   copy the second component; the copied first and k travel on.
+	l.Funs[l.Offset(pair1Name)].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x1", Ty: mOf(rv("r2"), tv("t1"))},
+			{Name: "c", Ty: gclang.ProdT{L: mOf(rv("r1"), tv("t2")), R: p.tkTy(prodT)}},
+		},
+		Body: let("x2", proj(1, vr("c")),
+			let("k", proj(2, vr("c")),
+				let("k2", put(rv("r3"), p.mkCont(tv("t2"), pair2, tv("t2"), tv("t1"), idTag,
+					gclang.ProdT{L: mOf(rv("r2"), tv("t1")), R: p.tkTy(prodT)},
+					gclang.PairV{L: vr("x1"), R: vr("k")})),
+					gclang.AppT{Fn: copyA, Tags: []tags.Tag{tv("t2")}, Rs: p.regions(),
+						Args: []gV{vr("x2"), vr("k2")}}))),
+	}
+
+	// copypair2[t1,t2,te][r1,r2,r3](x2 : M_r2(t1), c : M_r2(t2) × tk[t2×t1]):
+	//   both components copied (note the swapped tag order from the
+	//   copypair1 call site); allocate the new pair and return it.
+	swapT := tags.Prod{L: tv("t2"), R: tv("t1")}
+	l.Funs[l.Offset(pair2Name)].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x2", Ty: mOf(rv("r2"), tv("t1"))},
+			{Name: "c", Ty: gclang.ProdT{L: mOf(rv("r2"), tv("t2")), R: p.tkTy(swapT)}},
+		},
+		Body: let("x1", proj(1, vr("c")),
+			let("k", proj(2, vr("c")),
+				let("np", put(rv("r2"), gclang.PairV{L: vr("x1"), R: vr("x2")}),
+					p.retk(vr("k"), vr("np"))))),
+	}
+
+	// copyexist1[t1,t2,te][r1,r2,r3](z : M_r2(te t1), c : tk[∃u.te u]):
+	//   repackage the copied payload and return it.
+	l.Funs[l.Offset(exist1Name)].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "z", Ty: mOf(rv("r2"), tags.App{Fn: tv("te"), Arg: tv("t1")})},
+			{Name: "c", Ty: p.tkTy(tags.Exist{Bound: "u", Body: tags.App{Fn: tv("te"), Arg: tv("u")}})},
+		},
+		Body: let("np", put(rv("r2"),
+			pack1("u", tv("t1"), vr("z"), mOf(rv("r2"), tags.App{Fn: tv("te"), Arg: tv("u")}))),
+			p.retk(vr("c"), vr("np"))),
+	}
+
+	return Basic{Layout: l, GC: gcName, Copy: copyName}
+}
+
+// contTParams are the tag parameters every continuation code block takes
+// (Fig. 12 unifies all continuations at t1, t2 : Ω and te : Ω→Ω, leaving
+// unused slots unused).
+func contTParams() []gclang.TParam {
+	return []gclang.TParam{
+		{Name: "t1", Kind: omega},
+		{Name: "t2", Kind: omega},
+		{Name: "te", Kind: omegaArrow},
+	}
+}

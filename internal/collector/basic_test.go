@@ -1,0 +1,208 @@
+package collector
+
+import (
+	"testing"
+
+	"psgc/internal/gclang"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// checkProgram asserts the collector typechecks — the paper's headline
+// theorem — and returns the elaborated program.
+func checkProgram(t *testing.T, d gclang.Dialect, p gclang.Program) gclang.Program {
+	t.Helper()
+	c := &gclang.Checker{Dialect: d}
+	elab, _, err := c.CheckProgram(p)
+	if err != nil {
+		t.Fatalf("collector does not typecheck: %v", err)
+	}
+	return elab
+}
+
+func runCheckedToHalt(t *testing.T, m *gclang.Machine, fuel int) gclang.Value {
+	t.Helper()
+	for !m.Halted {
+		if fuel <= 0 {
+			t.Fatalf("out of fuel at step %d:\n%s", m.Steps, m.Term)
+		}
+		fuel--
+		if err := m.Step(); err != nil {
+			t.Fatalf("step %d: %v", m.Steps, err)
+		}
+		if m.Ghost {
+			if err := m.CheckState(); err != nil {
+				t.Fatalf("preservation violated: %v", err)
+			}
+		}
+	}
+	return m.Result
+}
+
+// pairTag is Int × Int.
+var pairTag = tags.Prod{L: tags.Int{}, R: tags.Int{}}
+
+// finishPair is a mutator continuation ∀[][r](M_r(Int×Int))→0 that sums
+// the pair's components and halts.
+func finishPair(d gclang.Dialect) gclang.LamV {
+	var mr gclang.Type
+	switch d {
+	case gclang.Gen:
+		mr = gclang.MT{Rs: []gclang.Region{rv("ry"), rv("ro")}, Tag: pairTag}
+	default:
+		mr = mOf(rv("r"), pairTag)
+	}
+	inner := let("a", proj(1, vr("y")),
+		let("b", proj(2, vr("y")),
+			let("s", gclang.ArithOp{Kind: gclang.Add, L: vr("a"), R: vr("b")},
+				gclang.HaltT{V: vr("s")})))
+	var body gT
+	switch d {
+	case gclang.Forw:
+		// M_r(Int×Int) = left(int×int) at r: strip the tag bit first.
+		body = let("g", get(vr("x")), let("y", gclang.StripOp{V: vr("g")}, inner))
+	case gclang.Gen:
+		// M_ry,ro(Int×Int) = ∃r∈{ry,ro}.(…at r): open the region package.
+		body = gclang.OpenRegionT{V: vr("x"), R: "rx", X: "xp",
+			Body: let("y", get(vr("xp")), inner)}
+	default:
+		body = let("y", get(vr("x")), inner)
+	}
+	rparams := []names.Name{"r"}
+	if d == gclang.Gen {
+		rparams = []names.Name{"ry", "ro"}
+	}
+	return gclang.LamV{
+		RParams: rparams,
+		Params:  []gclang.Param{{Name: "x", Ty: mr}},
+		Body:    body,
+	}
+}
+
+func TestBasicCollectorTypechecks(t *testing.T) {
+	l := &Layout{}
+	BuildBasic(l)
+	checkProgram(t, gclang.Base, gclang.Program{Code: l.Funs, Main: gclang.HaltT{V: gclang.Num{N: 0}}})
+}
+
+func TestBasicCollectorCopiesPair(t *testing.T) {
+	l := &Layout{}
+	b := BuildBasic(l)
+	finish := l.Add("finish", finishPair(gclang.Base))
+	_ = finish
+
+	// main: let region r0 in let p = put[r0](10,32) in
+	//       gc[Int×Int][r0](finish, p)
+	main := gclang.LetRegionT{R: "r0", Body: let("p",
+		put(rv("r0"), gclang.PairV{L: gclang.Num{N: 10}, R: gclang.Num{N: 32}}),
+		gclang.AppT{Fn: b.Layout.Addr(b.GC), Tags: []tags.Tag{pairTag},
+			Rs: []gR{rv("r0")}, Args: []gV{l.Addr("finish"), vr("p")}})}
+
+	prog := checkProgram(t, gclang.Base, gclang.Program{Code: l.Funs, Main: main})
+	m := gclang.NewMachine(gclang.Base, prog, 0)
+	m.Ghost = true
+	v := runCheckedToHalt(t, m, 10000)
+	if n, ok := v.(gclang.Num); !ok || n.N != 42 {
+		t.Fatalf("result = %s, want 42", v)
+	}
+	// The from-space and the continuation region must have been reclaimed:
+	// live regions are cd and the to-space.
+	if got := len(m.Mem.Regions()); got != 2 {
+		t.Errorf("live regions after collection = %d (%v), want 2", got, m.Mem.Regions())
+	}
+	if m.Mem.Stats.RegionsReclaimed < 2 {
+		t.Errorf("stats = %+v, want ≥2 regions reclaimed", m.Mem.Stats)
+	}
+}
+
+func TestBasicCollectorCopiesTree(t *testing.T) {
+	l := &Layout{}
+	b := BuildBasic(l)
+	// finish for tag ((Int×Int)×(Int×Int)): sum of second pair.
+	treeTag := tags.Prod{L: pairTag, R: pairTag}
+	finish := gclang.LamV{
+		RParams: []names.Name{"r"},
+		Params:  []gclang.Param{{Name: "x", Ty: mOf(rv("r"), treeTag)}},
+		Body: let("y", get(vr("x")),
+			let("q", proj(2, vr("y")),
+				let("yq", get(vr("q")),
+					let("a", proj(1, vr("yq")),
+						let("b", proj(2, vr("yq")),
+							let("s", gclang.ArithOp{Kind: gclang.Add, L: vr("a"), R: vr("b")},
+								gclang.HaltT{V: vr("s")})))))),
+	}
+	l.Add("finish", finish)
+
+	main := gclang.LetRegionT{R: "r0",
+		Body: let("p1", put(rv("r0"), gclang.PairV{L: gclang.Num{N: 1}, R: gclang.Num{N: 2}}),
+			let("p2", put(rv("r0"), gclang.PairV{L: gclang.Num{N: 20}, R: gclang.Num{N: 22}}),
+				let("root", put(rv("r0"), gclang.PairV{L: vr("p1"), R: vr("p2")}),
+					gclang.AppT{Fn: b.Layout.Addr(b.GC), Tags: []tags.Tag{treeTag},
+						Rs: []gR{rv("r0")}, Args: []gV{l.Addr("finish"), vr("root")}})))}
+
+	prog := checkProgram(t, gclang.Base, gclang.Program{Code: l.Funs, Main: main})
+	m := gclang.NewMachine(gclang.Base, prog, 0)
+	m.Ghost = true
+	v := runCheckedToHalt(t, m, 100000)
+	if n, ok := v.(gclang.Num); !ok || n.N != 42 {
+		t.Fatalf("result = %s, want 42", v)
+	}
+	// Three cells were live; the to-space must hold exactly 3 copies.
+	if live := m.Mem.LiveCells(); live != 3 {
+		t.Errorf("live cells after collection = %d, want 3", live)
+	}
+}
+
+func TestBasicCollectorCopiesClosure(t *testing.T) {
+	l := &Layout{}
+	b := BuildBasic(l)
+
+	// A mutator closure of tag ∃u.(((u×Int)→0) × u) with witness Int:
+	// code block "clofn" takes the (env, arg) pair and halts env+arg.
+	cloTag := tags.Exist{Bound: "u",
+		Body: tags.Prod{L: codeTag(tags.Prod{L: tv("u"), R: tags.Int{}}), R: tv("u")}}
+	cloBodyTag := tags.Prod{L: codeTag(tags.Prod{L: tags.Int{}, R: tags.Int{}}), R: tags.Int{}}
+
+	clofn := gclang.LamV{
+		RParams: []names.Name{"r"},
+		Params:  []gclang.Param{{Name: "p", Ty: mOf(rv("r"), tags.Prod{L: tags.Int{}, R: tags.Int{}})}},
+		Body: let("y", get(vr("p")),
+			let("envv", proj(1, vr("y")),
+				let("arg", proj(2, vr("y")),
+					let("s", gclang.ArithOp{Kind: gclang.Add, L: vr("envv"), R: vr("arg")},
+						gclang.HaltT{V: vr("s")})))),
+	}
+	l.Add("clofn", clofn)
+
+	// finish receives the copied closure, opens it, applies the code to a
+	// freshly allocated (env, 40) pair.
+	finish := gclang.LamV{
+		RParams: []names.Name{"r"},
+		Params:  []gclang.Param{{Name: "x", Ty: mOf(rv("r"), cloTag)}},
+		Body: let("y", get(vr("x")),
+			gclang.OpenTagT{V: vr("y"), T: "u", X: "w",
+				Body: let("wp", get(vr("w")),
+					let("code", proj(1, vr("wp")),
+						let("envv", proj(2, vr("wp")),
+							let("argp", put(rv("r"), gclang.PairV{L: vr("envv"), R: gclang.Num{N: 40}}),
+								gclang.AppT{Fn: vr("code"), Rs: []gR{rv("r")}, Args: []gV{vr("argp")}}))))}),
+	}
+	l.Add("finish", finish)
+
+	// Heap: cell A = (clofn, 2) : M(code×u); cell B = ⟨u=Int, A⟩.
+	main := gclang.LetRegionT{R: "r0",
+		Body: let("a", put(rv("r0"), gclang.PairV{L: l.Addr("clofn"), R: gclang.Num{N: 2}}),
+			let("bb", put(rv("r0"), pack1("u", tags.Int{}, vr("a"),
+				mOf(rv("r0"), tags.Prod{L: codeTag(tags.Prod{L: tv("u"), R: tags.Int{}}), R: tv("u")}))),
+				gclang.AppT{Fn: b.Layout.Addr(b.GC), Tags: []tags.Tag{cloTag},
+					Rs: []gR{rv("r0")}, Args: []gV{l.Addr("finish"), vr("bb")}}))}
+	_ = cloBodyTag
+
+	prog := checkProgram(t, gclang.Base, gclang.Program{Code: l.Funs, Main: main})
+	m := gclang.NewMachine(gclang.Base, prog, 0)
+	m.Ghost = true
+	v := runCheckedToHalt(t, m, 100000)
+	if n, ok := v.(gclang.Num); !ok || n.N != 42 {
+		t.Fatalf("result = %s, want 42", v)
+	}
+}

@@ -1,0 +1,221 @@
+// Package collector builds the paper's garbage collectors as λGC programs:
+// the basic stop-and-copy collector after CPS and closure conversion
+// (Fig. 12), the forwarding-pointer collector (Fig. 9, CPS'd the same
+// way), and the generational collector (Fig. 11, CPS'd, plus the major
+// collector §8 notes is "the same as the non-generational one").
+//
+// The collectors are data: λGC terms assembled here and verified by
+// gclang's typechecker. That the collectors typecheck is the paper's
+// headline theorem, and the tests in this package assert it.
+package collector
+
+import (
+	"psgc/internal/gclang"
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// Shorthands: the builders below transliterate Fig. 12, and the paper's
+// one-letter metavariables are clearer here than spelled-out names.
+type (
+	gT = gclang.Term
+	gV = gclang.Value
+	gR = gclang.Region
+)
+
+func vr(n names.Name) gV { return gclang.Var{Name: n} }
+func rv(n names.Name) gR { return gclang.RVar{Name: n} }
+func tv(n names.Name) tags.Tag {
+	return tags.Var{Name: n}
+}
+
+func let(x names.Name, op gclang.Op, body gT) gT {
+	return gclang.LetT{X: x, Op: op, Body: body}
+}
+
+func letv(x names.Name, v gV, body gT) gT { return let(x, gclang.ValOp{V: v}, body) }
+func proj(i int, v gV) gclang.Op          { return gclang.ProjOp{I: i, V: v} }
+func put(r gR, v gV) gclang.Op            { return gclang.PutOp{R: r, V: v} }
+func get(v gV) gclang.Op                  { return gclang.GetOp{V: v} }
+
+// idTag is the identity tag function λu.u, used to fill unused te slots
+// (Fig. 12 writes λt.t).
+var idTag = tags.Lam{Param: "u", Body: tags.Var{Name: "u"}}
+
+// omega and omegaArrow abbreviate the two kinds.
+var (
+	omega      = kinds.Kind(kinds.Omega{})
+	omegaArrow = kinds.Kind(kinds.OmegaToOmega)
+)
+
+// codeTag builds the unary code tag (τ)→0.
+func codeTag(arg tags.Tag) tags.Tag {
+	return tags.Code{Args: []tags.Tag{arg}}
+}
+
+// Layout assigns cd offsets to the collector's code blocks (and later the
+// translated mutator's). The i-th added block lives at cd.i, matching
+// gclang.NewMachine's installation order.
+type Layout struct {
+	Funs  []gclang.NamedFun
+	index map[names.Name]int
+}
+
+// Add appends a code block and returns its offset.
+func (l *Layout) Add(name names.Name, fun gclang.LamV) int {
+	if l.index == nil {
+		l.index = map[names.Name]int{}
+	}
+	if _, dup := l.index[name]; dup {
+		panic("collector: duplicate code block " + string(name))
+	}
+	l.index[name] = len(l.Funs)
+	l.Funs = append(l.Funs, gclang.NamedFun{Name: name, Fun: fun})
+	return l.index[name]
+}
+
+// Addr returns the cd address value of a named block.
+func (l *Layout) Addr(name names.Name) gclang.AddrV {
+	i, ok := l.index[name]
+	if !ok {
+		panic("collector: unknown code block " + string(name))
+	}
+	return gclang.CodeAddr(i)
+}
+
+// Offset returns the cd offset of a named block.
+func (l *Layout) Offset(name names.Name) int {
+	i, ok := l.index[name]
+	if !ok {
+		panic("collector: unknown code block " + string(name))
+	}
+	return i
+}
+
+// proto captures the continuation-closure protocol shared by all three
+// collectors (Fig. 12's tc/tk machinery):
+//
+//	tc[τ] = ∀⟦κ1,κ2,κe⟧⟦rnames…⟧(result(τ), κα) →cd 0 × κα
+//	tk[τ] = (∃κ1:Ω.∃κ2:Ω.∃κe:Ω→Ω.∃κα:{rnames…}. tc[τ]) at last(rnames)
+//
+// where result(τ) is the copied-value type the continuation receives
+// (M_r2(τ) for base/forw, M_ro,ro(τ) for the minor generational collector,
+// M_rn,rn(τ) for the major one). The recorded-tag binders κ1,κ2,κe hide
+// the continuation code's own tag parameters; κα hides its environment
+// type, constrained to the collector's regions so `only` can be checked.
+//
+// The rnames are shared verbatim between the collector's code blocks and
+// the translucent types: the κα constraint {r1,r2,r3} refers to those
+// binder names in both places, exactly as Fig. 12 writes it.
+type proto struct {
+	rnames []names.Name
+	result func(tag tags.Tag) gclang.Type
+}
+
+func (p proto) regions() []gR {
+	out := make([]gR, len(p.rnames))
+	for i, n := range p.rnames {
+		out[i] = rv(n)
+	}
+	return out
+}
+
+// contRegion is the region holding continuation closures (always the last
+// region parameter).
+func (p proto) contRegion() gR { return rv(p.rnames[len(p.rnames)-1]) }
+
+// The canonical binder names of the closure packages.
+const (
+	k1Name    = names.Name("κ1")
+	k2Name    = names.Name("κ2")
+	keName    = names.Name("κe")
+	alphaName = names.Name("κα")
+)
+
+// tcBody builds tc[tag] with the given witnesses for the recorded tags
+// and the environment type (use tag variables / AlphaT for the fully
+// abstract form).
+func (p proto) tcBody(tag tags.Tag, w1, w2, we tags.Tag, alpha gclang.Type) gclang.Type {
+	return gclang.ProdT{
+		L: gclang.TransT{
+			Tags:   []tags.Tag{w1, w2, we},
+			Rs:     p.regions(),
+			Params: []gclang.Type{p.result(tag), alpha},
+			R:      gclang.CDRegion,
+		},
+		R: alpha,
+	}
+}
+
+// closTy builds the unlocated closure type ∃κ1.∃κ2.∃κe.∃κα.tc[tag].
+func (p proto) closTy(tag tags.Tag) gclang.Type {
+	alpha := gclang.AlphaT{Name: alphaName}
+	return gclang.ExistT{Bound: k1Name, Kind: omega,
+		Body: gclang.ExistT{Bound: k2Name, Kind: omega,
+			Body: gclang.ExistT{Bound: keName, Kind: omegaArrow,
+				Body: gclang.ExistAlphaT{Bound: alphaName, Delta: p.regions(),
+					Body: p.tcBody(tag, tv(k1Name), tv(k2Name), tv(keName), alpha)}}}}
+}
+
+// tkTy builds tk[tag]: the closure type located in the continuation region.
+func (p proto) tkTy(tag tags.Tag) gclang.Type {
+	return gclang.AtT{Body: p.closTy(tag), R: p.contRegion()}
+}
+
+// mkCont builds the continuation closure value
+//
+//	⟨κ1=w1, ⟨κ2=w2, ⟨κe=we, ⟨κα=envTy, (code⟦w1,w2,we⟧, env)⟩⟩⟩⟩
+//
+// for a continuation whose code block is code (a cd address) and whose
+// environment has the given type and value. tag is the tag of the value
+// the continuation will receive.
+func (p proto) mkCont(tag tags.Tag, code gclang.AddrV, w1, w2, we tags.Tag, envTy gclang.Type, env gV) gV {
+	alpha := gclang.AlphaT{Name: alphaName}
+	pair := gclang.PairV{L: gclang.TAppV{Val: code, Tags: []tags.Tag{w1, w2, we}, Rs: p.regions()}, R: env}
+	pa := gclang.PackAlpha{
+		Bound: alphaName, Delta: p.regions(), Hidden: envTy, Val: pair,
+		Body: p.tcBody(tag, w1, w2, we, alpha),
+	}
+	pe := gclang.PackTag{
+		Bound: keName, Kind: omegaArrow, Tag: we, Val: pa,
+		Body: gclang.ExistAlphaT{Bound: alphaName, Delta: p.regions(),
+			Body: p.tcBody(tag, w1, w2, tv(keName), alpha)},
+	}
+	p2 := gclang.PackTag{
+		Bound: k2Name, Kind: omega, Tag: w2, Val: pe,
+		Body: gclang.ExistT{Bound: keName, Kind: omegaArrow,
+			Body: gclang.ExistAlphaT{Bound: alphaName, Delta: p.regions(),
+				Body: p.tcBody(tag, w1, tv(k2Name), tv(keName), alpha)}},
+	}
+	return gclang.PackTag{
+		Bound: k1Name, Kind: omega, Tag: w1, Val: p2,
+		Body: gclang.ExistT{Bound: k2Name, Kind: omega,
+			Body: gclang.ExistT{Bound: keName, Kind: omegaArrow,
+				Body: gclang.ExistAlphaT{Bound: alphaName, Delta: p.regions(),
+					Body: p.tcBody(tag, tv(k1Name), tv(k2Name), tv(keName), alpha)}}},
+	}
+}
+
+// retk builds the return-to-continuation term: fetch the closure from k,
+// open its four packages, and invoke the code on (result, env).
+//
+//	let kc = get k in
+//	open kc as ⟨κ1,o1⟩ in … open o3 as ⟨κα,c⟩ in
+//	(π1 c)(result, π2 c)
+func (p proto) retk(k gV, result gV) gT {
+	return let("kc", get(k),
+		gclang.OpenTagT{V: vr("kc"), T: "κ1'", X: "o1",
+			Body: gclang.OpenTagT{V: vr("o1"), T: "κ2'", X: "o2",
+				Body: gclang.OpenTagT{V: vr("o2"), T: "κe'", X: "o3",
+					Body: gclang.OpenAlphaT{V: vr("o3"), A: "κα'", X: "cl",
+						Body: let("fn", proj(1, vr("cl")),
+							let("envc", proj(2, vr("cl")),
+								gclang.AppT{Fn: vr("fn"),
+									Args: []gV{result, vr("envc")}}))}}}})
+}
+
+// pack1 abbreviates a unary tag existential package ⟨u=w, v : body⟩.
+func pack1(bound names.Name, w tags.Tag, v gV, body gclang.Type) gV {
+	return gclang.PackTag{Bound: bound, Kind: omega, Tag: w, Val: v, Body: body}
+}

@@ -1,0 +1,209 @@
+package collector
+
+import (
+	"psgc/internal/gclang"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// Forw holds the cd layout of the forwarding-pointer collector (Fig. 9,
+// CPS'd with the Fig. 12 continuation protocol). Compared to the basic
+// collector, copy's argument has the collector view C_r1,r2(t), every boxed
+// object is inspected with ifleft, and freshly copied objects are installed
+// as forwarding pointers with set — so shared structure is copied once.
+type Forw struct {
+	Layout *Layout
+	GC     names.Name
+	Copy   names.Name
+}
+
+// cOf builds C_ρ,ρ'(τ).
+func cOf(from, to gR, tag tags.Tag) gclang.Type {
+	return gclang.CT{From: from, To: to, Tag: tag}
+}
+
+// BuildForw adds the forwarding collector's code blocks to the layout.
+// The entry point has the same interface as the basic collector's:
+//
+//	gcf : ∀[t:Ω][r1](M_r1((t)→0), M_r1(t)) → 0
+func BuildForw(l *Layout) Forw {
+	p := basicProto() // same regions and result type M_r2(τ)
+	t := tv("t")
+	r1, r2, r3 := rv("r1"), rv("r2"), rv("r3")
+
+	gcName := names.Name("gcf")
+	gcendName := names.Name("gcendf")
+	copyName := names.Name("copyf")
+	pair1Name := names.Name("copypair1f")
+	pair2Name := names.Name("copypair2f")
+	exist1Name := names.Name("copyexist1f")
+
+	for _, n := range []names.Name{gcName, gcendName, copyName, pair1Name, pair2Name, exist1Name} {
+		l.Add(n, gclang.LamV{})
+	}
+	gcend := l.Addr(gcendName)
+	copyA := l.Addr(copyName)
+	pair1 := l.Addr(pair1Name)
+	pair2 := l.Addr(pair2Name)
+	exist1 := l.Addr(exist1Name)
+
+	fTy := func(arg tags.Tag, r gR) gclang.Type { return mOf(r, codeTag(arg)) }
+	rootTag := tags.Prod{L: codeTag(t), R: t}
+
+	// gcf[t:Ω][r1](f : M_r1((t)→0), x : M_r1(t)) =
+	//   let root = put[r1](inl (f, x)) in        -- bundle the roots (Fig. 9)
+	//   let region r2 in
+	//   let w = widen[r2][((t)→0) × t](root) in  -- collector view of the heap
+	//   let region r3 in
+	//   let y = get w in
+	//   ifleft yy = y
+	//     (let pr = strip yy in … copyf[t][r1,r2,r3](π2 pr, k))
+	//     (halt 0)                               -- fresh root can't be forwarded
+	l.Funs[l.Offset(gcName)].Fun = gclang.LamV{
+		TParams: []gclang.TParam{{Name: "t", Kind: omega}},
+		RParams: []names.Name{"r1"},
+		Params: []gclang.Param{
+			{Name: "f", Ty: fTy(t, r1)},
+			{Name: "x", Ty: mOf(r1, t)},
+		},
+		Body: let("root", put(r1, gclang.InlV{Val: gclang.PairV{L: vr("f"), R: vr("x")}}),
+			gclang.LetRegionT{R: "r2",
+				Body: gclang.WidenT{X: "w", To: r2, Tag: rootTag, V: vr("root"),
+					Body: gclang.LetRegionT{R: "r3",
+						Body: let("y", get(vr("w")),
+							gclang.IfLeftT{X: "yy", V: vr("y"),
+								L: let("pr", gclang.StripOp{V: vr("yy")},
+									let("f2", proj(1, vr("pr")),
+										let("x2", proj(2, vr("pr")),
+											let("k", put(r3, p.mkCont(t, gcend, t, tags.Int{}, idTag,
+												cOf(r1, r2, codeTag(t)), vr("f2"))),
+												gclang.AppT{Fn: copyA, Tags: []tags.Tag{t}, Rs: p.regions(),
+													Args: []gV{vr("x2"), vr("k")}})))),
+								R: gclang.HaltT{V: gclang.Num{N: 0}},
+							})}}})}
+
+	// gcendf[t1,t2,te][r1,r2,r3](y : M_r2(t1), f : C_r1,r2((t1)→0)) =
+	//   only {r2} in f[][r2](y)
+	l.Funs[l.Offset(gcendName)].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "y", Ty: mOf(r2, tv("t1"))},
+			{Name: "f", Ty: cOf(r1, r2, codeTag(tv("t1")))},
+		},
+		Body: gclang.OnlyT{Delta: []gR{r2},
+			Body: gclang.AppT{Fn: vr("f"), Rs: []gR{r2}, Args: []gV{vr("y")}}},
+	}
+
+	// copyf[t:Ω][r1,r2,r3](x : C_r1,r2(t), k : tk[t]) = typecase t of …
+	prodT := tags.Prod{L: tv("t1"), R: tv("t2")}
+	existTag := tags.Exist{Bound: "u", Body: tags.App{Fn: tv("te"), Arg: tv("u")}}
+	teApp := func(a tags.Tag) tags.Tag { return tags.App{Fn: tv("te"), Arg: a} }
+
+	// Environment types of the three continuations; each carries the
+	// original address x so copypair2f/copyexist1f can install the
+	// forwarding pointer with set (§7).
+	pair1Env := gclang.ProdT{L: cOf(r1, r2, tv("t2")),
+		R: gclang.ProdT{L: cOf(r1, r2, prodT), R: p.tkTy(prodT)}}
+	swapT := tags.Prod{L: tv("t2"), R: tv("t1")}
+	pair2Env := gclang.ProdT{L: mOf(r2, tv("t2")),
+		R: gclang.ProdT{L: cOf(r1, r2, swapT), R: p.tkTy(swapT)}}
+	exist1Env := gclang.ProdT{L: cOf(r1, r2, existTag), R: p.tkTy(existTag)}
+
+	l.Funs[l.Offset(copyName)].Fun = gclang.LamV{
+		TParams: []gclang.TParam{{Name: "t", Kind: omega}},
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x", Ty: cOf(r1, r2, t)},
+			{Name: "k", Ty: p.tkTy(t)},
+		},
+		Body: gclang.TypecaseT{
+			Tag:    t,
+			IntArm: p.retk(vr("k"), vr("x")),
+			TL:     "tλ",
+			LamArm: p.retk(vr("k"), vr("x")),
+			T1:     "t1", T2: "t2",
+			// t1×t2 ⇒ inspect the tag bit: forwarded objects return the
+			// recorded to-space pointer; otherwise copy the components,
+			// with the original address riding along for the set.
+			ProdArm: let("y", get(vr("x")),
+				gclang.IfLeftT{X: "yy", V: vr("y"),
+					L: let("pr", gclang.StripOp{V: vr("yy")},
+						let("x1", proj(1, vr("pr")),
+							let("x2", proj(2, vr("pr")),
+								let("k1", put(r3, p.mkCont(tv("t1"), pair1, tv("t1"), tv("t2"), idTag,
+									pair1Env,
+									gclang.PairV{L: vr("x2"), R: gclang.PairV{L: vr("x"), R: vr("k")}})),
+									gclang.AppT{Fn: copyA, Tags: []tags.Tag{tv("t1")}, Rs: p.regions(),
+										Args: []gV{vr("x1"), vr("k1")}})))),
+					R: let("z", gclang.StripOp{V: vr("yy")}, p.retk(vr("k"), vr("z"))),
+				}),
+			Te: "te",
+			ExistArm: let("y", get(vr("x")),
+				gclang.IfLeftT{X: "yy", V: vr("y"),
+					L: let("pk", gclang.StripOp{V: vr("yy")},
+						gclang.OpenTagT{V: vr("pk"), T: "tx", X: "z",
+							Body: let("k1", put(r3, p.mkCont(teApp(tv("tx")), exist1, tv("tx"), tags.Int{}, tv("te"),
+								exist1Env,
+								gclang.PairV{L: vr("x"), R: vr("k")})),
+								gclang.AppT{Fn: copyA, Tags: []tags.Tag{teApp(tv("tx"))}, Rs: p.regions(),
+									Args: []gV{vr("z"), vr("k1")}})}),
+					R: let("z", gclang.StripOp{V: vr("yy")}, p.retk(vr("k"), vr("z"))),
+				}),
+		},
+	}
+
+	// copypair1f[t1,t2,te][r1,r2,r3](x1 : M_r2(t1), c : C(t2) × (C(t1×t2) × tk[t1×t2]))
+	l.Funs[l.Offset(pair1Name)].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x1", Ty: mOf(r2, tv("t1"))},
+			{Name: "c", Ty: pair1Env},
+		},
+		Body: let("x2", proj(1, vr("c")),
+			let("rest", proj(2, vr("c")),
+				let("k2", put(r3, p.mkCont(tv("t2"), pair2, tv("t2"), tv("t1"), idTag,
+					gclang.ProdT{L: mOf(r2, tv("t1")),
+						R: gclang.ProdT{L: cOf(r1, r2, prodT), R: p.tkTy(prodT)}},
+					gclang.PairV{L: vr("x1"), R: vr("rest")})),
+					gclang.AppT{Fn: copyA, Tags: []tags.Tag{tv("t2")}, Rs: p.regions(),
+						Args: []gV{vr("x2"), vr("k2")}}))),
+	}
+
+	// copypair2f[t1,t2,te][r1,r2,r3](x2 : M_r2(t1), c : M_r2(t2) × (C(t2×t1) × tk[t2×t1])):
+	//   allocate the copy, install the forwarding pointer, return the copy.
+	l.Funs[l.Offset(pair2Name)].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x2", Ty: mOf(r2, tv("t1"))},
+			{Name: "c", Ty: pair2Env},
+		},
+		Body: let("x1", proj(1, vr("c")),
+			let("rest", proj(2, vr("c")),
+				let("xaddr", proj(1, vr("rest")),
+					let("k", proj(2, vr("rest")),
+						let("np", put(r2, gclang.InlV{Val: gclang.PairV{L: vr("x1"), R: vr("x2")}}),
+							gclang.SetT{Dst: vr("xaddr"), Src: gclang.InrV{Val: vr("np")},
+								Body: p.retk(vr("k"), vr("np"))}))))),
+	}
+
+	// copyexist1f[t1,t2,te][r1,r2,r3](z : M_r2(te t1), c : C(∃u.te u) × tk[∃u.te u])
+	l.Funs[l.Offset(exist1Name)].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "z", Ty: mOf(r2, teApp(tv("t1")))},
+			{Name: "c", Ty: exist1Env},
+		},
+		Body: let("xaddr", proj(1, vr("c")),
+			let("k", proj(2, vr("c")),
+				let("np", put(r2, gclang.InlV{Val: pack1("u", tv("t1"), vr("z"),
+					mOf(r2, teApp(tv("u"))))}),
+					gclang.SetT{Dst: vr("xaddr"), Src: gclang.InrV{Val: vr("np")},
+						Body: p.retk(vr("k"), vr("np"))}))),
+	}
+
+	return Forw{Layout: l, GC: gcName, Copy: copyName}
+}

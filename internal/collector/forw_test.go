@@ -1,0 +1,173 @@
+package collector
+
+import (
+	"testing"
+
+	"psgc/internal/gclang"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+func TestForwCollectorTypechecks(t *testing.T) {
+	l := &Layout{}
+	BuildForw(l)
+	checkProgram(t, gclang.Forw, gclang.Program{Code: l.Funs, Main: gclang.HaltT{V: gclang.Num{N: 0}}})
+}
+
+func TestForwCollectorCopiesPair(t *testing.T) {
+	l := &Layout{}
+	f := BuildForw(l)
+	l.Add("finish", finishPair(gclang.Forw))
+
+	// main: let region r0 in let p = put[r0](inl (10,32)) in gcf[...](finish, p)
+	main := gclang.LetRegionT{R: "r0", Body: let("p",
+		put(rv("r0"), gclang.InlV{Val: gclang.PairV{L: gclang.Num{N: 10}, R: gclang.Num{N: 32}}}),
+		gclang.AppT{Fn: f.Layout.Addr(f.GC), Tags: []tags.Tag{pairTag},
+			Rs: []gR{rv("r0")}, Args: []gV{l.Addr("finish"), vr("p")}})}
+
+	prog := checkProgram(t, gclang.Forw, gclang.Program{Code: l.Funs, Main: main})
+	m := gclang.NewMachine(gclang.Forw, prog, 0)
+	m.Ghost = true
+	v := runCheckedToHalt(t, m, 100000)
+	if n, ok := v.(gclang.Num); !ok || n.N != 42 {
+		t.Fatalf("result = %s, want 42", v)
+	}
+	if got := len(m.Mem.Regions()); got != 2 {
+		t.Errorf("live regions after collection = %d (%v), want 2", got, m.Mem.Regions())
+	}
+	if m.Mem.Stats.Sets == 0 {
+		t.Errorf("no forwarding pointer was installed")
+	}
+}
+
+// dagMain builds a shared heap: leaf = (20,22); root = (leaf, leaf), and
+// calls the given collector entry. finish adds fst of the first component
+// and snd of the second: 20+22 = 42.
+func dagFinish(d gclang.Dialect) gclang.LamV {
+	treeTag := tags.Prod{L: pairTag, R: pairTag}
+	// finish(x : M_r(treeTag)): strip/open as needed per dialect.
+	deref := func(v gV, x names.Name, body gT) gT {
+		// let g = get v in let x = strip g in body   (forw view)
+		return let("g"+x, get(v), let(x, gclang.StripOp{V: vr("g" + x)}, body))
+	}
+	return gclang.LamV{
+		RParams: []names.Name{"r"},
+		Params:  []gclang.Param{{Name: "x", Ty: mOf(rv("r"), treeTag)}},
+		Body: deref(vr("x"), "y",
+			let("p1", proj(1, vr("y")),
+				let("p2", proj(2, vr("y")),
+					deref(vr("p1"), "y1",
+						deref(vr("p2"), "y2",
+							let("a", proj(1, vr("y1")),
+								let("b", proj(2, vr("y2")),
+									let("s", gclang.ArithOp{Kind: gclang.Add, L: vr("a"), R: vr("b")},
+										gclang.HaltT{V: vr("s")})))))))),
+	}
+}
+
+func TestForwCollectorPreservesSharing(t *testing.T) {
+	l := &Layout{}
+	f := BuildForw(l)
+	treeTag := tags.Prod{L: pairTag, R: pairTag}
+	l.Add("finish", dagFinish(gclang.Forw))
+
+	main := gclang.LetRegionT{R: "r0",
+		Body: let("leaf", put(rv("r0"), gclang.InlV{Val: gclang.PairV{L: gclang.Num{N: 20}, R: gclang.Num{N: 22}}}),
+			let("root", put(rv("r0"), gclang.InlV{Val: gclang.PairV{L: vr("leaf"), R: vr("leaf")}}),
+				gclang.AppT{Fn: f.Layout.Addr(f.GC), Tags: []tags.Tag{treeTag},
+					Rs: []gR{rv("r0")}, Args: []gV{l.Addr("finish"), vr("root")}}))}
+
+	prog := checkProgram(t, gclang.Forw, gclang.Program{Code: l.Funs, Main: main})
+	m := gclang.NewMachine(gclang.Forw, prog, 0)
+	m.Ghost = true
+	v := runCheckedToHalt(t, m, 200000)
+	if n, ok := v.(gclang.Num); !ok || n.N != 42 {
+		t.Fatalf("result = %s, want 42", v)
+	}
+	// Sharing preserved: exactly 2 live cells (root + one leaf), not 3.
+	if live := m.Mem.LiveCells(); live != 2 {
+		t.Errorf("live cells after forwarding collection = %d, want 2 (sharing preserved)", live)
+	}
+}
+
+func TestBasicCollectorLosesSharing(t *testing.T) {
+	// The same DAG under the basic collector duplicates the shared leaf —
+	// the §7 motivation for forwarding pointers.
+	l := &Layout{}
+	b := BuildBasic(l)
+	treeTag := tags.Prod{L: pairTag, R: pairTag}
+	finish := gclang.LamV{
+		RParams: []names.Name{"r"},
+		Params:  []gclang.Param{{Name: "x", Ty: mOf(rv("r"), treeTag)}},
+		Body: let("y", get(vr("x")),
+			let("p1", proj(1, vr("y")),
+				let("y1", get(vr("p1")),
+					let("a", proj(1, vr("y1")),
+						gclang.HaltT{V: vr("a")})))),
+	}
+	l.Add("finish", finish)
+
+	main := gclang.LetRegionT{R: "r0",
+		Body: let("leaf", put(rv("r0"), gclang.PairV{L: gclang.Num{N: 20}, R: gclang.Num{N: 22}}),
+			let("root", put(rv("r0"), gclang.PairV{L: vr("leaf"), R: vr("leaf")}),
+				gclang.AppT{Fn: b.Layout.Addr(b.GC), Tags: []tags.Tag{treeTag},
+					Rs: []gR{rv("r0")}, Args: []gV{l.Addr("finish"), vr("root")}}))}
+
+	prog := checkProgram(t, gclang.Base, gclang.Program{Code: l.Funs, Main: main})
+	m := gclang.NewMachine(gclang.Base, prog, 0)
+	m.Ghost = true
+	runCheckedToHalt(t, m, 200000)
+	if live := m.Mem.LiveCells(); live != 3 {
+		t.Errorf("live cells after basic collection = %d, want 3 (leaf duplicated)", live)
+	}
+}
+
+func TestForwCollectorCopiesClosure(t *testing.T) {
+	l := &Layout{}
+	f := BuildForw(l)
+
+	cloTag := tags.Exist{Bound: "u",
+		Body: tags.Prod{L: codeTag(tags.Prod{L: tv("u"), R: tags.Int{}}), R: tv("u")}}
+
+	clofn := gclang.LamV{
+		RParams: []names.Name{"r"},
+		Params:  []gclang.Param{{Name: "p", Ty: mOf(rv("r"), tags.Prod{L: tags.Int{}, R: tags.Int{}})}},
+		Body: let("g", get(vr("p")),
+			let("y", gclang.StripOp{V: vr("g")},
+				let("envv", proj(1, vr("y")),
+					let("arg", proj(2, vr("y")),
+						let("s", gclang.ArithOp{Kind: gclang.Add, L: vr("envv"), R: vr("arg")},
+							gclang.HaltT{V: vr("s")}))))),
+	}
+	l.Add("clofn", clofn)
+
+	finish := gclang.LamV{
+		RParams: []names.Name{"r"},
+		Params:  []gclang.Param{{Name: "x", Ty: mOf(rv("r"), cloTag)}},
+		Body: let("g", get(vr("x")),
+			let("y", gclang.StripOp{V: vr("g")},
+				gclang.OpenTagT{V: vr("y"), T: "u", X: "w",
+					Body: let("gw", get(vr("w")),
+						let("wp", gclang.StripOp{V: vr("gw")},
+							let("code", proj(1, vr("wp")),
+								let("envv", proj(2, vr("wp")),
+									let("argp", put(rv("r"), gclang.InlV{Val: gclang.PairV{L: vr("envv"), R: gclang.Num{N: 40}}}),
+										gclang.AppT{Fn: vr("code"), Rs: []gR{rv("r")}, Args: []gV{vr("argp")}})))))})),
+	}
+	l.Add("finish", finish)
+
+	main := gclang.LetRegionT{R: "r0",
+		Body: let("a", put(rv("r0"), gclang.InlV{Val: gclang.PairV{L: l.Addr("clofn"), R: gclang.Num{N: 2}}}),
+			let("bb", put(rv("r0"), gclang.InlV{Val: pack1("u", tags.Int{}, vr("a"),
+				mOf(rv("r0"), tags.Prod{L: codeTag(tags.Prod{L: tv("u"), R: tags.Int{}}), R: tv("u")}))}),
+				gclang.AppT{Fn: f.Layout.Addr(f.GC), Tags: []tags.Tag{cloTag},
+					Rs: []gR{rv("r0")}, Args: []gV{l.Addr("finish"), vr("bb")}}))}
+
+	prog := checkProgram(t, gclang.Forw, gclang.Program{Code: l.Funs, Main: main})
+	m := gclang.NewMachine(gclang.Forw, prog, 0)
+	m.Ghost = true
+	v := runCheckedToHalt(t, m, 200000)
+	if n, ok := v.(gclang.Num); !ok || n.N != 42 {
+		t.Fatalf("result = %s, want 42", v)
+	}
+}

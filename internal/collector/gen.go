@@ -1,0 +1,332 @@
+package collector
+
+import (
+	"psgc/internal/gclang"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// Gen holds the cd layout of the generational collector: the minor
+// collector of Fig. 11 (promote the young generation into the old region,
+// stopping at references that already point into the old generation) and
+// the major collector §8 describes as "the same as the non-generational
+// one" (copy both generations into a fresh old region).
+type Gen struct {
+	Layout *Layout
+	Minor  names.Name // gc entry: collect the young generation
+	Major  names.Name // gc entry: collect both generations
+}
+
+// mGen builds M_ρy,ρo(τ).
+func mGen(ry, ro gR, tag tags.Tag) gclang.Type {
+	return gclang.MT{Rs: []gR{ry, ro}, Tag: tag}
+}
+
+// BuildGen adds the generational collector's code blocks. Both entry
+// points share the mutator interface of Fig. 11's gc:
+//
+//	gc : ∀[t:Ω][ry,ro](M_ry,ro((t)→0), M_ry,ro(t)) → 0
+func BuildGen(l *Layout) Gen {
+	g := Gen{Layout: l, Minor: "gcg", Major: "gcmajor"}
+	buildGenMinor(l)
+	buildGenMajor(l)
+	return g
+}
+
+// buildGenMinor transliterates Fig. 11 with the Fig. 12 continuation
+// protocol. Regions: ry (young), ro (old), r3 (continuations). Results
+// are fully promoted: M_ro,ro(τ).
+func buildGenMinor(l *Layout) {
+	ry, ro, r3 := rv("ry"), rv("ro"), rv("r3")
+	p := proto{
+		rnames: []names.Name{"ry", "ro", "r3"},
+		result: func(tag tags.Tag) gclang.Type { return mGen(ro, ro, tag) },
+	}
+	t := tv("t")
+
+	for _, n := range []names.Name{"gcg", "gcendg", "copyg", "copypair1g", "copypair2g", "copyexist1g"} {
+		l.Add(n, gclang.LamV{})
+	}
+	gcend := l.Addr("gcendg")
+	copyA := l.Addr("copyg")
+	pair1 := l.Addr("copypair1g")
+	pair2 := l.Addr("copypair2g")
+	exist1 := l.Addr("copyexist1g")
+
+	fTy := func(arg tags.Tag) gclang.Type { return mGen(ry, ro, codeTag(arg)) }
+
+	// gcg[t:Ω][ry,ro](f, x) = let region r3 in let k = … in copyg[t][ry,ro,r3](x,k)
+	l.Funs[l.Offset("gcg")].Fun = gclang.LamV{
+		TParams: []gclang.TParam{{Name: "t", Kind: omega}},
+		RParams: []names.Name{"ry", "ro"},
+		Params: []gclang.Param{
+			{Name: "f", Ty: fTy(t)},
+			{Name: "x", Ty: mGen(ry, ro, t)},
+		},
+		Body: gclang.LetRegionT{R: "r3",
+			Body: let("k", put(r3, p.mkCont(t, gcend, t, tags.Int{}, idTag, fTy(t), vr("f"))),
+				gclang.AppT{Fn: copyA, Tags: []tags.Tag{t}, Rs: p.regions(),
+					Args: []gV{vr("x"), vr("k")}})},
+	}
+
+	// gcendg[t1,t2,te][ry,ro,r3](y : M_ro,ro(t1), f) =
+	//   only {ro} in let region ry' in f[][ry',ro](y)
+	// — reclaim the young generation and the continuations, allocate a
+	// fresh nursery, resume the mutator (Fig. 11's gc tail).
+	l.Funs[l.Offset("gcendg")].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "y", Ty: mGen(ro, ro, tv("t1"))},
+			{Name: "f", Ty: fTy(tv("t1"))},
+		},
+		Body: gclang.OnlyT{Delta: []gR{ro},
+			Body: gclang.LetRegionT{R: "ry2",
+				Body: gclang.AppT{Fn: vr("f"), Rs: []gR{rv("ry2"), ro}, Args: []gV{vr("y")}}}},
+	}
+
+	prodT := tags.Prod{L: tv("t1"), R: tv("t2")}
+	swapT := tags.Prod{L: tv("t2"), R: tv("t1")}
+	existTag := tags.Exist{Bound: "u", Body: tags.App{Fn: tv("te"), Arg: tv("u")}}
+	teApp := func(a tags.Tag) tags.Tag { return tags.App{Fn: tv("te"), Arg: a} }
+
+	// repack rebuilds a region package witnessing allocation in the old
+	// region (the "help the type-system" repack of §8).
+	repack := func(val gV, body gclang.Type) gV {
+		return gclang.PackRegion{Bound: "rp", Delta: []gR{ro}, R: ro, Val: val, Body: body}
+	}
+
+	// copyg[t:Ω][ry,ro,r3](x : M_ry,ro(t), k : tk[t]) = typecase t of …
+	l.Funs[l.Offset("copyg")].Fun = gclang.LamV{
+		TParams: []gclang.TParam{{Name: "t", Kind: omega}},
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x", Ty: mGen(ry, ro, t)},
+			{Name: "k", Ty: p.tkTy(t)},
+		},
+		Body: gclang.TypecaseT{
+			Tag:    t,
+			IntArm: p.retk(vr("k"), vr("x")),
+			TL:     "tλ",
+			LamArm: p.retk(vr("k"), vr("x")),
+			T1:     "t1", T2: "t2",
+			// t1×t2 ⇒ open the region package; old-generation objects are
+			// returned unscanned (the generational invariant guarantees
+			// they cannot point young); young objects are promoted.
+			ProdArm: gclang.OpenRegionT{V: vr("x"), R: "rx", X: "xp",
+				Body: gclang.IfRegT{R1: rv("rx"), R2: ro,
+					Then: p.retk(vr("k"), repack(vr("xp"),
+						gclang.ProdT{L: mGen(rv("rp"), ro, tv("t1")), R: mGen(rv("rp"), ro, tv("t2"))})),
+					Else: let("y", get(vr("xp")),
+						let("x1", proj(1, vr("y")),
+							let("x2", proj(2, vr("y")),
+								let("k1", put(r3, p.mkCont(tv("t1"), pair1, tv("t1"), tv("t2"), idTag,
+									gclang.ProdT{L: mGen(ry, ro, tv("t2")), R: p.tkTy(prodT)},
+									gclang.PairV{L: vr("x2"), R: vr("k")})),
+									gclang.AppT{Fn: copyA, Tags: []tags.Tag{tv("t1")}, Rs: p.regions(),
+										Args: []gV{vr("x1"), vr("k1")}})))),
+				}},
+			Te: "te",
+			ExistArm: gclang.OpenRegionT{V: vr("x"), R: "rx", X: "xp",
+				Body: gclang.IfRegT{R1: rv("rx"), R2: ro,
+					Then: p.retk(vr("k"), repack(vr("xp"),
+						gclang.ExistT{Bound: "u", Kind: omega, Body: mGen(rv("rp"), ro, teApp(tv("u")))})),
+					Else: let("y", get(vr("xp")),
+						gclang.OpenTagT{V: vr("y"), T: "tx", X: "z",
+							Body: let("k1", put(r3, p.mkCont(teApp(tv("tx")), exist1, tv("tx"), tags.Int{}, tv("te"),
+								p.tkTy(existTag), vr("k"))),
+								gclang.AppT{Fn: copyA, Tags: []tags.Tag{teApp(tv("tx"))}, Rs: p.regions(),
+									Args: []gV{vr("z"), vr("k1")}})}),
+				}},
+		},
+	}
+
+	// copypair1g[t1,t2,te][ry,ro,r3](x1 : M_ro,ro(t1), c : M_ry,ro(t2) × tk[t1×t2])
+	l.Funs[l.Offset("copypair1g")].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x1", Ty: mGen(ro, ro, tv("t1"))},
+			{Name: "c", Ty: gclang.ProdT{L: mGen(ry, ro, tv("t2")), R: p.tkTy(prodT)}},
+		},
+		Body: let("x2", proj(1, vr("c")),
+			let("k", proj(2, vr("c")),
+				let("k2", put(r3, p.mkCont(tv("t2"), pair2, tv("t2"), tv("t1"), idTag,
+					gclang.ProdT{L: mGen(ro, ro, tv("t1")), R: p.tkTy(prodT)},
+					gclang.PairV{L: vr("x1"), R: vr("k")})),
+					gclang.AppT{Fn: copyA, Tags: []tags.Tag{tv("t2")}, Rs: p.regions(),
+						Args: []gV{vr("x2"), vr("k2")}}))),
+	}
+
+	// copypair2g[t1,t2,te][ry,ro,r3](x2 : M_ro,ro(t1), c : M_ro,ro(t2) × tk[t2×t1]):
+	//   allocate the promoted pair in the old region and repack it.
+	l.Funs[l.Offset("copypair2g")].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x2", Ty: mGen(ro, ro, tv("t1"))},
+			{Name: "c", Ty: gclang.ProdT{L: mGen(ro, ro, tv("t2")), R: p.tkTy(swapT)}},
+		},
+		Body: let("x1", proj(1, vr("c")),
+			let("k", proj(2, vr("c")),
+				let("np", put(ro, gclang.PairV{L: vr("x1"), R: vr("x2")}),
+					letv("v", repack(vr("np"),
+						gclang.ProdT{L: mGen(rv("rp"), ro, tv("t2")), R: mGen(rv("rp"), ro, tv("t1"))}),
+						p.retk(vr("k"), vr("v")))))),
+	}
+
+	// copyexist1g[t1,t2,te][ry,ro,r3](z : M_ro,ro(te t1), c : tk[∃u.te u])
+	l.Funs[l.Offset("copyexist1g")].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "z", Ty: mGen(ro, ro, teApp(tv("t1")))},
+			{Name: "c", Ty: p.tkTy(existTag)},
+		},
+		Body: let("np", put(ro, pack1("u", tv("t1"), vr("z"), mGen(ro, ro, teApp(tv("u"))))),
+			letv("v", repack(vr("np"),
+				gclang.ExistT{Bound: "u", Kind: omega, Body: mGen(rv("rp"), ro, teApp(tv("u")))}),
+				p.retk(vr("c"), vr("v")))),
+	}
+}
+
+// buildGenMajor is the full collection for the generational world: every
+// live object from both generations is copied into a fresh region rn,
+// after which rn becomes the old generation and a fresh nursery is
+// allocated. Structurally it is the basic collector of Fig. 12 adapted to
+// the two-index M operator.
+func buildGenMajor(l *Layout) {
+	ry, ro, rn, r3 := rv("ry"), rv("ro"), rv("rn"), rv("r3")
+	p := proto{
+		rnames: []names.Name{"ry", "ro", "rn", "r3"},
+		result: func(tag tags.Tag) gclang.Type { return mGen(rn, rn, tag) },
+	}
+	t := tv("t")
+
+	for _, n := range []names.Name{"gcmajor", "gcmajorendg", "copyfullg", "copypair1fg", "copypair2fg", "copyexist1fg"} {
+		l.Add(n, gclang.LamV{})
+	}
+	gcend := l.Addr("gcmajorendg")
+	copyA := l.Addr("copyfullg")
+	pair1 := l.Addr("copypair1fg")
+	pair2 := l.Addr("copypair2fg")
+	exist1 := l.Addr("copyexist1fg")
+
+	fTy := func(arg tags.Tag) gclang.Type { return mGen(ry, ro, codeTag(arg)) }
+
+	// gcmajor[t:Ω][ry,ro](f, x) =
+	//   let region rn in let region r3 in … copyfullg[t][ry,ro,rn,r3](x,k)
+	l.Funs[l.Offset("gcmajor")].Fun = gclang.LamV{
+		TParams: []gclang.TParam{{Name: "t", Kind: omega}},
+		RParams: []names.Name{"ry", "ro"},
+		Params: []gclang.Param{
+			{Name: "f", Ty: fTy(t)},
+			{Name: "x", Ty: mGen(ry, ro, t)},
+		},
+		Body: gclang.LetRegionT{R: "rn", Body: gclang.LetRegionT{R: "r3",
+			Body: let("k", put(r3, p.mkCont(t, gcend, t, tags.Int{}, idTag, fTy(t), vr("f"))),
+				gclang.AppT{Fn: copyA, Tags: []tags.Tag{t}, Rs: p.regions(),
+					Args: []gV{vr("x"), vr("k")}})}},
+	}
+
+	// gcmajorendg: only {rn} survives; rn is the new old generation.
+	l.Funs[l.Offset("gcmajorendg")].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "y", Ty: mGen(rn, rn, tv("t1"))},
+			{Name: "f", Ty: fTy(tv("t1"))},
+		},
+		Body: gclang.OnlyT{Delta: []gR{rn},
+			Body: gclang.LetRegionT{R: "ry2",
+				Body: gclang.AppT{Fn: vr("f"), Rs: []gR{rv("ry2"), rn}, Args: []gV{vr("y")}}}},
+	}
+
+	prodT := tags.Prod{L: tv("t1"), R: tv("t2")}
+	swapT := tags.Prod{L: tv("t2"), R: tv("t1")}
+	existTag := tags.Exist{Bound: "u", Body: tags.App{Fn: tv("te"), Arg: tv("u")}}
+	teApp := func(a tags.Tag) tags.Tag { return tags.App{Fn: tv("te"), Arg: a} }
+
+	repack := func(val gV, body gclang.Type) gV {
+		return gclang.PackRegion{Bound: "rp", Delta: []gR{rn}, R: rn, Val: val, Body: body}
+	}
+
+	// copyfullg: like copyg but with no old-generation shortcut — every
+	// boxed object is copied into rn.
+	l.Funs[l.Offset("copyfullg")].Fun = gclang.LamV{
+		TParams: []gclang.TParam{{Name: "t", Kind: omega}},
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x", Ty: mGen(ry, ro, t)},
+			{Name: "k", Ty: p.tkTy(t)},
+		},
+		Body: gclang.TypecaseT{
+			Tag:    t,
+			IntArm: p.retk(vr("k"), vr("x")),
+			TL:     "tλ",
+			LamArm: p.retk(vr("k"), vr("x")),
+			T1:     "t1", T2: "t2",
+			ProdArm: gclang.OpenRegionT{V: vr("x"), R: "rx", X: "xp",
+				Body: let("y", get(vr("xp")),
+					let("x1", proj(1, vr("y")),
+						let("x2", proj(2, vr("y")),
+							let("k1", put(r3, p.mkCont(tv("t1"), pair1, tv("t1"), tv("t2"), idTag,
+								gclang.ProdT{L: mGen(ry, ro, tv("t2")), R: p.tkTy(prodT)},
+								gclang.PairV{L: vr("x2"), R: vr("k")})),
+								gclang.AppT{Fn: copyA, Tags: []tags.Tag{tv("t1")}, Rs: p.regions(),
+									Args: []gV{vr("x1"), vr("k1")}}))))},
+			Te: "te",
+			ExistArm: gclang.OpenRegionT{V: vr("x"), R: "rx", X: "xp",
+				Body: let("y", get(vr("xp")),
+					gclang.OpenTagT{V: vr("y"), T: "tx", X: "z",
+						Body: let("k1", put(r3, p.mkCont(teApp(tv("tx")), exist1, tv("tx"), tags.Int{}, tv("te"),
+							p.tkTy(existTag), vr("k"))),
+							gclang.AppT{Fn: copyA, Tags: []tags.Tag{teApp(tv("tx"))}, Rs: p.regions(),
+								Args: []gV{vr("z"), vr("k1")}})})},
+		},
+	}
+
+	l.Funs[l.Offset("copypair1fg")].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x1", Ty: mGen(rn, rn, tv("t1"))},
+			{Name: "c", Ty: gclang.ProdT{L: mGen(ry, ro, tv("t2")), R: p.tkTy(prodT)}},
+		},
+		Body: let("x2", proj(1, vr("c")),
+			let("k", proj(2, vr("c")),
+				let("k2", put(r3, p.mkCont(tv("t2"), pair2, tv("t2"), tv("t1"), idTag,
+					gclang.ProdT{L: mGen(rn, rn, tv("t1")), R: p.tkTy(prodT)},
+					gclang.PairV{L: vr("x1"), R: vr("k")})),
+					gclang.AppT{Fn: copyA, Tags: []tags.Tag{tv("t2")}, Rs: p.regions(),
+						Args: []gV{vr("x2"), vr("k2")}}))),
+	}
+
+	l.Funs[l.Offset("copypair2fg")].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "x2", Ty: mGen(rn, rn, tv("t1"))},
+			{Name: "c", Ty: gclang.ProdT{L: mGen(rn, rn, tv("t2")), R: p.tkTy(swapT)}},
+		},
+		Body: let("x1", proj(1, vr("c")),
+			let("k", proj(2, vr("c")),
+				let("np", put(rn, gclang.PairV{L: vr("x1"), R: vr("x2")}),
+					letv("v", repack(vr("np"),
+						gclang.ProdT{L: mGen(rv("rp"), rn, tv("t2")), R: mGen(rv("rp"), rn, tv("t1"))}),
+						p.retk(vr("k"), vr("v")))))),
+	}
+
+	l.Funs[l.Offset("copyexist1fg")].Fun = gclang.LamV{
+		TParams: contTParams(),
+		RParams: p.rnames,
+		Params: []gclang.Param{
+			{Name: "z", Ty: mGen(rn, rn, teApp(tv("t1")))},
+			{Name: "c", Ty: p.tkTy(existTag)},
+		},
+		Body: let("np", put(rn, pack1("u", tv("t1"), vr("z"), mGen(rn, rn, teApp(tv("u"))))),
+			letv("v", repack(vr("np"),
+				gclang.ExistT{Bound: "u", Kind: omega, Body: mGen(rv("rp"), rn, teApp(tv("u")))}),
+				p.retk(vr("c"), vr("v")))),
+	}
+}

@@ -1,0 +1,192 @@
+package cps
+
+import (
+	"errors"
+	"fmt"
+
+	"psgc/internal/names"
+	"psgc/internal/source"
+)
+
+// The CPS evaluator is an environment machine used for differential
+// testing of the pipeline: source result = CPS result = λCLOS result =
+// λGC result under every collector.
+
+type rtValue interface{ isRT() }
+
+type rtNum struct{ n int }
+
+type rtPair struct{ l, r rtValue }
+
+type rtClos struct {
+	env   *rtEnv
+	param names.Name
+	body  Term
+}
+
+type rtFun struct{ name names.Name }
+
+func (rtNum) isRT()  {}
+func (rtPair) isRT() {}
+func (rtClos) isRT() {}
+func (rtFun) isRT()  {}
+
+type rtEnv struct {
+	name names.Name
+	val  rtValue
+	next *rtEnv
+}
+
+func (e *rtEnv) lookup(n names.Name) (rtValue, bool) {
+	for ; e != nil; e = e.next {
+		if e.name == n {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// ErrFuel is returned when evaluation exceeds its step budget.
+var ErrFuel = errors.New("cps: evaluation out of fuel")
+
+// Run executes a CPS program to halt, returning the integer result.
+func Run(p Program, fuel int) (int, error) {
+	funs := map[names.Name]FunDef{}
+	for _, f := range p.Funs {
+		funs[f.Name] = f
+	}
+	env := (*rtEnv)(nil)
+	term := p.Main
+	for {
+		if fuel <= 0 {
+			return 0, ErrFuel
+		}
+		fuel--
+		switch e := term.(type) {
+		case Halt:
+			v, err := evalValue(env, e.V)
+			if err != nil {
+				return 0, err
+			}
+			n, ok := v.(rtNum)
+			if !ok {
+				return 0, fmt.Errorf("cps: halt with non-integer")
+			}
+			return n.n, nil
+		case LetVal:
+			v, err := evalValue(env, e.V)
+			if err != nil {
+				return 0, err
+			}
+			env = &rtEnv{name: e.X, val: v, next: env}
+			term = e.Body
+		case LetProj:
+			v, err := evalValue(env, e.V)
+			if err != nil {
+				return 0, err
+			}
+			p, ok := v.(rtPair)
+			if !ok {
+				return 0, fmt.Errorf("cps: projection from non-pair")
+			}
+			picked := p.l
+			if e.I == 2 {
+				picked = p.r
+			}
+			env = &rtEnv{name: e.X, val: picked, next: env}
+			term = e.Body
+		case LetArith:
+			l, err := evalValue(env, e.L)
+			if err != nil {
+				return 0, err
+			}
+			r, err := evalValue(env, e.R)
+			if err != nil {
+				return 0, err
+			}
+			ln, lok := l.(rtNum)
+			rn, rok := r.(rtNum)
+			if !lok || !rok {
+				return 0, fmt.Errorf("cps: arithmetic on non-integers")
+			}
+			var n int
+			switch e.Op {
+			case source.OpAdd:
+				n = ln.n + rn.n
+			case source.OpSub:
+				n = ln.n - rn.n
+			case source.OpMul:
+				n = ln.n * rn.n
+			}
+			env = &rtEnv{name: e.X, val: rtNum{n}, next: env}
+			term = e.Body
+		case If0:
+			v, err := evalValue(env, e.V)
+			if err != nil {
+				return 0, err
+			}
+			n, ok := v.(rtNum)
+			if !ok {
+				return 0, fmt.Errorf("cps: if0 on non-integer")
+			}
+			if n.n == 0 {
+				term = e.Then
+			} else {
+				term = e.Else
+			}
+		case App:
+			fn, err := evalValue(env, e.Fn)
+			if err != nil {
+				return 0, err
+			}
+			arg, err := evalValue(env, e.Arg)
+			if err != nil {
+				return 0, err
+			}
+			switch fn := fn.(type) {
+			case rtClos:
+				env = &rtEnv{name: fn.param, val: arg, next: fn.env}
+				term = fn.body
+			case rtFun:
+				f, ok := funs[fn.name]
+				if !ok {
+					return 0, fmt.Errorf("cps: unknown function %s", fn.name)
+				}
+				env = &rtEnv{name: f.Param, val: arg, next: nil}
+				term = f.Body
+			default:
+				return 0, fmt.Errorf("cps: call of non-function")
+			}
+		default:
+			return 0, fmt.Errorf("cps: unknown term %T", term)
+		}
+	}
+}
+
+func evalValue(env *rtEnv, v Value) (rtValue, error) {
+	switch v := v.(type) {
+	case Num:
+		return rtNum{v.N}, nil
+	case Var:
+		if rv, ok := env.lookup(v.Name); ok {
+			return rv, nil
+		}
+		return nil, fmt.Errorf("cps: unbound variable %s", v.Name)
+	case Pair:
+		l, err := evalValue(env, v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalValue(env, v.R)
+		if err != nil {
+			return nil, err
+		}
+		return rtPair{l, r}, nil
+	case FunRef:
+		return rtFun{v.Name}, nil
+	case Lam:
+		return rtClos{env: env, param: v.Param, body: v.Body}, nil
+	default:
+		return nil, fmt.Errorf("cps: unknown value %T", v)
+	}
+}

@@ -1,0 +1,686 @@
+package gclang
+
+import (
+	"fmt"
+
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+	"psgc/internal/regions"
+	"psgc/internal/tags"
+)
+
+// MemType is the memory type Ψ assigning a type to every allocated cell.
+type MemType map[regions.Addr]Type
+
+// Clone returns an independent copy.
+func (p MemType) Clone() MemType {
+	out := make(MemType, len(p))
+	for a, t := range p {
+		out[a] = t
+	}
+	return out
+}
+
+// Restrict returns Ψ|∆: the entries whose region is in keep or is cd.
+func (p MemType) Restrict(keep map[regions.Name]bool) MemType {
+	out := make(MemType)
+	for a, t := range p {
+		if a.Region == regions.CD || keep[a.Region] {
+			out[a] = t
+		}
+	}
+	return out
+}
+
+// Env carries the static environments Ψ; ∆; Θ; Φ; Γ of the typing
+// judgments (Fig. 6). Extension methods copy, so environments may be
+// shared freely.
+type Env struct {
+	Psi   MemType
+	Delta map[Region]bool
+	Theta tags.KindEnv
+	Phi   map[names.Name][]Region
+	Gamma map[names.Name]Type
+
+	// RBounds records, for region variables introduced by opening a
+	// bounded existential ∃r∈∆ (λGCgen), the bound ∆. The generational
+	// subtype rule M_{r,ρo}(τ) ≤ M_{ρy,ρo}(τ) needs r's bound to be
+	// contained in {ρy, ρo} — this is what lets Fig. 11's copy recurse on
+	// components allocated "somewhere in {young, old}" (see Lemma D.4's
+	// appeal to subtyping on M).
+	RBounds map[names.Name][]Region
+}
+
+// NewEnv returns the environment Ψ; ∆; ·; ·; · used for whole programs
+// and machine states: the given memory type with its domain as ∆.
+func NewEnv(psi MemType) *Env {
+	delta := map[Region]bool{Region(CDRegion): true}
+	for a := range psi {
+		delta[Region(RName{Name: a.Region})] = true
+	}
+	return &Env{
+		Psi:     psi,
+		Delta:   delta,
+		Theta:   tags.KindEnv{},
+		Phi:     map[names.Name][]Region{},
+		Gamma:   map[names.Name]Type{},
+		RBounds: map[names.Name][]Region{},
+	}
+}
+
+func (e *Env) clone() *Env {
+	out := &Env{
+		Psi:     e.Psi,
+		Delta:   make(map[Region]bool, len(e.Delta)),
+		Theta:   make(tags.KindEnv, len(e.Theta)),
+		Phi:     make(map[names.Name][]Region, len(e.Phi)),
+		Gamma:   make(map[names.Name]Type, len(e.Gamma)),
+		RBounds: make(map[names.Name][]Region, len(e.RBounds)),
+	}
+	for r := range e.Delta {
+		out.Delta[r] = true
+	}
+	for n, k := range e.Theta {
+		out.Theta[n] = k
+	}
+	for n, d := range e.Phi {
+		out.Phi[n] = d
+	}
+	for n, t := range e.Gamma {
+		out.Gamma[n] = t
+	}
+	for n, b := range e.RBounds {
+		out.RBounds[n] = b
+	}
+	return out
+}
+
+func (e *Env) withVar(x names.Name, t Type) *Env {
+	out := e.clone()
+	out.Gamma[x] = t
+	return out
+}
+
+func (e *Env) withTag(t names.Name, k kinds.Kind) *Env {
+	out := e.clone()
+	out.Theta[t] = k
+	return out
+}
+
+func (e *Env) withRegion(r Region) *Env {
+	out := e.clone()
+	out.Delta[r] = true
+	return out
+}
+
+func (e *Env) withAlpha(a names.Name, delta []Region) *Env {
+	out := e.clone()
+	out.Phi[a] = delta
+	return out
+}
+
+func (e *Env) hasRegion(r Region) bool {
+	if RegionEqual(r, CDRegion) {
+		return true
+	}
+	return e.Delta[r]
+}
+
+// substEnv applies a substitution to Γ and Φ's region bounds and ∆
+// (used by typecase refinement and ifreg unification).
+func (e *Env) substEnv(s *Subst) *Env {
+	out := e.clone()
+	for n, t := range out.Gamma {
+		out.Gamma[n] = s.Type(t)
+	}
+	for n, d := range out.Phi {
+		out.Phi[n] = s.RegionList(d)
+	}
+	for n, b := range out.RBounds {
+		out.RBounds[n] = s.RegionList(b)
+	}
+	delta := make(map[Region]bool, len(out.Delta))
+	for r := range out.Delta {
+		delta[s.Region(r)] = true
+	}
+	out.Delta = delta
+	return out
+}
+
+// Checker typechecks λGC syntax under a dialect. It also elaborates the
+// checked term: put sites are annotated with the static type of the stored
+// value, and widen sites with the source region, so the machine can
+// maintain the ghost memory type Ψ (DESIGN.md).
+type Checker struct {
+	Dialect Dialect
+}
+
+// errf builds a located error.
+func errf(where fmt.Stringer, format string, args ...any) error {
+	return fmt.Errorf("%s: in %s", fmt.Sprintf(format, args...), where)
+}
+
+func (c *Checker) dialectAtLeast(where fmt.Stringer, want Dialect, form string) error {
+	if c.Dialect != want {
+		return errf(where, "%s is a %s construct, not available in %s", form, want, c.Dialect)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Type well-formedness  ∆; Θ; Φ ⊢ σ  (Fig. 6 right column)
+// ---------------------------------------------------------------------------
+
+// CheckTypeWF implements ∆; Θ; Φ ⊢ σ.
+func (c *Checker) CheckTypeWF(env *Env, t Type) error {
+	switch t := t.(type) {
+	case IntT:
+		return nil
+	case ProdT:
+		if err := c.CheckTypeWF(env, t.L); err != nil {
+			return err
+		}
+		return c.CheckTypeWF(env, t.R)
+	case CodeT:
+		// Code types bind their own regions and tag parameters; they are
+		// region-closed ({~r} replaces ∆) but may mention outer tag
+		// variables — M_ρ(τ→0) reduces to ∀[][r](M_r(τ))→0 at cd with τ's
+		// free tag variables intact, so gc's own f parameter type needs Θ.
+		inner := NewEnv(nil)
+		inner.Psi = env.Psi
+		for n, k := range env.Theta {
+			inner.Theta[n] = k
+		}
+		for _, tp := range t.TParams {
+			inner.Theta[tp.Name] = tp.Kind
+		}
+		for _, r := range t.RParams {
+			inner.Delta[Region(RVar{Name: r})] = true
+		}
+		for _, p := range t.Params {
+			if err := c.CheckTypeWF(inner, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ExistT:
+		return c.CheckTypeWF(env.withTag(t.Bound, t.Kind), t.Body)
+	case AtT:
+		if !env.hasRegion(t.R) {
+			return errf(t, "region %s not in scope", t.R)
+		}
+		return c.CheckTypeWF(env, t.Body)
+	case MT:
+		if len(t.Rs) != c.Dialect.MArity() {
+			return errf(t, "M takes %d region(s) in %s", c.Dialect.MArity(), c.Dialect)
+		}
+		for _, r := range t.Rs {
+			if !env.hasRegion(r) {
+				return errf(t, "region %s not in scope", r)
+			}
+		}
+		if err := tagOmega(env.Theta, t.Tag); err != nil {
+			return errf(t, "%v", err)
+		}
+		return nil
+	case CT:
+		if err := c.dialectAtLeast(t, Forw, "C"); err != nil {
+			return err
+		}
+		if !env.hasRegion(t.From) || !env.hasRegion(t.To) {
+			return errf(t, "region not in scope")
+		}
+		if err := tagOmega(env.Theta, t.Tag); err != nil {
+			return errf(t, "%v", err)
+		}
+		return nil
+	case AlphaT:
+		delta, ok := env.Phi[t.Name]
+		if !ok {
+			return errf(t, "unbound type variable %s", t.Name)
+		}
+		for _, r := range delta {
+			if !env.hasRegion(r) {
+				return errf(t, "type variable %s constrained to dead region %s", t.Name, r)
+			}
+		}
+		return nil
+	case ExistAlphaT:
+		for _, r := range t.Delta {
+			if !env.hasRegion(r) {
+				return errf(t, "region %s not in scope", r)
+			}
+		}
+		return c.CheckTypeWF(env.withAlpha(t.Bound, t.Delta), t.Body)
+	case TransT:
+		if !env.hasRegion(t.R) {
+			return errf(t, "region %s not in scope", t.R)
+		}
+		for _, r := range t.Rs {
+			if !env.hasRegion(r) {
+				return errf(t, "region %s not in scope", r)
+			}
+		}
+		for _, tg := range t.Tags {
+			if _, err := tags.Check(env.Theta, tg); err != nil {
+				return errf(t, "%v", err)
+			}
+		}
+		// Fully applied: params are checked in the ambient scope.
+		for _, p := range t.Params {
+			if err := c.CheckTypeWF(env, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	case LeftT:
+		if err := c.dialectAtLeast(t, Forw, "left"); err != nil {
+			return err
+		}
+		return c.CheckTypeWF(env, t.Body)
+	case RightT:
+		if err := c.dialectAtLeast(t, Forw, "right"); err != nil {
+			return err
+		}
+		return c.CheckTypeWF(env, t.Body)
+	case SumT:
+		if err := c.dialectAtLeast(t, Forw, "sum"); err != nil {
+			return err
+		}
+		if _, ok := t.L.(LeftT); !ok {
+			return errf(t, "sum's first component must be a left type")
+		}
+		if _, ok := t.R.(RightT); !ok {
+			return errf(t, "sum's second component must be a right type")
+		}
+		if err := c.CheckTypeWF(env, t.L); err != nil {
+			return err
+		}
+		return c.CheckTypeWF(env, t.R)
+	case ExistRT:
+		if err := c.dialectAtLeast(t, Gen, "∃r∈∆"); err != nil {
+			return err
+		}
+		for _, r := range t.Delta {
+			if !env.hasRegion(r) {
+				return errf(t, "region %s not in scope", r)
+			}
+		}
+		return c.CheckTypeWF(env.withRegion(RVar{Name: t.Bound}), t.Body)
+	default:
+		panic(fmt.Sprintf("gclang: unknown type %T", t))
+	}
+}
+
+func tagOmega(theta tags.KindEnv, t tags.Tag) error {
+	k, err := tags.Check(theta, t)
+	if err != nil {
+		return err
+	}
+	if !k.Equal(kinds.Omega{}) {
+		return fmt.Errorf("tag %s has kind %s, want Ω", t, k)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Value typing  Ψ; ∆; Θ; Φ; Γ ⊢ v : σ
+// ---------------------------------------------------------------------------
+
+// SynthValue computes the type of a value.
+func (c *Checker) SynthValue(env *Env, v Value) (Type, error) {
+	switch v := v.(type) {
+	case Num:
+		return IntT{}, nil
+	case Var:
+		t, ok := env.Gamma[v.Name]
+		if !ok {
+			return nil, errf(v, "unbound variable %s", v.Name)
+		}
+		return t, nil
+	case AddrV:
+		t, ok := env.Psi[v.Addr]
+		if !ok {
+			return nil, errf(v, "address %s not in Ψ", v.Addr)
+		}
+		return AtT{Body: t, R: RName{Name: v.Addr.Region}}, nil
+	case PairV:
+		l, err := c.SynthValue(env, v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.SynthValue(env, v.R)
+		if err != nil {
+			return nil, err
+		}
+		return ProdT{L: l, R: r}, nil
+	case PackTag:
+		k, err := tags.Check(env.Theta, v.Tag)
+		if err != nil {
+			return nil, errf(v, "%v", err)
+		}
+		if !k.Equal(v.Kind) {
+			return nil, errf(v, "witness tag has kind %s, package declares %s", k, v.Kind)
+		}
+		want := Subst1Tag(v.Bound, v.Tag).Type(v.Body)
+		if err := c.CheckValue(env, v.Val, want); err != nil {
+			return nil, err
+		}
+		res := ExistT{Bound: v.Bound, Kind: v.Kind, Body: v.Body}
+		if err := c.CheckTypeWF(env, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	case PackAlpha:
+		// ∆'; Θ; Φ|∆' ⊢ σ1 and v : σ2[σ1/α].
+		inner := env.clone()
+		inner.Delta = map[Region]bool{Region(CDRegion): true}
+		for _, r := range v.Delta {
+			if !env.hasRegion(r) {
+				return nil, errf(v, "region %s not in scope", r)
+			}
+			inner.Delta[r] = true
+		}
+		for a, d := range env.Phi {
+			for _, r := range d {
+				if !inner.Delta[r] {
+					delete(inner.Phi, a)
+					break
+				}
+			}
+		}
+		if err := c.CheckTypeWF(inner, v.Hidden); err != nil {
+			return nil, err
+		}
+		want := Subst1Type(v.Bound, v.Hidden).Type(v.Body)
+		if err := c.CheckValue(env, v.Val, want); err != nil {
+			return nil, err
+		}
+		res := ExistAlphaT{Bound: v.Bound, Delta: v.Delta, Body: v.Body}
+		if err := c.CheckTypeWF(env, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	case PackRegion:
+		if err := c.dialectAtLeast(v, Gen, "region package"); err != nil {
+			return nil, err
+		}
+		inBound := false
+		for _, r := range v.Delta {
+			if !env.hasRegion(r) {
+				return nil, errf(v, "region %s not in scope", r)
+			}
+			if RegionEqual(r, v.R) {
+				inBound = true
+			}
+		}
+		if !inBound {
+			return nil, errf(v, "witness region %s not in bound", v.R)
+		}
+		want := AtT{Body: Subst1Reg(v.Bound, v.R).Type(v.Body), R: v.R}
+		if err := c.CheckValue(env, v.Val, want); err != nil {
+			return nil, err
+		}
+		res := ExistRT{Bound: v.Bound, Delta: v.Delta, Body: v.Body}
+		if err := c.CheckTypeWF(env, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	case TAppV:
+		ft, err := c.SynthValue(env, v.Val)
+		if err != nil {
+			return nil, err
+		}
+		nf, err := NormalizeType(c.Dialect, ft)
+		if err != nil {
+			return nil, errf(v, "%v", err)
+		}
+		at, ok := nf.(AtT)
+		if !ok {
+			return nil, errf(v, "tag application head has type %s, want code at ρ", nf)
+		}
+		code, ok := at.Body.(CodeT)
+		if !ok {
+			return nil, errf(v, "tag application head has type %s, want code at ρ", nf)
+		}
+		if len(v.Tags) != len(code.TParams) {
+			return nil, errf(v, "tag application supplies %d tags, code expects %d", len(v.Tags), len(code.TParams))
+		}
+		if len(v.Rs) != len(code.RParams) {
+			return nil, errf(v, "tag application supplies %d regions, code expects %d", len(v.Rs), len(code.RParams))
+		}
+		sub := &Subst{Tags: map[names.Name]tags.Tag{}, Regs: map[names.Name]Region{}}
+		for i, tg := range v.Tags {
+			k, err := tags.Check(env.Theta, tg)
+			if err != nil {
+				return nil, errf(v, "%v", err)
+			}
+			if !k.Equal(code.TParams[i].Kind) {
+				return nil, errf(v, "tag %s has kind %s, want %s", tg, k, code.TParams[i].Kind)
+			}
+			sub.Tags[code.TParams[i].Name] = tg
+		}
+		for i, r := range v.Rs {
+			if !env.hasRegion(r) {
+				return nil, errf(v, "region %s not in scope", r)
+			}
+			sub.Regs[code.RParams[i]] = r
+		}
+		params := make([]Type, len(code.Params))
+		for i, p := range code.Params {
+			params[i] = sub.Type(p)
+		}
+		return TransT{Tags: v.Tags, Rs: v.Rs, Params: params, R: at.R}, nil
+	case LamV:
+		// Ψ|cd; cd,~r; ~t:κ; ·; ~x:σ ⊢ e.
+		return c.synthLam(env, v)
+	case InlV:
+		if err := c.dialectAtLeast(v, Forw, "inl"); err != nil {
+			return nil, err
+		}
+		t, err := c.SynthValue(env, v.Val)
+		if err != nil {
+			return nil, err
+		}
+		return LeftT{Body: t}, nil
+	case InrV:
+		if err := c.dialectAtLeast(v, Forw, "inr"); err != nil {
+			return nil, err
+		}
+		t, err := c.SynthValue(env, v.Val)
+		if err != nil {
+			return nil, err
+		}
+		return RightT{Body: t}, nil
+	default:
+		panic(fmt.Sprintf("gclang: unknown value %T", v))
+	}
+}
+
+// synthLam checks a code block and returns its code type. The body is
+// checked under Ψ|cd, the block's own binders, and nothing else: code is
+// fully closed (Fig. 6).
+func (c *Checker) synthLam(env *Env, v LamV) (Type, error) {
+	inner := NewEnv(env.Psi.Restrict(nil))
+	for _, tp := range v.TParams {
+		inner.Theta[tp.Name] = tp.Kind
+	}
+	for _, r := range v.RParams {
+		inner.Delta[Region(RVar{Name: r})] = true
+	}
+	for _, p := range v.Params {
+		if err := c.CheckTypeWF(inner, p.Ty); err != nil {
+			return nil, fmt.Errorf("parameter %s: %w", p.Name, err)
+		}
+		inner.Gamma[p.Name] = p.Ty
+	}
+	if _, err := c.CheckTerm(inner, v.Body); err != nil {
+		return nil, err
+	}
+	params := make([]Type, len(v.Params))
+	for i, p := range v.Params {
+		params[i] = p.Ty
+	}
+	return CodeT{TParams: v.TParams, RParams: v.RParams, Params: params}, nil
+}
+
+// CheckValue checks a value against an expected type, pushing the
+// expectation through pairs and tag-bit injections so that subsumption
+// applies below constructors.
+func (c *Checker) CheckValue(env *Env, v Value, want Type) error {
+	nf, err := NormalizeType(c.Dialect, want)
+	if err != nil {
+		return errf(v, "%v", err)
+	}
+	switch vv := v.(type) {
+	case PairV:
+		if p, ok := nf.(ProdT); ok {
+			if err := c.CheckValue(env, vv.L, p.L); err != nil {
+				return err
+			}
+			return c.CheckValue(env, vv.R, p.R)
+		}
+	case PackTag:
+		// Check-mode: the package introduces the EXPECTED existential
+		// (its recorded Body annotation may be a different but equal
+		// view — e.g. the M form where a widened context expects C).
+		if ex, ok := nf.(ExistT); ok && ex.Kind.Equal(vv.Kind) {
+			k, err := tags.Check(env.Theta, vv.Tag)
+			if err != nil {
+				return errf(v, "%v", err)
+			}
+			if !k.Equal(ex.Kind) {
+				return errf(v, "witness tag has kind %s, want %s", k, ex.Kind)
+			}
+			return c.CheckValue(env, vv.Val, Subst1Tag(ex.Bound, vv.Tag).Type(ex.Body))
+		}
+	case PackRegion:
+		if ex, ok := nf.(ExistRT); ok {
+			inBound := false
+			for _, r := range ex.Delta {
+				if RegionEqual(r, vv.R) {
+					inBound = true
+					break
+				}
+			}
+			if !inBound {
+				return errf(v, "witness region %s not in expected bound", vv.R)
+			}
+			want := AtT{Body: Subst1Reg(ex.Bound, vv.R).Type(ex.Body), R: vv.R}
+			return c.CheckValue(env, vv.Val, want)
+		}
+	case InlV:
+		switch w := nf.(type) {
+		case LeftT:
+			return c.CheckValue(env, vv.Val, w.Body)
+		case SumT:
+			return c.CheckValue(env, v, w.L)
+		}
+	case InrV:
+		switch w := nf.(type) {
+		case RightT:
+			return c.CheckValue(env, vv.Val, w.Body)
+		case SumT:
+			return c.CheckValue(env, v, w.R)
+		}
+	}
+	got, err := c.SynthValue(env, v)
+	if err != nil {
+		return err
+	}
+	ok, err := Assignable(c.Dialect, env.RBounds, got, nf)
+	if err != nil {
+		return errf(v, "%v", err)
+	}
+	if !ok {
+		return errf(v, "has type %s, want %s", got, nf)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Operation typing  Ψ; ∆; Θ; Φ; Γ ⊢ op : σ
+// ---------------------------------------------------------------------------
+
+// SynthOp computes the type of an operation, returning the (possibly
+// elaborated) operation alongside.
+func (c *Checker) SynthOp(env *Env, op Op) (Op, Type, error) {
+	switch op := op.(type) {
+	case ValOp:
+		t, err := c.SynthValue(env, op.V)
+		return op, t, err
+	case ProjOp:
+		t, err := c.SynthValue(env, op.V)
+		if err != nil {
+			return nil, nil, err
+		}
+		nf, err := NormalizeType(c.Dialect, t)
+		if err != nil {
+			return nil, nil, errf(op, "%v", err)
+		}
+		p, ok := nf.(ProdT)
+		if !ok {
+			return nil, nil, errf(op, "projection from non-pair type %s", nf)
+		}
+		if op.I == 1 {
+			return op, p.L, nil
+		}
+		if op.I == 2 {
+			return op, p.R, nil
+		}
+		return nil, nil, errf(op, "bad projection index %d", op.I)
+	case PutOp:
+		if !env.hasRegion(op.R) {
+			return nil, nil, errf(op, "put into region %s not in scope", op.R)
+		}
+		t, err := c.SynthValue(env, op.V)
+		if err != nil {
+			return nil, nil, err
+		}
+		return PutOp{R: op.R, V: op.V, Anno: t}, AtT{Body: t, R: op.R}, nil
+	case GetOp:
+		t, err := c.SynthValue(env, op.V)
+		if err != nil {
+			return nil, nil, err
+		}
+		nf, err := NormalizeType(c.Dialect, t)
+		if err != nil {
+			return nil, nil, errf(op, "%v", err)
+		}
+		at, ok := nf.(AtT)
+		if !ok {
+			return nil, nil, errf(op, "get from non-reference type %s", nf)
+		}
+		return op, at.Body, nil
+	case StripOp:
+		if err := c.dialectAtLeast(op, Forw, "strip"); err != nil {
+			return nil, nil, err
+		}
+		t, err := c.SynthValue(env, op.V)
+		if err != nil {
+			return nil, nil, err
+		}
+		nf, err := NormalizeType(c.Dialect, t)
+		if err != nil {
+			return nil, nil, errf(op, "%v", err)
+		}
+		switch w := nf.(type) {
+		case LeftT:
+			return op, w.Body, nil
+		case RightT:
+			return op, w.Body, nil
+		default:
+			return nil, nil, errf(op, "strip of type %s, want left/right", nf)
+		}
+	case ArithOp:
+		if err := c.CheckValue(env, op.L, IntT{}); err != nil {
+			return nil, nil, err
+		}
+		if err := c.CheckValue(env, op.R, IntT{}); err != nil {
+			return nil, nil, err
+		}
+		return op, IntT{}, nil
+	default:
+		panic(fmt.Sprintf("gclang: unknown op %T", op))
+	}
+}

@@ -1,0 +1,62 @@
+// Package gclang implements λGC, the typed target language in which the
+// garbage collector itself is written (paper §4–§6), together with its two
+// extensions: λGCforw with forwarding pointers (§7) and λGCgen with
+// generations (§8).
+//
+// The three calculi share most of their syntax, so the package implements
+// one superset language gated by a Dialect: constructs outside the selected
+// dialect are rejected by the typechecker, which keeps each paper calculus
+// checkable as itself while avoiding three near-identical implementations.
+//
+// The package provides
+//   - the syntax of regions, types, values, operations and terms (Fig. 2
+//     plus the §7/§8 extensions),
+//   - the type-level reduction of the built-in M and C operators and
+//     normalization-based type equality (§2.2, §6.3),
+//   - the static semantics (Figs. 6, 7, 8, 10) as a typechecker that also
+//     elaborates allocation sites with the type information the
+//     preservation checker needs,
+//   - the allocation-semantics abstract machine (Fig. 5 plus the §7/§8
+//     rules) over the region substrate, instrumented with a "ghost" memory
+//     type Ψ so that machine states can be re-checked for well-formedness
+//     after every step (Defs. 6.3 and 7.1) — the executable counterpart of
+//     the paper's type-preservation proofs.
+package gclang
+
+// Dialect selects which of the paper's calculi the checker enforces.
+type Dialect int
+
+// The three calculi of the paper.
+const (
+	// Base is λGC (§4–§6): the plain stop-and-copy collector language.
+	Base Dialect = iota
+	// Forw is λGCforw (§7): Base plus tag bits (inl/inr/strip/ifleft),
+	// sum types, memory assignment, and the widen cast.
+	Forw
+	// Gen is λGCgen (§8): Base plus bounded existentials over regions
+	// (∃r∈∆.σ at r), region packages, and the ifreg region test. The M
+	// operator takes two region indices (young, old).
+	Gen
+)
+
+func (d Dialect) String() string {
+	switch d {
+	case Base:
+		return "λGC"
+	case Forw:
+		return "λGCforw"
+	case Gen:
+		return "λGCgen"
+	default:
+		return "Dialect(?)"
+	}
+}
+
+// MArity returns how many region indices the M type operator takes in
+// this dialect: M_ρ(τ) in Base and Forw, M_ρy,ρo(τ) in Gen.
+func (d Dialect) MArity() int {
+	if d == Gen {
+		return 2
+	}
+	return 1
+}

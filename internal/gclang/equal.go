@@ -1,0 +1,351 @@
+package gclang
+
+import (
+	"fmt"
+
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// eqEnv tracks binder correspondences for α-equivalence across the three
+// binding namespaces that occur in types.
+type eqEnv struct {
+	tagsA, tagsB map[names.Name]int
+	regsA, regsB map[names.Name]int
+	alphA, alphB map[names.Name]int
+	depth        int
+}
+
+func newEqEnv() *eqEnv {
+	return &eqEnv{
+		tagsA: map[names.Name]int{}, tagsB: map[names.Name]int{},
+		regsA: map[names.Name]int{}, regsB: map[names.Name]int{},
+		alphA: map[names.Name]int{}, alphB: map[names.Name]int{},
+	}
+}
+
+func (e *eqEnv) clone() *eqEnv {
+	out := newEqEnv()
+	for k, v := range e.tagsA {
+		out.tagsA[k] = v
+	}
+	for k, v := range e.tagsB {
+		out.tagsB[k] = v
+	}
+	for k, v := range e.regsA {
+		out.regsA[k] = v
+	}
+	for k, v := range e.regsB {
+		out.regsB[k] = v
+	}
+	for k, v := range e.alphA {
+		out.alphA[k] = v
+	}
+	for k, v := range e.alphB {
+		out.alphB[k] = v
+	}
+	out.depth = e.depth
+	return out
+}
+
+func (e *eqEnv) bindTags(a, b []names.Name) *eqEnv {
+	out := e.clone()
+	for i := range a {
+		out.tagsA[a[i]] = out.depth
+		out.tagsB[b[i]] = out.depth
+		out.depth++
+	}
+	return out
+}
+
+func (e *eqEnv) bindRegs(a, b []names.Name) *eqEnv {
+	out := e.clone()
+	for i := range a {
+		out.regsA[a[i]] = out.depth
+		out.regsB[b[i]] = out.depth
+		out.depth++
+	}
+	return out
+}
+
+func (e *eqEnv) bindAlphas(a, b names.Name) *eqEnv {
+	out := e.clone()
+	out.alphA[a] = out.depth
+	out.alphB[b] = out.depth
+	out.depth++
+	return out
+}
+
+func (e *eqEnv) regionEq(a, b Region) bool {
+	av, aok := a.(RVar)
+	bv, bok := b.(RVar)
+	if aok != bok {
+		return false
+	}
+	if !aok {
+		return a == b
+	}
+	ia, ba := e.regsA[av.Name]
+	ib, bb := e.regsB[bv.Name]
+	if ba != bb {
+		return false
+	}
+	if ba {
+		return ia == ib
+	}
+	return av.Name == bv.Name
+}
+
+func (e *eqEnv) regionsEq(a, b []Region) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !e.regionEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tagEq compares tags under the binder correspondence by renaming bound
+// variables to canonical names before using tags.Equal. Tag binders from
+// the type level are rare and shallow, so the rename-and-compare approach
+// keeps the logic simple.
+func (e *eqEnv) tagEq(a, b tags.Tag) bool {
+	subA := make(map[names.Name]tags.Tag, len(e.tagsA))
+	for n, d := range e.tagsA {
+		subA[n] = tags.Var{Name: names.Name(fmt.Sprintf("τ#%d", d))}
+	}
+	subB := make(map[names.Name]tags.Tag, len(e.tagsB))
+	for n, d := range e.tagsB {
+		subB[n] = tags.Var{Name: names.Name(fmt.Sprintf("τ#%d", d))}
+	}
+	return tags.Equal(tags.SubstAll(a, subA), tags.SubstAll(b, subB))
+}
+
+func (e *eqEnv) typeEq(a, b Type) bool {
+	switch a := a.(type) {
+	case IntT:
+		_, ok := b.(IntT)
+		return ok
+	case ProdT:
+		bp, ok := b.(ProdT)
+		return ok && e.typeEq(a.L, bp.L) && e.typeEq(a.R, bp.R)
+	case CodeT:
+		bc, ok := b.(CodeT)
+		if !ok || len(a.TParams) != len(bc.TParams) || len(a.RParams) != len(bc.RParams) || len(a.Params) != len(bc.Params) {
+			return false
+		}
+		for i := range a.TParams {
+			if !a.TParams[i].Kind.Equal(bc.TParams[i].Kind) {
+				return false
+			}
+		}
+		inner := e.bindTags(tparamNames(a.TParams), tparamNames(bc.TParams)).
+			bindRegs(a.RParams, bc.RParams)
+		for i := range a.Params {
+			if !inner.typeEq(a.Params[i], bc.Params[i]) {
+				return false
+			}
+		}
+		return true
+	case ExistT:
+		be, ok := b.(ExistT)
+		if !ok || !a.Kind.Equal(be.Kind) {
+			return false
+		}
+		inner := e.bindTags([]names.Name{a.Bound}, []names.Name{be.Bound})
+		return inner.typeEq(a.Body, be.Body)
+	case AtT:
+		ba, ok := b.(AtT)
+		return ok && e.regionEq(a.R, ba.R) && e.typeEq(a.Body, ba.Body)
+	case MT:
+		bm, ok := b.(MT)
+		return ok && e.regionsEq(a.Rs, bm.Rs) && e.tagEq(a.Tag, bm.Tag)
+	case CT:
+		bc, ok := b.(CT)
+		return ok && e.regionEq(a.From, bc.From) && e.regionEq(a.To, bc.To) && e.tagEq(a.Tag, bc.Tag)
+	case AlphaT:
+		bv, ok := b.(AlphaT)
+		if !ok {
+			return false
+		}
+		ia, ba := e.alphA[a.Name]
+		ib, bb := e.alphB[bv.Name]
+		if ba != bb {
+			return false
+		}
+		if ba {
+			return ia == ib
+		}
+		return a.Name == bv.Name
+	case ExistAlphaT:
+		be, ok := b.(ExistAlphaT)
+		if !ok || !e.regionsEq(a.Delta, be.Delta) {
+			return false
+		}
+		inner := e.bindAlphas(a.Bound, be.Bound)
+		return inner.typeEq(a.Body, be.Body)
+	case TransT:
+		bt, ok := b.(TransT)
+		if !ok || len(a.Tags) != len(bt.Tags) || !e.regionsEq(a.Rs, bt.Rs) ||
+			len(a.Params) != len(bt.Params) || !e.regionEq(a.R, bt.R) {
+			return false
+		}
+		for i := range a.Tags {
+			if !e.tagEq(a.Tags[i], bt.Tags[i]) {
+				return false
+			}
+		}
+		for i := range a.Params {
+			if !e.typeEq(a.Params[i], bt.Params[i]) {
+				return false
+			}
+		}
+		return true
+	case LeftT:
+		bl, ok := b.(LeftT)
+		return ok && e.typeEq(a.Body, bl.Body)
+	case RightT:
+		br, ok := b.(RightT)
+		return ok && e.typeEq(a.Body, br.Body)
+	case SumT:
+		bs, ok := b.(SumT)
+		return ok && e.typeEq(a.L, bs.L) && e.typeEq(a.R, bs.R)
+	case ExistRT:
+		be, ok := b.(ExistRT)
+		if !ok || !e.regionsEq(a.Delta, be.Delta) {
+			return false
+		}
+		inner := e.bindRegs([]names.Name{a.Bound}, []names.Name{be.Bound})
+		return inner.typeEq(a.Body, be.Body)
+	default:
+		panic(fmt.Sprintf("gclang: unknown type %T", a))
+	}
+}
+
+// TypeEqual reports equality of types up to M/C reduction, tag
+// β-reduction, and α-equivalence.
+func TypeEqual(d Dialect, a, b Type) (bool, error) {
+	na, err := NormalizeType(d, a)
+	if err != nil {
+		return false, err
+	}
+	nb, err := NormalizeType(d, b)
+	if err != nil {
+		return false, err
+	}
+	return newEqEnv().typeEq(na, nb), nil
+}
+
+// Assignable reports whether a value of type sub may be used where type
+// sup is expected. Beyond equality, λGCforw admits the tag-bit injection
+// left σ1 ≤ left σ1 + right σ2 (Fig. 8), and λGCgen admits the bounded
+// width subtyping on region existentials together with its lifting to the
+// stuck M operator: M_ρ,ρo(τ) ≤ M_ρy,ρo(τ) when ρ ∈ {ρy, ρo} (used when
+// the fully-promoted result of a minor collection flows back to a mutator
+// expecting young-or-old data, §8 and Lemma D.4).
+//
+// bounds carries the ∆-bounds of region variables opened from bounded
+// existentials (λGCgen): a variable r with bound ∆r counts as a member of
+// a region set when every element of ∆r is (Fig. 11's recursion on
+// components allocated "somewhere in {young, old}" needs this).
+func Assignable(d Dialect, bounds map[names.Name][]Region, sub, sup Type) (bool, error) {
+	ns, err := NormalizeType(d, sub)
+	if err != nil {
+		return false, err
+	}
+	np, err := NormalizeType(d, sup)
+	if err != nil {
+		return false, err
+	}
+	return assignable{d: d, bounds: bounds}.nf(newEqEnv(), ns, np), nil
+}
+
+type assignable struct {
+	d      Dialect
+	bounds map[names.Name][]Region
+}
+
+// inSet reports whether region r is a member of set under the binder
+// correspondence, either directly or through its recorded bound.
+func (a assignable) inSet(env *eqEnv, r Region, set []Region) bool {
+	for _, s := range set {
+		if env.regionEq(r, s) {
+			return true
+		}
+	}
+	if rv, ok := r.(RVar); ok {
+		if b, ok := a.bounds[rv.Name]; ok && len(b) > 0 {
+			for _, br := range b {
+				if !a.inSet(env, br, set) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// nf works on normal forms.
+func (a assignable) nf(env *eqEnv, sub, sup Type) bool {
+	d := a.d
+	if env.typeEq(sub, sup) {
+		return true
+	}
+	switch d {
+	case Forw:
+		if sum, ok := sup.(SumT); ok {
+			switch sub := sub.(type) {
+			case LeftT:
+				return env.typeEq(sub, sum.L)
+			case RightT:
+				return env.typeEq(sub, sum.R)
+			}
+		}
+		return false
+	case Gen:
+		switch sup := sup.(type) {
+		case MT:
+			sm, ok := sub.(MT)
+			if !ok || len(sm.Rs) != 2 || len(sup.Rs) != 2 {
+				return false
+			}
+			if !env.regionEq(sm.Rs[1], sup.Rs[1]) || !env.tagEq(sm.Tag, sup.Tag) {
+				return false
+			}
+			return a.inSet(env, sm.Rs[0], sup.Rs)
+		case ExistRT:
+			se, ok := sub.(ExistRT)
+			if !ok {
+				return false
+			}
+			// ∆sub ⊆ ∆sup (under the binder correspondence and bounds).
+			for _, r := range se.Delta {
+				if !a.inSet(env, r, sup.Delta) {
+					return false
+				}
+			}
+			inner := env.bindRegs([]names.Name{se.Bound}, []names.Name{sup.Bound})
+			return a.nf(inner, se.Body, sup.Body)
+		case ProdT:
+			sp, ok := sub.(ProdT)
+			return ok && a.nf(env, sp.L, sup.L) && a.nf(env, sp.R, sup.R)
+		case ExistT:
+			se, ok := sub.(ExistT)
+			if !ok || !se.Kind.Equal(sup.Kind) {
+				return false
+			}
+			inner := env.bindTags([]names.Name{se.Bound}, []names.Name{sup.Bound})
+			return a.nf(inner, se.Body, sup.Body)
+		case AtT:
+			sa, ok := sub.(AtT)
+			return ok && env.regionEq(sa.R, sup.R) && a.nf(env, sa.Body, sup.Body)
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,230 @@
+package gclang
+
+import (
+	"fmt"
+
+	"psgc/internal/names"
+	"psgc/internal/regions"
+	"psgc/internal/tags"
+)
+
+// This file implements the ghost-Ψ counterpart of the widen soundness
+// argument (§7.1, Appendix C): the T operator that re-types every live
+// mutator cell from the M_ρ(τ) view to the C_ρ,ρ'(τ) view. The machine
+// applies it when widen executes; any cell it cannot re-type is dropped
+// from Ψ, matching Definition 7.1's restriction to a well-typed sufficient
+// subset (ill-typed garbage is permitted as long as it is unreachable —
+// the well-formedness checker verifies reachable cells only).
+
+// typeToTag inverts the M mapping on component types: it recovers the
+// source tag of a type that is the M-image of some tag with respect to
+// region from. Elaborated annotations keep M-forms intact, so the common
+// cases are direct; the remainder re-derives tags structurally.
+func typeToTag(t Type, from Region) (tags.Tag, bool) {
+	switch t := t.(type) {
+	case IntT:
+		return tags.Int{}, true
+	case MT:
+		if len(t.Rs) >= 1 && RegionEqual(t.Rs[0], from) {
+			return t.Tag, true
+		}
+		return nil, false
+	case AtT:
+		// M(τ→0) = ∀[][r](M_r(τ…))→0 at cd.
+		if !RegionEqual(t.R, CDRegion) {
+			// M(τ1×τ2)/M(∃t.τ) images sit at `from`.
+			if !RegionEqual(t.R, from) {
+				return nil, false
+			}
+			return payloadToTag(t.Body, from)
+		}
+		code, ok := t.Body.(CodeT)
+		if !ok || len(code.TParams) != 0 || len(code.RParams) != 1 {
+			return nil, false
+		}
+		inner := RVar{Name: code.RParams[0]}
+		args := make([]tags.Tag, len(code.Params))
+		for i, p := range code.Params {
+			tg, ok := typeToTag(p, inner)
+			if !ok {
+				return nil, false
+			}
+			args[i] = tg
+		}
+		return tags.Code{Args: args}, true
+	default:
+		return nil, false
+	}
+}
+
+// payloadToTag recovers the tag of a heap cell's payload type under the
+// λGCforw M mapping: cells hold left(σ1 × σ2) or left(∃t.σ).
+func payloadToTag(t Type, from Region) (tags.Tag, bool) {
+	l, ok := t.(LeftT)
+	if !ok {
+		return nil, false
+	}
+	switch body := l.Body.(type) {
+	case ProdT:
+		lt, ok := typeToTag(body.L, from)
+		if !ok {
+			return nil, false
+		}
+		rt, ok := typeToTag(body.R, from)
+		if !ok {
+			return nil, false
+		}
+		return tags.Prod{L: lt, R: rt}, true
+	case ExistT:
+		bt, ok := typeToTagUnder(body.Body, from, body.Bound)
+		if !ok {
+			return nil, false
+		}
+		return tags.Exist{Bound: body.Bound, Body: bt}, true
+	default:
+		return nil, false
+	}
+}
+
+// typeToTagUnder is typeToTag beneath one tag binder: occurrences of
+// M_from(bound-var) invert to the variable itself.
+func typeToTagUnder(t Type, from Region, bound names.Name) (tags.Tag, bool) {
+	return typeToTag(t, from)
+}
+
+// widenGhost applies T_{from,to} to Ψ: every cell in region from whose
+// recorded type is the payload of M_from(τ) for some τ is re-typed as the
+// payload of C_{from,to}(τ); cells that do not invert are dropped (garbage
+// per Def. 7.1); cells outside {cd, from, to} are dropped (the widen rule
+// restricts the region context to exactly those).
+func (m *Machine) widenGhost(from, to regions.Name) error {
+	fromR := Region(RName{Name: from})
+	toR := Region(RName{Name: to})
+	next := MemType{}
+	for addr, t := range m.Psi {
+		switch addr.Region {
+		case regions.CD:
+			next[addr] = t
+		case from:
+			tag, ok := payloadToTag(t, fromR)
+			if !ok {
+				continue // unreachable garbage; wf check verifies
+			}
+			// Re-annotate the stored value itself: package bodies recorded
+			// at allocation time use the M view and must be cast to the C
+			// view along with Ψ (§7.1: the cast systematically converts
+			// the whole heap). This rewrite only touches type annotations,
+			// never the runtime data, so widen stays a no-op operationally.
+			if cell, err := m.Mem.Get(addr); err == nil {
+				if err := m.Mem.Set(addr, widenValue(cell, fromR, toR)); err != nil {
+					return err
+				}
+				m.Mem.Stats.Gets--
+				m.Mem.Stats.Sets--
+			}
+			// Sanity: the original type must really be the M payload.
+			same, err := TypeEqual(Forw, AtT{Body: t, R: fromR}, MT{Rs: []Region{fromR}, Tag: tag})
+			if err != nil {
+				return fmt.Errorf("gclang: widen ghost: %v", err)
+			}
+			if !same {
+				continue
+			}
+			next[addr] = cPayload(fromR, toR, tag)
+		case to:
+			// The to-space is empty at widen time in the paper's collector;
+			// any cells here are not re-typed.
+			next[addr] = t
+		default:
+			// Outside the widen rule's region context: dropped.
+		}
+	}
+	m.Psi = next
+	return nil
+}
+
+// widenValue rewrites the type annotations embedded in a heap value from
+// the M_from view to the C_from,to view. Runtime structure is unchanged.
+func widenValue(v Value, from, to Region) Value {
+	switch v := v.(type) {
+	case Num, Var, AddrV, LamV, TAppV:
+		return v
+	case PairV:
+		return PairV{L: widenValue(v.L, from, to), R: widenValue(v.R, from, to)}
+	case InlV:
+		return InlV{Val: widenValue(v.Val, from, to)}
+	case InrV:
+		return InrV{Val: widenValue(v.Val, from, to)}
+	case PackTag:
+		return PackTag{Bound: v.Bound, Kind: v.Kind, Tag: v.Tag,
+			Val: widenValue(v.Val, from, to), Body: widenType(v.Body, from, to)}
+	case PackAlpha:
+		return PackAlpha{Bound: v.Bound, Delta: v.Delta,
+			Hidden: widenType(v.Hidden, from, to),
+			Val:    widenValue(v.Val, from, to), Body: widenType(v.Body, from, to)}
+	case PackRegion:
+		return PackRegion{Bound: v.Bound, Delta: v.Delta, R: v.R,
+			Val: widenValue(v.Val, from, to), Body: widenType(v.Body, from, to)}
+	default:
+		panic(fmt.Sprintf("gclang: unknown value %T", v))
+	}
+}
+
+// widenType replaces every M_from(τ) node by C_from,to(τ); other structure
+// is preserved.
+func widenType(t Type, from, to Region) Type {
+	switch t := t.(type) {
+	case IntT, AlphaT, CodeT, TransT:
+		return t
+	case ProdT:
+		return ProdT{L: widenType(t.L, from, to), R: widenType(t.R, from, to)}
+	case ExistT:
+		return ExistT{Bound: t.Bound, Kind: t.Kind, Body: widenType(t.Body, from, to)}
+	case AtT:
+		return AtT{Body: widenType(t.Body, from, to), R: t.R}
+	case MT:
+		if len(t.Rs) == 1 && RegionEqual(t.Rs[0], from) {
+			if _, isCode := t.Tag.(tags.Code); !isCode {
+				return CT{From: from, To: to, Tag: t.Tag}
+			}
+		}
+		return t
+	case CT:
+		return t
+	case ExistAlphaT:
+		return ExistAlphaT{Bound: t.Bound, Delta: t.Delta, Body: widenType(t.Body, from, to)}
+	case LeftT:
+		return LeftT{Body: widenType(t.Body, from, to)}
+	case RightT:
+		return RightT{Body: widenType(t.Body, from, to)}
+	case SumT:
+		return SumT{L: widenType(t.L, from, to), R: widenType(t.R, from, to)}
+	case ExistRT:
+		return ExistRT{Bound: t.Bound, Delta: t.Delta, Body: widenType(t.Body, from, to)}
+	default:
+		panic(fmt.Sprintf("gclang: unknown type %T", t))
+	}
+}
+
+// cPayload builds the cell payload of C_{from,to}(τ) for a pair or
+// existential tag (§7): left(C…) + right(M_to(τ)).
+func cPayload(from, to Region, tag tags.Tag) Type {
+	nf := tags.MustNormalize(tag)
+	switch t := nf.(type) {
+	case tags.Prod:
+		return SumT{
+			L: LeftT{Body: ProdT{
+				L: CT{From: from, To: to, Tag: t.L},
+				R: CT{From: from, To: to, Tag: t.R},
+			}},
+			R: RightT{Body: MT{Rs: []Region{to}, Tag: nf}},
+		}
+	case tags.Exist:
+		return SumT{
+			L: LeftT{Body: ExistT{Bound: t.Bound, Kind: omegaKind, Body: CT{From: from, To: to, Tag: t.Body}}},
+			R: RightT{Body: MT{Rs: []Region{to}, Tag: nf}},
+		}
+	default:
+		panic(fmt.Sprintf("gclang: cPayload on non-boxed tag %s", nf))
+	}
+}

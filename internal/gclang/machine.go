@@ -1,0 +1,388 @@
+package gclang
+
+import (
+	"errors"
+	"fmt"
+
+	"psgc/internal/names"
+	"psgc/internal/regions"
+	"psgc/internal/tags"
+)
+
+// Machine executes λGC terms under the allocation semantics of Fig. 5
+// (extended with the §7/§8 rules and the workload extension).
+//
+// When Ghost is enabled the machine maintains the memory type Ψ alongside
+// the memory — recording each put's elaborated annotation, restricting Ψ at
+// only, and applying the T operator of the widen soundness proof (§7.1) at
+// widen — so that every intermediate state can be re-checked for
+// well-formedness. This is the executable counterpart of the paper's
+// preservation proofs; see DESIGN.md.
+type Machine struct {
+	Dialect Dialect
+	Mem     *regions.Memory[Value]
+	Term    Term
+
+	// Ghost enables Ψ maintenance. Programs must have been elaborated by
+	// the checker (put annotations present) for ghost mode to work.
+	Ghost bool
+	Psi   MemType
+
+	// Steps counts machine transitions taken so far.
+	Steps int
+
+	// Halted and Result are set once the program reaches halt v.
+	Halted bool
+	Result Value
+
+	// Trace, if non-nil, is called after every step.
+	Trace func(m *Machine)
+}
+
+// ErrStuck is returned when no reduction applies — a progress violation
+// for well-typed programs.
+var ErrStuck = errors.New("gclang: machine stuck")
+
+// ErrFuel is returned by Run when the step budget is exhausted.
+var ErrFuel = errors.New("gclang: out of fuel")
+
+// NewMachine loads a program into a fresh memory with the given region
+// capacity (the ifgc fullness threshold). Code blocks are installed in the
+// cd region at offsets matching their indices, as the paper's translation
+// assumes.
+func NewMachine(d Dialect, p Program, capacity int) *Machine {
+	m := &Machine{
+		Dialect: d,
+		Mem:     regions.New[Value](capacity),
+		Term:    p.Main,
+		Psi:     MemType{},
+	}
+	for i, nf := range p.Code {
+		addr, err := m.Mem.Put(regions.CD, nf.Fun)
+		if err != nil || addr.Off != i {
+			panic(fmt.Sprintf("gclang: code install failed: %v", err))
+		}
+		params := make([]Type, len(nf.Fun.Params))
+		for j, prm := range nf.Fun.Params {
+			params[j] = prm.Ty
+		}
+		m.Psi[addr] = CodeT{TParams: nf.Fun.TParams, RParams: nf.Fun.RParams, Params: params}
+	}
+	return m
+}
+
+// Run steps the machine until halt, an error, or the fuel limit.
+func (m *Machine) Run(fuel int) (Value, error) {
+	for !m.Halted {
+		if fuel <= 0 {
+			return nil, ErrFuel
+		}
+		fuel--
+		if err := m.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return m.Result, nil
+}
+
+// RunInt runs the machine and requires an integer result.
+func (m *Machine) RunInt(fuel int) (int, error) {
+	v, err := m.Run(fuel)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(Num)
+	if !ok {
+		return 0, fmt.Errorf("gclang: halt with non-integer %s", v)
+	}
+	return n.N, nil
+}
+
+func stuck(e Term, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: in %s", ErrStuck, fmt.Sprintf(format, args...), e)
+}
+
+// Step performs one machine transition.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return errors.New("gclang: step after halt")
+	}
+	next, err := m.step(m.Term)
+	if err != nil {
+		return err
+	}
+	m.Term = next
+	m.Steps++
+	if m.Trace != nil {
+		m.Trace(m)
+	}
+	return nil
+}
+
+func (m *Machine) step(e Term) (Term, error) {
+	switch e := e.(type) {
+	case HaltT:
+		m.Halted = true
+		m.Result = e.V
+		return e, nil
+	case AppT:
+		return m.stepApp(e)
+	case LetT:
+		v, err := m.stepOp(e.Op)
+		if err != nil {
+			return nil, fmt.Errorf("%w: in %s", err, e.Op)
+		}
+		return (&Subst{Vals: map[names.Name]Value{e.X: v}, Closed: true}).Term(e.Body), nil
+	case IfGCT:
+		rn, ok := e.R.(RName)
+		if !ok {
+			return nil, stuck(e, "ifgc on region variable %s", e.R)
+		}
+		if m.Mem.Full(rn.Name) {
+			return e.Full, nil
+		}
+		return e.Else, nil
+	case OpenTagT:
+		pk, ok := e.V.(PackTag)
+		if !ok {
+			return nil, stuck(e, "open of non-package %s", e.V)
+		}
+		s := &Subst{
+			Tags:   map[names.Name]tags.Tag{e.T: pk.Tag},
+			Vals:   map[names.Name]Value{e.X: pk.Val},
+			Closed: true,
+		}
+		return s.Term(e.Body), nil
+	case OpenAlphaT:
+		pk, ok := e.V.(PackAlpha)
+		if !ok {
+			return nil, stuck(e, "open of non-package %s", e.V)
+		}
+		s := &Subst{
+			Types:  map[names.Name]Type{e.A: pk.Hidden},
+			Vals:   map[names.Name]Value{e.X: pk.Val},
+			Closed: true,
+		}
+		return s.Term(e.Body), nil
+	case LetRegionT:
+		nu := m.Mem.NewRegion()
+		return (&Subst{Regs: map[names.Name]Region{e.R: RName{Name: nu}}, Closed: true}).Term(e.Body), nil
+	case OnlyT:
+		keep := make([]regions.Name, 0, len(e.Delta))
+		keepSet := map[regions.Name]bool{}
+		for _, r := range e.Delta {
+			rn, ok := r.(RName)
+			if !ok {
+				return nil, stuck(e, "only with region variable %s", r)
+			}
+			keep = append(keep, rn.Name)
+			keepSet[rn.Name] = true
+		}
+		if err := m.Mem.Only(keep); err != nil {
+			return nil, stuck(e, "%v", err)
+		}
+		if m.Ghost {
+			m.Psi = m.Psi.Restrict(keepSet)
+		}
+		return e.Body, nil
+	case TypecaseT:
+		return m.stepTypecase(e)
+	case IfLeftT:
+		switch v := e.V.(type) {
+		case InlV:
+			return (&Subst{Vals: map[names.Name]Value{e.X: v}, Closed: true}).Term(e.L), nil
+		case InrV:
+			// Note: Fig. 5's printed rule sends inr to e_l; that is a typo
+			// in the paper (the typing rule gives x type σ2 in e_r).
+			return (&Subst{Vals: map[names.Name]Value{e.X: v}, Closed: true}).Term(e.R), nil
+		default:
+			return nil, stuck(e, "ifleft on untagged value %s", e.V)
+		}
+	case SetT:
+		dst, ok := e.Dst.(AddrV)
+		if !ok {
+			return nil, stuck(e, "set destination %s is not an address", e.Dst)
+		}
+		if err := m.Mem.Set(dst.Addr, e.Src); err != nil {
+			return nil, stuck(e, "%v", err)
+		}
+		return e.Body, nil
+	case WidenT:
+		// Operationally a no-op (§7.1): the cast re-views memory.
+		if m.Ghost {
+			from, ok1 := e.From.(RName)
+			to, ok2 := e.To.(RName)
+			if !ok1 || !ok2 {
+				return nil, stuck(e, "widen with unresolved regions")
+			}
+			if err := m.widenGhost(from.Name, to.Name); err != nil {
+				return nil, err
+			}
+		}
+		return (&Subst{Vals: map[names.Name]Value{e.X: e.V}, Closed: true}).Term(e.Body), nil
+	case OpenRegionT:
+		pk, ok := e.V.(PackRegion)
+		if !ok {
+			return nil, stuck(e, "open of non-region-package %s", e.V)
+		}
+		s := &Subst{
+			Regs:   map[names.Name]Region{e.R: pk.R},
+			Vals:   map[names.Name]Value{e.X: pk.Val},
+			Closed: true,
+		}
+		return s.Term(e.Body), nil
+	case IfRegT:
+		n1, ok1 := e.R1.(RName)
+		n2, ok2 := e.R2.(RName)
+		if !ok1 || !ok2 {
+			return nil, stuck(e, "ifreg on region variables")
+		}
+		if n1 == n2 {
+			return e.Then, nil
+		}
+		return e.Else, nil
+	case If0T:
+		n, ok := e.V.(Num)
+		if !ok {
+			return nil, stuck(e, "if0 on non-integer %s", e.V)
+		}
+		if n.N == 0 {
+			return e.Then, nil
+		}
+		return e.Else, nil
+	default:
+		return nil, stuck(e, "no rule for %T", e)
+	}
+}
+
+// stepApp implements function invocation: translucent heads first restore
+// their recorded tags, then the code block is fetched from memory and its
+// binders are instantiated.
+func (m *Machine) stepApp(e AppT) (Term, error) {
+	if ta, ok := e.Fn.(TAppV); ok {
+		if len(e.Tags) != 0 || len(e.Rs) != 0 {
+			return nil, stuck(e, "translucent call with extra tags or regions")
+		}
+		return AppT{Fn: ta.Val, Tags: ta.Tags, Rs: ta.Rs, Args: e.Args}, nil
+	}
+	addr, ok := e.Fn.(AddrV)
+	if !ok {
+		return nil, stuck(e, "call of non-address %s", e.Fn)
+	}
+	cell, err := m.Mem.Get(addr.Addr)
+	if err != nil {
+		return nil, stuck(e, "%v", err)
+	}
+	lam, ok := cell.(LamV)
+	if !ok {
+		return nil, stuck(e, "call of non-code cell %s", addr.Addr)
+	}
+	if len(e.Tags) != len(lam.TParams) || len(e.Rs) != len(lam.RParams) || len(e.Args) != len(lam.Params) {
+		return nil, stuck(e, "arity mismatch calling %s", addr.Addr)
+	}
+	s := &Subst{
+		Tags:   map[names.Name]tags.Tag{},
+		Regs:   map[names.Name]Region{},
+		Vals:   map[names.Name]Value{},
+		Closed: true,
+	}
+	for i, tp := range lam.TParams {
+		s.Tags[tp.Name] = e.Tags[i]
+	}
+	for i, r := range lam.RParams {
+		s.Regs[r] = e.Rs[i]
+	}
+	for i, p := range lam.Params {
+		s.Vals[p.Name] = e.Args[i]
+	}
+	return s.Term(lam.Body), nil
+}
+
+func (m *Machine) stepOp(op Op) (Value, error) {
+	switch op := op.(type) {
+	case ValOp:
+		return op.V, nil
+	case ProjOp:
+		p, ok := op.V.(PairV)
+		if !ok {
+			return nil, fmt.Errorf("%w: projection from non-pair %s", ErrStuck, op.V)
+		}
+		if op.I == 1 {
+			return p.L, nil
+		}
+		return p.R, nil
+	case PutOp:
+		rn, ok := op.R.(RName)
+		if !ok {
+			return nil, fmt.Errorf("%w: put into region variable %s", ErrStuck, op.R)
+		}
+		addr, err := m.Mem.Put(rn.Name, op.V)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStuck, err)
+		}
+		if m.Ghost {
+			if op.Anno == nil {
+				return nil, fmt.Errorf("gclang: ghost mode requires elaborated puts (missing annotation)")
+			}
+			m.Psi[addr] = op.Anno
+		}
+		return AddrV{Addr: addr}, nil
+	case GetOp:
+		a, ok := op.V.(AddrV)
+		if !ok {
+			return nil, fmt.Errorf("%w: get from non-address %s", ErrStuck, op.V)
+		}
+		return m.Mem.Get(a.Addr)
+	case StripOp:
+		switch v := op.V.(type) {
+		case InlV:
+			return v.Val, nil
+		case InrV:
+			return v.Val, nil
+		default:
+			return nil, fmt.Errorf("%w: strip of untagged value %s", ErrStuck, op.V)
+		}
+	case ArithOp:
+		l, lok := op.L.(Num)
+		r, rok := op.R.(Num)
+		if !lok || !rok {
+			return nil, fmt.Errorf("%w: arithmetic on non-integers", ErrStuck)
+		}
+		switch op.Kind {
+		case Add:
+			return Num{N: l.N + r.N}, nil
+		case Sub:
+			return Num{N: l.N - r.N}, nil
+		case Mul:
+			return Num{N: l.N * r.N}, nil
+		default:
+			return nil, fmt.Errorf("%w: unknown operator", ErrStuck)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown op %T", ErrStuck, op)
+	}
+}
+
+// stepTypecase dispatches on the β-normal form of the scrutinee tag
+// (Fig. 5's typecase rules collapse tag reduction into one step here).
+func (m *Machine) stepTypecase(e TypecaseT) (Term, error) {
+	nf, err := tags.Normalize(e.Tag)
+	if err != nil {
+		return nil, stuck(e, "%v", err)
+	}
+	switch t := nf.(type) {
+	case tags.Int:
+		return e.IntArm, nil
+	case tags.Code:
+		if len(t.Args) != 1 {
+			return nil, stuck(e, "typecase on %d-ary code tag %s", len(t.Args), nf)
+		}
+		return (&Subst{Tags: map[names.Name]tags.Tag{e.TL: t.Args[0]}, Closed: true}).Term(e.LamArm), nil
+	case tags.Prod:
+		return (&Subst{Tags: map[names.Name]tags.Tag{e.T1: t.L, e.T2: t.R}, Closed: true}).Term(e.ProdArm), nil
+	case tags.Exist:
+		return (&Subst{Tags: map[names.Name]tags.Tag{e.Te: tags.Lam{Param: t.Bound, Body: t.Body}}, Closed: true}).Term(e.ExistArm), nil
+	default:
+		return nil, stuck(e, "typecase on open tag %s", nf)
+	}
+}

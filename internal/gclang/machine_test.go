@@ -1,0 +1,316 @@
+package gclang
+
+import (
+	"strings"
+	"testing"
+
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+type nameN = names.Name
+
+// checkAndLoad typechecks a program and loads it into a ghost-mode machine.
+func checkAndLoad(t *testing.T, d Dialect, p Program, capacity int) *Machine {
+	t.Helper()
+	c := &Checker{Dialect: d}
+	elab, _, err := c.CheckProgram(p)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	m := NewMachine(d, elab, capacity)
+	m.Ghost = true
+	return m
+}
+
+// runChecked runs the machine to completion, re-checking state
+// well-formedness after every step (the empirical preservation theorem).
+func runChecked(t *testing.T, m *Machine, fuel int) Value {
+	t.Helper()
+	for !m.Halted {
+		if fuel <= 0 {
+			t.Fatalf("out of fuel")
+		}
+		fuel--
+		if err := m.Step(); err != nil {
+			t.Fatalf("step %d: %v", m.Steps, err)
+		}
+		if err := m.CheckState(); err != nil {
+			t.Fatalf("preservation violated: %v\nterm: %s", err, m.Term)
+		}
+	}
+	return m.Result
+}
+
+func TestMachinePairAllocation(t *testing.T) {
+	// let region r in let p = put[r](1,2) in let x = get p in
+	// let a = π1 x in let b = π2 x in let s = a+b in halt s
+	prog := Program{Main: LetRegionT{R: "r", Body: LetT{
+		X: "p", Op: PutOp{R: RVar{Name: "r"}, V: PairV{L: Num{N: 1}, R: Num{N: 2}}},
+		Body: LetT{X: "x", Op: GetOp{V: Var{Name: "p"}},
+			Body: LetT{X: "a", Op: ProjOp{I: 1, V: Var{Name: "x"}},
+				Body: LetT{X: "b", Op: ProjOp{I: 2, V: Var{Name: "x"}},
+					Body: LetT{X: "s", Op: ArithOp{Kind: Add, L: Var{Name: "a"}, R: Var{Name: "b"}},
+						Body: HaltT{V: Var{Name: "s"}}}}}}}}}
+	m := checkAndLoad(t, Base, prog, 0)
+	v := runChecked(t, m, 100)
+	if n, ok := v.(Num); !ok || n.N != 3 {
+		t.Fatalf("result = %s, want 3", v)
+	}
+	if m.Mem.Stats.Puts != 1 {
+		t.Errorf("puts = %d, want 1", m.Mem.Stats.Puts)
+	}
+}
+
+func TestMachineCall(t *testing.T) {
+	// f = λ[][r](x:int). halt x;  main = let region r in cd.0[][r](42)
+	f := LamV{RParams: []nameN{"r"}, Params: []Param{{Name: "x", Ty: IntT{}}},
+		Body: HaltT{V: Var{Name: "x"}}}
+	prog := Program{
+		Code: []NamedFun{{Name: "f", Fun: f}},
+		Main: LetRegionT{R: "r", Body: AppT{Fn: CodeAddr(0), Rs: []Region{RVar{Name: "r"}}, Args: []Value{Num{N: 42}}}},
+	}
+	m := checkAndLoad(t, Base, prog, 0)
+	v := runChecked(t, m, 100)
+	if n, ok := v.(Num); !ok || n.N != 42 {
+		t.Fatalf("result = %s, want 42", v)
+	}
+}
+
+func TestMachinePolymorphicCall(t *testing.T) {
+	// id = λ[t:Ω][r](x:M_r(t)). halt 0 — polymorphic over the tag.
+	id := LamV{
+		TParams: []TParam{{Name: "t", Kind: kinds.Omega{}}},
+		RParams: []nameN{"r"},
+		Params:  []Param{{Name: "x", Ty: MT{Rs: []Region{RVar{Name: "r"}}, Tag: tags.Var{Name: "t"}}}},
+		Body:    HaltT{V: Num{N: 0}},
+	}
+	// main: let region r in let p = put[r](1,2) in cd.0[Int×Int][r](p)
+	pairTag := tags.Prod{L: tags.Int{}, R: tags.Int{}}
+	prog := Program{
+		Code: []NamedFun{{Name: "id", Fun: id}},
+		Main: LetRegionT{R: "r", Body: LetT{
+			X: "p", Op: PutOp{R: RVar{Name: "r"}, V: PairV{L: Num{N: 1}, R: Num{N: 2}}},
+			Body: AppT{Fn: CodeAddr(0), Tags: []tags.Tag{pairTag}, Rs: []Region{RVar{Name: "r"}}, Args: []Value{Var{Name: "p"}}},
+		}},
+	}
+	m := checkAndLoad(t, Base, prog, 0)
+	runChecked(t, m, 100)
+}
+
+func TestMachineTypecase(t *testing.T) {
+	// analyze = λ[t:Ω][r](x:int). typecase t of int⇒halt 1; λ⇒halt 2; ×⇒halt 3; ∃⇒halt 4
+	analyze := LamV{
+		TParams: []TParam{{Name: "t", Kind: kinds.Omega{}}},
+		RParams: []nameN{"r"},
+		Params:  []Param{{Name: "x", Ty: IntT{}}},
+		Body: TypecaseT{
+			Tag:    tags.Var{Name: "t"},
+			IntArm: HaltT{V: Num{N: 1}},
+			TL:     "tl",
+			LamArm: HaltT{V: Num{N: 2}},
+			T1:     "t1", T2: "t2", ProdArm: HaltT{V: Num{N: 3}},
+			Te: "te", ExistArm: HaltT{V: Num{N: 4}},
+		},
+	}
+	cases := []struct {
+		tag  tags.Tag
+		want int
+	}{
+		{tags.Int{}, 1},
+		{tags.Code{Args: []tags.Tag{tags.Int{}}}, 2},
+		{tags.Prod{L: tags.Int{}, R: tags.Int{}}, 3},
+		{tags.Exist{Bound: "u", Body: tags.Var{Name: "u"}}, 4},
+	}
+	for _, cse := range cases {
+		prog := Program{
+			Code: []NamedFun{{Name: "analyze", Fun: analyze}},
+			Main: LetRegionT{R: "r", Body: AppT{Fn: CodeAddr(0), Tags: []tags.Tag{cse.tag}, Rs: []Region{RVar{Name: "r"}}, Args: []Value{Num{N: 0}}}},
+		}
+		m := checkAndLoad(t, Base, prog, 0)
+		v := runChecked(t, m, 100)
+		if n := v.(Num); n.N != cse.want {
+			t.Errorf("typecase %s = %d, want %d", cse.tag, n.N, cse.want)
+		}
+	}
+}
+
+func TestMachineTypecaseRefinement(t *testing.T) {
+	// The product arm uses the refined components: it projects from x once
+	// it learns t = t1 × t2. Only typeable thanks to refinement.
+	analyze := LamV{
+		TParams: []TParam{{Name: "t", Kind: kinds.Omega{}}},
+		RParams: []nameN{"r"},
+		Params:  []Param{{Name: "x", Ty: MT{Rs: []Region{RVar{Name: "r"}}, Tag: tags.Var{Name: "t"}}}},
+		Body: TypecaseT{
+			Tag:    tags.Var{Name: "t"},
+			IntArm: HaltT{V: Var{Name: "x"}}, // x : M_r(Int) = int after refinement
+			TL:     "tl",
+			LamArm: HaltT{V: Num{N: 0}},
+			T1:     "t1", T2: "t2",
+			ProdArm: LetT{X: "y", Op: GetOp{V: Var{Name: "x"}},
+				Body: LetT{X: "a", Op: ProjOp{I: 1, V: Var{Name: "y"}},
+					Body: HaltT{V: Num{N: 7}}}},
+			Te: "te", ExistArm: HaltT{V: Num{N: 0}},
+		},
+	}
+	pairTag := tags.Prod{L: tags.Int{}, R: tags.Int{}}
+	prog := Program{
+		Code: []NamedFun{{Name: "analyze", Fun: analyze}},
+		Main: LetRegionT{R: "r", Body: LetT{
+			X: "p", Op: PutOp{R: RVar{Name: "r"}, V: PairV{L: Num{N: 5}, R: Num{N: 6}}},
+			Body: AppT{Fn: CodeAddr(0), Tags: []tags.Tag{pairTag}, Rs: []Region{RVar{Name: "r"}}, Args: []Value{Var{Name: "p"}}},
+		}},
+	}
+	m := checkAndLoad(t, Base, prog, 0)
+	v := runChecked(t, m, 100)
+	if n := v.(Num); n.N != 7 {
+		t.Errorf("got %d, want 7", n.N)
+	}
+}
+
+func TestMachineOnlyReclaims(t *testing.T) {
+	// Allocate in r1, move on with only {r2}: r1 reclaimed.
+	prog := Program{Main: LetRegionT{R: "r1", Body: LetRegionT{R: "r2",
+		Body: LetT{X: "p", Op: PutOp{R: RVar{Name: "r1"}, V: PairV{L: Num{N: 1}, R: Num{N: 2}}},
+			Body: OnlyT{Delta: []Region{RVar{Name: "r2"}}, Body: HaltT{V: Num{N: 0}}}}}}}
+	m := checkAndLoad(t, Base, prog, 0)
+	runChecked(t, m, 100)
+	if m.Mem.Stats.RegionsReclaimed != 1 || m.Mem.Stats.CellsReclaimed != 1 {
+		t.Errorf("stats = %+v", m.Mem.Stats)
+	}
+}
+
+func TestMachineIfGC(t *testing.T) {
+	prog := Program{Main: LetRegionT{R: "r", Body: LetT{
+		X: "p", Op: PutOp{R: RVar{Name: "r"}, V: PairV{L: Num{N: 1}, R: Num{N: 2}}},
+		Body: IfGCT{R: RVar{Name: "r"}, Full: HaltT{V: Num{N: 1}}, Else: HaltT{V: Num{N: 0}}}}}}
+	// With capacity 1 the region is full after one put.
+	m := checkAndLoad(t, Base, prog, 1)
+	if v := runChecked(t, m, 100); v.(Num).N != 1 {
+		t.Errorf("full region not detected")
+	}
+	// With no capacity it is never full.
+	m = checkAndLoad(t, Base, prog, 0)
+	if v := runChecked(t, m, 100); v.(Num).N != 0 {
+		t.Errorf("capacity-0 region reported full")
+	}
+}
+
+func TestMachineExistentialPackage(t *testing.T) {
+	// Package ⟨t=Int, 5 : M_r(t)⟩ : ∃t:Ω.M_r(t); open and halt payload
+	// only typechecks because M_r(Int) = int.
+	pk := PackTag{Bound: "t", Kind: kinds.Omega{}, Tag: tags.Int{}, Val: Num{N: 5},
+		Body: MT{Rs: []Region{RVar{Name: "r"}}, Tag: tags.Var{Name: "t"}}}
+	// halt x would NOT typecheck (x : M_r(t), t abstract) — so we merely
+	// bind it and halt a constant.
+	prog := Program{Main: LetRegionT{R: "r",
+		Body: OpenTagT{V: pk, T: "t", X: "x", Body: HaltT{V: Num{N: 9}}}}}
+	m := checkAndLoad(t, Base, prog, 0)
+	if v := runChecked(t, m, 100); v.(Num).N != 9 {
+		t.Errorf("existential open failed")
+	}
+}
+
+func TestMachineForwConstructs(t *testing.T) {
+	// Build inl (1,2) in r, ifleft on it, strip, project.
+	prog := Program{Main: LetRegionT{R: "r", Body: LetT{
+		X: "p", Op: PutOp{R: RVar{Name: "r"}, V: InlV{Val: PairV{L: Num{N: 4}, R: Num{N: 5}}}},
+		Body: LetT{X: "y", Op: GetOp{V: Var{Name: "p"}},
+			// y : left(int×int) — no sum here, so use strip directly.
+			Body: LetT{X: "s", Op: StripOp{V: Var{Name: "y"}},
+				Body: LetT{X: "a", Op: ProjOp{I: 2, V: Var{Name: "s"}},
+					Body: HaltT{V: Var{Name: "a"}}}}}}}}
+	m := checkAndLoad(t, Forw, prog, 0)
+	if v := runChecked(t, m, 100); v.(Num).N != 5 {
+		t.Errorf("strip/proj failed")
+	}
+}
+
+func TestMachineGenConstructs(t *testing.T) {
+	// Package a young-region pair as ∃r∈{ry,ro}, open it, ifreg on it.
+	body := LetT{
+		X: "p", Op: PutOp{R: RVar{Name: "ry"}, V: PairV{L: Num{N: 1}, R: Num{N: 2}}},
+		Body: LetT{X: "q", Op: ValOp{V: PackRegion{
+			Bound: "r", Delta: []Region{RVar{Name: "ry"}, RVar{Name: "ro"}}, R: RVar{Name: "ry"},
+			Val:  Var{Name: "p"},
+			Body: ProdT{L: IntT{}, R: IntT{}},
+		}},
+			Body: OpenRegionT{V: Var{Name: "q"}, R: "r'", X: "x",
+				Body: IfRegT{R1: RVar{Name: "r'"}, R2: RVar{Name: "ro"},
+					Then: HaltT{V: Num{N: 1}},
+					Else: HaltT{V: Num{N: 2}}}}}}
+	prog := Program{Main: LetRegionT{R: "ry", Body: LetRegionT{R: "ro", Body: body}}}
+	m := checkAndLoad(t, Gen, prog, 0)
+	if v := runChecked(t, m, 200); v.(Num).N != 2 {
+		t.Errorf("ifreg: young region compared equal to old")
+	}
+}
+
+func TestCheckerRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dialect
+		p    Program
+		want string
+	}{
+		{"halt non-int", Base,
+			Program{Main: LetRegionT{R: "r", Body: LetT{X: "p", Op: PutOp{R: RVar{Name: "r"}, V: Num{N: 1}},
+				Body: HaltT{V: Var{Name: "p"}}}}}, "want int"},
+		{"unbound region", Base,
+			Program{Main: LetT{X: "p", Op: PutOp{R: RVar{Name: "nope"}, V: Num{N: 1}}, Body: HaltT{V: Num{N: 0}}}},
+			"not in scope"},
+		{"proj from int", Base,
+			Program{Main: LetT{X: "a", Op: ProjOp{I: 1, V: Num{N: 3}}, Body: HaltT{V: Num{N: 0}}}},
+			"non-pair"},
+		{"forw construct in base", Base,
+			Program{Main: LetRegionT{R: "r", Body: LetT{X: "p", Op: PutOp{R: RVar{Name: "r"}, V: InlV{Val: Num{N: 1}}},
+				Body: HaltT{V: Num{N: 0}}}}}, "not available"},
+		{"gen construct in base", Base,
+			Program{Main: LetRegionT{R: "r", Body: IfRegT{R1: RVar{Name: "r"}, R2: RVar{Name: "r"},
+				Then: HaltT{V: Num{N: 0}}, Else: HaltT{V: Num{N: 0}}}}}, "not available"},
+		{"only keeps dead var", Base,
+			Program{Main: OnlyT{Delta: []Region{RVar{Name: "ghost"}}, Body: HaltT{V: Num{N: 0}}}},
+			"not in scope"},
+		{"use after only", Base,
+			Program{Main: LetRegionT{R: "r1", Body: LetRegionT{R: "r2", Body: LetT{
+				X: "p", Op: PutOp{R: RVar{Name: "r1"}, V: Num{N: 1}},
+				Body: OnlyT{Delta: []Region{RVar{Name: "r2"}}, Body: LetT{
+					X: "x", Op: GetOp{V: Var{Name: "p"}}, Body: HaltT{V: Num{N: 0}}}}}}}},
+			"unbound variable"},
+		{"call arity", Base,
+			Program{
+				Code: []NamedFun{{Name: "f", Fun: LamV{RParams: []nameN{"r"}, Params: []Param{{Name: "x", Ty: IntT{}}},
+					Body: HaltT{V: Var{Name: "x"}}}}},
+				Main: LetRegionT{R: "r", Body: AppT{Fn: CodeAddr(0), Rs: []Region{RVar{Name: "r"}},
+					Args: []Value{Num{N: 1}, Num{N: 2}}}},
+			}, "arguments"},
+	}
+	for _, cse := range cases {
+		c := &Checker{Dialect: cse.d}
+		_, _, err := c.CheckProgram(cse.p)
+		if err == nil {
+			t.Errorf("%s: checker accepted ill-typed program", cse.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), cse.want) {
+			t.Errorf("%s: error %q does not mention %q", cse.name, err, cse.want)
+		}
+	}
+}
+
+func TestProgressOnWellTypedSteps(t *testing.T) {
+	// A well-typed program must never get stuck (empirical progress).
+	prog := Program{Main: LetRegionT{R: "r", Body: LetT{
+		X: "p", Op: PutOp{R: RVar{Name: "r"}, V: PairV{L: Num{N: 1}, R: Num{N: 2}}},
+		Body: LetT{X: "x", Op: GetOp{V: Var{Name: "p"}},
+			Body: LetT{X: "a", Op: ProjOp{I: 1, V: Var{Name: "x"}},
+				Body: If0T{V: Var{Name: "a"}, Then: HaltT{V: Num{N: 0}}, Else: HaltT{V: Num{N: 1}}}}}}}}
+	m := checkAndLoad(t, Base, prog, 0)
+	for !m.Halted {
+		if err := m.Step(); err != nil {
+			t.Fatalf("progress violated: %v", err)
+		}
+	}
+}

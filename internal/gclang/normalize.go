@@ -1,0 +1,260 @@
+package gclang
+
+import (
+	"fmt"
+
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// The M and C type operators are hard-wired Typerecs (§4.2, §6.3): they
+// reduce by case analysis on the (β-normalized) head of their tag argument
+// and are stuck when the head is a tag variable — exactly the situation
+// ∃α.S(α) of §2.2.1. NormalizeType expands every determinate M/C redex and
+// β-normalizes all embedded tags, producing the normal forms on which type
+// equality and subtyping are defined.
+
+// reduceM expands one layer of M_ρ…(τ) once τ's head is determinate.
+// It returns (nil, nil) when the operator is stuck (variable head).
+func reduceM(d Dialect, rs []Region, tag tags.Tag) (Type, error) {
+	nf, err := tags.Normalize(tag)
+	if err != nil {
+		return nil, err
+	}
+	switch t := nf.(type) {
+	case tags.Int:
+		return IntT{}, nil
+	case tags.Code:
+		return mCode(d, t), nil
+	case tags.Prod:
+		switch d {
+		case Base:
+			rho := rs[0]
+			return AtT{Body: ProdT{L: MT{Rs: []Region{rho}, Tag: t.L}, R: MT{Rs: []Region{rho}, Tag: t.R}}, R: rho}, nil
+		case Forw:
+			rho := rs[0]
+			return AtT{Body: LeftT{Body: ProdT{L: MT{Rs: []Region{rho}, Tag: t.L}, R: MT{Rs: []Region{rho}, Tag: t.R}}}, R: rho}, nil
+		default: // Gen
+			r := freshRegionVar("ρg", rs)
+			inner := []Region{RVar{Name: r}, rs[1]}
+			return ExistRT{Bound: r, Delta: genDelta(rs),
+				Body: ProdT{L: MT{Rs: inner, Tag: t.L}, R: MT{Rs: inner, Tag: t.R}}}, nil
+		}
+	case tags.Exist:
+		switch d {
+		case Base:
+			rho := rs[0]
+			return AtT{Body: ExistT{Bound: t.Bound, Kind: kinds.Omega{}, Body: MT{Rs: []Region{rho}, Tag: t.Body}}, R: rho}, nil
+		case Forw:
+			rho := rs[0]
+			return AtT{Body: LeftT{Body: ExistT{Bound: t.Bound, Kind: kinds.Omega{}, Body: MT{Rs: []Region{rho}, Tag: t.Body}}}, R: rho}, nil
+		default: // Gen
+			r := freshRegionVar("ρg", rs)
+			inner := []Region{RVar{Name: r}, rs[1]}
+			return ExistRT{Bound: r, Delta: genDelta(rs),
+				Body: ExistT{Bound: t.Bound, Kind: kinds.Omega{}, Body: MT{Rs: inner, Tag: t.Body}}}, nil
+		}
+	default:
+		// Variable or application head: stuck.
+		return nil, nil
+	}
+}
+
+// mCode builds M(τ→0): code always lives in cd and rebinds its own region
+// parameters, so the expansion is independent of the operator's indices.
+func mCode(d Dialect, t tags.Code) Type {
+	if d == Gen {
+		ry, ro := names.Name("ρym"), names.Name("ρom")
+		inner := []Region{RVar{Name: ry}, RVar{Name: ro}}
+		params := make([]Type, len(t.Args))
+		for i, a := range t.Args {
+			params[i] = MT{Rs: inner, Tag: a}
+		}
+		return AtT{Body: CodeT{RParams: []names.Name{ry, ro}, Params: params}, R: CDRegion}
+	}
+	r := names.Name("ρm")
+	params := make([]Type, len(t.Args))
+	for i, a := range t.Args {
+		params[i] = MT{Rs: []Region{RVar{Name: r}}, Tag: a}
+	}
+	return AtT{Body: CodeT{RParams: []names.Name{r}, Params: params}, R: CDRegion}
+}
+
+// genDelta is the bound {ρy, ρo} of the region existential introduced by
+// the generational M, collapsed when both indices coincide.
+func genDelta(rs []Region) []Region {
+	if RegionEqual(rs[0], rs[1]) {
+		return []Region{rs[0]}
+	}
+	return []Region{rs[0], rs[1]}
+}
+
+// freshRegionVar picks a deterministic binder name that does not collide
+// with any region variable in avoid.
+func freshRegionVar(base names.Name, avoid []Region) names.Name {
+	used := make(names.Set)
+	for _, r := range avoid {
+		if rv, ok := r.(RVar); ok {
+			used.Add(rv.Name)
+		}
+	}
+	n := base
+	for used.Has(n) {
+		n += "'"
+	}
+	return n
+}
+
+// reduceC expands one layer of C_ρ,ρ'(τ) (§7). Returns (nil, nil) when
+// stuck.
+func reduceC(from, to Region, tag tags.Tag) (Type, error) {
+	nf, err := tags.Normalize(tag)
+	if err != nil {
+		return nil, err
+	}
+	switch t := nf.(type) {
+	case tags.Int:
+		return IntT{}, nil
+	case tags.Code:
+		return mCode(Forw, t), nil
+	case tags.Prod:
+		return AtT{Body: SumT{
+			L: LeftT{Body: ProdT{L: CT{From: from, To: to, Tag: t.L}, R: CT{From: from, To: to, Tag: t.R}}},
+			R: RightT{Body: MT{Rs: []Region{to}, Tag: nf}},
+		}, R: from}, nil
+	case tags.Exist:
+		return AtT{Body: SumT{
+			L: LeftT{Body: ExistT{Bound: t.Bound, Kind: kinds.Omega{}, Body: CT{From: from, To: to, Tag: t.Body}}},
+			R: RightT{Body: MT{Rs: []Region{to}, Tag: nf}},
+		}, R: from}, nil
+	default:
+		return nil, nil
+	}
+}
+
+// NormalizeType reduces every determinate M/C application in t and
+// β-normalizes all embedded tags. The result is the normal form used for
+// type equality. The dialect selects the M reduction rules.
+func NormalizeType(d Dialect, t Type) (Type, error) {
+	switch t := t.(type) {
+	case IntT, AlphaT:
+		return t, nil
+	case ProdT:
+		l, err := NormalizeType(d, t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := NormalizeType(d, t.R)
+		if err != nil {
+			return nil, err
+		}
+		return ProdT{L: l, R: r}, nil
+	case CodeT:
+		params, err := normalizeTypes(d, t.Params)
+		if err != nil {
+			return nil, err
+		}
+		return CodeT{TParams: t.TParams, RParams: t.RParams, Params: params}, nil
+	case ExistT:
+		body, err := NormalizeType(d, t.Body)
+		if err != nil {
+			return nil, err
+		}
+		return ExistT{Bound: t.Bound, Kind: t.Kind, Body: body}, nil
+	case AtT:
+		body, err := NormalizeType(d, t.Body)
+		if err != nil {
+			return nil, err
+		}
+		return AtT{Body: body, R: t.R}, nil
+	case MT:
+		red, err := reduceM(d, t.Rs, t.Tag)
+		if err != nil {
+			return nil, err
+		}
+		if red == nil {
+			nf, err := tags.Normalize(t.Tag)
+			if err != nil {
+				return nil, err
+			}
+			return MT{Rs: t.Rs, Tag: nf}, nil
+		}
+		return NormalizeType(d, red)
+	case CT:
+		red, err := reduceC(t.From, t.To, t.Tag)
+		if err != nil {
+			return nil, err
+		}
+		if red == nil {
+			nf, err := tags.Normalize(t.Tag)
+			if err != nil {
+				return nil, err
+			}
+			return CT{From: t.From, To: t.To, Tag: nf}, nil
+		}
+		return NormalizeType(d, red)
+	case ExistAlphaT:
+		body, err := NormalizeType(d, t.Body)
+		if err != nil {
+			return nil, err
+		}
+		return ExistAlphaT{Bound: t.Bound, Delta: t.Delta, Body: body}, nil
+	case TransT:
+		params, err := normalizeTypes(d, t.Params)
+		if err != nil {
+			return nil, err
+		}
+		ntags := make([]tags.Tag, len(t.Tags))
+		for i, tg := range t.Tags {
+			nf, err := tags.Normalize(tg)
+			if err != nil {
+				return nil, err
+			}
+			ntags[i] = nf
+		}
+		return TransT{Tags: ntags, Rs: t.Rs, Params: params, R: t.R}, nil
+	case LeftT:
+		body, err := NormalizeType(d, t.Body)
+		if err != nil {
+			return nil, err
+		}
+		return LeftT{Body: body}, nil
+	case RightT:
+		body, err := NormalizeType(d, t.Body)
+		if err != nil {
+			return nil, err
+		}
+		return RightT{Body: body}, nil
+	case SumT:
+		l, err := NormalizeType(d, t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := NormalizeType(d, t.R)
+		if err != nil {
+			return nil, err
+		}
+		return SumT{L: l, R: r}, nil
+	case ExistRT:
+		body, err := NormalizeType(d, t.Body)
+		if err != nil {
+			return nil, err
+		}
+		return ExistRT{Bound: t.Bound, Delta: t.Delta, Body: body}, nil
+	default:
+		panic(fmt.Sprintf("gclang: unknown type %T", t))
+	}
+}
+
+func normalizeTypes(d Dialect, ts []Type) ([]Type, error) {
+	out := make([]Type, len(ts))
+	for i, t := range ts {
+		nt, err := NormalizeType(d, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = nt
+	}
+	return out, nil
+}

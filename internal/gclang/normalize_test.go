@@ -1,0 +1,207 @@
+package gclang
+
+import (
+	"testing"
+
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+var (
+	rv  = Region(RVar{Name: "r"})
+	rv2 = Region(RVar{Name: "r2"})
+)
+
+func mustNF(t *testing.T, d Dialect, ty Type) Type {
+	t.Helper()
+	nf, err := NormalizeType(d, ty)
+	if err != nil {
+		t.Fatalf("NormalizeType(%s): %v", ty, err)
+	}
+	return nf
+}
+
+func mustEq(t *testing.T, d Dialect, a, b Type) {
+	t.Helper()
+	ok, err := TypeEqual(d, a, b)
+	if err != nil {
+		t.Fatalf("TypeEqual(%s, %s): %v", a, b, err)
+	}
+	if !ok {
+		t.Fatalf("TypeEqual(%s, %s) = false, want true", a, b)
+	}
+}
+
+func mustNeq(t *testing.T, d Dialect, a, b Type) {
+	t.Helper()
+	ok, err := TypeEqual(d, a, b)
+	if err != nil {
+		t.Fatalf("TypeEqual(%s, %s): %v", a, b, err)
+	}
+	if ok {
+		t.Fatalf("TypeEqual(%s, %s) = true, want false", a, b)
+	}
+}
+
+func TestMReductionBase(t *testing.T) {
+	// M_r(Int) = int
+	mustEq(t, Base, MT{Rs: []Region{rv}, Tag: tags.Int{}}, IntT{})
+
+	// M_r(Int × Int) = (int × int) at r
+	got := mustNF(t, Base, MT{Rs: []Region{rv}, Tag: tags.Prod{L: tags.Int{}, R: tags.Int{}}})
+	want := AtT{Body: ProdT{L: IntT{}, R: IntT{}}, R: rv}
+	mustEq(t, Base, got, want)
+
+	// M_r(∃t.t) = (∃t:Ω.M_r(t)) at r — inner M is stuck.
+	got = mustNF(t, Base, MT{Rs: []Region{rv}, Tag: tags.Exist{Bound: "t", Body: tags.Var{Name: "t"}}})
+	want = AtT{Body: ExistT{Bound: "t", Kind: kinds.Omega{}, Body: MT{Rs: []Region{rv}, Tag: tags.Var{Name: "t"}}}, R: rv}
+	mustEq(t, Base, got, want)
+
+	// M_r((Int)→0) = ∀[][r'](M_r'(Int))→0 at cd — independent of r.
+	got = mustNF(t, Base, MT{Rs: []Region{rv}, Tag: tags.Code{Args: []tags.Tag{tags.Int{}}}})
+	at, ok := got.(AtT)
+	if !ok || !RegionEqual(at.R, CDRegion) {
+		t.Fatalf("M(code) = %s, want code at cd", got)
+	}
+	code, ok := at.Body.(CodeT)
+	if !ok || len(code.RParams) != 1 || len(code.Params) != 1 {
+		t.Fatalf("M(code) body = %s", at.Body)
+	}
+	mustEq(t, Base, code.Params[0], IntT{})
+	// And the r index really doesn't matter.
+	other := mustNF(t, Base, MT{Rs: []Region{rv2}, Tag: tags.Code{Args: []tags.Tag{tags.Int{}}}})
+	mustEq(t, Base, got, other)
+}
+
+func TestMReductionStuckOnVariable(t *testing.T) {
+	stuckM := MT{Rs: []Region{rv}, Tag: tags.Var{Name: "t"}}
+	nf := mustNF(t, Base, stuckM)
+	if _, ok := nf.(MT); !ok {
+		t.Fatalf("M_r(t) should be stuck, got %s", nf)
+	}
+	// But the embedded tag still β-normalizes: M_r((λu.u) t) = M_r(t).
+	app := MT{Rs: []Region{rv}, Tag: tags.App{
+		Fn:  tags.Lam{Param: "u", Body: tags.Var{Name: "u"}},
+		Arg: tags.Var{Name: "t"},
+	}}
+	mustEq(t, Base, app, stuckM)
+}
+
+func TestMReductionForw(t *testing.T) {
+	// Forw adds the tag bit: M_r(Int×Int) = (left(int × int)) at r.
+	got := mustNF(t, Forw, MT{Rs: []Region{rv}, Tag: tags.Prod{L: tags.Int{}, R: tags.Int{}}})
+	want := AtT{Body: LeftT{Body: ProdT{L: IntT{}, R: IntT{}}}, R: rv}
+	mustEq(t, Forw, got, want)
+}
+
+func TestCReduction(t *testing.T) {
+	// C_r,r2(Int×Int) = (left(C×C) + right(M_r2)) at r.
+	got := mustNF(t, Forw, CT{From: rv, To: rv2, Tag: tags.Prod{L: tags.Int{}, R: tags.Int{}}})
+	at, ok := got.(AtT)
+	if !ok || !RegionEqual(at.R, rv) {
+		t.Fatalf("C(pair) = %s", got)
+	}
+	sum, ok := at.Body.(SumT)
+	if !ok {
+		t.Fatalf("C(pair) body = %s, want sum", at.Body)
+	}
+	right, ok := sum.R.(RightT)
+	if !ok {
+		t.Fatalf("sum right = %s", sum.R)
+	}
+	// The right branch is the forwarded pointer: M_r2(Int×Int) — a
+	// reference into the to-space.
+	wantFwd := MT{Rs: []Region{rv2}, Tag: tags.Prod{L: tags.Int{}, R: tags.Int{}}}
+	mustEq(t, Forw, right.Body, wantFwd)
+
+	// C(Int) and C(code) coincide with M.
+	mustEq(t, Forw, CT{From: rv, To: rv2, Tag: tags.Int{}}, IntT{})
+	codeTag := tags.Code{Args: []tags.Tag{tags.Int{}}}
+	mustEq(t, Forw,
+		CT{From: rv, To: rv2, Tag: codeTag},
+		MT{Rs: []Region{rv}, Tag: codeTag})
+}
+
+func TestMReductionGen(t *testing.T) {
+	ry, ro := Region(RVar{Name: "ry"}), Region(RVar{Name: "ro"})
+	// M_ry,ro(Int×Int) = ∃r∈{ry,ro}.((M_r,ro × M_r,ro) at r)
+	got := mustNF(t, Gen, MT{Rs: []Region{ry, ro}, Tag: tags.Prod{L: tags.Int{}, R: tags.Int{}}})
+	ex, ok := got.(ExistRT)
+	if !ok || len(ex.Delta) != 2 {
+		t.Fatalf("gen M(pair) = %s", got)
+	}
+	// With ρy = ρo the bound collapses to one region.
+	got2 := mustNF(t, Gen, MT{Rs: []Region{ro, ro}, Tag: tags.Prod{L: tags.Int{}, R: tags.Int{}}})
+	ex2, ok := got2.(ExistRT)
+	if !ok || len(ex2.Delta) != 1 {
+		t.Fatalf("gen M(pair) with equal indices = %s", got2)
+	}
+}
+
+func TestGenSubtyping(t *testing.T) {
+	ry, ro := Region(RVar{Name: "ry"}), Region(RVar{Name: "ro"})
+	tv := tags.Var{Name: "t"}
+	old := MT{Rs: []Region{ro, ro}, Tag: tv}
+	young := MT{Rs: []Region{ry, ro}, Tag: tv}
+
+	ok, err := Assignable(Gen, nil, old, young)
+	if err != nil || !ok {
+		t.Fatalf("M_ro,ro(t) ≤ M_ry,ro(t) = %v, %v; want true", ok, err)
+	}
+	// Not the other way.
+	ok, err = Assignable(Gen, nil, young, old)
+	if err != nil || ok {
+		t.Fatalf("M_ry,ro(t) ≤ M_ro,ro(t) = %v, %v; want false", ok, err)
+	}
+	// And the reduced (determinate-tag) forms are also in the relation.
+	pt := tags.Prod{L: tags.Int{}, R: tags.Int{}}
+	ok, err = Assignable(Gen, nil, MT{Rs: []Region{ro, ro}, Tag: pt}, MT{Rs: []Region{ry, ro}, Tag: pt})
+	if err != nil || !ok {
+		t.Fatalf("reduced gen subtyping failed: %v, %v", ok, err)
+	}
+}
+
+func TestForwSubtyping(t *testing.T) {
+	l := LeftT{Body: IntT{}}
+	r := RightT{Body: ProdT{L: IntT{}, R: IntT{}}}
+	sum := SumT{L: l, R: r}
+	if ok, _ := Assignable(Forw, nil, l, sum); !ok {
+		t.Errorf("left ≤ sum failed")
+	}
+	if ok, _ := Assignable(Forw, nil, r, sum); !ok {
+		t.Errorf("right ≤ sum failed")
+	}
+	if ok, _ := Assignable(Forw, nil, IntT{}, sum); ok {
+		t.Errorf("int ≤ sum should fail")
+	}
+	if ok, _ := Assignable(Base, nil, l, sum); ok {
+		t.Errorf("sum subtyping must be Forw-only")
+	}
+}
+
+func TestAlphaEquivalenceOfTypes(t *testing.T) {
+	a := ExistT{Bound: "t", Kind: kinds.Omega{}, Body: MT{Rs: []Region{rv}, Tag: tags.Var{Name: "t"}}}
+	b := ExistT{Bound: "u", Kind: kinds.Omega{}, Body: MT{Rs: []Region{rv}, Tag: tags.Var{Name: "u"}}}
+	mustEq(t, Base, a, b)
+
+	c := CodeT{RParams: []names.Name{"a"}, Params: []Type{AtT{Body: IntT{}, R: RVar{Name: "a"}}}}
+	d := CodeT{RParams: []names.Name{"b"}, Params: []Type{AtT{Body: IntT{}, R: RVar{Name: "b"}}}}
+	mustEq(t, Base, c, d)
+	mustNeq(t, Base, c, CodeT{RParams: []names.Name{"a"}, Params: []Type{IntT{}}})
+}
+
+func TestTypeSubstitutionCaptureAvoidance(t *testing.T) {
+	// (∃t:Ω. M_r(t × s))[t/s] must not capture: binder renamed.
+	ty := ExistT{Bound: "t", Kind: kinds.Omega{}, Body: MT{Rs: []Region{rv}, Tag: tags.Prod{L: tags.Var{Name: "t"}, R: tags.Var{Name: "s"}}}}
+	got := Subst1Tag("s", tags.Var{Name: "t"}).Type(ty)
+	want := ExistT{Bound: "u", Kind: kinds.Omega{}, Body: MT{Rs: []Region{rv}, Tag: tags.Prod{L: tags.Var{Name: "u"}, R: tags.Var{Name: "t"}}}}
+	mustEq(t, Base, got, want)
+}
+
+func TestRegionSubstitutionInType(t *testing.T) {
+	ty := MT{Rs: []Region{rv}, Tag: tags.Var{Name: "t"}}
+	nu := Region(RName{Name: "ν1"})
+	got := Subst1Reg("r", nu).Type(ty)
+	mustEq(t, Base, got, MT{Rs: []Region{nu}, Tag: tags.Var{Name: "t"}})
+}

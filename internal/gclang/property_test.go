@@ -1,0 +1,206 @@
+package gclang
+
+import (
+	"math/rand"
+	"testing"
+
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// randomClosedTag builds a random closed tag of kind Ω.
+func randomClosedTag(r *rand.Rand, depth int) tags.Tag {
+	if depth <= 0 {
+		return tags.Int{}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return tags.Int{}
+	case 1:
+		return tags.Prod{L: randomClosedTag(r, depth-1), R: randomClosedTag(r, depth-1)}
+	case 2:
+		return tags.Code{Args: []tags.Tag{randomClosedTag(r, depth-1)}}
+	case 3:
+		return tags.Exist{Bound: "u", Body: tags.Prod{L: tags.Var{Name: "u"}, R: randomClosedTag(r, depth-1)}}
+	default:
+		// A redex that normalizes away.
+		return tags.App{
+			Fn:  tags.Lam{Param: "u", Body: tags.Var{Name: "u"}},
+			Arg: randomClosedTag(r, depth-1),
+		}
+	}
+}
+
+// randomMType builds a random type built from M applications over closed
+// tags, products, and at-forms — the types the mutator traffics in.
+func randomMType(r *rand.Rand, d Dialect, depth int) Type {
+	rho := Region(RName{Name: "ν1"})
+	rho2 := Region(RName{Name: "ν2"})
+	var mt Type
+	if d == Gen {
+		mt = MT{Rs: []Region{rho, rho2}, Tag: randomClosedTag(r, depth)}
+	} else {
+		mt = MT{Rs: []Region{rho}, Tag: randomClosedTag(r, depth)}
+	}
+	if depth > 0 && r.Intn(3) == 0 {
+		return ProdT{L: mt, R: randomMType(r, d, depth-1)}
+	}
+	return mt
+}
+
+// Property: type normalization is idempotent in every dialect.
+func TestNormalizeTypeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, d := range []Dialect{Base, Forw, Gen} {
+		for i := 0; i < 200; i++ {
+			ty := randomMType(r, d, 4)
+			n1, err := NormalizeType(d, ty)
+			if err != nil {
+				t.Fatalf("%v: %v", d, err)
+			}
+			n2, err := NormalizeType(d, n1)
+			if err != nil {
+				t.Fatalf("%v: %v", d, err)
+			}
+			if !newEqEnv().typeEq(n1, n2) {
+				t.Fatalf("%v: normalization not idempotent:\n%s\nvs\n%s", d, n1, n2)
+			}
+		}
+	}
+}
+
+// Property: TypeEqual is reflexive and symmetric on random M-types, and
+// a type never equals its pairing with int.
+func TestTypeEqualProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for _, d := range []Dialect{Base, Forw, Gen} {
+		for i := 0; i < 150; i++ {
+			a := randomMType(r, d, 3)
+			b := randomMType(r, d, 3)
+			if ok, err := TypeEqual(d, a, a); err != nil || !ok {
+				t.Fatalf("%v: reflexivity failed for %s: %v", d, a, err)
+			}
+			ab, err1 := TypeEqual(d, a, b)
+			ba, err2 := TypeEqual(d, b, a)
+			if err1 != nil || err2 != nil || ab != ba {
+				t.Fatalf("%v: symmetry failed for %s vs %s", d, a, b)
+			}
+			bigger := ProdT{L: a, R: IntT{}}
+			if ok, _ := TypeEqual(d, a, bigger); ok {
+				t.Fatalf("%v: %s equal to its pairing", d, a)
+			}
+		}
+	}
+}
+
+// Property: Assignable is reflexive and contains TypeEqual.
+func TestAssignableContainsEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, d := range []Dialect{Base, Forw, Gen} {
+		for i := 0; i < 150; i++ {
+			a := randomMType(r, d, 3)
+			ok, err := Assignable(d, nil, a, a)
+			if err != nil || !ok {
+				t.Fatalf("%v: Assignable not reflexive for %s: %v", d, a, err)
+			}
+		}
+	}
+}
+
+// Property: the M operator's expansion never mentions the dead "code
+// lives at cd" region incorrectly — every M normal form is well formed
+// in an environment containing its index regions.
+func TestMNormalFormsWellFormed(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	for _, d := range []Dialect{Base, Forw, Gen} {
+		c := &Checker{Dialect: d}
+		for i := 0; i < 150; i++ {
+			ty := randomMType(r, d, 3)
+			nf, err := NormalizeType(d, ty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := NewEnv(nil)
+			env.Delta[Region(RName{Name: "ν1"})] = true
+			env.Delta[Region(RName{Name: "ν2"})] = true
+			if err := c.CheckTypeWF(env, nf); err != nil {
+				t.Fatalf("%v: normal form ill-formed: %v\n%s", d, err, nf)
+			}
+		}
+	}
+}
+
+// Property: substituting a fresh variable for itself is the identity on
+// collector code blocks (the largest terms in the system), and the
+// closed fast path agrees with the safe path for closed payloads.
+func TestSubstIdentityAndClosedAgreement(t *testing.T) {
+	// Use the basic collector's copy block as a large, binder-rich term.
+	copyBody := buildCopyLikeTerm()
+	idSub := &Subst{Regs: map[names.Name]Region{"zz-not-free": RName{Name: "ν9"}}}
+	if got := idSub.Term(copyBody); got.String() != copyBody.String() {
+		t.Fatalf("substitution for non-free variable changed the term")
+	}
+	// Closed and safe paths agree for a closed region payload.
+	safe := &Subst{Regs: map[names.Name]Region{"r1": RName{Name: "ν1"}}}
+	fast := &Subst{Regs: map[names.Name]Region{"r1": RName{Name: "ν1"}}, Closed: true}
+	if safe.Term(copyBody).String() != fast.Term(copyBody).String() {
+		t.Fatalf("closed substitution diverges from safe substitution")
+	}
+}
+
+// buildCopyLikeTerm constructs a binder-rich term standing in for
+// collector code (uses typecase, opens, puts, and region variables).
+func buildCopyLikeTerm() Term {
+	tagT := tags.Var{Name: "t"}
+	return TypecaseT{
+		Tag:    tagT,
+		IntArm: HaltT{V: Num{N: 0}},
+		TL:     "tλ",
+		LamArm: HaltT{V: Num{N: 1}},
+		T1:     "t1", T2: "t2",
+		ProdArm: LetT{X: "y", Op: GetOp{V: Var{Name: "x"}},
+			Body: LetT{X: "p", Op: PutOp{R: RVar{Name: "r1"}, V: Var{Name: "y"}},
+				Body: OpenTagT{V: Var{Name: "q"}, T: "u", X: "w",
+					Body: HaltT{V: Num{N: 2}}}}},
+		Te: "te",
+		ExistArm: LetRegionT{R: "rr",
+			Body: OnlyT{Delta: []Region{RVar{Name: "rr"}},
+				Body: HaltT{V: Num{N: 3}}}},
+	}
+}
+
+// Property: FreeNames reports exactly the variables substitution can
+// reach: after substituting every free term variable, none remain.
+func TestFreeNamesClosedAfterSubstitution(t *testing.T) {
+	term := buildCopyLikeTerm()
+	vals, _, regs, _ := FreeNames(term)
+	sub := &Subst{Vals: map[names.Name]Value{}, Regs: map[names.Name]Region{}}
+	for v := range vals {
+		sub.Vals[v] = Num{N: 7}
+	}
+	for r := range regs {
+		sub.Regs[r] = RName{Name: "ν1"}
+	}
+	out := sub.Term(term)
+	vals2, _, regs2, _ := FreeNames(out)
+	if len(vals2) != 0 || len(regs2) != 0 {
+		t.Fatalf("free names remain after substituting all: vals=%v regs=%v", vals2, regs2)
+	}
+}
+
+// Property: capture-avoiding substitution renames binders when a free
+// variable of the payload would be captured, preserving α-equivalence of
+// types.
+func TestTypeSubstCapture(t *testing.T) {
+	// ∃u:Ω. M_ν1(u × t)  with t := u  must not capture.
+	ty := ExistT{Bound: "u", Kind: kinds.Omega{},
+		Body: MT{Rs: []Region{RName{Name: "ν1"}}, Tag: tags.Prod{L: tags.Var{Name: "u"}, R: tags.Var{Name: "t"}}}}
+	got := Subst1Tag("t", tags.Var{Name: "u"}).Type(ty)
+	want := ExistT{Bound: "w", Kind: kinds.Omega{},
+		Body: MT{Rs: []Region{RName{Name: "ν1"}}, Tag: tags.Prod{L: tags.Var{Name: "w"}, R: tags.Var{Name: "u"}}}}
+	ok, err := TypeEqual(Base, got, want)
+	if err != nil || !ok {
+		t.Fatalf("capture-avoidance failed: got %s", got)
+	}
+}

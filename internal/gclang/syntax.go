@@ -1,0 +1,708 @@
+package gclang
+
+import (
+	"fmt"
+	"strings"
+
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+	"psgc/internal/regions"
+	"psgc/internal/tags"
+)
+
+// ---------------------------------------------------------------------------
+// Regions ρ ::= ν | r
+// ---------------------------------------------------------------------------
+
+// Region is a region expression: a region variable r or a runtime region
+// name ν.
+type Region interface {
+	isRegion()
+	String() string
+}
+
+// RVar is a region variable r.
+type RVar struct {
+	Name names.Name
+}
+
+// RName is a concrete runtime region name ν.
+type RName struct {
+	Name regions.Name
+}
+
+func (RVar) isRegion()  {}
+func (RName) isRegion() {}
+
+func (r RVar) String() string  { return r.Name.String() }
+func (r RName) String() string { return string(r.Name) }
+
+// CDRegion is the distinguished code region cd.
+var CDRegion = RName{Name: regions.CD}
+
+// RegionEqual reports syntactic equality of region expressions.
+func RegionEqual(a, b Region) bool { return a == b }
+
+// ---------------------------------------------------------------------------
+// Types σ (Fig. 2, plus §7 and §8 forms)
+// ---------------------------------------------------------------------------
+
+// Type is a λGC type.
+type Type interface {
+	isType()
+	String() string
+}
+
+// IntT is int.
+type IntT struct{}
+
+// ProdT is σ1 × σ2.
+type ProdT struct {
+	L, R Type
+}
+
+// TParam is a tag-variable binder t : κ of a code type or value.
+type TParam struct {
+	Name names.Name
+	Kind kinds.Kind
+}
+
+// CodeT is the fully closed code type ∀[t:κ…][r…](σ…)→0.
+type CodeT struct {
+	TParams []TParam
+	RParams []names.Name
+	Params  []Type
+}
+
+// ExistT is ∃t:κ.σ, the existential over tags used for closures.
+type ExistT struct {
+	Bound names.Name
+	Kind  kinds.Kind
+	Body  Type
+}
+
+// AtT is σ at ρ, the type of a reference to a ρ-allocated σ.
+type AtT struct {
+	Body Type
+	R    Region
+}
+
+// MT is the built-in type operator M: M_ρ(τ) in Base/Forw (one region) and
+// M_ρy,ρo(τ) in Gen (two regions). It encapsulates the contract between
+// mutator and collector (§4.2, §7, §8).
+type MT struct {
+	Rs  []Region
+	Tag tags.Tag
+}
+
+// CT is the collector's view C_ρ,ρ'(τ) of mutator data during a collection
+// (§7, λGCforw only).
+type CT struct {
+	From, To Region
+	Tag      tags.Tag
+}
+
+// AlphaT is a type variable α, constrained by the Φ environment to mention
+// only a fixed set of regions.
+type AlphaT struct {
+	Name names.Name
+}
+
+// ExistAlphaT is ∃α:∆.σ, the existential over region-constrained type
+// variables needed to closure-convert the polymorphic-recursive copy (§6.1).
+type ExistAlphaT struct {
+	Bound names.Name
+	Delta []Region
+	Body  Type
+}
+
+// TransT is the translucent code type ∀⟦τ…⟧⟦ρ…⟧(σ…)→ρ0: a code pointer
+// living in region ρ that has been instantiated at the recorded tags AND
+// regions, leaving only value arguments to supply (§6.1). The recorded
+// tags make typed closure conversion of copy possible. The paper keeps
+// the region parameters abstract (∀⟦τ⟧[r](σ)→0) and relies on every call
+// site re-supplying the same regions; we pre-apply them instead, which is
+// the same discipline made explicit and lets region substitution commute
+// with the closure types (see the collector package).
+type TransT struct {
+	Tags   []tags.Tag
+	Rs     []Region
+	Params []Type
+	R      Region
+}
+
+// LeftT is left σ: an object carrying an inl tag bit (§7).
+type LeftT struct {
+	Body Type
+}
+
+// RightT is right σ: an object carrying an inr tag bit (§7).
+type RightT struct {
+	Body Type
+}
+
+// SumT is left σ1 + right σ2 (§7). L must be a LeftT and R a RightT; the
+// checker enforces this shape.
+type SumT struct {
+	L, R Type
+}
+
+// ExistRT is the bounded existential over regions ∃r∈∆.(σ at r) (§8).
+// Body is the σ under the binder; the "at r" wrapper is implicit in the
+// form, as in the paper's grammar.
+type ExistRT struct {
+	Bound names.Name
+	Delta []Region
+	Body  Type
+}
+
+func (IntT) isType()        {}
+func (ProdT) isType()       {}
+func (CodeT) isType()       {}
+func (ExistT) isType()      {}
+func (AtT) isType()         {}
+func (MT) isType()          {}
+func (CT) isType()          {}
+func (AlphaT) isType()      {}
+func (ExistAlphaT) isType() {}
+func (TransT) isType()      {}
+func (LeftT) isType()       {}
+func (RightT) isType()      {}
+func (SumT) isType()        {}
+func (ExistRT) isType()     {}
+
+func regionList(rs []Region) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func tagList(ts []tags.Tag) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func typeList(ts []Type) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func nameList(ns []names.Name) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = n.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (IntT) String() string { return "int" }
+
+func (t ProdT) String() string { return fmt.Sprintf("(%s × %s)", t.L, t.R) }
+
+func (t CodeT) String() string {
+	tps := make([]string, len(t.TParams))
+	for i, tp := range t.TParams {
+		tps[i] = fmt.Sprintf("%s:%s", tp.Name, tp.Kind)
+	}
+	return fmt.Sprintf("∀[%s][%s](%s)→0", strings.Join(tps, ", "), nameList(t.RParams), typeList(t.Params))
+}
+
+func (t ExistT) String() string {
+	return fmt.Sprintf("∃%s:%s.%s", t.Bound, t.Kind, t.Body)
+}
+
+func (t AtT) String() string { return fmt.Sprintf("(%s at %s)", t.Body, t.R) }
+
+func (t MT) String() string {
+	return fmt.Sprintf("M[%s](%s)", regionList(t.Rs), t.Tag)
+}
+
+func (t CT) String() string {
+	return fmt.Sprintf("C[%s,%s](%s)", t.From, t.To, t.Tag)
+}
+
+func (t AlphaT) String() string { return t.Name.String() }
+
+func (t ExistAlphaT) String() string {
+	return fmt.Sprintf("∃%s:{%s}.%s", t.Bound, regionList(t.Delta), t.Body)
+}
+
+func (t TransT) String() string {
+	return fmt.Sprintf("∀⟦%s⟧⟦%s⟧(%s)→%s0", tagList(t.Tags), regionList(t.Rs), typeList(t.Params), t.R)
+}
+
+func (t LeftT) String() string  { return fmt.Sprintf("left %s", t.Body) }
+func (t RightT) String() string { return fmt.Sprintf("right %s", t.Body) }
+
+func (t SumT) String() string { return fmt.Sprintf("(%s + %s)", t.L, t.R) }
+
+func (t ExistRT) String() string {
+	return fmt.Sprintf("∃%s∈{%s}.(%s at %s)", t.Bound, regionList(t.Delta), t.Body, t.Bound)
+}
+
+// ---------------------------------------------------------------------------
+// Values v (Fig. 2 plus extensions)
+// ---------------------------------------------------------------------------
+
+// Value is a λGC value.
+type Value interface {
+	isValue()
+	String() string
+}
+
+// Num is an integer literal n.
+type Num struct {
+	N int
+}
+
+// Var is a term variable x.
+type Var struct {
+	Name names.Name
+}
+
+// AddrV is a memory reference ν.ℓ.
+type AddrV struct {
+	Addr regions.Addr
+}
+
+// PairV is (v1, v2).
+type PairV struct {
+	L, R Value
+}
+
+// PackTag is the existential package ⟨t = τ, v : σ⟩ of type ∃t:κ.σ.
+// Body is the σ with Bound free.
+type PackTag struct {
+	Bound names.Name
+	Kind  kinds.Kind
+	Tag   tags.Tag
+	Val   Value
+	Body  Type
+}
+
+// PackAlpha is ⟨α : ∆ = σ1, v : σ2⟩ of type ∃α:∆.σ2 (§6.1).
+type PackAlpha struct {
+	Bound  names.Name
+	Delta  []Region
+	Hidden Type
+	Val    Value
+	Body   Type
+}
+
+// PackRegion is ⟨r ∈ ∆ = ρ, v : σ⟩ of type ∃r∈∆.(σ at r) (§8).
+type PackRegion struct {
+	Bound names.Name
+	Delta []Region
+	R     Region
+	Val   Value
+	Body  Type
+}
+
+// TAppV is the tag-and-region instantiation v⟦τ…⟧⟦ρ…⟧ producing a
+// translucent code value (§6.1).
+type TAppV struct {
+	Val  Value
+	Tags []tags.Tag
+	Rs   []Region
+}
+
+// Param is a term-variable binder x : σ of a code value.
+type Param struct {
+	Name names.Name
+	Ty   Type
+}
+
+// LamV is a code block λ[t:κ…][r…](x:σ…).e. It is not itself callable: it
+// must be put into the cd region to obtain a function pointer (§4.3).
+type LamV struct {
+	TParams []TParam
+	RParams []names.Name
+	Params  []Param
+	Body    Term
+}
+
+// InlV is inl v, an object tagged with the "not forwarded" bit (§7).
+type InlV struct {
+	Val Value
+}
+
+// InrV is inr v, an object tagged with the "forwarded" bit (§7).
+type InrV struct {
+	Val Value
+}
+
+func (Num) isValue()        {}
+func (Var) isValue()        {}
+func (AddrV) isValue()      {}
+func (PairV) isValue()      {}
+func (PackTag) isValue()    {}
+func (PackAlpha) isValue()  {}
+func (PackRegion) isValue() {}
+func (TAppV) isValue()      {}
+func (LamV) isValue()       {}
+func (InlV) isValue()       {}
+func (InrV) isValue()       {}
+
+func (v Num) String() string   { return fmt.Sprintf("%d", v.N) }
+func (v Var) String() string   { return v.Name.String() }
+func (v AddrV) String() string { return v.Addr.String() }
+
+func (v PairV) String() string { return fmt.Sprintf("(%s, %s)", v.L, v.R) }
+
+func (v PackTag) String() string {
+	return fmt.Sprintf("⟨%s=%s, %s : %s⟩", v.Bound, v.Tag, v.Val, v.Body)
+}
+
+func (v PackAlpha) String() string {
+	return fmt.Sprintf("⟨%s:{%s}=%s, %s : %s⟩", v.Bound, regionList(v.Delta), v.Hidden, v.Val, v.Body)
+}
+
+func (v PackRegion) String() string {
+	return fmt.Sprintf("⟨%s∈{%s}=%s, %s : %s⟩", v.Bound, regionList(v.Delta), v.R, v.Val, v.Body)
+}
+
+func (v TAppV) String() string {
+	return fmt.Sprintf("%s⟦%s⟧⟦%s⟧", v.Val, tagList(v.Tags), regionList(v.Rs))
+}
+
+func (v LamV) String() string {
+	tps := make([]string, len(v.TParams))
+	for i, tp := range v.TParams {
+		tps[i] = fmt.Sprintf("%s:%s", tp.Name, tp.Kind)
+	}
+	ps := make([]string, len(v.Params))
+	for i, p := range v.Params {
+		ps[i] = fmt.Sprintf("%s:%s", p.Name, p.Ty)
+	}
+	return fmt.Sprintf("λ[%s][%s](%s). %s", strings.Join(tps, ", "), nameList(v.RParams), strings.Join(ps, ", "), v.Body)
+}
+
+func (v InlV) String() string { return fmt.Sprintf("inl %s", v.Val) }
+func (v InrV) String() string { return fmt.Sprintf("inr %s", v.Val) }
+
+// ---------------------------------------------------------------------------
+// Operations op ::= v | πi v | put[ρ]v | get v | strip v | arith
+// ---------------------------------------------------------------------------
+
+// Op is a let-bindable operation.
+type Op interface {
+	isOp()
+	String() string
+}
+
+// ValOp binds a value.
+type ValOp struct {
+	V Value
+}
+
+// ProjOp is πi v (I is 1 or 2).
+type ProjOp struct {
+	I int
+	V Value
+}
+
+// PutOp allocates v in region R. Anno is filled in by the typechecker's
+// elaboration pass with the static type of V; the machine records it in
+// the ghost memory type Ψ so machine states stay checkable (see DESIGN.md).
+type PutOp struct {
+	R    Region
+	V    Value
+	Anno Type
+}
+
+// GetOp dereferences a reference value.
+type GetOp struct {
+	V Value
+}
+
+// StripOp removes a tag bit: strip (inl v) = strip (inr v) = v (§7).
+type StripOp struct {
+	V Value
+}
+
+// ArithKind is an integer operator of the workload extension.
+type ArithKind int
+
+// Arithmetic operators.
+const (
+	Add ArithKind = iota
+	Sub
+	Mul
+)
+
+func (k ArithKind) String() string {
+	switch k {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	default:
+		return "?"
+	}
+}
+
+// ArithOp is integer arithmetic (workload extension, see DESIGN.md).
+type ArithOp struct {
+	Kind ArithKind
+	L, R Value
+}
+
+func (ValOp) isOp()   {}
+func (ProjOp) isOp()  {}
+func (PutOp) isOp()   {}
+func (GetOp) isOp()   {}
+func (StripOp) isOp() {}
+func (ArithOp) isOp() {}
+
+func (o ValOp) String() string  { return o.V.String() }
+func (o ProjOp) String() string { return fmt.Sprintf("π%d %s", o.I, o.V) }
+func (o PutOp) String() string  { return fmt.Sprintf("put[%s]%s", o.R, o.V) }
+func (o GetOp) String() string  { return fmt.Sprintf("get %s", o.V) }
+func (o StripOp) String() string {
+	return fmt.Sprintf("strip %s", o.V)
+}
+func (o ArithOp) String() string { return fmt.Sprintf("%s %s %s", o.L, o.Kind, o.R) }
+
+// ---------------------------------------------------------------------------
+// Terms e (Fig. 2 plus §7/§8 forms and the workload extension)
+// ---------------------------------------------------------------------------
+
+// Term is a λGC term. Terms never return; execution ends with halt.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// AppT is the call v[τ…][ρ…](v…).
+type AppT struct {
+	Fn   Value
+	Tags []tags.Tag
+	Rs   []Region
+	Args []Value
+}
+
+// LetT is let x = op in e.
+type LetT struct {
+	X    names.Name
+	Op   Op
+	Body Term
+}
+
+// HaltT halts with an integer result.
+type HaltT struct {
+	V Value
+}
+
+// IfGCT is ifgc ρ e1 e2: run e1 if region ρ is full, else e2.
+type IfGCT struct {
+	R          Region
+	Full, Else Term
+}
+
+// OpenTagT is open v as ⟨t, x⟩ in e for tag existentials.
+type OpenTagT struct {
+	V    Value
+	T, X names.Name
+	Body Term
+}
+
+// OpenAlphaT is open v as ⟨α, x⟩ in e for type existentials (§6.1).
+type OpenAlphaT struct {
+	V    Value
+	A, X names.Name
+	Body Term
+}
+
+// LetRegionT is let region r in e.
+type LetRegionT struct {
+	R    names.Name
+	Body Term
+}
+
+// OnlyT is only ∆ in e: reclaim every region not in ∆ (cd is implicit).
+type OnlyT struct {
+	Delta []Region
+	Body  Term
+}
+
+// TypecaseT is the refining typecase on a tag (§6.4):
+//
+//	typecase τ of (e_int ; tλ.e_λ ; t1 t2.e_× ; te.e_∃)
+//
+// TL is the λ-arm's argument-tag binder: when the scrutinee is a variable
+// t, the arm is checked with t refined to (tλ)→0. The paper's printed rule
+// leaves the λ arm unrefined, but its own collectors (Figs. 4, 9, 11)
+// return x : M_ρ(t) at type M_ρ'(t) in that arm, which is only derivable
+// once t is known to be a code tag (M then ignores the region index); we
+// therefore implement the refining variant, unary because λCLOS functions
+// are unary.
+type TypecaseT struct {
+	Tag      tags.Tag
+	IntArm   Term
+	TL       names.Name
+	LamArm   Term
+	T1, T2   names.Name
+	ProdArm  Term
+	Te       names.Name
+	ExistArm Term
+}
+
+// IfLeftT is ifleft x = v e_l e_r: branch on a tag bit (§7).
+type IfLeftT struct {
+	X    names.Name
+	V    Value
+	L, R Term
+}
+
+// SetT is set v1 := v2 ; e — the forwarding-pointer install (§7).
+type SetT struct {
+	Dst, Src Value
+	Body     Term
+}
+
+// WidenT is let x = widen[ρ'][τ](v) in e: the collector's cast from the
+// mutator view M_ρ(τ) to the collector view C_ρ,ρ'(τ) (§7.1). From is
+// filled in by the typechecker's elaboration (the ρ of v's type) so the
+// machine can apply the T operator to the ghost Ψ.
+type WidenT struct {
+	X    names.Name
+	To   Region
+	Tag  tags.Tag
+	V    Value
+	Body Term
+	From Region
+}
+
+// OpenRegionT is open v as ⟨r, x⟩ in e for bounded region existentials (§8).
+type OpenRegionT struct {
+	V    Value
+	R, X names.Name
+	Body Term
+}
+
+// IfRegT is ifreg (ρ1 = ρ2) e1 e2 (§8). In the then-branch the checker
+// unifies the compared regions by substitution, per Fig. 10.
+type IfRegT struct {
+	R1, R2     Region
+	Then, Else Term
+}
+
+// If0T branches on an integer being zero (workload extension).
+type If0T struct {
+	V          Value
+	Then, Else Term
+}
+
+func (AppT) isTerm()        {}
+func (LetT) isTerm()        {}
+func (HaltT) isTerm()       {}
+func (IfGCT) isTerm()       {}
+func (OpenTagT) isTerm()    {}
+func (OpenAlphaT) isTerm()  {}
+func (LetRegionT) isTerm()  {}
+func (OnlyT) isTerm()       {}
+func (TypecaseT) isTerm()   {}
+func (IfLeftT) isTerm()     {}
+func (SetT) isTerm()        {}
+func (WidenT) isTerm()      {}
+func (OpenRegionT) isTerm() {}
+func (IfRegT) isTerm()      {}
+func (If0T) isTerm()        {}
+
+func (e AppT) String() string {
+	return fmt.Sprintf("%s[%s][%s](%s)", e.Fn, tagList(e.Tags), regionList(e.Rs), valueList(e.Args))
+}
+
+func valueList(vs []Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (e LetT) String() string {
+	return fmt.Sprintf("let %s = %s in\n%s", e.X, e.Op, e.Body)
+}
+
+func (e HaltT) String() string { return fmt.Sprintf("halt %s", e.V) }
+
+func (e IfGCT) String() string {
+	return fmt.Sprintf("ifgc %s (%s) (%s)", e.R, e.Full, e.Else)
+}
+
+func (e OpenTagT) String() string {
+	return fmt.Sprintf("open %s as ⟨%s, %s⟩ in\n%s", e.V, e.T, e.X, e.Body)
+}
+
+func (e OpenAlphaT) String() string {
+	return fmt.Sprintf("open %s as ⟨%s, %s⟩ in\n%s", e.V, e.A, e.X, e.Body)
+}
+
+func (e LetRegionT) String() string {
+	return fmt.Sprintf("let region %s in\n%s", e.R, e.Body)
+}
+
+func (e OnlyT) String() string {
+	return fmt.Sprintf("only {%s} in\n%s", regionList(e.Delta), e.Body)
+}
+
+func (e TypecaseT) String() string {
+	return fmt.Sprintf("typecase %s of\n  int ⇒ %s\n  λ%s ⇒ %s\n  %s×%s ⇒ %s\n  ∃%s ⇒ %s",
+		e.Tag, e.IntArm, e.TL, e.LamArm, e.T1, e.T2, e.ProdArm, e.Te, e.ExistArm)
+}
+
+func (e IfLeftT) String() string {
+	return fmt.Sprintf("ifleft %s = %s (%s) (%s)", e.X, e.V, e.L, e.R)
+}
+
+func (e SetT) String() string {
+	return fmt.Sprintf("set %s := %s ;\n%s", e.Dst, e.Src, e.Body)
+}
+
+func (e WidenT) String() string {
+	return fmt.Sprintf("let %s = widen[%s][%s](%s) in\n%s", e.X, e.To, e.Tag, e.V, e.Body)
+}
+
+func (e OpenRegionT) String() string {
+	return fmt.Sprintf("open %s as ⟨%s, %s⟩ in\n%s", e.V, e.R, e.X, e.Body)
+}
+
+func (e IfRegT) String() string {
+	return fmt.Sprintf("ifreg (%s = %s) (%s) (%s)", e.R1, e.R2, e.Then, e.Else)
+}
+
+func (e If0T) String() string {
+	return fmt.Sprintf("if0 %s (%s) (%s)", e.V, e.Then, e.Else)
+}
+
+// NamedFun is a code block with a name, installed in the cd region at the
+// offset equal to its index in the program's Code list.
+type NamedFun struct {
+	Name names.Name
+	Fun  LamV
+}
+
+// Program is a complete λGC program: code blocks for the cd region plus
+// the main term. Code values reference each other and main references them
+// through cd addresses (AddrV at region cd), mirroring the paper's memory
+// configuration {cd ↦ {ℓ ↦ f …}}.
+type Program struct {
+	Code []NamedFun
+	Main Term
+}
+
+// CodeAddr returns the cd address of the i-th code block.
+func CodeAddr(i int) AddrV {
+	return AddrV{Addr: regions.Addr{Region: regions.CD, Off: i}}
+}

@@ -1,0 +1,226 @@
+package gclang
+
+import (
+	"fmt"
+
+	"psgc/internal/kinds"
+	"psgc/internal/regions"
+)
+
+var omegaKind = kinds.Kind(kinds.Omega{})
+
+// This file implements machine-state well-formedness, Definition 6.3
+// relaxed to Definition 7.1: a state (M, e) is well formed when some
+// sufficient subset M̄ ⊆ M is typed by Ψ and e typechecks under Ψ. We take
+// M̄ to be the cells reachable from e (plus the whole code region), which
+// is sufficient by construction: execution can only touch reachable cells.
+
+// collectAddrs gathers every address literal occurring in a term.
+func collectAddrs(e Term, out map[regions.Addr]bool) {
+	w := addrWalker{out: out}
+	w.term(e)
+}
+
+type addrWalker struct {
+	out map[regions.Addr]bool
+}
+
+func (w addrWalker) value(v Value) {
+	switch v := v.(type) {
+	case Num, Var:
+	case AddrV:
+		w.out[v.Addr] = true
+	case PairV:
+		w.value(v.L)
+		w.value(v.R)
+	case PackTag:
+		w.value(v.Val)
+	case PackAlpha:
+		w.value(v.Val)
+	case PackRegion:
+		w.value(v.Val)
+	case TAppV:
+		w.value(v.Val)
+	case LamV:
+		w.term(v.Body)
+	case InlV:
+		w.value(v.Val)
+	case InrV:
+		w.value(v.Val)
+	default:
+		panic(fmt.Sprintf("gclang: unknown value %T", v))
+	}
+}
+
+func (w addrWalker) op(o Op) {
+	switch o := o.(type) {
+	case ValOp:
+		w.value(o.V)
+	case ProjOp:
+		w.value(o.V)
+	case PutOp:
+		w.value(o.V)
+	case GetOp:
+		w.value(o.V)
+	case StripOp:
+		w.value(o.V)
+	case ArithOp:
+		w.value(o.L)
+		w.value(o.R)
+	default:
+		panic(fmt.Sprintf("gclang: unknown op %T", o))
+	}
+}
+
+func (w addrWalker) term(e Term) {
+	switch e := e.(type) {
+	case AppT:
+		w.value(e.Fn)
+		for _, a := range e.Args {
+			w.value(a)
+		}
+	case LetT:
+		w.op(e.Op)
+		w.term(e.Body)
+	case HaltT:
+		w.value(e.V)
+	case IfGCT:
+		w.term(e.Full)
+		w.term(e.Else)
+	case OpenTagT:
+		w.value(e.V)
+		w.term(e.Body)
+	case OpenAlphaT:
+		w.value(e.V)
+		w.term(e.Body)
+	case LetRegionT:
+		w.term(e.Body)
+	case OnlyT:
+		w.term(e.Body)
+	case TypecaseT:
+		w.term(e.IntArm)
+		w.term(e.LamArm)
+		w.term(e.ProdArm)
+		w.term(e.ExistArm)
+	case IfLeftT:
+		w.value(e.V)
+		w.term(e.L)
+		w.term(e.R)
+	case SetT:
+		w.value(e.Dst)
+		w.value(e.Src)
+		w.term(e.Body)
+	case WidenT:
+		w.value(e.V)
+		w.term(e.Body)
+	case OpenRegionT:
+		w.value(e.V)
+		w.term(e.Body)
+	case IfRegT:
+		w.term(e.Then)
+		w.term(e.Else)
+	case If0T:
+		w.value(e.V)
+		w.term(e.Then)
+		w.term(e.Else)
+	default:
+		panic(fmt.Sprintf("gclang: unknown term %T", e))
+	}
+}
+
+// Reachable computes the set of addresses reachable from the current term
+// through memory cells.
+func (m *Machine) Reachable() map[regions.Addr]bool {
+	seen := map[regions.Addr]bool{}
+	frontier := map[regions.Addr]bool{}
+	collectAddrs(m.Term, frontier)
+	for len(frontier) > 0 {
+		next := map[regions.Addr]bool{}
+		for a := range frontier {
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			cell, err := m.Mem.Get(a)
+			if err != nil {
+				continue // dangling: the wf check reports it
+			}
+			found := map[regions.Addr]bool{}
+			w := addrWalker{out: found}
+			w.value(cell)
+			for f := range found {
+				if !seen[f] {
+					next[f] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// StateError describes a well-formedness violation of a machine state.
+type StateError struct {
+	Step int
+	Msg  string
+}
+
+func (e *StateError) Error() string {
+	return fmt.Sprintf("gclang: ill-formed state after step %d: %s", e.Step, e.Msg)
+}
+
+// CheckState verifies well-formedness of the machine's current state
+// (Defs. 6.3 / 7.1): every reachable cell's contents check against its
+// ghost Ψ entry, and the current term typechecks under Ψ. The memory
+// statistics are unaffected (reads bypass the counters' Get path would
+// skew them only negligibly; we accept the skew for simplicity).
+func (m *Machine) CheckState() error {
+	if !m.Ghost {
+		return fmt.Errorf("gclang: CheckState requires ghost mode")
+	}
+	c := &Checker{Dialect: m.Dialect}
+	reach := m.Reachable()
+
+	// Ψ̄: ghost entries for reachable cells plus all of cd.
+	psiBar := MemType{}
+	for a, t := range m.Psi {
+		if a.Region == regions.CD || reach[a] {
+			psiBar[a] = t
+		}
+	}
+
+	// Every reachable non-code cell must have a ghost entry and its
+	// contents must check at that type. (Code cells were checked at
+	// program-check time and are immutable; re-checking them every step
+	// would be prohibitively slow and cannot fail.)
+	// Live-but-empty regions still belong to ∆.
+	env := NewEnv(psiBar)
+	for _, rn := range m.Mem.Regions() {
+		env.Delta[Region(RName{Name: rn})] = true
+	}
+	for a := range reach {
+		t, ok := psiBar[a]
+		if !ok {
+			return &StateError{Step: m.Steps, Msg: fmt.Sprintf("reachable cell %s has no Ψ entry", a)}
+		}
+		if a.Region == regions.CD {
+			continue
+		}
+		cell, err := m.Mem.Get(a)
+		if err != nil {
+			return &StateError{Step: m.Steps, Msg: fmt.Sprintf("reachable cell %s is dangling: %v", a, err)}
+		}
+		if err := c.CheckValue(env, cell, t); err != nil {
+			return &StateError{Step: m.Steps, Msg: fmt.Sprintf("cell %s does not check against Ψ type %s: %v", a, t, err)}
+		}
+	}
+
+	// The current term must typecheck: Ψ; Dom(Ψ); ·; ·; · ⊢ e.
+	if m.Halted {
+		return nil
+	}
+	if _, err := c.CheckTerm(env, m.Term); err != nil {
+		return &StateError{Step: m.Steps, Msg: fmt.Sprintf("term does not typecheck: %v", err)}
+	}
+	return nil
+}

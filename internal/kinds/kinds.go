@@ -1,0 +1,53 @@
+// Package kinds implements the kind calculus of λGC (paper §4.2):
+//
+//	κ ::= Ω | κ1 → κ2
+//
+// Kinds classify tags. The paper only needs Ω and Ω→Ω (tag functions used
+// to analyze existentials), but the arrow form is naturally n-ary so we
+// implement the general grammar.
+package kinds
+
+// Kind classifies tags. The two forms are Omega and Arrow.
+type Kind interface {
+	isKind()
+	// Equal reports structural equality of kinds.
+	Equal(Kind) bool
+	String() string
+}
+
+// Omega is the kind Ω of complete tags.
+type Omega struct{}
+
+// Arrow is the kind κ1 → κ2 of tag-level functions.
+type Arrow struct {
+	From, To Kind
+}
+
+func (Omega) isKind() {}
+func (Arrow) isKind() {}
+
+// Equal reports whether k is also Ω.
+func (Omega) Equal(k Kind) bool {
+	_, ok := k.(Omega)
+	return ok
+}
+
+// Equal reports whether k is an arrow with equal domain and codomain.
+func (a Arrow) Equal(k Kind) bool {
+	b, ok := k.(Arrow)
+	return ok && a.From.Equal(b.From) && a.To.Equal(b.To)
+}
+
+func (Omega) String() string { return "Ω" }
+
+func (a Arrow) String() string {
+	from := a.From.String()
+	if _, nested := a.From.(Arrow); nested {
+		from = "(" + from + ")"
+	}
+	return from + "→" + a.To.String()
+}
+
+// OmegaToOmega is the kind Ω→Ω of the tag functions introduced by
+// typecase's existential branch.
+var OmegaToOmega = Arrow{From: Omega{}, To: Omega{}}

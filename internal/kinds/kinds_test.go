@@ -1,0 +1,35 @@
+package kinds
+
+import "testing"
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Kind
+		want bool
+	}{
+		{Omega{}, Omega{}, true},
+		{Omega{}, OmegaToOmega, false},
+		{OmegaToOmega, OmegaToOmega, true},
+		{Arrow{Omega{}, Omega{}}, OmegaToOmega, true},
+		{Arrow{OmegaToOmega, Omega{}}, Arrow{Omega{}, Omega{}}, false},
+		{Arrow{Omega{}, OmegaToOmega}, Arrow{Omega{}, Omega{}}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("(%s).Equal(%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("(%s).Equal(%s) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := OmegaToOmega.String(); s != "Ω→Ω" {
+		t.Errorf("OmegaToOmega.String() = %q", s)
+	}
+	nested := Arrow{From: OmegaToOmega, To: Omega{}}
+	if s := nested.String(); s != "(Ω→Ω)→Ω" {
+		t.Errorf("nested arrow String() = %q", s)
+	}
+}

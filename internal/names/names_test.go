@@ -1,0 +1,76 @@
+package names
+
+import "testing"
+
+func TestFreshDistinct(t *testing.T) {
+	var s Supply
+	seen := make(map[Name]bool)
+	for i := 0; i < 1000; i++ {
+		n := s.Fresh("x")
+		if seen[n] {
+			t.Fatalf("Fresh returned duplicate %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestFreshKeepsStem(t *testing.T) {
+	var s Supply
+	n := s.Fresh("copy")
+	if n.Base() != "copy" {
+		t.Fatalf("Base(%q) = %q, want copy", n, n.Base())
+	}
+	// Freshening an already-fresh name must not stack suffixes.
+	n2 := s.Fresh(n)
+	if n2.Base() != "copy" {
+		t.Fatalf("Base(%q) = %q, want copy", n2, n2.Base())
+	}
+	if n2 == n {
+		t.Fatalf("Fresh returned the same name %s twice", n)
+	}
+}
+
+func TestFreshN(t *testing.T) {
+	var s Supply
+	ns := s.FreshN("r", 5)
+	if len(ns) != 5 {
+		t.Fatalf("FreshN returned %d names, want 5", len(ns))
+	}
+	seen := make(map[Name]bool)
+	for _, n := range ns {
+		if seen[n] {
+			t.Fatalf("FreshN returned duplicate %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBaseOfPlainName(t *testing.T) {
+	if Name("x").Base() != "x" {
+		t.Fatalf("Base of plain name changed it")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet("a", "b")
+	if !s.Has("a") || !s.Has("b") || s.Has("c") {
+		t.Fatalf("NewSet contents wrong: %v", s)
+	}
+	s.Add("c")
+	if !s.Has("c") {
+		t.Fatalf("Add failed")
+	}
+	s.Remove("a")
+	if s.Has("a") {
+		t.Fatalf("Remove failed")
+	}
+	u := NewSet("x").Union(NewSet("y"))
+	if !u.Has("x") || !u.Has("y") {
+		t.Fatalf("Union failed: %v", u)
+	}
+	c := u.Clone()
+	c.Remove("x")
+	if !u.Has("x") {
+		t.Fatalf("Clone aliases original")
+	}
+}

@@ -1,0 +1,228 @@
+// Package regions implements the region memory substrate of λGC's
+// allocation semantics (paper §4.1, §6, Fig. 5).
+//
+// A memory M maps region names ν to regions; a region maps offsets ℓ to
+// storable values; an address is a pair ν.ℓ. Allocation (put), reads (get),
+// writes (set, used only by the forwarding-pointer collector), whole-region
+// reclamation (only ∆), and the "is this region full" test observed by ifgc
+// are all provided here. The code region cd is created with the memory,
+// can never be reclaimed, and holds the program's functions (§4.3, §6.2).
+//
+// The memory is generic over the stored value type so the λGC machine and
+// the untyped baseline collectors share one substrate and one set of
+// statistics.
+package regions
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Name is a runtime region name ν.
+type Name string
+
+// CD is the distinguished code region (§4.3). It always exists and is
+// implicitly retained by only.
+const CD Name = "cd"
+
+// Addr is a memory address ν.ℓ.
+type Addr struct {
+	Region Name
+	Off    int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%s.%d", a.Region, a.Off) }
+
+// Stats counts memory traffic. All counters are cumulative over the life
+// of the Memory.
+type Stats struct {
+	Puts             int // cells allocated
+	Gets             int // cells read
+	Sets             int // cells overwritten (forwarding installs)
+	RegionsCreated   int // let region executions (excluding cd)
+	RegionsReclaimed int // regions freed by only
+	CellsReclaimed   int // cells freed by only
+	MaxLiveCells     int // high-water mark of live non-code cells
+}
+
+// A region is a growable array of cells. Offsets are dense, so iteration
+// order is deterministic and independent of Go map ordering.
+type region[V any] struct {
+	cells []V
+}
+
+// Memory is a region-structured store.
+type Memory[V any] struct {
+	// Capacity is the soft per-region fullness threshold observed by
+	// Full (and hence by ifgc). Zero means regions never report full.
+	// Puts beyond the capacity still succeed: the paper's semantics
+	// never blocks allocation, fullness only triggers collection.
+	Capacity int
+
+	// AutoGrow enables the heap-growth policy a real collector needs:
+	// after a reclamation (only ∆), if the survivors fill more than half
+	// of the capacity, the capacity doubles to at least twice the live
+	// size. Without growth, a mutator whose live set reaches the capacity
+	// re-triggers a collection at every function entry forever (the
+	// paper's gc re-runs the ifgc check on return, §5).
+	AutoGrow bool
+
+	// Stats accumulates traffic counters.
+	Stats Stats
+
+	regions map[Name]*region[V]
+	order   []Name // creation order, for deterministic iteration
+	counter int
+}
+
+// New returns a memory containing only the code region cd.
+func New[V any](capacity int) *Memory[V] {
+	m := &Memory[V]{Capacity: capacity, regions: make(map[Name]*region[V])}
+	m.regions[CD] = &region[V]{}
+	m.order = append(m.order, CD)
+	return m
+}
+
+// NewRegion allocates a fresh empty region and returns its name
+// (the ν of "let region r in e").
+func (m *Memory[V]) NewRegion() Name {
+	m.counter++
+	n := Name(fmt.Sprintf("ν%d", m.counter))
+	m.regions[n] = &region[V]{}
+	m.order = append(m.order, n)
+	m.Stats.RegionsCreated++
+	return n
+}
+
+// Has reports whether region n is live.
+func (m *Memory[V]) Has(n Name) bool {
+	_, ok := m.regions[n]
+	return ok
+}
+
+// Put allocates v in region n and returns its address.
+func (m *Memory[V]) Put(n Name, v V) (Addr, error) {
+	r, ok := m.regions[n]
+	if !ok {
+		return Addr{}, fmt.Errorf("regions: put into dead region %s", n)
+	}
+	r.cells = append(r.cells, v)
+	m.Stats.Puts++
+	if live := m.LiveCells(); live > m.Stats.MaxLiveCells {
+		m.Stats.MaxLiveCells = live
+	}
+	return Addr{Region: n, Off: len(r.cells) - 1}, nil
+}
+
+// Get dereferences a.
+func (m *Memory[V]) Get(a Addr) (V, error) {
+	var zero V
+	r, ok := m.regions[a.Region]
+	if !ok {
+		return zero, fmt.Errorf("regions: get from dead region %s", a.Region)
+	}
+	if a.Off < 0 || a.Off >= len(r.cells) {
+		return zero, fmt.Errorf("regions: get from unallocated address %s", a)
+	}
+	m.Stats.Gets++
+	return r.cells[a.Off], nil
+}
+
+// Set overwrites the cell at a (the forwarding-pointer install of §7).
+func (m *Memory[V]) Set(a Addr, v V) error {
+	r, ok := m.regions[a.Region]
+	if !ok {
+		return fmt.Errorf("regions: set in dead region %s", a.Region)
+	}
+	if a.Off < 0 || a.Off >= len(r.cells) {
+		return fmt.Errorf("regions: set at unallocated address %s", a)
+	}
+	r.cells[a.Off] = v
+	m.Stats.Sets++
+	return nil
+}
+
+// Only reclaims every region not listed in keep ("only ∆ in e"). The code
+// region is always retained, as in the paper's typing rule. Keeping an
+// already-dead region name is an error (the static semantics prevents it).
+func (m *Memory[V]) Only(keep []Name) error {
+	keepSet := map[Name]bool{CD: true}
+	for _, n := range keep {
+		if !m.Has(n) {
+			return fmt.Errorf("regions: only keeps dead region %s", n)
+		}
+		keepSet[n] = true
+	}
+	var remaining []Name
+	for _, n := range m.order {
+		if keepSet[n] {
+			remaining = append(remaining, n)
+			continue
+		}
+		m.Stats.RegionsReclaimed++
+		m.Stats.CellsReclaimed += len(m.regions[n].cells)
+		delete(m.regions, n)
+	}
+	m.order = remaining
+	if m.AutoGrow && m.Capacity > 0 {
+		if live := m.LiveCells(); live > m.Capacity/2 {
+			m.Capacity = 2 * live
+		}
+	}
+	return nil
+}
+
+// Full reports whether region n has reached the fullness threshold. It is
+// the oracle behind ifgc's "if ρ is full" side condition (Fig. 5).
+func (m *Memory[V]) Full(n Name) bool {
+	if m.Capacity <= 0 {
+		return false
+	}
+	r, ok := m.regions[n]
+	return ok && len(r.cells) >= m.Capacity
+}
+
+// Size returns the number of cells allocated in region n (0 if dead).
+func (m *Memory[V]) Size(n Name) int {
+	r, ok := m.regions[n]
+	if !ok {
+		return 0
+	}
+	return len(r.cells)
+}
+
+// LiveCells returns the number of live cells outside the code region.
+func (m *Memory[V]) LiveCells() int {
+	total := 0
+	for n, r := range m.regions {
+		if n == CD {
+			continue
+		}
+		total += len(r.cells)
+	}
+	return total
+}
+
+// Regions returns the live region names in creation order.
+func (m *Memory[V]) Regions() []Name {
+	return append([]Name(nil), m.order...)
+}
+
+// Cells returns the addresses of every live cell, in deterministic order.
+func (m *Memory[V]) Cells() []Addr {
+	var out []Addr
+	for _, n := range m.order {
+		for off := range m.regions[n].cells {
+			out = append(out, Addr{Region: n, Off: off})
+		}
+	}
+	return out
+}
+
+// SortedNames sorts region names lexicographically (a helper for stable
+// diagnostics).
+func SortedNames(ns []Name) []Name {
+	out := append([]Name(nil), ns...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

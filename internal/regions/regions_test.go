@@ -1,0 +1,235 @@
+package regions
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New[int](0)
+	r := m.NewRegion()
+	a1, err := m.Put(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.Put(r, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Fatalf("two puts returned the same address %s", a1)
+	}
+	if v, _ := m.Get(a1); v != 10 {
+		t.Errorf("Get(%s) = %d, want 10", a1, v)
+	}
+	if v, _ := m.Get(a2); v != 20 {
+		t.Errorf("Get(%s) = %d, want 20", a2, v)
+	}
+}
+
+func TestSet(t *testing.T) {
+	m := New[string](0)
+	r := m.NewRegion()
+	a, _ := m.Put(r, "old")
+	if err := m.Set(a, "new"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get(a); v != "new" {
+		t.Errorf("Get after Set = %q", v)
+	}
+	if err := m.Set(Addr{Region: r, Off: 99}, "x"); err == nil {
+		t.Errorf("Set at unallocated offset succeeded")
+	}
+}
+
+func TestOnlyReclaims(t *testing.T) {
+	m := New[int](0)
+	r1 := m.NewRegion()
+	r2 := m.NewRegion()
+	a1, _ := m.Put(r1, 1)
+	a2, _ := m.Put(r2, 2)
+	if err := m.Only([]Name{r2}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Has(r1) {
+		t.Errorf("region %s should be reclaimed", r1)
+	}
+	if !m.Has(r2) || !m.Has(CD) {
+		t.Errorf("kept regions missing")
+	}
+	if _, err := m.Get(a1); err == nil {
+		t.Errorf("read from reclaimed region succeeded")
+	}
+	if v, err := m.Get(a2); err != nil || v != 2 {
+		t.Errorf("read from kept region: %v, %v", v, err)
+	}
+	if m.Stats.RegionsReclaimed != 1 || m.Stats.CellsReclaimed != 1 {
+		t.Errorf("stats: %+v", m.Stats)
+	}
+}
+
+func TestOnlyAlwaysKeepsCD(t *testing.T) {
+	m := New[int](0)
+	a, _ := m.Put(CD, 7)
+	if err := m.Only(nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.Get(a); err != nil || v != 7 {
+		t.Errorf("cd cell lost: %v, %v", v, err)
+	}
+}
+
+func TestOnlyDeadRegionErrors(t *testing.T) {
+	m := New[int](0)
+	r := m.NewRegion()
+	if err := m.Only(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Only([]Name{r}); err == nil {
+		t.Errorf("only keeping a dead region should error")
+	}
+}
+
+func TestFullness(t *testing.T) {
+	m := New[int](2)
+	r := m.NewRegion()
+	if m.Full(r) {
+		t.Errorf("empty region reported full")
+	}
+	m.Put(r, 1)
+	if m.Full(r) {
+		t.Errorf("1/2 region reported full")
+	}
+	m.Put(r, 2)
+	if !m.Full(r) {
+		t.Errorf("2/2 region not reported full")
+	}
+	// Puts beyond capacity still succeed (allocation never blocks).
+	if _, err := m.Put(r, 3); err != nil {
+		t.Errorf("put beyond capacity failed: %v", err)
+	}
+	unlimited := New[int](0)
+	u := unlimited.NewRegion()
+	unlimited.Put(u, 1)
+	if unlimited.Full(u) {
+		t.Errorf("capacity 0 must never be full")
+	}
+}
+
+func TestDeadRegionOps(t *testing.T) {
+	m := New[int](0)
+	r := m.NewRegion()
+	m.Only(nil)
+	if _, err := m.Put(r, 1); err == nil {
+		t.Errorf("put into dead region succeeded")
+	}
+	if _, err := m.Get(Addr{Region: r, Off: 0}); err == nil {
+		t.Errorf("get from dead region succeeded")
+	}
+	if err := m.Set(Addr{Region: r, Off: 0}, 1); err == nil {
+		t.Errorf("set in dead region succeeded")
+	}
+}
+
+func TestFreshRegionNamesNeverRepeat(t *testing.T) {
+	m := New[int](0)
+	seen := map[Name]bool{}
+	for i := 0; i < 100; i++ {
+		n := m.NewRegion()
+		if seen[n] {
+			t.Fatalf("region name %s repeated", n)
+		}
+		seen[n] = true
+		if i%3 == 0 {
+			m.Only(nil) // reclaim everything; names must still be fresh
+		}
+	}
+}
+
+func TestCellsDeterministicOrder(t *testing.T) {
+	m := New[int](0)
+	r1 := m.NewRegion()
+	r2 := m.NewRegion()
+	m.Put(r1, 1)
+	m.Put(r2, 2)
+	m.Put(r1, 3)
+	want := []Addr{{r1, 0}, {r1, 1}, {r2, 0}}
+	got := m.Cells()
+	if len(got) != len(want) {
+		t.Fatalf("Cells() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Cells()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	m := New[int](0)
+	r := m.NewRegion()
+	a, _ := m.Put(r, 1)
+	m.Put(r, 2)
+	m.Get(a)
+	m.Set(a, 3)
+	s := m.Stats
+	if s.Puts != 2 || s.Gets != 1 || s.Sets != 1 || s.RegionsCreated != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.MaxLiveCells != 2 {
+		t.Errorf("MaxLiveCells = %d, want 2", s.MaxLiveCells)
+	}
+}
+
+// Property: any interleaving of puts into two regions preserves every
+// value at the address put returned (no aliasing between regions, no
+// overwrites by allocation).
+func TestPutPreservesValuesProperty(t *testing.T) {
+	f := func(vals []int16, intoFirst []bool) bool {
+		m := New[int](0)
+		r1, r2 := m.NewRegion(), m.NewRegion()
+		type rec struct {
+			a Addr
+			v int
+		}
+		var recs []rec
+		for i, v := range vals {
+			r := r1
+			if i < len(intoFirst) && !intoFirst[i] {
+				r = r2
+			}
+			a, err := m.Put(r, int(v))
+			if err != nil {
+				return false
+			}
+			recs = append(recs, rec{a, int(v)})
+		}
+		for _, rc := range recs {
+			got, err := m.Get(rc.a)
+			if err != nil || got != rc.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiveCellsExcludesCD(t *testing.T) {
+	m := New[int](0)
+	m.Put(CD, 1)
+	r := m.NewRegion()
+	m.Put(r, 2)
+	if got := m.LiveCells(); got != 1 {
+		t.Errorf("LiveCells = %d, want 1", got)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	got := SortedNames([]Name{"b", "a", "c"})
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedNames = %v", got)
+	}
+}

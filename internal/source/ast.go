@@ -1,0 +1,257 @@
+// Package source implements the front-end language of the pipeline: the
+// simply-typed λ-calculus the paper compiles and garbage-collects (§3).
+//
+// A program is a set of mutually recursive top-level functions plus a main
+// expression, matching the λCLOS program shape the paper's translation
+// expects. Beyond the paper's grammar we add integer arithmetic and if0 as
+// a documented workload extension (DESIGN.md): without a conditional,
+// recursive programs could never terminate and no benchmark could allocate
+// interesting heaps. The extension is carried through every calculus.
+package source
+
+import (
+	"fmt"
+	"strings"
+
+	"psgc/internal/names"
+)
+
+// Type is a source type: int, τ1 × τ2, or τ1 → τ2.
+type Type interface {
+	isType()
+	String() string
+}
+
+// IntT is the type of integers.
+type IntT struct{}
+
+// ProdT is the pair type τ1 × τ2.
+type ProdT struct {
+	L, R Type
+}
+
+// FnT is the (direct-style) function type τ1 → τ2.
+type FnT struct {
+	Dom, Cod Type
+}
+
+func (IntT) isType()  {}
+func (ProdT) isType() {}
+func (FnT) isType()   {}
+
+func (IntT) String() string { return "int" }
+
+func (t ProdT) String() string { return fmt.Sprintf("(%s * %s)", t.L, t.R) }
+
+func (t FnT) String() string {
+	dom := t.Dom.String()
+	if _, ok := t.Dom.(FnT); ok {
+		dom = "(" + dom + ")"
+	}
+	return fmt.Sprintf("%s -> %s", dom, t.Cod)
+}
+
+// TypeEqual reports structural equality of source types.
+func TypeEqual(a, b Type) bool {
+	switch a := a.(type) {
+	case IntT:
+		_, ok := b.(IntT)
+		return ok
+	case ProdT:
+		bp, ok := b.(ProdT)
+		return ok && TypeEqual(a.L, bp.L) && TypeEqual(a.R, bp.R)
+	case FnT:
+		bf, ok := b.(FnT)
+		return ok && TypeEqual(a.Dom, bf.Dom) && TypeEqual(a.Cod, bf.Cod)
+	default:
+		panic(fmt.Sprintf("source: unknown type %T", a))
+	}
+}
+
+// BinOp is an integer arithmetic operator.
+type BinOp int
+
+// The arithmetic operators of the workload extension.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	default:
+		return fmt.Sprintf("BinOp(%d)", int(op))
+	}
+}
+
+// Expr is a source expression.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// Var references a local variable or a top-level function.
+type Var struct {
+	Name names.Name
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	N int
+}
+
+// Lam is an anonymous function fn (x : τ) => e.
+type Lam struct {
+	Param     names.Name
+	ParamType Type
+	Body      Expr
+}
+
+// App applies a function to an argument.
+type App struct {
+	Fn, Arg Expr
+}
+
+// Pair builds (e1, e2).
+type Pair struct {
+	L, R Expr
+}
+
+// Proj projects a pair component; I is 1 or 2.
+type Proj struct {
+	I int
+	E Expr
+}
+
+// Let binds x = rhs in body.
+type Let struct {
+	X    names.Name
+	Rhs  Expr
+	Body Expr
+}
+
+// If0 branches on whether the condition is zero.
+type If0 struct {
+	Cond, Then, Else Expr
+}
+
+// Bin is integer arithmetic.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (Var) isExpr()    {}
+func (IntLit) isExpr() {}
+func (Lam) isExpr()    {}
+func (App) isExpr()    {}
+func (Pair) isExpr()   {}
+func (Proj) isExpr()   {}
+func (Let) isExpr()    {}
+func (If0) isExpr()    {}
+func (Bin) isExpr()    {}
+
+func (e Var) String() string    { return e.Name.String() }
+func (e IntLit) String() string { return fmt.Sprintf("%d", e.N) }
+
+func (e Lam) String() string {
+	// Parenthesized so that String output reparses in any position.
+	return fmt.Sprintf("(fn (%s : %s) => %s)", e.Param, e.ParamType, e.Body)
+}
+
+func (e App) String() string { return fmt.Sprintf("(%s %s)", e.Fn, e.Arg) }
+
+func (e Pair) String() string { return fmt.Sprintf("(%s, %s)", e.L, e.R) }
+
+func (e Proj) String() string {
+	op := "fst"
+	if e.I == 2 {
+		op = "snd"
+	}
+	return fmt.Sprintf("(%s %s)", op, e.E)
+}
+
+func (e Let) String() string {
+	return fmt.Sprintf("(let %s = %s in %s)", e.X, e.Rhs, e.Body)
+}
+
+func (e If0) String() string {
+	return fmt.Sprintf("(if0 %s then %s else %s)", e.Cond, e.Then, e.Else)
+}
+
+func (e Bin) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+
+// FunDef is a top-level function definition. Bodies may refer only to the
+// parameter, local bindings, and other top-level functions, so top-level
+// functions are closed and translate directly to λCLOS letrec code.
+type FunDef struct {
+	Name      names.Name
+	Param     names.Name
+	ParamType Type
+	Result    Type
+	Body      Expr
+}
+
+// Type returns the function's source type.
+func (f FunDef) Type() FnT { return FnT{Dom: f.ParamType, Cod: f.Result} }
+
+// Program is a complete source program: mutually recursive top-level
+// functions followed by the main expression, whose value (an int) is the
+// observable result of the whole mutator/collector system.
+type Program struct {
+	Funs []FunDef
+	Main Expr
+}
+
+// String renders the program in concrete syntax accepted by Parse.
+func (p Program) String() string {
+	var b strings.Builder
+	for _, f := range p.Funs {
+		fmt.Fprintf(&b, "fun %s (%s : %s) : %s = %s\n", f.Name, f.Param, f.ParamType, f.Result, f.Body)
+	}
+	if len(p.Funs) > 0 {
+		b.WriteString("do ")
+	}
+	b.WriteString(p.Main.String())
+	return b.String()
+}
+
+// Size returns the number of expression nodes in e.
+func Size(e Expr) int {
+	switch e := e.(type) {
+	case Var, IntLit:
+		return 1
+	case Lam:
+		return 1 + Size(e.Body)
+	case App:
+		return 1 + Size(e.Fn) + Size(e.Arg)
+	case Pair:
+		return 1 + Size(e.L) + Size(e.R)
+	case Proj:
+		return 1 + Size(e.E)
+	case Let:
+		return 1 + Size(e.Rhs) + Size(e.Body)
+	case If0:
+		return 1 + Size(e.Cond) + Size(e.Then) + Size(e.Else)
+	case Bin:
+		return 1 + Size(e.L) + Size(e.R)
+	default:
+		panic(fmt.Sprintf("source: unknown expr %T", e))
+	}
+}
+
+// ProgramSize returns the total number of expression nodes in p.
+func ProgramSize(p Program) int {
+	n := Size(p.Main)
+	for _, f := range p.Funs {
+		n += 1 + Size(f.Body)
+	}
+	return n
+}

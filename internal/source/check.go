@@ -1,0 +1,167 @@
+package source
+
+import (
+	"fmt"
+
+	"psgc/internal/names"
+)
+
+// TypeError reports a source-level type error.
+type TypeError struct {
+	Expr Expr
+	Msg  string
+}
+
+func (e *TypeError) Error() string {
+	if e.Expr == nil {
+		return "source: " + e.Msg
+	}
+	return fmt.Sprintf("source: in %s: %s", e.Expr, e.Msg)
+}
+
+func typeErr(e Expr, format string, args ...any) error {
+	return &TypeError{Expr: e, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Env maps variables (and top-level function names) to their types.
+type Env map[names.Name]Type
+
+// Extend returns a copy of the environment with x : t added.
+func (env Env) Extend(x names.Name, t Type) Env {
+	out := make(Env, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	out[x] = t
+	return out
+}
+
+// CheckProgram typechecks a whole program and returns the type of main.
+// Function bodies are checked in an environment containing only the
+// top-level functions and the parameter, which enforces that top-level
+// functions are closed (the λCLOS letrec discipline, §3).
+func CheckProgram(p Program) (Type, error) {
+	top := make(Env, len(p.Funs))
+	for _, f := range p.Funs {
+		if _, dup := top[f.Name]; dup {
+			return nil, typeErr(nil, "duplicate top-level function %s", f.Name)
+		}
+		top[f.Name] = f.Type()
+	}
+	for _, f := range p.Funs {
+		got, err := Infer(top.Extend(f.Param, f.ParamType), f.Body)
+		if err != nil {
+			return nil, fmt.Errorf("in function %s: %w", f.Name, err)
+		}
+		if !TypeEqual(got, f.Result) {
+			return nil, typeErr(f.Body, "function %s declared to return %s but body has type %s",
+				f.Name, f.Result, got)
+		}
+	}
+	return Infer(top, p.Main)
+}
+
+// Infer computes the type of e under env.
+func Infer(env Env, e Expr) (Type, error) {
+	switch e := e.(type) {
+	case Var:
+		t, ok := env[e.Name]
+		if !ok {
+			return nil, typeErr(e, "unbound variable %s", e.Name)
+		}
+		return t, nil
+	case IntLit:
+		return IntT{}, nil
+	case Lam:
+		body, err := Infer(env.Extend(e.Param, e.ParamType), e.Body)
+		if err != nil {
+			return nil, err
+		}
+		return FnT{Dom: e.ParamType, Cod: body}, nil
+	case App:
+		fn, err := Infer(env, e.Fn)
+		if err != nil {
+			return nil, err
+		}
+		ft, ok := fn.(FnT)
+		if !ok {
+			return nil, typeErr(e, "applied non-function of type %s", fn)
+		}
+		arg, err := Infer(env, e.Arg)
+		if err != nil {
+			return nil, err
+		}
+		if !TypeEqual(ft.Dom, arg) {
+			return nil, typeErr(e, "argument has type %s, want %s", arg, ft.Dom)
+		}
+		return ft.Cod, nil
+	case Pair:
+		l, err := Infer(env, e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Infer(env, e.R)
+		if err != nil {
+			return nil, err
+		}
+		return ProdT{L: l, R: r}, nil
+	case Proj:
+		t, err := Infer(env, e.E)
+		if err != nil {
+			return nil, err
+		}
+		pt, ok := t.(ProdT)
+		if !ok {
+			return nil, typeErr(e, "projection from non-pair type %s", t)
+		}
+		switch e.I {
+		case 1:
+			return pt.L, nil
+		case 2:
+			return pt.R, nil
+		default:
+			return nil, typeErr(e, "bad projection index %d", e.I)
+		}
+	case Let:
+		rhs, err := Infer(env, e.Rhs)
+		if err != nil {
+			return nil, err
+		}
+		return Infer(env.Extend(e.X, rhs), e.Body)
+	case If0:
+		cond, err := Infer(env, e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if !TypeEqual(cond, IntT{}) {
+			return nil, typeErr(e, "if0 condition has type %s, want int", cond)
+		}
+		thn, err := Infer(env, e.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := Infer(env, e.Else)
+		if err != nil {
+			return nil, err
+		}
+		if !TypeEqual(thn, els) {
+			return nil, typeErr(e, "if0 branches have types %s and %s", thn, els)
+		}
+		return thn, nil
+	case Bin:
+		l, err := Infer(env, e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Infer(env, e.R)
+		if err != nil {
+			return nil, err
+		}
+		if !TypeEqual(l, IntT{}) || !TypeEqual(r, IntT{}) {
+			return nil, typeErr(e, "arithmetic on non-integers (%s, %s)", l, r)
+		}
+		return IntT{}, nil
+	default:
+		panic(fmt.Sprintf("source: unknown expr %T", e))
+	}
+}

@@ -1,0 +1,207 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+
+	"psgc/internal/names"
+)
+
+// Value is a source-level runtime value produced by the reference
+// evaluator.
+type Value interface {
+	isValue()
+	String() string
+}
+
+// IntV is an integer value.
+type IntV struct {
+	N int
+}
+
+// PairV is a pair value.
+type PairV struct {
+	L, R Value
+}
+
+// ClosV is a function closure.
+type ClosV struct {
+	Env   *evalEnv
+	Param names.Name
+	Body  Expr
+}
+
+func (IntV) isValue()  {}
+func (PairV) isValue() {}
+func (ClosV) isValue() {}
+
+func (v IntV) String() string  { return fmt.Sprintf("%d", v.N) }
+func (v PairV) String() string { return fmt.Sprintf("(%s, %s)", v.L, v.R) }
+func (ClosV) String() string   { return "<closure>" }
+
+// evalEnv is a persistent environment (linked list so extension is O(1)).
+type evalEnv struct {
+	name names.Name
+	val  Value
+	next *evalEnv
+}
+
+func (e *evalEnv) lookup(n names.Name) (Value, bool) {
+	for ; e != nil; e = e.next {
+		if e.name == n {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+func (e *evalEnv) extend(n names.Name, v Value) *evalEnv {
+	return &evalEnv{name: n, val: v, next: e}
+}
+
+// ErrFuel is returned when evaluation exceeds its step budget.
+var ErrFuel = errors.New("source: evaluation out of fuel")
+
+// Evaluator runs source programs directly. It is the reference semantics
+// against which the compiled λGC machine is differentially tested: a
+// type-safe collector must never change the observable result (§2.1).
+type Evaluator struct {
+	// Fuel bounds the number of expression evaluations; 0 means
+	// DefaultFuel.
+	Fuel int
+
+	prog  Program
+	steps int
+}
+
+// DefaultFuel is the default evaluation step budget.
+const DefaultFuel = 10_000_000
+
+// Run evaluates the program's main expression.
+func (ev *Evaluator) Run(p Program) (Value, error) {
+	ev.prog = p
+	ev.steps = ev.Fuel
+	if ev.steps == 0 {
+		ev.steps = DefaultFuel
+	}
+	return ev.eval(nil, p.Main)
+}
+
+// RunInt evaluates the program and requires an integer result.
+func (ev *Evaluator) RunInt(p Program) (int, error) {
+	v, err := ev.Run(p)
+	if err != nil {
+		return 0, err
+	}
+	iv, ok := v.(IntV)
+	if !ok {
+		return 0, fmt.Errorf("source: program result %s is not an int", v)
+	}
+	return iv.N, nil
+}
+
+func (ev *Evaluator) eval(env *evalEnv, e Expr) (Value, error) {
+	ev.steps--
+	if ev.steps < 0 {
+		return nil, ErrFuel
+	}
+	switch e := e.(type) {
+	case Var:
+		if v, ok := env.lookup(e.Name); ok {
+			return v, nil
+		}
+		for _, f := range ev.prog.Funs {
+			if f.Name == e.Name {
+				// Top-level functions close over nothing.
+				return ClosV{Env: nil, Param: f.Param, Body: f.Body}, nil
+			}
+		}
+		return nil, fmt.Errorf("source: unbound variable %s at runtime", e.Name)
+	case IntLit:
+		return IntV{N: e.N}, nil
+	case Lam:
+		return ClosV{Env: env, Param: e.Param, Body: e.Body}, nil
+	case App:
+		fn, err := ev.eval(env, e.Fn)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := ev.eval(env, e.Arg)
+		if err != nil {
+			return nil, err
+		}
+		cl, ok := fn.(ClosV)
+		if !ok {
+			return nil, fmt.Errorf("source: applied non-function %s", fn)
+		}
+		return ev.eval(cl.Env.extend(cl.Param, arg), cl.Body)
+	case Pair:
+		l, err := ev.eval(env, e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(env, e.R)
+		if err != nil {
+			return nil, err
+		}
+		return PairV{L: l, R: r}, nil
+	case Proj:
+		v, err := ev.eval(env, e.E)
+		if err != nil {
+			return nil, err
+		}
+		pv, ok := v.(PairV)
+		if !ok {
+			return nil, fmt.Errorf("source: projection from non-pair %s", v)
+		}
+		if e.I == 1 {
+			return pv.L, nil
+		}
+		return pv.R, nil
+	case Let:
+		rhs, err := ev.eval(env, e.Rhs)
+		if err != nil {
+			return nil, err
+		}
+		return ev.eval(env.extend(e.X, rhs), e.Body)
+	case If0:
+		c, err := ev.eval(env, e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		ci, ok := c.(IntV)
+		if !ok {
+			return nil, fmt.Errorf("source: if0 on non-integer %s", c)
+		}
+		if ci.N == 0 {
+			return ev.eval(env, e.Then)
+		}
+		return ev.eval(env, e.Else)
+	case Bin:
+		l, err := ev.eval(env, e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(env, e.R)
+		if err != nil {
+			return nil, err
+		}
+		li, lok := l.(IntV)
+		ri, rok := r.(IntV)
+		if !lok || !rok {
+			return nil, fmt.Errorf("source: arithmetic on non-integers %s, %s", l, r)
+		}
+		switch e.Op {
+		case OpAdd:
+			return IntV{N: li.N + ri.N}, nil
+		case OpSub:
+			return IntV{N: li.N - ri.N}, nil
+		case OpMul:
+			return IntV{N: li.N * ri.N}, nil
+		default:
+			return nil, fmt.Errorf("source: unknown operator %s", e.Op)
+		}
+	default:
+		panic(fmt.Sprintf("source: unknown expr %T", e))
+	}
+}

@@ -1,0 +1,476 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+
+	"psgc/internal/names"
+)
+
+// Parse parses a complete program in the concrete syntax:
+//
+//	program := fun* "do" expr | expr
+//	fun     := "fun" ident "(" ident ":" type ")" ":" type "=" expr
+//	type    := prodty ("->" type)?                    (arrow right-assoc)
+//	prodty  := atomty ("*" atomty)*                   (product left-assoc)
+//	atomty  := "int" | "(" type ")"
+//	expr    := "let" ident "=" expr "in" expr
+//	         | "if0" expr "then" expr "else" expr
+//	         | "fn" "(" ident ":" type ")" "=>" expr
+//	         | arith
+//	arith   := term (("+"|"-") term)*
+//	term    := appexpr ("*" appexpr)*
+//	appexpr := atom+                                  (application, left-assoc)
+//	atom    := int | ident | "fst" atom | "snd" atom
+//	         | "(" expr ")" | "(" expr "," expr ")"
+//
+// The "do" keyword separates the function definitions from the main
+// expression (required when at least one fun is present, since application
+// is by juxtaposition). Line comments start with "--".
+func Parse(src string) (Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Program{}, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return Program{}, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for programs known to be syntactically valid.
+func MustParse(src string) Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokInt
+	tokPunct // ( ) , : = + - * and multi-char -> =>
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+var keywords = map[string]bool{
+	"fun": true, "fn": true, "let": true, "in": true, "do": true,
+	"if0": true, "then": true, "else": true,
+	"fst": true, "snd": true, "int": true,
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tokPunct, "->", i, line})
+			i += 2
+		case c == '=' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tokPunct, "=>", i, line})
+			i += 2
+		case c == '(' || c == ')' || c == ',' || c == ':' || c == '=' ||
+			c == '+' || c == '-' || c == '*':
+			toks = append(toks, token{tokPunct, string(c), i, line})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokInt, src[i:j], i, line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i, line})
+			i = j
+		default:
+			return nil, fmt.Errorf("source: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src), line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	// '$' appears in compiler-generated fresh names (names.Supply), which
+	// must survive a print/reparse round trip.
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\'' || r == '$'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("source: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return p.errf(t, "expected %q, found %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (names.Name, error) {
+	t := p.next()
+	if t.kind != tokIdent || keywords[t.text] {
+		return "", p.errf(t, "expected identifier, found %q", t.text)
+	}
+	return names.Name(t.text), nil
+}
+
+func (p *parser) program() (Program, error) {
+	var prog Program
+	for p.peek().text == "fun" {
+		p.next()
+		f, err := p.fundef()
+		if err != nil {
+			return Program{}, err
+		}
+		prog.Funs = append(prog.Funs, f)
+	}
+	if len(prog.Funs) > 0 {
+		if err := p.expect("do"); err != nil {
+			return Program{}, err
+		}
+	}
+	main, err := p.expr()
+	if err != nil {
+		return Program{}, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return Program{}, p.errf(t, "unexpected trailing input %q", t.text)
+	}
+	prog.Main = main
+	return prog, nil
+}
+
+func (p *parser) fundef() (FunDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return FunDef{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return FunDef{}, err
+	}
+	param, err := p.ident()
+	if err != nil {
+		return FunDef{}, err
+	}
+	if err := p.expect(":"); err != nil {
+		return FunDef{}, err
+	}
+	paramTy, err := p.typ()
+	if err != nil {
+		return FunDef{}, err
+	}
+	if err := p.expect(")"); err != nil {
+		return FunDef{}, err
+	}
+	if err := p.expect(":"); err != nil {
+		return FunDef{}, err
+	}
+	result, err := p.typ()
+	if err != nil {
+		return FunDef{}, err
+	}
+	if err := p.expect("="); err != nil {
+		return FunDef{}, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return FunDef{}, err
+	}
+	return FunDef{Name: name, Param: param, ParamType: paramTy, Result: result, Body: body}, nil
+}
+
+func (p *parser) typ() (Type, error) {
+	l, err := p.prodType()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().text == "->" {
+		p.next()
+		r, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		return FnT{Dom: l, Cod: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) prodType() (Type, error) {
+	l, err := p.atomType()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "*" {
+		p.next()
+		r, err := p.atomType()
+		if err != nil {
+			return nil, err
+		}
+		l = ProdT{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) atomType() (Type, error) {
+	t := p.next()
+	switch t.text {
+	case "int":
+		return IntT{}, nil
+	case "(":
+		ty, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return ty, nil
+	default:
+		return nil, p.errf(t, "expected a type, found %q", t.text)
+	}
+}
+
+func (p *parser) expr() (Expr, error) {
+	switch p.peek().text {
+	case "let":
+		p.next()
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("in"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Let{X: x, Rhs: rhs, Body: body}, nil
+	case "if0":
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("then"); err != nil {
+			return nil, err
+		}
+		thn, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("else"); err != nil {
+			return nil, err
+		}
+		els, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return If0{Cond: cond, Then: thn, Else: els}, nil
+	case "fn":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		ty, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("=>"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Lam{Param: x, ParamType: ty, Body: body}, nil
+	default:
+		return p.arith()
+	}
+}
+
+func (p *parser) arith() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().text {
+		case "+":
+			p.next()
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = Bin{Op: OpAdd, L: l, R: r}
+		case "-":
+			p.next()
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = Bin{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) term() (Expr, error) {
+	l, err := p.appExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "*" {
+		p.next()
+		r, err := p.appExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: OpMul, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) appExpr() (Expr, error) {
+	fn, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.startsAtom() {
+		arg, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		fn = App{Fn: fn, Arg: arg}
+	}
+	return fn, nil
+}
+
+func (p *parser) startsAtom() bool {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		return true
+	case tokIdent:
+		return !keywords[t.text] || t.text == "fst" || t.text == "snd"
+	case tokPunct:
+		return t.text == "("
+	default:
+		return false
+	}
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokInt:
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf(t, "bad integer literal %q", t.text)
+		}
+		return IntLit{N: n}, nil
+	case t.text == "fst" || t.text == "snd":
+		e, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		i := 1
+		if t.text == "snd" {
+			i = 2
+		}
+		return Proj{I: i, E: e}, nil
+	case t.kind == tokIdent && !keywords[t.text]:
+		return Var{Name: names.Name(t.text)}, nil
+	case t.text == "(":
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().text == "," {
+			p.next()
+			r, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return Pair{L: e, R: r}, nil
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf(t, "expected an expression, found %q", t.text)
+	}
+}

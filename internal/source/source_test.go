@@ -1,0 +1,218 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustRunInt(t *testing.T, src string) int {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := CheckProgram(p); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var ev Evaluator
+	n, err := ev.RunInt(p)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return n
+}
+
+func TestParseAndEvalArith(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5}, // left assoc
+		{"let x = 21 in x + x", 42},
+		{"if0 0 then 1 else 2", 1},
+		{"if0 5 then 1 else 2", 2},
+		{"fst (1, 2) + snd (3, 4)", 5},
+		{"fst (fst ((1, 2), 3))", 1},
+		{"(fn (x : int) => x * x) 6", 36},
+		{"let f = fn (x : int) => x + 1 in f (f 40)", 42},
+	}
+	for _, c := range cases {
+		if got := mustRunInt(t, c.src); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestTopLevelRecursion(t *testing.T) {
+	src := `
+fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)
+do fact 6
+`
+	if got := mustRunInt(t, src); got != 720 {
+		t.Errorf("fact 6 = %d, want 720", got)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	src := `
+fun even (n : int) : int = if0 n then 1 else odd (n - 1)
+fun odd (n : int) : int = if0 n then 0 else even (n - 1)
+do even 10 + odd 10 * 100
+`
+	if got := mustRunInt(t, src); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+}
+
+func TestHigherOrder(t *testing.T) {
+	src := `
+fun twice (f : int -> int) : int -> int = fn (x : int) => f (f x)
+do (twice (fn (y : int) => y + 3)) 10
+`
+	if got := mustRunInt(t, src); got != 16 {
+		t.Errorf("got %d, want 16", got)
+	}
+}
+
+func TestClosuresCaptureEnvironment(t *testing.T) {
+	src := `
+let a = 100 in
+let add = fn (x : int) => fn (y : int) => x + y in
+(add a) 23
+`
+	if got := mustRunInt(t, src); got != 123 {
+		t.Errorf("got %d, want 123", got)
+	}
+}
+
+func TestPairsOfFunctions(t *testing.T) {
+	src := `
+let p = (fn (x : int) => x + 1, fn (x : int) => x * 2) in
+(fst p) ((snd p) 10)
+`
+	if got := mustRunInt(t, src); got != 21 {
+		t.Errorf("got %d, want 21", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"let x = in 3",
+		"if0 1 then 2",
+		"fun f (x : int) : int",
+		"(1, 2",
+		"1 +",
+		"fn (x) => x",
+		"@",
+		"1 2 3 )",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	bad := []string{
+		"x",                                    // unbound
+		"1 1",                                  // apply non-function
+		"fst 1",                                // project non-pair
+		"(fn (x : int) => x) (1, 2)",           // argument mismatch
+		"if0 (1, 2) then 1 else 2",             // non-int condition
+		"if0 0 then 1 else (1, 2)",             // branch mismatch
+		"1 + (2, 3)",                           // arithmetic on pair
+		"fun f (x : int) : int = (x, x)\ndo 0", // wrong declared result
+		"fun f (x : int) : int = y\ndo 0",      // open body
+		"fun f (x : int) : int = x\nfun f (x : int) : int = x\ndo 0", // dup
+	}
+	for _, src := range bad {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v (should parse, fail in checker)", src, err)
+			continue
+		}
+		if _, err := CheckProgram(p); err == nil {
+			t.Errorf("CheckProgram(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCheckInfersTypes(t *testing.T) {
+	p := MustParse("(1, fn (x : int) => (x, x))")
+	ty, err := CheckProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ProdT{L: IntT{}, R: FnT{Dom: IntT{}, Cod: ProdT{L: IntT{}, R: IntT{}}}}
+	if !TypeEqual(ty, want) {
+		t.Errorf("inferred %s, want %s", ty, want)
+	}
+}
+
+func TestLocalsShadowTopLevel(t *testing.T) {
+	src := `
+fun f (x : int) : int = x + 1
+do let f = fn (x : int) => x * 10 in f 4
+`
+	if got := mustRunInt(t, src); got != 40 {
+		t.Errorf("got %d, want 40 (local f must shadow top-level)", got)
+	}
+}
+
+func TestEvalFuel(t *testing.T) {
+	src := `
+fun loop (n : int) : int = loop n
+do loop 0
+`
+	p := MustParse(src)
+	ev := Evaluator{Fuel: 1000}
+	if _, err := ev.RunInt(p); err != ErrFuel {
+		t.Errorf("expected ErrFuel, got %v", err)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	src := `
+fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)
+do fact 5
+`
+	p := MustParse(src)
+	printed := p.String()
+	p2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of %q failed: %v", printed, err)
+	}
+	var ev Evaluator
+	n1, err := ev.RunInt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev2 Evaluator
+	n2, err := ev2.RunInt(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Errorf("round-trip changed result: %d vs %d", n1, n2)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "-- a comment\n1 + 1 -- trailing\n"
+	if got := mustRunInt(t, src); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+}
+
+func TestProgramSize(t *testing.T) {
+	p := MustParse("let x = 1 in x + x")
+	if got := ProgramSize(p); got != 5 {
+		t.Errorf("ProgramSize = %d, want 5", got)
+	}
+	if !strings.Contains(p.String(), "let x = 1") {
+		t.Errorf("String() = %q", p.String())
+	}
+}

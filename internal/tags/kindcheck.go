@@ -1,0 +1,112 @@
+package tags
+
+import (
+	"fmt"
+
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+)
+
+// KindEnv is the tag-variable environment Θ mapping tag variables to kinds.
+type KindEnv map[names.Name]kinds.Kind
+
+// Extend returns a copy of Θ with t : κ added.
+func (e KindEnv) Extend(t names.Name, k kinds.Kind) KindEnv {
+	out := make(KindEnv, len(e)+1)
+	for n, kk := range e {
+		out[n] = kk
+	}
+	out[t] = k
+	return out
+}
+
+// KindError reports a kinding failure for a tag.
+type KindError struct {
+	Tag Tag
+	Msg string
+}
+
+func (e *KindError) Error() string {
+	return fmt.Sprintf("tags: ill-kinded tag %s: %s", e.Tag, e.Msg)
+}
+
+func kindErr(t Tag, format string, args ...any) error {
+	return &KindError{Tag: t, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Check implements the kinding judgment Θ ⊢ τ : κ (paper Fig. 6, tag
+// column), returning the kind of t.
+func Check(env KindEnv, t Tag) (kinds.Kind, error) {
+	switch t := t.(type) {
+	case Var:
+		k, ok := env[t.Name]
+		if !ok {
+			return nil, kindErr(t, "unbound tag variable %s", t.Name)
+		}
+		return k, nil
+	case Int:
+		return kinds.Omega{}, nil
+	case Prod:
+		if err := checkOmega(env, t.L); err != nil {
+			return nil, err
+		}
+		if err := checkOmega(env, t.R); err != nil {
+			return nil, err
+		}
+		return kinds.Omega{}, nil
+	case Code:
+		for _, a := range t.Args {
+			if err := checkOmega(env, a); err != nil {
+				return nil, err
+			}
+		}
+		return kinds.Omega{}, nil
+	case Exist:
+		// The paper's rule binds t at kind Ω (existentials hide complete
+		// tags; analysis of quantified types recovers the Ω→Ω function).
+		if err := checkOmega(env.Extend(t.Bound, kinds.Omega{}), t.Body); err != nil {
+			return nil, err
+		}
+		return kinds.Omega{}, nil
+	case Lam:
+		if err := checkOmega(env.Extend(t.Param, kinds.Omega{}), t.Body); err != nil {
+			return nil, err
+		}
+		return kinds.OmegaToOmega, nil
+	case App:
+		fk, err := Check(env, t.Fn)
+		if err != nil {
+			return nil, err
+		}
+		arrow, ok := fk.(kinds.Arrow)
+		if !ok {
+			return nil, kindErr(t, "application head has kind %s, want an arrow", fk)
+		}
+		ak, err := Check(env, t.Arg)
+		if err != nil {
+			return nil, err
+		}
+		if !arrow.From.Equal(ak) {
+			return nil, kindErr(t, "argument kind %s does not match domain %s", ak, arrow.From)
+		}
+		return arrow.To, nil
+	default:
+		panic(fmt.Sprintf("tags: unknown tag %T", t))
+	}
+}
+
+func checkOmega(env KindEnv, t Tag) error {
+	k, err := Check(env, t)
+	if err != nil {
+		return err
+	}
+	if !k.Equal(kinds.Omega{}) {
+		return kindErr(t, "has kind %s, want Ω", k)
+	}
+	return nil
+}
+
+// WellKinded reports whether t has kind Ω under Θ.
+func WellKinded(env KindEnv, t Tag) bool {
+	return checkOmega(env, t) == nil
+}

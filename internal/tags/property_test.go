@@ -1,0 +1,271 @@
+package tags
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"psgc/internal/kinds"
+	"psgc/internal/names"
+)
+
+// genTag is a quick.Generator wrapper producing random well-kinded tags
+// of kind Ω under the environment {t:Ω, s:Ω, te:Ω→Ω}.
+type genTag struct {
+	Tag Tag
+}
+
+var propEnv = KindEnv{"t": kinds.Omega{}, "s": kinds.Omega{}, "te": kinds.OmegaToOmega}
+
+func (genTag) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(genTag{Tag: randomTag(r, 5)})
+}
+
+// randomTag produces a well-kinded (under propEnv) tag of kind Ω, with
+// β-redexes sprinkled in so normalization has work to do.
+func randomTag(r *rand.Rand, depth int) Tag {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Int{}
+		case 1:
+			return Var{Name: "t"}
+		default:
+			return Var{Name: "s"}
+		}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return Int{}
+	case 1:
+		return Prod{L: randomTag(r, depth-1), R: randomTag(r, depth-1)}
+	case 2:
+		return Code{Args: []Tag{randomTag(r, depth-1)}}
+	case 3:
+		return Exist{Bound: "u", Body: randomTagOpen(r, depth-1, "u")}
+	case 4:
+		// A β-redex: (λu.body) arg.
+		return App{
+			Fn:  Lam{Param: "u", Body: randomTagOpen(r, depth-1, "u")},
+			Arg: randomTag(r, depth-1),
+		}
+	case 5:
+		// Application of the abstract tag function te.
+		return App{Fn: Var{Name: "te"}, Arg: randomTag(r, depth-1)}
+	default:
+		return Var{Name: "t"}
+	}
+}
+
+// randomTagOpen is randomTag with one extra Ω variable in scope.
+func randomTagOpen(r *rand.Rand, depth int, extra names.Name) Tag {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return Var{Name: extra}
+	}
+	return randomTag(r, depth)
+}
+
+// Property (Prop. 6.1): every random reduction sequence of a well-kinded
+// tag terminates, and the result is the β-normal form.
+func TestStrongNormalizationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		tag := randomTag(r, 5)
+		if !WellKinded(propEnv, tag) {
+			t.Fatalf("generator produced ill-kinded tag %s", tag)
+		}
+		cur := tag
+		for steps := 0; ; steps++ {
+			if steps > 10000 {
+				t.Fatalf("reduction of %s did not terminate", tag)
+			}
+			next, ok := Step(cur)
+			if !ok {
+				break
+			}
+			cur = next
+		}
+		nf, err := Normalize(tag)
+		if err != nil {
+			t.Fatalf("Normalize(%s): %v", tag, err)
+		}
+		if !Equal(cur, nf) {
+			t.Fatalf("stepwise normal form %s differs from Normalize's %s", cur, nf)
+		}
+	}
+}
+
+// randomStep performs one β-step at a randomly chosen redex (by walking
+// with random branch order), returning the tag unchanged when normal.
+func randomStep(r *rand.Rand, t Tag) (Tag, bool) {
+	switch t := t.(type) {
+	case Var, Int:
+		return t, false
+	case Prod:
+		first := r.Intn(2) == 0
+		if first {
+			if l, ok := randomStep(r, t.L); ok {
+				return Prod{L: l, R: t.R}, true
+			}
+			if rr, ok := randomStep(r, t.R); ok {
+				return Prod{L: t.L, R: rr}, true
+			}
+		} else {
+			if rr, ok := randomStep(r, t.R); ok {
+				return Prod{L: t.L, R: rr}, true
+			}
+			if l, ok := randomStep(r, t.L); ok {
+				return Prod{L: l, R: t.R}, true
+			}
+		}
+		return t, false
+	case Code:
+		for _, i := range r.Perm(len(t.Args)) {
+			if a, ok := randomStep(r, t.Args[i]); ok {
+				args := append([]Tag(nil), t.Args...)
+				args[i] = a
+				return Code{Args: args}, true
+			}
+		}
+		return t, false
+	case Exist:
+		if b, ok := randomStep(r, t.Body); ok {
+			return Exist{Bound: t.Bound, Body: b}, true
+		}
+		return t, false
+	case Lam:
+		if b, ok := randomStep(r, t.Body); ok {
+			return Lam{Param: t.Param, Body: b}, true
+		}
+		return t, false
+	case App:
+		// Sometimes reduce inside first, sometimes fire the redex.
+		if lam, isRedex := t.Fn.(Lam); isRedex && r.Intn(2) == 0 {
+			return Subst(lam.Body, lam.Param, t.Arg), true
+		}
+		if f, ok := randomStep(r, t.Fn); ok {
+			return App{Fn: f, Arg: t.Arg}, true
+		}
+		if a, ok := randomStep(r, t.Arg); ok {
+			return App{Fn: t.Fn, Arg: a}, true
+		}
+		if lam, isRedex := t.Fn.(Lam); isRedex {
+			return Subst(lam.Body, lam.Param, t.Arg), true
+		}
+		return t, false
+	default:
+		panic("unknown tag")
+	}
+}
+
+// Property (Prop. 6.2): two independent random reduction strategies reach
+// α-equal normal forms (confluence on well-kinded tags).
+func TestConfluenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	reduceRandomly := func(tag Tag) Tag {
+		cur := tag
+		for steps := 0; steps < 10000; steps++ {
+			next, ok := randomStep(r, cur)
+			if !ok {
+				return cur
+			}
+			cur = next
+		}
+		t.Fatalf("random reduction of %s did not terminate", tag)
+		return nil
+	}
+	for i := 0; i < 300; i++ {
+		tag := randomTag(r, 5)
+		a := reduceRandomly(tag)
+		b := reduceRandomly(tag)
+		if !Equal(a, b) {
+			t.Fatalf("confluence violated for %s:\n  %s\nvs\n  %s", tag, a, b)
+		}
+	}
+}
+
+// Property: normalization commutes with substitution of normal closed
+// tags — NF(t[s/x]) = NF(NF(t)[s/x]) (the substitution lemma's working
+// core, used by the typecase refinement rules).
+func TestNormalizeSubstCommute(t *testing.T) {
+	f := func(g1, g2 genTag) bool {
+		tag, repl := g1.Tag, g2.Tag
+		replNF, err := Normalize(repl)
+		if err != nil {
+			return false
+		}
+		left, err1 := Normalize(Subst(tag, "t", replNF))
+		nfTag, err2 := Normalize(tag)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		right, err := Normalize(Subst(nfTag, "t", replNF))
+		if err != nil {
+			return false
+		}
+		return Equal(left, right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: substitution for a variable not free in the tag is the
+// identity (up to α-equivalence).
+func TestSubstNonFreeIdentity(t *testing.T) {
+	f := func(g genTag) bool {
+		tag := g.Tag
+		out := Subst(tag, "zz", Int{})
+		return Equal(tag, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SubstAllClosed agrees with SubstAll on closed replacements.
+func TestClosedSubstAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		tag := randomTag(r, 5)
+		// Closed replacements only.
+		sub := map[names.Name]Tag{
+			"t": Prod{L: Int{}, R: Int{}},
+			"s": Int{},
+		}
+		a := SubstAll(tag, sub)
+		b := SubstAllClosed(tag, sub)
+		if !Equal(a, b) {
+			t.Fatalf("closed substitution diverges on %s:\n  %s\nvs\n  %s", tag, a, b)
+		}
+	}
+}
+
+// Property: kinding is preserved by β-steps (subject reduction at the
+// tag level).
+func TestStepPreservesKind(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for i := 0; i < 300; i++ {
+		tag := randomTag(r, 5)
+		k1, err := Check(propEnv, tag)
+		if err != nil {
+			t.Fatalf("ill-kinded generator output: %v", err)
+		}
+		cur := tag
+		for {
+			next, ok := Step(cur)
+			if !ok {
+				break
+			}
+			cur = next
+			k2, err := Check(propEnv, cur)
+			if err != nil {
+				t.Fatalf("kind lost after step: %s: %v", cur, err)
+			}
+			if !k1.Equal(k2) {
+				t.Fatalf("kind changed from %s to %s", k1, k2)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package psgc is a Go reproduction of "Principled Scavenging" (Monnier,
+// Saha, Shao; PLDI 2001): provably type-safe stop-and-copy garbage
+// collectors built from a region calculus plus intensional type analysis.
+//
+// The package compiles a simply-typed functional source language through
+// CPS conversion and typed closure conversion into λCLOS, then translates
+// it into the region-and-tag language λGC, linking it against one of three
+// collectors written as λGC terms and verified by λGC's own typechecker:
+//
+//	Basic        — the stop-and-copy collector of Fig. 12
+//	Forwarding   — the sharing-preserving collector of Fig. 9 (λGCforw)
+//	Generational — the minor/major collector pair of Fig. 11/§8 (λGCgen)
+//
+// Programs run on an abstract machine implementing the paper's allocation
+// semantics over explicit regions; Run reports the observable result plus
+// memory and collection statistics. Ghost mode additionally maintains the
+// memory type Ψ and re-checks machine-state well-formedness after every
+// step — the executable counterpart of the paper's type-preservation
+// theorem.
+package psgc
+
+import (
+	"fmt"
+
+	"psgc/internal/clos"
+	"psgc/internal/closconv"
+	"psgc/internal/collector"
+	"psgc/internal/cps"
+	"psgc/internal/gclang"
+	"psgc/internal/regions"
+	"psgc/internal/source"
+	"psgc/internal/translate"
+)
+
+// Collector selects which type-safe collector the program is linked with.
+type Collector int
+
+// The three collectors of the paper.
+const (
+	Basic Collector = iota
+	Forwarding
+	Generational
+)
+
+func (c Collector) String() string {
+	switch c {
+	case Basic:
+		return "basic"
+	case Forwarding:
+		return "forwarding"
+	case Generational:
+		return "generational"
+	default:
+		return fmt.Sprintf("Collector(%d)", int(c))
+	}
+}
+
+// Dialect returns the λGC dialect the collector is written in.
+func (c Collector) Dialect() gclang.Dialect {
+	switch c {
+	case Forwarding:
+		return gclang.Forw
+	case Generational:
+		return gclang.Gen
+	default:
+		return gclang.Base
+	}
+}
+
+// Compiled is a λGC program linked with a collector, ready to run.
+type Compiled struct {
+	Collector Collector
+	// Prog is the elaborated (typechecked) λGC program.
+	Prog gclang.Program
+	// Source and Clos expose the intermediate programs for inspection.
+	Source source.Program
+	Clos   clos.Program
+
+	entries map[regions.Addr]bool
+}
+
+// Compile parses, typechecks and compiles a source program, linking it
+// with the chosen collector. The resulting λGC program — collector
+// included — is verified by the λGC typechecker; a failure there is a bug
+// in this library, never in the user program.
+func Compile(src string, col Collector) (*Compiled, error) {
+	p, err := source.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(p, col)
+}
+
+// CompileProgram is Compile for an already parsed source program.
+func CompileProgram(p source.Program, col Collector) (*Compiled, error) {
+	cp, err := cps.Convert(p)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := closconv.Convert(cp)
+	if err != nil {
+		return nil, err
+	}
+	l := &collector.Layout{}
+	opts := translate.Options{Dialect: col.Dialect()}
+	entries := map[regions.Addr]bool{}
+	switch col {
+	case Basic:
+		b := collector.BuildBasic(l)
+		opts.GC = l.Addr(b.GC)
+		entries[opts.GC.Addr] = true
+	case Forwarding:
+		f := collector.BuildForw(l)
+		opts.GC = l.Addr(f.GC)
+		entries[opts.GC.Addr] = true
+	case Generational:
+		g := collector.BuildGen(l)
+		opts.Minor = l.Addr(g.Minor)
+		opts.Major = l.Addr(g.Major)
+		entries[opts.Minor.Addr] = true
+		entries[opts.Major.Addr] = true
+	default:
+		return nil, fmt.Errorf("psgc: unknown collector %v", col)
+	}
+	gp, err := translate.Translate(lp, l, opts)
+	if err != nil {
+		return nil, err
+	}
+	checker := &gclang.Checker{Dialect: col.Dialect()}
+	elab, _, err := checker.CheckProgram(gp)
+	if err != nil {
+		return nil, fmt.Errorf("psgc: internal error: compiled program does not typecheck: %w", err)
+	}
+	return &Compiled{Collector: col, Prog: elab, Source: p, Clos: lp, entries: entries}, nil
+}
+
+// RunOptions configures an execution.
+type RunOptions struct {
+	// Capacity is the per-region cell count at which ifgc reports a
+	// region full and a collection is triggered. Zero disables collection
+	// entirely (regions never fill).
+	Capacity int
+	// FixedCapacity disables the survivor-driven heap growth policy.
+	// With a fixed capacity, a program whose live set reaches the
+	// capacity collects at every function entry and may never finish —
+	// useful only for experiments that control live size.
+	FixedCapacity bool
+	// Fuel bounds the number of machine steps (default 50 million).
+	Fuel int
+	// Ghost maintains the memory type Ψ during execution, enabling
+	// CheckEveryStep and post-mortem state inspection. Slower.
+	Ghost bool
+	// CheckEveryStep re-verifies machine-state well-formedness after
+	// every transition (requires Ghost). Very slow; used by the
+	// soundness test-suite.
+	CheckEveryStep bool
+}
+
+// Result reports an execution's outcome.
+type Result struct {
+	// Value is the program's integer result.
+	Value int
+	// Steps is the number of machine transitions taken.
+	Steps int
+	// Collections is the number of collector invocations (minor and
+	// major both count for the generational collector).
+	Collections int
+	// Stats are the memory-traffic counters.
+	Stats regions.Stats
+	// LiveCells is the number of live non-code cells at halt.
+	LiveCells int
+}
+
+// DefaultFuel is the default machine step budget.
+const DefaultFuel = 50_000_000
+
+// NewMachine loads the compiled program into a fresh machine. Most
+// callers want Run; NewMachine is for stepping or inspecting states.
+func (c *Compiled) NewMachine(opts RunOptions) *gclang.Machine {
+	m := gclang.NewMachine(c.Collector.Dialect(), c.Prog, opts.Capacity)
+	m.Mem.AutoGrow = !opts.FixedCapacity
+	m.Ghost = opts.Ghost || opts.CheckEveryStep
+	return m
+}
+
+// Run executes the compiled program.
+func (c *Compiled) Run(opts RunOptions) (Result, error) {
+	m := c.NewMachine(opts)
+	fuel := opts.Fuel
+	if fuel == 0 {
+		fuel = DefaultFuel
+	}
+	collections := 0
+	for !m.Halted {
+		if fuel <= 0 {
+			return Result{}, fmt.Errorf("psgc: out of fuel after %d steps", m.Steps)
+		}
+		fuel--
+		// A term about to invoke a collector entry point is a collection.
+		if app, ok := m.Term.(gclang.AppT); ok {
+			if a, ok := app.Fn.(gclang.AddrV); ok && c.entries[a.Addr] {
+				collections++
+			}
+		}
+		if err := m.Step(); err != nil {
+			return Result{}, err
+		}
+		if opts.CheckEveryStep {
+			if err := m.CheckState(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	n, ok := m.Result.(gclang.Num)
+	if !ok {
+		return Result{}, fmt.Errorf("psgc: program halted with non-integer %s", m.Result)
+	}
+	return Result{
+		Value:       n.N,
+		Steps:       m.Steps,
+		Collections: collections,
+		Stats:       m.Mem.Stats,
+		LiveCells:   m.Mem.LiveCells(),
+	}, nil
+}
+
+// Interpret runs the source program directly on the reference evaluator
+// (no regions, no collector) — the semantics the compiled pipeline must
+// preserve.
+func Interpret(src string) (int, error) {
+	p, err := source.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := source.CheckProgram(p); err != nil {
+		return 0, err
+	}
+	var ev source.Evaluator
+	return ev.RunInt(p)
+}
