@@ -1,0 +1,124 @@
+package psgc
+
+// Tests for the verified-collector cache and the concurrency guarantees
+// the service layer depends on: one typecheck per dialect per process,
+// cached and cold compiles agreeing, concurrent Run on a shared Compiled
+// (exercised under -race), and partial results on fuel exhaustion.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"psgc/internal/collector"
+	"psgc/internal/source"
+)
+
+// TestCollectorTypecheckedOncePerDialect drives several compiles per
+// collector — concurrently, to also exercise the sync.Once path — and
+// asserts the collector build-and-verify ran exactly once per dialect.
+func TestCollectorTypecheckedOncePerDialect(t *testing.T) {
+	var wg sync.WaitGroup
+	for _, col := range allCollectors {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(col Collector) {
+				defer wg.Done()
+				if _, err := Compile(allocHeavy, col); err != nil {
+					t.Errorf("%v: compile: %v", col, err)
+				}
+			}(col)
+		}
+	}
+	wg.Wait()
+	for _, col := range allCollectors {
+		if n := collector.Typechecks(col.Dialect()); n != 1 {
+			t.Errorf("%v: collector typechecked %d times, want exactly 1", col, n)
+		}
+	}
+}
+
+// TestCachedCompileMatchesCold asserts the cached compile path produces a
+// program with the same shape and behavior as the original uncached path.
+func TestCachedCompileMatchesCold(t *testing.T) {
+	for _, col := range allCollectors {
+		p := source.MustParse(allocHeavy)
+		warm, err := CompileProgram(p, col)
+		if err != nil {
+			t.Fatalf("%v: cached compile: %v", col, err)
+		}
+		cold, err := compileProgramCold(p, col)
+		if err != nil {
+			t.Fatalf("%v: cold compile: %v", col, err)
+		}
+		if len(warm.Prog.Code) != len(cold.Prog.Code) {
+			t.Fatalf("%v: cached compile has %d code blocks, cold has %d",
+				col, len(warm.Prog.Code), len(cold.Prog.Code))
+		}
+		wres, err := warm.Run(RunOptions{Capacity: 40})
+		if err != nil {
+			t.Fatalf("%v: cached run: %v", col, err)
+		}
+		cres, err := cold.Run(RunOptions{Capacity: 40})
+		if err != nil {
+			t.Fatalf("%v: cold run: %v", col, err)
+		}
+		if wres != cres {
+			t.Errorf("%v: cached result %+v, cold result %+v", col, wres, cres)
+		}
+	}
+}
+
+// TestConcurrentRunSharedCompiled runs one Compiled from many goroutines
+// simultaneously. Run under -race this asserts Compiled is truly immutable
+// after compilation — the property the service's compiled-program cache
+// needs to hand one *Compiled to every worker.
+func TestConcurrentRunSharedCompiled(t *testing.T) {
+	for _, col := range allCollectors {
+		c, err := Compile(allocHeavy, col)
+		if err != nil {
+			t.Fatalf("%v: compile: %v", col, err)
+		}
+		want, err := Interpret(allocHeavy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const goroutines = 8
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func(ghost bool) {
+				defer wg.Done()
+				res, err := c.Run(RunOptions{Capacity: 40, Ghost: ghost})
+				if err != nil {
+					t.Errorf("%v: concurrent run: %v", col, err)
+					return
+				}
+				if res.Value != want {
+					t.Errorf("%v: concurrent run got %d, want %d", col, res.Value, want)
+				}
+			}(i%2 == 0)
+		}
+		wg.Wait()
+	}
+}
+
+// TestRunOutOfFuelPartialResult asserts the fuel-exhausted path still
+// reports the partial execution — the diagnostics the service returns for
+// deadline-killed requests.
+func TestRunOutOfFuelPartialResult(t *testing.T) {
+	c, err := Compile(allocHeavy, Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(RunOptions{Capacity: 40, Fuel: 50})
+	if !errors.Is(err, ErrOutOfFuel) {
+		t.Fatalf("run with tiny fuel: err = %v, want ErrOutOfFuel", err)
+	}
+	if res.Steps != 50 {
+		t.Errorf("partial result reports %d steps, want 50", res.Steps)
+	}
+	if res.Stats.Puts == 0 {
+		t.Errorf("partial result has empty memory stats")
+	}
+}

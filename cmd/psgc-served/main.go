@@ -1,0 +1,90 @@
+// Command psgc-served serves the certified-GC compile-and-run pipeline
+// over HTTP: a bounded worker pool in front of psgc.Compile / Run /
+// Interpret, with a compiled-program LRU and the process-wide
+// verified-collector cache behind it. See internal/service and the
+// "Compile-and-run service" section of README.md for the endpoints and
+// request/response JSON.
+//
+// Usage:
+//
+//	psgc-served [flags]
+//
+// Flags:
+//
+//	-addr :8372           listen address
+//	-workers N            worker pool size (default 4)
+//	-queue N              queue depth before load-shedding with 429 (default 64)
+//	-cache N              compiled-program LRU entries (default 128)
+//	-capacity N           default region capacity for /run (default 64)
+//	-fuel N               default machine step budget (default 50M)
+//	-steps-per-ms N       deadline_ms -> fuel conversion rate (default 25000)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"psgc"
+	"psgc/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psgc-served: ")
+
+	var (
+		addr        = flag.String("addr", ":8372", "listen address")
+		workers     = flag.Int("workers", 4, "worker pool size")
+		queue       = flag.Int("queue", 64, "queue depth before requests are shed with 429")
+		cacheSize   = flag.Int("cache", 128, "compiled-program LRU capacity (entries)")
+		capacity    = flag.Int("capacity", 64, "default region capacity for /run")
+		fuel        = flag.Int("fuel", psgc.DefaultFuel, "default machine step budget")
+		stepsPerMs  = flag.Int("steps-per-ms", 25_000, "fuel granted per millisecond of request deadline")
+		drainWindow = flag.Duration("drain", 30*time.Second, "graceful shutdown window")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheSize:     *cacheSize,
+		Capacity:      *capacity,
+		DefaultFuel:   *fuel,
+		StepsPerMilli: *stepsPerMs,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	log.Printf("listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queue, *cacheSize)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (%s drain window)", *drainWindow)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Printf("worker pool shutdown: %v", err)
+	}
+}

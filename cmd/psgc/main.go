@@ -21,7 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"psgc"
@@ -31,43 +31,54 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("psgc: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the command dispatch, factored out of main so tests can drive the
+// CLI end to end. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psgc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		gcName   = flag.String("gc", "basic", "collector: basic, forwarding, or generational")
-		capacity = flag.Int("capacity", 64, "region capacity at which ifgc triggers a collection (0 disables)")
-		fixed    = flag.Bool("fixed", false, "disable the survivor-driven heap growth policy")
-		check    = flag.Bool("check", false, "re-check machine-state well-formedness after every step (slow)")
-		stats    = flag.Bool("stats", false, "print memory statistics")
-		show     = flag.String("show", "", "print an intermediate form (source, cps, clos, gc) and exit")
-		expr     = flag.String("e", "", "inline program text instead of a file")
-		interp   = flag.Bool("interp", false, "run the reference evaluator (no regions, no GC)")
+		gcName   = fs.String("gc", "basic", "collector: basic, forwarding, or generational")
+		capacity = fs.Int("capacity", 64, "region capacity at which ifgc triggers a collection (0 disables)")
+		fixed    = fs.Bool("fixed", false, "disable the survivor-driven heap growth policy")
+		check    = fs.Bool("check", false, "re-check machine-state well-formedness after every step (slow)")
+		stats    = fs.Bool("stats", false, "print memory statistics")
+		show     = fs.String("show", "", "print an intermediate form (source, cps, clos, gc) and exit")
+		expr     = fs.String("e", "", "inline program text instead of a file")
+		interp   = fs.Bool("interp", false, "run the reference evaluator (no regions, no GC)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "psgc: %v\n", err)
+		return 1
+	}
 
 	var src string
 	switch {
 	case *expr != "":
 		src = *expr
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		src = string(data)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	if *interp {
 		n, err := psgc.Interpret(src)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		fmt.Println(n)
-		return
+		fmt.Fprintln(stdout, n)
+		return 0
 	}
 
 	var col psgc.Collector
@@ -79,17 +90,19 @@ func main() {
 	case "generational":
 		col = psgc.Generational
 	default:
-		log.Fatalf("unknown collector %q (want basic, forwarding, or generational)", *gcName)
+		return fail(fmt.Errorf("unknown collector %q (want basic, forwarding, or generational)", *gcName))
 	}
 
 	if *show != "" {
-		showForm(src, col, *show)
-		return
+		if err := showForm(stdout, src, col, *show); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	compiled, err := psgc.Compile(src, col)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	res, err := compiled.Run(psgc.RunOptions{
 		Capacity:       *capacity,
@@ -97,54 +110,56 @@ func main() {
 		CheckEveryStep: *check,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Println(res.Value)
+	fmt.Fprintln(stdout, res.Value)
 	if *stats {
-		fmt.Fprintf(os.Stderr, "collector:   %s\n", col)
-		fmt.Fprintf(os.Stderr, "steps:       %d\n", res.Steps)
-		fmt.Fprintf(os.Stderr, "collections: %d\n", res.Collections)
-		fmt.Fprintf(os.Stderr, "puts:        %d\n", res.Stats.Puts)
-		fmt.Fprintf(os.Stderr, "reclaimed:   %d cells in %d regions\n",
+		fmt.Fprintf(stderr, "collector:   %s\n", col)
+		fmt.Fprintf(stderr, "steps:       %d\n", res.Steps)
+		fmt.Fprintf(stderr, "collections: %d\n", res.Collections)
+		fmt.Fprintf(stderr, "puts:        %d\n", res.Stats.Puts)
+		fmt.Fprintf(stderr, "reclaimed:   %d cells in %d regions\n",
 			res.Stats.CellsReclaimed, res.Stats.RegionsReclaimed)
-		fmt.Fprintf(os.Stderr, "max live:    %d cells\n", res.Stats.MaxLiveCells)
+		fmt.Fprintf(stderr, "max live:    %d cells\n", res.Stats.MaxLiveCells)
 	}
+	return 0
 }
 
-func showForm(src string, col psgc.Collector, form string) {
+func showForm(stdout io.Writer, src string, col psgc.Collector, form string) error {
 	p, err := source.Parse(src)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	switch form {
 	case "source":
-		fmt.Println(p)
+		fmt.Fprintln(stdout, p)
 	case "cps":
 		cp, err := cps.Convert(p)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(cp)
+		fmt.Fprintln(stdout, cp)
 	case "clos":
 		cp, err := cps.Convert(p)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		lp, err := closconv.Convert(cp)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(lp)
+		fmt.Fprintln(stdout, lp)
 	case "gc":
 		compiled, err := psgc.CompileProgram(p, col)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for i, nf := range compiled.Prog.Code {
-			fmt.Printf("-- cd.%d: %s\n%s\n\n", i, nf.Name, nf.Fun)
+			fmt.Fprintf(stdout, "-- cd.%d: %s\n%s\n\n", i, nf.Name, nf.Fun)
 		}
-		fmt.Printf("-- main\n%s\n", compiled.Prog.Main)
+		fmt.Fprintf(stdout, "-- main\n%s\n", compiled.Prog.Main)
 	default:
-		log.Fatalf("unknown form %q (want source, cps, clos, or gc)", form)
+		return fmt.Errorf("unknown form %q (want source, cps, clos, or gc)", form)
 	}
+	return nil
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const factorial = "fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\ndo fact 6"
+
+// runCLI drives the command dispatch and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestRunInlineExpr(t *testing.T) {
+	for _, gc := range []string{"basic", "forwarding", "generational"} {
+		code, out, errOut := runCLI(t, "-gc", gc, "-capacity", "40", "-e", factorial)
+		if code != 0 {
+			t.Fatalf("-gc %s: exit %d, stderr %q", gc, code, errOut)
+		}
+		if strings.TrimSpace(out) != "720" {
+			t.Errorf("-gc %s: output %q, want 720", gc, out)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fact.src")
+	if err := os.WriteFile(path, []byte(factorial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if strings.TrimSpace(out) != "720" {
+		t.Errorf("output %q, want 720", out)
+	}
+}
+
+func TestInterp(t *testing.T) {
+	code, out, _ := runCLI(t, "-interp", "-e", "1 + 2 * 3")
+	if code != 0 || strings.TrimSpace(out) != "7" {
+		t.Errorf("exit %d output %q, want 0 and 7", code, out)
+	}
+}
+
+func TestStats(t *testing.T) {
+	code, out, errOut := runCLI(t, "-stats", "-capacity", "40", "-e",
+		"fun build (n : int) : int =\n  if0 n then 0\n  else let p = (n, (n, n)) in fst p + build (n - 1)\ndo build 30")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if strings.TrimSpace(out) == "" {
+		t.Errorf("no result printed")
+	}
+	for _, want := range []string{"collector:", "steps:", "collections:", "max live:"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stats output missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
+// TestCheckedRun exercises -check (the per-step well-formedness re-check)
+// on a small program.
+func TestCheckedRun(t *testing.T) {
+	code, out, errOut := runCLI(t, "-check", "-capacity", "32", "-e", "fun f (n : int) : int = if0 n then 0 else n + f (n - 1)\ndo f 5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if strings.TrimSpace(out) != "15" {
+		t.Errorf("output %q, want 15", out)
+	}
+}
+
+func TestShowForms(t *testing.T) {
+	for _, form := range []string{"source", "cps", "clos", "gc"} {
+		code, out, errOut := runCLI(t, "-show", form, "-e", factorial)
+		if code != 0 {
+			t.Fatalf("-show %s: exit %d, stderr %q", form, code, errOut)
+		}
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("-show %s printed nothing", form)
+		}
+	}
+	if code, _, _ := runCLI(t, "-show", "nonsense", "-e", factorial); code == 0 {
+		t.Errorf("-show nonsense should fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if code, _, errOut := runCLI(t, "-e", "fun f (x : int) : int = y\ndo 1"); code != 1 || errOut == "" {
+		t.Errorf("ill-typed program: exit %d stderr %q, want 1 and a diagnostic", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "-gc", "marksweep", "-e", "1"); code != 1 {
+		t.Errorf("unknown collector: exit %d, want 1", code)
+	}
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Errorf("no input: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "missing-file.src"); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

@@ -541,6 +541,18 @@ func (c *Checker) checkIfReg(env *Env, e IfRegT) (Term, error) {
 // type Ψcd from the code blocks' annotations, checks every block and the
 // main term, and returns the elaborated program.
 func (c *Checker) CheckProgram(p Program) (Program, MemType, error) {
+	return c.CheckProgramPrefix(p, 0)
+}
+
+// CheckProgramPrefix is CheckProgram for a program whose first trusted
+// code blocks have already been checked and elaborated — the shared
+// verified-collector prefix. Trusted blocks still contribute their code
+// types to Ψcd (so the rest of the program may call into them), but they
+// are copied through unchanged instead of being re-verified.
+func (c *Checker) CheckProgramPrefix(p Program, trusted int) (Program, MemType, error) {
+	if trusted < 0 || trusted > len(p.Code) {
+		return Program{}, nil, fmt.Errorf("gclang: trusted prefix %d out of range [0,%d]", trusted, len(p.Code))
+	}
 	psi := MemType{}
 	for i, nf := range p.Code {
 		params := make([]Type, len(nf.Fun.Params))
@@ -553,6 +565,10 @@ func (c *Checker) CheckProgram(p Program) (Program, MemType, error) {
 	}
 	out := Program{Code: make([]NamedFun, len(p.Code)), Main: p.Main}
 	for i, nf := range p.Code {
+		if i < trusted {
+			out.Code[i] = nf
+			continue
+		}
 		env := NewEnv(psi)
 		if _, err := c.SynthValue(env, nf.Fun); err != nil {
 			return Program{}, nil, fmt.Errorf("code block %s: %w", nf.Name, err)

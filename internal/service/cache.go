@@ -1,0 +1,92 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"psgc"
+)
+
+// cacheKey identifies a compiled program: the hash of its source text plus
+// the collector it is linked against.
+type cacheKey struct {
+	hash [sha256.Size]byte
+	col  psgc.Collector
+}
+
+func keyFor(src string, col psgc.Collector) cacheKey {
+	return cacheKey{hash: sha256.Sum256([]byte(src)), col: col}
+}
+
+// SourceHash returns the hex source hash the service reports to clients,
+// so repeat submissions can be correlated with cache behavior.
+func SourceHash(src string) string {
+	h := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(h[:])
+}
+
+// compiledCache is an LRU of ready-to-run compiled programs. A *psgc.Compiled
+// is immutable, so one entry may be handed to any number of concurrent
+// workers; the lock only guards the LRU bookkeeping.
+type compiledCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key      cacheKey
+	compiled *psgc.Compiled
+}
+
+func newCompiledCache(max int) *compiledCache {
+	return &compiledCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached program for the key, marking it most recently
+// used.
+func (c *compiledCache) get(k cacheKey) (*psgc.Compiled, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).compiled, true
+}
+
+// add inserts (or refreshes) an entry, evicting the least recently used
+// entry beyond the capacity. Returns the number of evictions.
+func (c *compiledCache) add(k cacheKey, compiled *psgc.Compiled) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).compiled = compiled
+		return 0
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, compiled: compiled})
+	evicted := 0
+	for c.max > 0 && c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the number of cached programs.
+func (c *compiledCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

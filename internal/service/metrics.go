@@ -1,0 +1,149 @@
+package service
+
+import (
+	"encoding/json"
+	"sync/atomic"
+
+	"psgc/internal/collector"
+	"psgc/internal/gclang"
+)
+
+// Metrics is the service's lightweight metrics registry: atomic counters,
+// gauges, and fixed-bucket latency histograms, rendered as JSON at
+// GET /metrics. It deliberately avoids external metrics dependencies —
+// everything is stdlib atomics.
+type Metrics struct {
+	// Per-endpoint request counters.
+	CompileRequests   atomic.Int64
+	RunRequests       atomic.Int64
+	InterpretRequests atomic.Int64
+
+	// Outcome counters.
+	OK           atomic.Int64 // 2xx responses
+	ClientErrors atomic.Int64 // 4xx responses other than 429
+	ServerErrors atomic.Int64 // 5xx responses
+	Rejected     atomic.Int64 // 429: queue full
+	Deadlines    atomic.Int64 // runs killed by the fuel budget
+	Panics       atomic.Int64 // worker panics converted to 500s
+
+	// Queue and cache state.
+	QueueDepth    atomic.Int64 // jobs waiting or running right now (gauge)
+	QueueHighTide atomic.Int64 // max observed queue depth
+	CacheHits     atomic.Int64 // compiled-program LRU hits
+	CacheMisses   atomic.Int64 // compiled-program LRU misses
+	CacheEvicted  atomic.Int64 // LRU evictions
+
+	// Machine traffic, per collector (indexed by psgc.Collector).
+	MachineSteps [3]atomic.Int64
+	Collections  [3]atomic.Int64
+
+	// Latency histograms.
+	CompileLatency Histogram
+	RunLatency     Histogram
+}
+
+// EnterQueue records a job entering the queue and maintains the high-tide
+// mark.
+func (m *Metrics) EnterQueue() {
+	d := m.QueueDepth.Add(1)
+	for {
+		high := m.QueueHighTide.Load()
+		if d <= high || m.QueueHighTide.CompareAndSwap(high, d) {
+			return
+		}
+	}
+}
+
+// LeaveQueue records a job leaving the queue (done or abandoned).
+func (m *Metrics) LeaveQueue() { m.QueueDepth.Add(-1) }
+
+// histBounds are the histogram bucket upper bounds in milliseconds; the
+// final implicit bucket is +Inf.
+var histBounds = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Histogram is a fixed-bucket latency histogram over milliseconds.
+type Histogram struct {
+	counts [len(histBounds) + 1]atomic.Int64
+	count  atomic.Int64
+	sumUs  atomic.Int64 // sum in microseconds, to keep atomics integral
+}
+
+// Observe records one measurement, in milliseconds.
+func (h *Histogram) Observe(ms float64) {
+	i := 0
+	for i < len(histBounds) && ms > histBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(int64(ms * 1000))
+}
+
+// snapshot renders the histogram for JSON.
+func (h *Histogram) snapshot() map[string]any {
+	buckets := make(map[string]int64, len(histBounds)+1)
+	for i, b := range histBounds {
+		buckets[formatFloat(b)] = h.counts[i].Load()
+	}
+	buckets["+Inf"] = h.counts[len(histBounds)].Load()
+	n := h.count.Load()
+	out := map[string]any{
+		"count":      n,
+		"sum_ms":     float64(h.sumUs.Load()) / 1000,
+		"buckets_ms": buckets,
+	}
+	if n > 0 {
+		out["mean_ms"] = float64(h.sumUs.Load()) / 1000 / float64(n)
+	}
+	return out
+}
+
+func formatFloat(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+// Snapshot renders the whole registry as a JSON-encodable map. The
+// verified-collector typecheck counters come straight from the collector
+// package, making the once-per-process certification observable.
+func (m *Metrics) Snapshot() map[string]any {
+	perCollector := map[string]any{}
+	for i, name := range []string{"basic", "forwarding", "generational"} {
+		perCollector[name] = map[string]int64{
+			"machine_steps": m.MachineSteps[i].Load(),
+			"collections":   m.Collections[i].Load(),
+		}
+	}
+	return map[string]any{
+		"requests": map[string]int64{
+			"compile":   m.CompileRequests.Load(),
+			"run":       m.RunRequests.Load(),
+			"interpret": m.InterpretRequests.Load(),
+		},
+		"responses": map[string]int64{
+			"ok":            m.OK.Load(),
+			"client_errors": m.ClientErrors.Load(),
+			"server_errors": m.ServerErrors.Load(),
+			"rejected":      m.Rejected.Load(),
+			"deadlines":     m.Deadlines.Load(),
+			"panics":        m.Panics.Load(),
+		},
+		"queue": map[string]int64{
+			"depth":     m.QueueDepth.Load(),
+			"high_tide": m.QueueHighTide.Load(),
+		},
+		"compiled_cache": map[string]int64{
+			"hits":    m.CacheHits.Load(),
+			"misses":  m.CacheMisses.Load(),
+			"evicted": m.CacheEvicted.Load(),
+		},
+		"collector_typechecks": map[string]int64{
+			"basic":        collector.Typechecks(gclang.Base),
+			"forwarding":   collector.Typechecks(gclang.Forw),
+			"generational": collector.Typechecks(gclang.Gen),
+		},
+		"per_collector":      perCollector,
+		"compile_latency_ms": m.CompileLatency.snapshot(),
+		"run_latency_ms":     m.RunLatency.snapshot(),
+	}
+}

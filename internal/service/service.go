@@ -1,0 +1,536 @@
+// Package service turns the certified-GC compile-and-run pipeline into a
+// long-lived concurrent HTTP service — the first scaling step of the
+// ROADMAP's production north star, and the verification-as-a-service
+// framing of Hawblitzel & Petrank applied to this reproduction: the
+// typechecker run that certifies each collector happens once per process
+// (collector.Load) and is observable at /metrics, instead of being paid on
+// every request.
+//
+// Endpoints (all request/response bodies are JSON; see README.md):
+//
+//	POST /compile    compile a program, report cache/typecheck behavior
+//	POST /run        compile (or reuse) and execute on the λGC machine
+//	POST /interpret  run the reference evaluator (no regions, no GC)
+//	GET  /healthz    liveness + queue snapshot
+//	GET  /metrics    the full metrics registry
+//
+// Requests are executed by a bounded worker pool. When the queue is full
+// the service sheds load with HTTP 429 rather than queueing unboundedly;
+// per-request deadlines are mapped onto machine fuel budgets (the machine
+// is deterministic, so steps — not wall clock — are the enforceable
+// resource); worker panics become structured 500s; Shutdown drains the
+// pool gracefully.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"psgc"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; a full queue rejects
+	// with 429 (default 64).
+	QueueDepth int
+	// CacheSize is the compiled-program LRU capacity in entries
+	// (default 128).
+	CacheSize int
+	// Capacity is the default region capacity for /run requests that do
+	// not specify one (default 64).
+	Capacity int
+	// DefaultFuel is the machine step budget for /run requests that
+	// specify neither fuel nor a deadline (default psgc.DefaultFuel).
+	DefaultFuel int
+	// StepsPerMilli converts a request deadline into a fuel budget
+	// (default 25000 machine steps per millisecond — conservative for
+	// the substitution-based machine).
+	StepsPerMilli int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	if c.DefaultFuel <= 0 {
+		c.DefaultFuel = psgc.DefaultFuel
+	}
+	if c.StepsPerMilli <= 0 {
+		c.StepsPerMilli = 25_000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the compile-and-run service. Create with New, serve via
+// ServeHTTP (it is an http.Handler), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *compiledCache
+	metrics *Metrics
+	start   time.Time
+
+	// mu guards jobs against Shutdown closing the channel while a
+	// request goroutine is submitting.
+	mu       sync.RWMutex
+	jobs     chan *job
+	shutdown bool
+	wg       sync.WaitGroup
+}
+
+// job is one unit of pool work; done is buffered so an abandoned client
+// never blocks a worker.
+type job struct {
+	do   func() *response
+	done chan *response
+}
+
+// response is a finished job: an HTTP status plus a JSON-encodable body.
+type response struct {
+	status int
+	body   any
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newCompiledCache(cfg.CacheSize),
+		metrics: &Metrics{},
+		start:   time.Now(),
+		jobs:    make(chan *job, cfg.QueueDepth),
+	}
+	s.mux.HandleFunc("/compile", s.handleCompile)
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/interpret", s.handleInterpret)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the registry (for embedding binaries and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops accepting work, drains the queue, and waits for in-flight
+// jobs, up to the context's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.shutdown {
+		s.shutdown = true
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the job queue, converting panics into structured 500s.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		j.done <- s.runJob(j)
+		s.metrics.LeaveQueue()
+	}
+}
+
+func (s *Server) runJob(j *job) (resp *response) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.metrics.Panics.Add(1)
+			resp = &response{status: http.StatusInternalServerError,
+				body: errorBody{Error: fmt.Sprintf("internal panic: %v", p), Panic: true}}
+		}
+	}()
+	return j.do()
+}
+
+// submit enqueues do on the worker pool and writes its response, shedding
+// load with 429 when the queue is full and 503 during shutdown.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, do func() *response) {
+	j := &job{do: do, done: make(chan *response, 1)}
+	s.mu.RLock()
+	if s.shutdown {
+		s.mu.RUnlock()
+		s.writeResponse(w, &response{status: http.StatusServiceUnavailable,
+			body: errorBody{Error: "server is shutting down"}})
+		return
+	}
+	s.metrics.EnterQueue()
+	select {
+	case s.jobs <- j:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.metrics.LeaveQueue()
+		s.metrics.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeResponse(w, &response{status: http.StatusTooManyRequests,
+			body: errorBody{Error: "queue full, retry later"}})
+		return
+	}
+	select {
+	case resp := <-j.done:
+		s.writeResponse(w, resp)
+	case <-r.Context().Done():
+		// Client abandoned the request; the worker finishes into the
+		// buffered channel and moves on.
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Request / response shapes
+// ---------------------------------------------------------------------------
+
+// CompileRequest is the POST /compile (and /run) source payload.
+type CompileRequest struct {
+	// Source is the program text of the simply-typed source language.
+	Source string `json:"source"`
+	// Collector is "basic", "forwarding", or "generational" (default
+	// "basic").
+	Collector string `json:"collector"`
+}
+
+// CompileResponse reports a compilation.
+type CompileResponse struct {
+	Collector  string  `json:"collector"`
+	SourceHash string  `json:"source_hash"`
+	Cached     bool    `json:"cached"`
+	CodeBlocks int     `json:"code_blocks"`
+	CompileMs  float64 `json:"compile_ms"`
+}
+
+// RunRequest is the POST /run payload.
+type RunRequest struct {
+	CompileRequest
+	// Capacity overrides the region capacity (nil = server default;
+	// 0 disables collection).
+	Capacity *int `json:"capacity"`
+	// Fixed disables the survivor-driven heap growth policy.
+	Fixed bool `json:"fixed"`
+	// Fuel bounds machine steps (0 = server default).
+	Fuel int `json:"fuel"`
+	// DeadlineMs maps a wall-clock budget onto a fuel budget via the
+	// server's StepsPerMilli rate; the smaller of Fuel and the mapped
+	// budget wins.
+	DeadlineMs int `json:"deadline_ms"`
+}
+
+// RunStats is the observable execution statistics, present in both
+// successful responses and deadline-exceeded diagnostics.
+type RunStats struct {
+	Steps            int `json:"steps"`
+	Collections      int `json:"collections"`
+	Puts             int `json:"puts"`
+	RegionsReclaimed int `json:"regions_reclaimed"`
+	CellsReclaimed   int `json:"cells_reclaimed"`
+	MaxLiveCells     int `json:"max_live_cells"`
+	LiveCells        int `json:"live_cells"`
+}
+
+func statsOf(res psgc.Result) RunStats {
+	return RunStats{
+		Steps:            res.Steps,
+		Collections:      res.Collections,
+		Puts:             res.Stats.Puts,
+		RegionsReclaimed: res.Stats.RegionsReclaimed,
+		CellsReclaimed:   res.Stats.CellsReclaimed,
+		MaxLiveCells:     res.Stats.MaxLiveCells,
+		LiveCells:        res.LiveCells,
+	}
+}
+
+// RunResponse reports an execution.
+type RunResponse struct {
+	Value      int      `json:"value"`
+	Collector  string   `json:"collector"`
+	SourceHash string   `json:"source_hash"`
+	Cached     bool     `json:"cached"`
+	Fuel       int      `json:"fuel"`
+	RunMs      float64  `json:"run_ms"`
+	Stats      RunStats `json:"stats"`
+}
+
+// InterpretResponse reports a reference-evaluator run.
+type InterpretResponse struct {
+	Value int `json:"value"`
+}
+
+// errorBody is the structured error payload.
+type errorBody struct {
+	Error string `json:"error"`
+	// Panic marks errors recovered from worker panics.
+	Panic bool `json:"panic,omitempty"`
+	// Partial carries the statistics of a deadline-killed run.
+	Partial *RunStats `json:"partial,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+func parseCollector(name string) (psgc.Collector, error) {
+	switch name {
+	case "", "basic":
+		return psgc.Basic, nil
+	case "forwarding":
+		return psgc.Forwarding, nil
+	case "generational":
+		return psgc.Generational, nil
+	default:
+		return 0, fmt.Errorf("unknown collector %q (want basic, forwarding, or generational)", name)
+	}
+}
+
+// decode parses a JSON body with the configured size limit.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.writeResponse(w, &response{status: http.StatusBadRequest,
+			body: errorBody{Error: "bad request body: " + err.Error()}})
+		return false
+	}
+	return true
+}
+
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeResponse(w, &response{status: http.StatusMethodNotAllowed,
+			body: errorBody{Error: "use POST"}})
+		return false
+	}
+	return true
+}
+
+// compiled fetches a ready-to-run program from the LRU or compiles and
+// caches it. The returned bool reports a cache hit.
+func (s *Server) compiled(src string, col psgc.Collector) (*psgc.Compiled, bool, error) {
+	k := keyFor(src, col)
+	if c, ok := s.cache.get(k); ok {
+		s.metrics.CacheHits.Add(1)
+		return c, true, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	c, err := psgc.Compile(src, col)
+	if err != nil {
+		return nil, false, err
+	}
+	if n := s.cache.add(k, c); n > 0 {
+		s.metrics.CacheEvicted.Add(int64(n))
+	}
+	return c, false, nil
+}
+
+// compileStatus maps a compile error onto an HTTP status: errors in the
+// user's program are 400s; a pipeline bug (the compiled program failing
+// λGC typechecking, a broken collector) is a 500.
+func compileStatus(err error) int {
+	if strings.Contains(err.Error(), "internal error") {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.metrics.CompileRequests.Add(1)
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req CompileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	col, err := parseCollector(req.Collector)
+	if err != nil {
+		s.writeResponse(w, &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error()}})
+		return
+	}
+	s.submit(w, r, func() *response {
+		t0 := time.Now()
+		c, hit, err := s.compiled(req.Source, col)
+		if err != nil {
+			return &response{status: compileStatus(err), body: errorBody{Error: err.Error()}}
+		}
+		ms := float64(time.Since(t0)) / float64(time.Millisecond)
+		s.metrics.CompileLatency.Observe(ms)
+		return &response{status: http.StatusOK, body: CompileResponse{
+			Collector:  col.String(),
+			SourceHash: SourceHash(req.Source),
+			Cached:     hit,
+			CodeBlocks: len(c.Prog.Code),
+			CompileMs:  ms,
+		}}
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.metrics.RunRequests.Add(1)
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req RunRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	col, err := parseCollector(req.Collector)
+	if err != nil {
+		s.writeResponse(w, &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error()}})
+		return
+	}
+	s.submit(w, r, func() *response {
+		c, hit, err := s.compiled(req.Source, col)
+		if err != nil {
+			return &response{status: compileStatus(err), body: errorBody{Error: err.Error()}}
+		}
+		opts := psgc.RunOptions{Capacity: s.cfg.Capacity, FixedCapacity: req.Fixed}
+		if req.Capacity != nil {
+			opts.Capacity = *req.Capacity
+		}
+		opts.Fuel = s.fuelBudget(req.Fuel, req.DeadlineMs)
+		t0 := time.Now()
+		res, err := c.Run(opts)
+		ms := float64(time.Since(t0)) / float64(time.Millisecond)
+		s.metrics.RunLatency.Observe(ms)
+		s.metrics.MachineSteps[col].Add(int64(res.Steps))
+		s.metrics.Collections[col].Add(int64(res.Collections))
+		if err != nil {
+			if errors.Is(err, psgc.ErrOutOfFuel) {
+				// The deadline (as a fuel budget) expired: report the
+				// partial execution so the client can see how far it got.
+				s.metrics.Deadlines.Add(1)
+				partial := statsOf(res)
+				return &response{status: http.StatusGatewayTimeout,
+					body: errorBody{Error: err.Error(), Partial: &partial}}
+			}
+			return &response{status: http.StatusInternalServerError, body: errorBody{Error: err.Error()}}
+		}
+		return &response{status: http.StatusOK, body: RunResponse{
+			Value:      res.Value,
+			Collector:  col.String(),
+			SourceHash: SourceHash(req.Source),
+			Cached:     hit,
+			Fuel:       opts.Fuel,
+			RunMs:      ms,
+			Stats:      statsOf(res),
+		}}
+	})
+}
+
+// fuelBudget resolves a request's fuel: explicit fuel, a deadline mapped
+// through StepsPerMilli, or the server default — whichever is smallest of
+// those specified.
+func (s *Server) fuelBudget(fuel, deadlineMs int) int {
+	budget := s.cfg.DefaultFuel
+	if fuel > 0 && fuel < budget {
+		budget = fuel
+	}
+	if deadlineMs > 0 {
+		if mapped := deadlineMs * s.cfg.StepsPerMilli; mapped < budget {
+			budget = mapped
+		}
+	}
+	return budget
+}
+
+func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
+	s.metrics.InterpretRequests.Add(1)
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req CompileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.submit(w, r, func() *response {
+		n, err := psgc.Interpret(req.Source)
+		if err != nil {
+			return &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error()}}
+		}
+		return &response{status: http.StatusOK, body: InterpretResponse{Value: n}}
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	status := "ok"
+	if s.shutdown {
+		status = "shutting_down"
+	}
+	s.mu.RUnlock()
+	s.writeResponse(w, &response{status: http.StatusOK, body: map[string]any{
+		"status":         status,
+		"uptime_ms":      time.Since(s.start).Milliseconds(),
+		"workers":        s.cfg.Workers,
+		"queue_depth":    s.metrics.QueueDepth.Load(),
+		"queue_capacity": s.cfg.QueueDepth,
+		"cache_entries":  s.cache.len(),
+	}})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeResponse(w, &response{status: http.StatusOK, body: s.metrics.Snapshot()})
+}
+
+// writeResponse writes one JSON response and records the outcome.
+func (s *Server) writeResponse(w http.ResponseWriter, resp *response) {
+	switch {
+	case resp.status < 300:
+		s.metrics.OK.Add(1)
+	case resp.status == http.StatusTooManyRequests:
+		// counted at the rejection site
+	case resp.status < 500:
+		s.metrics.ClientErrors.Add(1)
+	default:
+		s.metrics.ServerErrors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp.body)
+}

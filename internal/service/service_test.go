@@ -1,0 +1,395 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+const allocHeavy = `
+fun build (n : int) : int =
+  if0 n then 0
+  else let p = (n, (n, n)) in fst p + build (n - 1)
+do build 30
+`
+
+// postJSON drives one endpoint of a real httptest server.
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func decode[T any](t *testing.T, data []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("bad response %s: %v", data, err)
+	}
+	return v
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// TestCompileRunInterpretRoundTrip drives compile, a cache-hit recompile,
+// run (agreeing with /interpret), and a cache-hit rerun through a real
+// HTTP server.
+func TestCompileRunInterpretRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	resp, body := postJSON(t, ts.URL+"/compile", CompileRequest{Source: allocHeavy, Collector: "forwarding"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: status %d: %s", resp.StatusCode, body)
+	}
+	cr := decode[CompileResponse](t, body)
+	if cr.Cached || cr.CodeBlocks == 0 || cr.SourceHash == "" {
+		t.Fatalf("first compile response: %+v", cr)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/compile", CompileRequest{Source: allocHeavy, Collector: "forwarding"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recompile: status %d: %s", resp.StatusCode, body)
+	}
+	if cr2 := decode[CompileResponse](t, body); !cr2.Cached {
+		t.Fatalf("second compile of identical source not served from cache: %+v", cr2)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/interpret", CompileRequest{Source: allocHeavy})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("interpret: status %d: %s", resp.StatusCode, body)
+	}
+	want := decode[InterpretResponse](t, body).Value
+
+	cap := 40
+	resp, body = postJSON(t, ts.URL+"/run", RunRequest{
+		CompileRequest: CompileRequest{Source: allocHeavy, Collector: "forwarding"},
+		Capacity:       &cap,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+	rr := decode[RunResponse](t, body)
+	if rr.Value != want {
+		t.Fatalf("run value %d, interpreter says %d", rr.Value, want)
+	}
+	if !rr.Cached {
+		t.Errorf("run after compile should hit the compiled-program cache")
+	}
+	if rr.Stats.Collections == 0 {
+		t.Errorf("capacity 40 should force collections, got %+v", rr.Stats)
+	}
+
+	if hits := s.metrics.CacheHits.Load(); hits < 2 {
+		t.Errorf("cache hits = %d, want >= 2", hits)
+	}
+}
+
+// TestQueueFull429 fills the one-worker, one-slot queue with blocking jobs
+// and asserts the next request is shed with 429 and Retry-After.
+func TestQueueFull429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	occupy := func(signal chan struct{}) *job {
+		return &job{do: func() *response {
+			if signal != nil {
+				close(signal)
+			}
+			<-block
+			return &response{status: http.StatusOK, body: struct{}{}}
+		}, done: make(chan *response, 1)}
+	}
+	// One job running, one waiting: the queue is now full.
+	s.metrics.EnterQueue()
+	s.jobs <- occupy(started)
+	<-started
+	s.metrics.EnterQueue()
+	s.jobs <- occupy(nil)
+
+	resp, body := postJSON(t, ts.URL+"/interpret", CompileRequest{Source: "1 + 2"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After header")
+	}
+	if got := s.metrics.Rejected.Load(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+	close(block)
+
+	// With the pool drained the same request succeeds.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ = postJSON(t, ts.URL+"/interpret", CompileRequest{Source: "1 + 2"})
+		if resp.StatusCode == http.StatusOK || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queue never drained: status %d", resp.StatusCode)
+	}
+}
+
+// TestDeadlineExceededRun maps a tiny deadline onto a tiny fuel budget and
+// asserts the 504 carries the partial execution's diagnostics.
+func TestDeadlineExceededRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, StepsPerMilli: 10})
+
+	resp, body := postJSON(t, ts.URL+"/run", RunRequest{
+		CompileRequest: CompileRequest{Source: allocHeavy},
+		DeadlineMs:     1, // 10 steps of budget: nowhere near enough
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, body)
+	}
+	eb := decode[errorBody](t, body)
+	if eb.Partial == nil {
+		t.Fatalf("deadline response has no partial diagnostics: %s", body)
+	}
+	if eb.Partial.Steps != 10 {
+		t.Errorf("partial steps = %d, want the 10-step budget", eb.Partial.Steps)
+	}
+	if got := s.metrics.Deadlines.Load(); got != 1 {
+		t.Errorf("deadline counter = %d, want 1", got)
+	}
+}
+
+// TestWorkerPanicBecomes500 injects a panicking job and asserts the pool
+// survives and the response is a structured 500.
+func TestWorkerPanicBecomes500(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	j := &job{do: func() *response { panic("boom") }, done: make(chan *response, 1)}
+	s.metrics.EnterQueue()
+	s.jobs <- j
+	resp := <-j.done
+	if resp.status != http.StatusInternalServerError {
+		t.Fatalf("panic job status %d, want 500", resp.status)
+	}
+	eb, ok := resp.body.(errorBody)
+	if !ok || !eb.Panic {
+		t.Fatalf("panic job body %+v, want structured panic error", resp.body)
+	}
+	if got := s.metrics.Panics.Load(); got != 1 {
+		t.Errorf("panic counter = %d, want 1", got)
+	}
+
+	// The worker survived the panic and still serves requests.
+	httpResp, body := postJSON(t, ts.URL+"/interpret", CompileRequest{Source: "2 * 21"})
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("pool dead after panic: status %d (%s)", httpResp.StatusCode, body)
+	}
+	if v := decode[InterpretResponse](t, body).Value; v != 42 {
+		t.Fatalf("interpret after panic = %d, want 42", v)
+	}
+}
+
+// TestBadRequests exercises the 400/405 paths.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	resp, _ := postJSON(t, ts.URL+"/compile", CompileRequest{Source: "1", Collector: "marksweep"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown collector: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/compile", CompileRequest{Source: "fun f (x : int) : int = y\ndo 1"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("ill-typed program: status %d, want 400", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestHealthzAndMetrics asserts both observability endpoints render and
+// that the verified-collector typecheck counter is visible and stays at
+// one over many compiles.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf("%d + %d", i, i)
+		if resp, body := postJSON(t, ts.URL+"/run", RunRequest{
+			CompileRequest: CompileRequest{Source: src, Collector: "basic"},
+		}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Errorf("healthz status = %v", health["status"])
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	checks := metrics["collector_typechecks"].(map[string]any)
+	if n := checks["basic"].(float64); n != 1 {
+		t.Errorf("metrics report %v basic-collector typechecks, want exactly 1 per process", n)
+	}
+	reqs := metrics["requests"].(map[string]any)
+	if n := reqs["run"].(float64); n != 3 {
+		t.Errorf("metrics report %v run requests, want 3", n)
+	}
+	lat := metrics["run_latency_ms"].(map[string]any)
+	if n := lat["count"].(float64); n != 3 {
+		t.Errorf("run latency histogram count %v, want 3", n)
+	}
+}
+
+// TestConcurrentRunsSharedCache hammers one source from many goroutines so
+// the LRU hands the same *psgc.Compiled to every worker — run under -race
+// this is the service-level concurrency guarantee.
+func TestConcurrentRunsSharedCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+
+	resp, body := postJSON(t, ts.URL+"/interpret", CompileRequest{Source: allocHeavy})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("interpret: %d (%s)", resp.StatusCode, body)
+	}
+	want := decode[InterpretResponse](t, body).Value
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cap := 40
+			resp, body := postJSON(t, ts.URL+"/run", RunRequest{
+				CompileRequest: CompileRequest{Source: allocHeavy, Collector: "generational"},
+				Capacity:       &cap,
+			})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			if rr := decode[RunResponse](t, body); rr.Value != want {
+				errs <- fmt.Sprintf("value %d, want %d", rr.Value, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestGracefulShutdown asserts Shutdown waits for in-flight work and that
+// the drained server refuses new work with 503.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	j := &job{do: func() *response {
+		close(started)
+		<-block
+		return &response{status: http.StatusOK, body: struct{}{}}
+	}, done: make(chan *response, 1)}
+	s.metrics.EnterQueue()
+	s.jobs <- j
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("shutdown returned (%v) while a job was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(block)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if (<-j.done).status != http.StatusOK {
+		t.Errorf("in-flight job did not complete")
+	}
+
+	resp, body := postJSON(t, ts.URL+"/interpret", CompileRequest{Source: "1"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown request: status %d (%s), want 503", resp.StatusCode, body)
+	}
+}
+
+// TestFuelBudget pins the deadline→fuel arithmetic.
+func TestFuelBudget(t *testing.T) {
+	s := New(Config{DefaultFuel: 1000, StepsPerMilli: 10})
+	defer s.Shutdown(context.Background())
+	cases := []struct{ fuel, deadline, want int }{
+		{0, 0, 1000},  // defaults
+		{200, 0, 200}, // explicit fuel
+		{0, 5, 50},    // deadline-mapped
+		{200, 5, 50},  // smaller of the two
+		{30, 5, 30},   // fuel tighter than deadline
+		{0, 1000, 1000} /* deadline looser than default */}
+	for _, c := range cases {
+		if got := s.fuelBudget(c.fuel, c.deadline); got != c.want {
+			t.Errorf("fuelBudget(%d, %d) = %d, want %d", c.fuel, c.deadline, got, c.want)
+		}
+	}
+}

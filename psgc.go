@@ -20,6 +20,7 @@
 package psgc
 
 import (
+	"errors"
 	"fmt"
 
 	"psgc/internal/clos"
@@ -68,6 +69,11 @@ func (c Collector) Dialect() gclang.Dialect {
 }
 
 // Compiled is a λGC program linked with a collector, ready to run.
+//
+// A Compiled is immutable after CompileProgram returns: Run loads the
+// program into a fresh machine with its own memory, so one Compiled may be
+// run from many goroutines concurrently (the service's compiled-program
+// cache relies on this).
 type Compiled struct {
 	Collector Collector
 	// Prog is the elaborated (typechecked) λGC program.
@@ -92,7 +98,51 @@ func Compile(src string, col Collector) (*Compiled, error) {
 }
 
 // CompileProgram is Compile for an already parsed source program.
+//
+// The collector the program is linked against comes from the process-wide
+// verified-collector cache: each dialect's collector terms are built and
+// certified by the λGC typechecker exactly once per process (collector.Load)
+// and shared by every compile, so only the mutator's own code blocks are
+// checked here. CompileProgram is safe for concurrent use.
 func CompileProgram(p source.Program, col Collector) (*Compiled, error) {
+	if col < Basic || col > Generational {
+		return nil, fmt.Errorf("psgc: unknown collector %v", col)
+	}
+	cp, err := cps.Convert(p)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := closconv.Convert(cp)
+	if err != nil {
+		return nil, err
+	}
+	v, err := collector.Load(col.Dialect())
+	if err != nil {
+		return nil, fmt.Errorf("psgc: internal error: %w", err)
+	}
+	l := v.NewLayout()
+	opts := translate.Options{Dialect: col.Dialect(), GC: v.GC, Minor: v.Minor, Major: v.Major}
+	entries := map[regions.Addr]bool{}
+	for _, a := range v.Entries {
+		entries[a] = true
+	}
+	gp, err := translate.Translate(lp, l, opts)
+	if err != nil {
+		return nil, err
+	}
+	checker := &gclang.Checker{Dialect: col.Dialect()}
+	elab, _, err := checker.CheckProgramPrefix(gp, len(v.Funs))
+	if err != nil {
+		return nil, fmt.Errorf("psgc: internal error: compiled program does not typecheck: %w", err)
+	}
+	return &Compiled{Collector: col, Prog: elab, Source: p, Clos: lp, entries: entries}, nil
+}
+
+// compileProgramCold is the uncached compile path: it rebuilds and
+// re-typechecks the collector alongside the mutator, exactly as every
+// compile did before the verified-collector cache existed. It is kept as
+// the baseline for BenchmarkCompileCold and the cache-equivalence test.
+func compileProgramCold(p source.Program, col Collector) (*Compiled, error) {
 	cp, err := cps.Convert(p)
 	if err != nil {
 		return nil, err
@@ -174,6 +224,13 @@ type Result struct {
 // DefaultFuel is the default machine step budget.
 const DefaultFuel = 50_000_000
 
+// ErrOutOfFuel is returned (wrapped) by Run when the step budget is
+// exhausted before the program halts. The accompanying Result is still
+// populated with the partial execution's steps, collections, and memory
+// statistics, so callers enforcing deadlines via fuel budgets can report
+// what the program did before it was cut off.
+var ErrOutOfFuel = errors.New("psgc: out of fuel")
+
 // NewMachine loads the compiled program into a fresh machine. Most
 // callers want Run; NewMachine is for stepping or inspecting states.
 func (c *Compiled) NewMachine(opts RunOptions) *gclang.Machine {
@@ -183,7 +240,9 @@ func (c *Compiled) NewMachine(opts RunOptions) *gclang.Machine {
 	return m
 }
 
-// Run executes the compiled program.
+// Run executes the compiled program. If the fuel budget runs out the
+// returned error wraps ErrOutOfFuel and the Result still carries the
+// partial execution's statistics.
 func (c *Compiled) Run(opts RunOptions) (Result, error) {
 	m := c.NewMachine(opts)
 	fuel := opts.Fuel
@@ -193,7 +252,7 @@ func (c *Compiled) Run(opts RunOptions) (Result, error) {
 	collections := 0
 	for !m.Halted {
 		if fuel <= 0 {
-			return Result{}, fmt.Errorf("psgc: out of fuel after %d steps", m.Steps)
+			return partialResult(m, collections), fmt.Errorf("%w after %d steps", ErrOutOfFuel, m.Steps)
 		}
 		fuel--
 		// A term about to invoke a collector entry point is a collection.
@@ -215,13 +274,19 @@ func (c *Compiled) Run(opts RunOptions) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("psgc: program halted with non-integer %s", m.Result)
 	}
+	res := partialResult(m, collections)
+	res.Value = n.N
+	return res, nil
+}
+
+// partialResult snapshots a machine's observable statistics.
+func partialResult(m *gclang.Machine, collections int) Result {
 	return Result{
-		Value:       n.N,
 		Steps:       m.Steps,
 		Collections: collections,
 		Stats:       m.Mem.Stats,
 		LiveCells:   m.Mem.LiveCells(),
-	}, nil
+	}
 }
 
 // Interpret runs the source program directly on the reference evaluator
