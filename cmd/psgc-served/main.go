@@ -18,6 +18,7 @@
 //	-capacity N           default region capacity for /run (default 64)
 //	-fuel N               default machine step budget (default 50M)
 //	-steps-per-ms N       deadline_ms -> fuel conversion rate (default 25000)
+//	-debug-addr addr      serve net/http/pprof on a separate listener (off by default)
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,8 +50,27 @@ func main() {
 		fuel        = flag.Int("fuel", psgc.DefaultFuel, "default machine step budget")
 		stepsPerMs  = flag.Int("steps-per-ms", 25_000, "fuel granted per millisecond of request deadline")
 		drainWindow = flag.Duration("drain", 30*time.Second, "graceful shutdown window")
+		debugAddr   = flag.String("debug-addr", "", "listen address for net/http/pprof (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+
+	// pprof goes on its own listener (typically bound to localhost) so
+	// profiling endpoints are never exposed on the service port.
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugServer := &http.Server{Addr: *debugAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("pprof listening on %s", *debugAddr)
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	svc := service.New(service.Config{
 		Workers:       *workers,

@@ -16,9 +16,12 @@
 //	-stats                               print memory statistics
 //	-show source|cps|clos|gc             print an intermediate form and exit
 //	-interp                              run the reference evaluator instead
+//	-trace                               print pipeline-phase spans and the GC-event timeline
+//	-trace-json                          emit the run and its full trace as JSON on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +30,7 @@ import (
 	"psgc"
 	"psgc/internal/closconv"
 	"psgc/internal/cps"
+	"psgc/internal/obs"
 	"psgc/internal/source"
 )
 
@@ -40,14 +44,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("psgc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		gcName   = fs.String("gc", "basic", "collector: basic, forwarding, or generational")
-		capacity = fs.Int("capacity", 64, "region capacity at which ifgc triggers a collection (0 disables)")
-		fixed    = fs.Bool("fixed", false, "disable the survivor-driven heap growth policy")
-		check    = fs.Bool("check", false, "re-check machine-state well-formedness after every step (slow)")
-		stats    = fs.Bool("stats", false, "print memory statistics")
-		show     = fs.String("show", "", "print an intermediate form (source, cps, clos, gc) and exit")
-		expr     = fs.String("e", "", "inline program text instead of a file")
-		interp   = fs.Bool("interp", false, "run the reference evaluator (no regions, no GC)")
+		gcName    = fs.String("gc", "basic", "collector: basic, forwarding, or generational")
+		capacity  = fs.Int("capacity", 64, "region capacity at which ifgc triggers a collection (0 disables)")
+		fixed     = fs.Bool("fixed", false, "disable the survivor-driven heap growth policy")
+		check     = fs.Bool("check", false, "re-check machine-state well-formedness after every step (slow)")
+		stats     = fs.Bool("stats", false, "print memory statistics")
+		show      = fs.String("show", "", "print an intermediate form (source, cps, clos, gc) and exit")
+		expr      = fs.String("e", "", "inline program text instead of a file")
+		interp    = fs.Bool("interp", false, "run the reference evaluator (no regions, no GC)")
+		trace     = fs.Bool("trace", false, "print compile-phase spans and the GC-event timeline to stderr")
+		traceJSON = fs.Bool("trace-json", false, "emit the result with the full trace as JSON on stdout")
+		maxEvents = fs.Int("trace-events", obs.DefaultMaxEvents, "cap on retained timeline events")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,19 +107,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	compiled, err := psgc.Compile(src, col)
+	tracing := *trace || *traceJSON
+	compiled, pipeline, err := psgc.CompileTraced(src, col)
 	if err != nil {
 		return fail(err)
 	}
-	res, err := compiled.Run(psgc.RunOptions{
+	opts := psgc.RunOptions{
 		Capacity:       *capacity,
 		FixedCapacity:  *fixed,
 		CheckEveryStep: *check,
-	})
+	}
+	var rec *obs.Recorder
+	if tracing {
+		rec = compiled.Recorder()
+		rec.MaxEvents = *maxEvents
+		opts.Recorder = rec
+	}
+	res, err := compiled.Run(opts)
 	if err != nil {
 		return fail(err)
 	}
+	if *traceJSON {
+		out := struct {
+			Value       int             `json:"value"`
+			Steps       int             `json:"steps"`
+			Collections int             `json:"collections"`
+			Pipeline    []obs.PhaseSpan `json:"pipeline"`
+			Timeline    *obs.Timeline   `json:"timeline"`
+		}{res.Value, res.Steps, res.Collections, pipeline, rec.Timeline()}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
 	fmt.Fprintln(stdout, res.Value)
+	if *trace {
+		printTrace(stderr, pipeline, rec.Timeline())
+	}
 	if *stats {
 		fmt.Fprintf(stderr, "collector:   %s\n", col)
 		fmt.Fprintf(stderr, "steps:       %d\n", res.Steps)
@@ -123,6 +156,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "max live:    %d cells\n", res.Stats.MaxLiveCells)
 	}
 	return 0
+}
+
+// printTrace renders the compile-phase spans and the GC-event timeline in a
+// human-readable form, mirroring the JSON served by /run?trace=1.
+func printTrace(w io.Writer, pipeline []obs.PhaseSpan, tl *obs.Timeline) {
+	fmt.Fprintln(w, "-- compile pipeline")
+	for _, s := range pipeline {
+		fmt.Fprintf(w, "%-10s %8.3fms (at +%.3fms)\n", s.Phase, s.DurMs, s.StartMs)
+	}
+	fmt.Fprintln(w, "-- timeline")
+	fmt.Fprintf(w, "steps %d  allocs %d  copies %d  forwards %d  scans %d\n",
+		tl.Steps, tl.Allocs, tl.Copies, tl.Forwards, tl.Scans)
+	fmt.Fprintf(w, "freed %d cells (%d bytes) in %d regions across %d collections\n",
+		tl.CellsFreed, tl.BytesFreed, tl.RegionsFreed, len(tl.Collections))
+	for _, c := range tl.Collections {
+		open := ""
+		if c.Open {
+			open = " (open)"
+		}
+		fmt.Fprintf(w, "collection %d [%s] steps %d-%d: %d copies, %d forwards, %d scans, freed %d cells / %d bytes in %d regions%s\n",
+			c.Index, c.Entry, c.StartStep, c.EndStep,
+			c.Copies, c.Forwards, c.Scans, c.CellsFreed, c.BytesFreed, c.RegionsFreed, open)
+	}
+	if tl.DroppedEvents > 0 {
+		fmt.Fprintf(w, "events retained %d (dropped %d)\n", len(tl.Events), tl.DroppedEvents)
+	}
 }
 
 func showForm(stdout io.Writer, src string, col psgc.Collector, form string) error {

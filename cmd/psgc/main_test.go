@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -105,5 +106,64 @@ func TestErrors(t *testing.T) {
 	}
 	if code, _, _ := runCLI(t, "missing-file.src"); code != 1 {
 		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+const buildChain = "fun build (n : int) : int =\n  if0 n then 0\n  else let p = (n, (n, n)) in fst p + build (n - 1)\ndo build 30"
+
+// TestTrace asserts -trace prints the pipeline spans and per-collection
+// timeline to stderr while the result stays alone on stdout.
+func TestTrace(t *testing.T) {
+	code, out, errOut := runCLI(t, "-trace", "-gc", "forwarding", "-capacity", "24", "-e", buildChain)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if strings.TrimSpace(out) != "465" {
+		t.Errorf("stdout %q, want just the value 465", out)
+	}
+	for _, want := range []string{"-- compile pipeline", "typecheck", "-- timeline", "collection 1 [gc]", "copies"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("trace output missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
+// TestTraceJSON asserts -trace-json emits one machine-readable document
+// with the result, pipeline spans, and timeline.
+func TestTraceJSON(t *testing.T) {
+	code, out, errOut := runCLI(t, "-trace-json", "-gc", "forwarding", "-capacity", "24", "-e", buildChain)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	var doc struct {
+		Value    int `json:"value"`
+		Steps    int `json:"steps"`
+		Pipeline []struct {
+			Phase string `json:"phase"`
+		} `json:"pipeline"`
+		Timeline struct {
+			Allocs      int `json:"allocs"`
+			Copies      int `json:"copies"`
+			Collections []struct {
+				Entry string `json:"entry"`
+			} `json:"collections"`
+		} `json:"timeline"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-trace-json output does not parse: %v\n%s", err, out)
+	}
+	if doc.Value != 465 || doc.Steps == 0 {
+		t.Errorf("value %d steps %d, want 465 and nonzero steps", doc.Value, doc.Steps)
+	}
+	if len(doc.Pipeline) != 6 {
+		t.Errorf("%d pipeline spans, want 6 phases", len(doc.Pipeline))
+	}
+	if len(doc.Timeline.Collections) == 0 || doc.Timeline.Copies == 0 {
+		t.Errorf("timeline records no collections: %+v", doc.Timeline)
+	}
+	for _, c := range doc.Timeline.Collections {
+		if c.Entry != "gc" {
+			t.Errorf("forwarding collection entry %q, want gc", c.Entry)
+		}
 	}
 }

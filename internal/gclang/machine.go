@@ -35,8 +35,12 @@ type Machine struct {
 	Halted bool
 	Result Value
 
-	// Trace, if non-nil, is called after every step.
-	Trace func(m *Machine)
+	// Trace, if non-nil, is called after every step with the term that was
+	// just reduced (the machine's effects — puts, sets, region frees — are
+	// already applied, and m.Term is the next term). Consumers that
+	// classify steps into GC events (internal/obs) need the pre-step term:
+	// it names the operation; the machine state shows its result.
+	Trace func(m *Machine, before Term)
 }
 
 // ErrStuck is returned when no reduction applies — a progress violation
@@ -107,6 +111,7 @@ func (m *Machine) Step() error {
 	if m.Halted {
 		return errors.New("gclang: step after halt")
 	}
+	before := m.Term
 	next, err := m.step(m.Term)
 	if err != nil {
 		return err
@@ -114,7 +119,7 @@ func (m *Machine) Step() error {
 	m.Term = next
 	m.Steps++
 	if m.Trace != nil {
-		m.Trace(m)
+		m.Trace(m, before)
 	}
 	return nil
 }

@@ -1,0 +1,193 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"psgc"
+	"psgc/internal/gclang"
+	"psgc/internal/obs"
+)
+
+// allocHeavy builds a fresh pair chain per recursion step so a small
+// capacity forces collections — the same workload the service tests use.
+const allocHeavy = `
+fun build (n : int) : int =
+  if0 n then 0
+  else let p = (n, (n, n)) in fst p + build (n - 1)
+do build 30
+`
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := obs.NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		if strings.Trim(id, "0123456789abcdef") != "" {
+			t.Fatalf("trace ID %q is not lowercase hex", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestPipelineSpans(t *testing.T) {
+	var nilPl *obs.Pipeline
+	nilPl.Phase("parse")() // must not panic
+	if nilPl.Spans() != nil {
+		t.Errorf("nil pipeline has spans")
+	}
+
+	pl := obs.NewPipeline()
+	end := pl.Phase("parse")
+	end()
+	end = pl.Phase("cps")
+	end()
+	spans := pl.Spans()
+	if len(spans) != 2 || spans[0].Phase != "parse" || spans[1].Phase != "cps" {
+		t.Fatalf("spans = %+v, want parse then cps", spans)
+	}
+	for _, s := range spans {
+		if s.DurMs < 0 || s.StartMs < 0 {
+			t.Errorf("negative span timing: %+v", s)
+		}
+	}
+	if spans[1].StartMs < spans[0].StartMs {
+		t.Errorf("spans out of order: %+v", spans)
+	}
+}
+
+func TestWords(t *testing.T) {
+	n := gclang.Num{N: 1}
+	cases := []struct {
+		v    gclang.Value
+		want int
+	}{
+		{n, 1},
+		{gclang.PairV{L: n, R: n}, 2},
+		{gclang.PairV{L: gclang.PairV{L: n, R: n}, R: n}, 3},
+		{gclang.InlV{Val: n}, 1},                        // sum tag is free
+		{gclang.InrV{Val: gclang.PairV{L: n, R: n}}, 2}, // wrapper adds nothing
+	}
+	for _, c := range cases {
+		if got := obs.Words(c.v); got != c.want {
+			t.Errorf("Words(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestRecorderTimelineIdentities runs a collector-exercising program with a
+// recorder attached and checks the timeline against the machine's own
+// counters: every put is an alloc or a copy (minus the code installs),
+// every set is a forward, and every reclaimed cell appears in a
+// region_free event.
+func TestRecorderTimelineIdentities(t *testing.T) {
+	for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+		t.Run(col.String(), func(t *testing.T) {
+			c, err := psgc.Compile(allocHeavy, col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := c.Recorder()
+			res, err := c.Run(psgc.RunOptions{Capacity: 24, Recorder: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Collections == 0 {
+				t.Fatal("capacity 24 should force collections")
+			}
+			tl := rec.Timeline()
+
+			if tl.Steps != res.Steps {
+				t.Errorf("timeline steps %d, machine says %d", tl.Steps, res.Steps)
+			}
+			codePuts := len(c.Prog.Code)
+			if got, want := tl.Allocs+tl.Copies, res.Stats.Puts-codePuts; got != want {
+				t.Errorf("allocs+copies = %d+%d = %d, puts minus code installs = %d",
+					tl.Allocs, tl.Copies, got, want)
+			}
+			if tl.Forwards != res.Stats.Sets {
+				t.Errorf("forwards %d, machine sets %d", tl.Forwards, res.Stats.Sets)
+			}
+			if tl.CellsFreed != res.Stats.CellsReclaimed {
+				t.Errorf("cells freed %d, machine reclaimed %d", tl.CellsFreed, res.Stats.CellsReclaimed)
+			}
+			if len(tl.Collections) != res.Collections {
+				t.Errorf("%d collection spans, machine counted %d collections",
+					len(tl.Collections), res.Collections)
+			}
+
+			// Per-span sums must agree with the totals, and every span of a
+			// finished run must be closed and well-ordered.
+			var copies, forwards, scans, cells int
+			for _, sp := range tl.Collections {
+				if sp.Open {
+					t.Errorf("collection %d still open after a finished run", sp.Index)
+				}
+				if sp.StartStep > sp.EndStep {
+					t.Errorf("collection %d spans steps %d-%d", sp.Index, sp.StartStep, sp.EndStep)
+				}
+				copies += sp.Copies
+				forwards += sp.Forwards
+				scans += sp.Scans
+				cells += sp.CellsFreed
+			}
+			if copies != tl.Copies || scans != tl.Scans {
+				t.Errorf("span sums copies=%d scans=%d, totals copies=%d scans=%d",
+					copies, scans, tl.Copies, tl.Scans)
+			}
+			if forwards != tl.Forwards {
+				t.Errorf("span forwards %d, total %d (mutator code never sets)", forwards, tl.Forwards)
+			}
+			if cells > tl.CellsFreed {
+				t.Errorf("span cells freed %d exceeds total %d", cells, tl.CellsFreed)
+			}
+
+			// The timeline must serialize cleanly (it is served as JSON).
+			if _, err := json.Marshal(tl); err != nil {
+				t.Errorf("timeline does not marshal: %v", err)
+			}
+		})
+	}
+}
+
+// TestRecorderEventCap bounds the retained event log while keeping totals
+// exact.
+func TestRecorderEventCap(t *testing.T) {
+	c, err := psgc.Compile(allocHeavy, psgc.Forwarding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First an uncapped run for the true event count.
+	ref := c.Recorder()
+	if _, err := c.Run(psgc.RunOptions{Capacity: 24, Recorder: ref}); err != nil {
+		t.Fatal(err)
+	}
+	full := ref.Timeline()
+	if len(full.Events) < 20 {
+		t.Fatalf("reference run produced only %d events", len(full.Events))
+	}
+
+	rec := c.Recorder()
+	rec.MaxEvents = 10
+	res, err := c.Run(psgc.RunOptions{Capacity: 24, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := rec.Timeline()
+	if len(tl.Events) != 10 {
+		t.Errorf("retained %d events, want the 10-event cap", len(tl.Events))
+	}
+	if tl.DroppedEvents != len(full.Events)-10 {
+		t.Errorf("dropped %d events, want %d", tl.DroppedEvents, len(full.Events)-10)
+	}
+	// Totals are unaffected by the cap.
+	if got, want := tl.Allocs+tl.Copies, res.Stats.Puts-len(c.Prog.Code); got != want {
+		t.Errorf("capped totals drifted: allocs+copies %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4) without any external dependency. Families are written in
+// call order, so a fixed call sequence yields byte-stable output for
+// golden tests.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w. Write errors are sticky; check Err at the end.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err reports the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+// Label is one name="value" pair. Order is preserved as given.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one measurement of a family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+func (p *PromWriter) sample(name string, labels []Label, v float64) {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	p.printf("%s %s\n", sb.String(), formatValue(v))
+}
+
+// Counter writes a counter family with its samples.
+func (p *PromWriter) Counter(name, help string, samples ...Sample) {
+	p.header(name, help, "counter")
+	for _, s := range samples {
+		p.sample(name, s.Labels, s.Value)
+	}
+}
+
+// Gauge writes a gauge family with its samples.
+func (p *PromWriter) Gauge(name, help string, samples ...Sample) {
+	p.header(name, help, "gauge")
+	for _, s := range samples {
+		p.sample(name, s.Labels, s.Value)
+	}
+}
+
+// Histogram writes a histogram family. bounds are the bucket upper bounds;
+// counts holds one count per bound plus a final overflow bucket
+// (len(bounds)+1 entries) — per-bucket counts, as kept by the service's
+// Histogram. The exposition's le buckets are cumulative, ending at +Inf.
+func (p *PromWriter) Histogram(name, help string, bounds []float64, counts []int64, sum float64) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		p.sample(name+"_bucket", []Label{{"le", formatValue(b)}}, float64(cum))
+	}
+	cum += counts[len(bounds)]
+	p.sample(name+"_bucket", []Label{{"le", "+Inf"}}, float64(cum))
+	p.sample(name+"_sum", nil, sum)
+	p.sample(name+"_count", nil, float64(cum))
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromWriterGolden pins the exposition byte-for-byte: a fixed call
+// sequence must stay scrapeable and stable.
+func TestPromWriterGolden(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("reqs_total", "Requests, by endpoint.",
+		Sample{Labels: []Label{{Name: "endpoint", Value: "run"}}, Value: 3},
+		Sample{Labels: []Label{{Name: "endpoint", Value: "compile"}}, Value: 1},
+	)
+	p.Gauge("depth", "Queue depth.", Sample{Value: 2})
+	p.Histogram("lat_ms", "Latency.", []float64{1, 5}, []int64{2, 1, 1}, 9.5)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP reqs_total Requests, by endpoint.
+# TYPE reqs_total counter
+reqs_total{endpoint="run"} 3
+reqs_total{endpoint="compile"} 1
+# HELP depth Queue depth.
+# TYPE depth gauge
+depth 2
+# HELP lat_ms Latency.
+# TYPE lat_ms histogram
+lat_ms_bucket{le="1"} 2
+lat_ms_bucket{le="5"} 3
+lat_ms_bucket{le="+Inf"} 4
+lat_ms_sum 9.5
+lat_ms_count 4
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromRoundTrip feeds the writer's output to the parser and checks the
+// parsed families.
+func TestPromRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("c_total", "A counter with \"quotes\" and a\nnewline.",
+		Sample{Labels: []Label{{Name: "k", Value: `va"l\ue`}}, Value: 7})
+	p.Histogram("h_ms", "A histogram.", []float64{1, 2, 5}, []int64{0, 3, 0, 2}, 12.25)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	fams, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("round trip failed to parse: %v\n%s", err, buf.String())
+	}
+	c := fams["c_total"]
+	if c == nil || c.Type != "counter" || len(c.Samples) != 1 {
+		t.Fatalf("counter family = %+v", c)
+	}
+	if got := c.Samples[0].Labels["k"]; got != `va"l\ue` {
+		t.Errorf("label round trip: %q", got)
+	}
+	if c.Samples[0].Value != 7 {
+		t.Errorf("counter value %v, want 7", c.Samples[0].Value)
+	}
+	h := fams["h_ms"]
+	if h == nil || h.Type != "histogram" {
+		t.Fatalf("histogram family = %+v", h)
+	}
+	// 3 bounds + +Inf buckets, _sum, _count.
+	if len(h.Samples) != 6 {
+		t.Errorf("histogram has %d samples, want 6", len(h.Samples))
+	}
+	for _, s := range h.Samples {
+		if strings.HasSuffix(s.Name, "_count") && s.Value != 5 {
+			t.Errorf("histogram count %v, want 5", s.Value)
+		}
+		if strings.HasSuffix(s.Name, "_sum") && s.Value != 12.25 {
+			t.Errorf("histogram sum %v, want 12.25", s.Value)
+		}
+	}
+}
+
+// TestParseExpositionRejects pins the validation: each input is broken in a
+// way a scraper would choke on.
+func TestParseExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"unknown type", "# TYPE x flarb\nx 1\n"},
+		{"orphan sample", "x 1\n"},
+		{"bad value", "# TYPE x counter\nx one\n"},
+		{"unterminated labels", "# TYPE x counter\nx{k=\"v 1\n"},
+		{"bucket without le", "# HELP h h\n# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n"},
+		{"no +Inf bucket", "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"non-cumulative buckets", "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n"},
+		{"count disagrees", "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"},
+		{"missing sum", "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseExposition([]byte(c.input)); err == nil {
+				t.Errorf("parser accepted %q", c.input)
+			}
+		})
+	}
+}
+
+// TestParseExpositionTolerates covers legal-but-unusual input: comments,
+// blank lines, timestamps, CRLF.
+func TestParseExpositionTolerates(t *testing.T) {
+	input := "# a freestanding comment\n\r\n# HELP x ok\n# TYPE x counter\nx{a=\"b\"} 4 1700000000\r\n"
+	fams, err := ParseExposition([]byte(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["x"].Samples[0].Value != 4 {
+		t.Errorf("sample = %+v", fams["x"].Samples[0])
+	}
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the validating counterpart of prom.go: a minimal parser for
+// the Prometheus text exposition format, used by tests (and available to
+// clients) to check that what the service serves at /metrics is actually
+// scrapeable — line syntax, declared types, and histogram invariants
+// (cumulative le buckets ending at +Inf, count equal to the +Inf bucket).
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the full sample name, including _bucket/_sum/_count
+	// suffixes for histogram families.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// ParseExposition parses and validates a text-format exposition, returning
+// families keyed by name. It rejects malformed lines, samples without a
+// resolvable family, unknown TYPE declarations, and histograms whose
+// buckets are not cumulative or whose _count disagrees with the +Inf
+// bucket.
+func ParseExposition(data []byte) (map[string]*PromFamily, error) {
+	families := map[string]*PromFamily{}
+	for i, line := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("line %d: HELP without a metric name", lineNo)
+			}
+			fam := family(families, name)
+			fam.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			if !promTypes[typ] {
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			family(families, name).Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, ok := families[familyName(families, s.Name)]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no family", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := checkHistogram(fam); err != nil {
+				return nil, fmt.Errorf("histogram %s: %v", fam.Name, err)
+			}
+		}
+	}
+	return families, nil
+}
+
+func family(families map[string]*PromFamily, name string) *PromFamily {
+	fam, ok := families[name]
+	if !ok {
+		fam = &PromFamily{Name: name}
+		families[name] = fam
+	}
+	return fam
+}
+
+// familyName resolves a sample name to its family: exact match first, then
+// the histogram suffixes against a declared histogram family.
+func familyName(families map[string]*PromFamily, sample string) string {
+	if _, ok := families[sample]; ok {
+		return sample
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if fam, ok := families[base]; ok && fam.Type == "histogram" {
+			return base
+		}
+	}
+	return sample
+}
+
+func parseSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("sample without a value: %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("sample without a name: %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may follow the value; the service never writes one, but
+	// tolerate it to stay a real parser.
+	value := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		value = rest[:i]
+	}
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", value, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at rest[0]=='{' and
+// returns the index just past the closing brace.
+func parseLabels(rest string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(rest) && rest[i] == ',' {
+			i++
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(rest[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("malformed label block %q", rest)
+		}
+		name := rest[i : i+eq]
+		i += eq + 1
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", rest)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, fmt.Errorf("unterminated label value in %q", rest)
+			}
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		into[name] = val.String()
+	}
+}
+
+func checkHistogram(fam *PromFamily) error {
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	var buckets []bucket
+	var count float64
+	hasCount := false
+	hasSum := false
+	for _, s := range fam.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket without le label")
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("bad le %q: %v", leStr, err)
+			}
+			buckets = append(buckets, bucket{le: le, count: s.Value})
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+			hasCount = true
+		case strings.HasSuffix(s.Name, "_sum"):
+			hasSum = true
+		}
+	}
+	if len(buckets) == 0 || !hasCount || !hasSum {
+		return fmt.Errorf("missing buckets, _sum, or _count")
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.le, +1) {
+		return fmt.Errorf("no +Inf bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].count < buckets[i-1].count {
+			return fmt.Errorf("buckets not cumulative at le=%v", buckets[i].le)
+		}
+	}
+	if last.count != count {
+		return fmt.Errorf("_count %v disagrees with +Inf bucket %v", count, last.count)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"psgc"
+	"psgc/internal/obs"
 )
 
 // cacheKey identifies a compiled program: the hash of its source text plus
@@ -40,6 +41,9 @@ type compiledCache struct {
 type cacheEntry struct {
 	key      cacheKey
 	compiled *psgc.Compiled
+	// pipeline holds the phase spans of the compile that produced the
+	// entry, so traced cache hits can still report what the compile cost.
+	pipeline []obs.PhaseSpan
 }
 
 func newCompiledCache(max int) *compiledCache {
@@ -50,30 +54,33 @@ func newCompiledCache(max int) *compiledCache {
 	}
 }
 
-// get returns the cached program for the key, marking it most recently
-// used.
-func (c *compiledCache) get(k cacheKey) (*psgc.Compiled, bool) {
+// get returns the cached program and its compile spans for the key,
+// marking it most recently used.
+func (c *compiledCache) get(k cacheKey) (*psgc.Compiled, []obs.PhaseSpan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).compiled, true
+	e := el.Value.(*cacheEntry)
+	return e.compiled, e.pipeline, true
 }
 
 // add inserts (or refreshes) an entry, evicting the least recently used
 // entry beyond the capacity. Returns the number of evictions.
-func (c *compiledCache) add(k cacheKey, compiled *psgc.Compiled) int {
+func (c *compiledCache) add(k cacheKey, compiled *psgc.Compiled, pipeline []obs.PhaseSpan) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).compiled = compiled
+		e := el.Value.(*cacheEntry)
+		e.compiled = compiled
+		e.pipeline = pipeline
 		return 0
 	}
-	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, compiled: compiled})
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, compiled: compiled, pipeline: pipeline})
 	evicted := 0
 	for c.max > 0 && c.order.Len() > c.max {
 		oldest := c.order.Back()
@@ -89,4 +96,46 @@ func (c *compiledCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// flightGroup coalesces concurrent compiles of the same key (singleflight):
+// when two requests miss the LRU on one (source hash, collector) at the
+// same time, only the first runs the pipeline; the rest wait for its
+// result. Errors propagate to every waiter but are not retained — the next
+// request after the flight lands retries the compile.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[cacheKey]*flightCall
+}
+
+type flightCall struct {
+	done     chan struct{}
+	compiled *psgc.Compiled
+	pipeline []obs.PhaseSpan
+	err      error
+}
+
+// do runs fn once per key among concurrent callers. coalesced reports
+// whether this caller waited on another caller's fn instead of running it.
+func (g *flightGroup) do(k cacheKey, fn func() (*psgc.Compiled, []obs.PhaseSpan, error)) (c *psgc.Compiled, pipeline []obs.PhaseSpan, err error, coalesced bool) {
+	g.mu.Lock()
+	if g.inflight == nil {
+		g.inflight = map[cacheKey]*flightCall{}
+	}
+	if call, ok := g.inflight[k]; ok {
+		g.mu.Unlock()
+		<-call.done
+		return call.compiled, call.pipeline, call.err, true
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.inflight[k] = call
+	g.mu.Unlock()
+
+	call.compiled, call.pipeline, call.err = fn()
+
+	g.mu.Lock()
+	delete(g.inflight, k)
+	g.mu.Unlock()
+	close(call.done)
+	return call.compiled, call.pipeline, call.err, false
 }

@@ -2,10 +2,12 @@ package service
 
 import (
 	"encoding/json"
+	"io"
 	"sync/atomic"
 
 	"psgc/internal/collector"
 	"psgc/internal/gclang"
+	"psgc/internal/obs"
 )
 
 // Metrics is the service's lightweight metrics registry: atomic counters,
@@ -13,10 +15,12 @@ import (
 // GET /metrics. It deliberately avoids external metrics dependencies —
 // everything is stdlib atomics.
 type Metrics struct {
-	// Per-endpoint request counters.
+	// Per-endpoint request counters. StreamRequests counts the subset of
+	// run requests served over SSE.
 	CompileRequests   atomic.Int64
 	RunRequests       atomic.Int64
 	InterpretRequests atomic.Int64
+	StreamRequests    atomic.Int64
 
 	// Outcome counters.
 	OK           atomic.Int64 // 2xx responses
@@ -27,19 +31,21 @@ type Metrics struct {
 	Panics       atomic.Int64 // worker panics converted to 500s
 
 	// Queue and cache state.
-	QueueDepth    atomic.Int64 // jobs waiting or running right now (gauge)
-	QueueHighTide atomic.Int64 // max observed queue depth
-	CacheHits     atomic.Int64 // compiled-program LRU hits
-	CacheMisses   atomic.Int64 // compiled-program LRU misses
-	CacheEvicted  atomic.Int64 // LRU evictions
+	QueueDepth     atomic.Int64 // jobs waiting or running right now (gauge)
+	QueueHighTide  atomic.Int64 // max observed queue depth
+	CacheHits      atomic.Int64 // compiled-program LRU hits
+	CacheMisses    atomic.Int64 // LRU misses that actually compiled
+	CacheCoalesced atomic.Int64 // LRU misses that joined an in-flight compile
+	CacheEvicted   atomic.Int64 // LRU evictions
 
 	// Machine traffic, per collector (indexed by psgc.Collector).
 	MachineSteps [3]atomic.Int64
 	Collections  [3]atomic.Int64
 
 	// Latency histograms.
-	CompileLatency Histogram
-	RunLatency     Histogram
+	CompileLatency   Histogram
+	RunLatency       Histogram
+	InterpretLatency Histogram
 }
 
 // EnterQueue records a job entering the queue and maintains the high-tide
@@ -119,6 +125,7 @@ func (m *Metrics) Snapshot() map[string]any {
 			"compile":   m.CompileRequests.Load(),
 			"run":       m.RunRequests.Load(),
 			"interpret": m.InterpretRequests.Load(),
+			"stream":    m.StreamRequests.Load(),
 		},
 		"responses": map[string]int64{
 			"ok":            m.OK.Load(),
@@ -133,17 +140,87 @@ func (m *Metrics) Snapshot() map[string]any {
 			"high_tide": m.QueueHighTide.Load(),
 		},
 		"compiled_cache": map[string]int64{
-			"hits":    m.CacheHits.Load(),
-			"misses":  m.CacheMisses.Load(),
-			"evicted": m.CacheEvicted.Load(),
+			"hits":      m.CacheHits.Load(),
+			"misses":    m.CacheMisses.Load(),
+			"coalesced": m.CacheCoalesced.Load(),
+			"evicted":   m.CacheEvicted.Load(),
 		},
 		"collector_typechecks": map[string]int64{
 			"basic":        collector.Typechecks(gclang.Base),
 			"forwarding":   collector.Typechecks(gclang.Forw),
 			"generational": collector.Typechecks(gclang.Gen),
 		},
-		"per_collector":      perCollector,
-		"compile_latency_ms": m.CompileLatency.snapshot(),
-		"run_latency_ms":     m.RunLatency.snapshot(),
+		"per_collector":        perCollector,
+		"compile_latency_ms":   m.CompileLatency.snapshot(),
+		"run_latency_ms":       m.RunLatency.snapshot(),
+		"interpret_latency_ms": m.InterpretLatency.snapshot(),
 	}
+}
+
+// collectorNames and collectorDialects index psgc.Collector values for the
+// per-collector families.
+var (
+	collectorNames    = [...]string{"basic", "forwarding", "generational"}
+	collectorDialects = [...]gclang.Dialect{gclang.Base, gclang.Forw, gclang.Gen}
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (the content-negotiated GET /metrics alternative to Snapshot's
+// JSON). Families are written in a fixed order so the output is
+// byte-stable for golden tests.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	p := obs.NewPromWriter(w)
+	p.Counter("psgc_requests_total", "Requests received, by endpoint.",
+		obs.Sample{Labels: []obs.Label{{Name: "endpoint", Value: "compile"}}, Value: float64(m.CompileRequests.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "endpoint", Value: "run"}}, Value: float64(m.RunRequests.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "endpoint", Value: "interpret"}}, Value: float64(m.InterpretRequests.Load())},
+	)
+	p.Counter("psgc_stream_requests_total", "Run requests served over SSE.",
+		obs.Sample{Value: float64(m.StreamRequests.Load())})
+	p.Counter("psgc_responses_total", "Responses sent, by outcome.",
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "ok"}}, Value: float64(m.OK.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "client_error"}}, Value: float64(m.ClientErrors.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "server_error"}}, Value: float64(m.ServerErrors.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "rejected"}}, Value: float64(m.Rejected.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "deadline"}}, Value: float64(m.Deadlines.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "panic"}}, Value: float64(m.Panics.Load())},
+	)
+	p.Gauge("psgc_queue_depth", "Jobs waiting or running right now.",
+		obs.Sample{Value: float64(m.QueueDepth.Load())})
+	p.Gauge("psgc_queue_high_tide", "Maximum observed queue depth.",
+		obs.Sample{Value: float64(m.QueueHighTide.Load())})
+	p.Counter("psgc_compiled_cache_total", "Compiled-program LRU events.",
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "hit"}}, Value: float64(m.CacheHits.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "miss"}}, Value: float64(m.CacheMisses.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "coalesced"}}, Value: float64(m.CacheCoalesced.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "evicted"}}, Value: float64(m.CacheEvicted.Load())},
+	)
+	typechecks := make([]obs.Sample, 0, len(collectorNames))
+	steps := make([]obs.Sample, 0, len(collectorNames))
+	collections := make([]obs.Sample, 0, len(collectorNames))
+	for i, name := range collectorNames {
+		label := []obs.Label{{Name: "collector", Value: name}}
+		typechecks = append(typechecks, obs.Sample{Labels: label,
+			Value: float64(collector.Typechecks(collectorDialects[i]))})
+		steps = append(steps, obs.Sample{Labels: label, Value: float64(m.MachineSteps[i].Load())})
+		collections = append(collections, obs.Sample{Labels: label, Value: float64(m.Collections[i].Load())})
+	}
+	p.Counter("psgc_collector_typechecks_total",
+		"Collector build-and-verify runs (the verified-collector cache keeps this at 1).",
+		typechecks...)
+	p.Counter("psgc_machine_steps_total", "Machine transitions executed, by collector.", steps...)
+	p.Counter("psgc_collections_total", "Collector invocations, by collector.", collections...)
+	m.CompileLatency.writeProm(p, "psgc_compile_latency_ms", "Compile latency in milliseconds.")
+	m.RunLatency.writeProm(p, "psgc_run_latency_ms", "Run latency in milliseconds.")
+	m.InterpretLatency.writeProm(p, "psgc_interpret_latency_ms", "Interpret latency in milliseconds.")
+	return p.Err()
+}
+
+// writeProm renders the histogram as a Prometheus histogram family.
+func (h *Histogram) writeProm(p *obs.PromWriter, name, help string) {
+	counts := make([]int64, len(histBounds)+1)
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+	}
+	p.Histogram(name, help, histBounds[:], counts, float64(h.sumUs.Load())/1000)
 }

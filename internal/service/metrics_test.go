@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"psgc/internal/obs"
+)
+
+// TestQueueHighTideConcurrent hammers EnterQueue/LeaveQueue from many
+// goroutines; under -race this is the contract that the gauge and the
+// high-tide CAS loop are safe, and the final state must be exact.
+func TestQueueHighTideConcurrent(t *testing.T) {
+	var m Metrics
+	const workers = 32
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+	)
+	start.Add(1)
+	done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			for j := 0; j < 200; j++ {
+				m.EnterQueue()
+				m.LeaveQueue()
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if d := m.QueueDepth.Load(); d != 0 {
+		t.Errorf("queue depth %d after balanced enter/leave, want 0", d)
+	}
+	high := m.QueueHighTide.Load()
+	if high < 1 || high > workers {
+		t.Errorf("high tide %d, want within [1, %d]", high, workers)
+	}
+}
+
+// TestHighTideNeverDecreases pins the CAS loop against a racing larger
+// value: the mark only moves up.
+func TestHighTideNeverDecreases(t *testing.T) {
+	var m Metrics
+	for i := 0; i < 5; i++ {
+		m.EnterQueue()
+	}
+	for i := 0; i < 5; i++ {
+		m.LeaveQueue()
+	}
+	m.EnterQueue()
+	m.LeaveQueue()
+	if high := m.QueueHighTide.Load(); high != 5 {
+		t.Errorf("high tide %d after peak of 5, want 5", high)
+	}
+}
+
+// TestHistogramBuckets pins the boundary semantics: bounds are inclusive
+// upper bounds (le), so an observation exactly on a bound lands in that
+// bound's bucket.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(1)    // le=1 bucket (first)
+	h.Observe(1.5)  // le=2
+	h.Observe(5000) // le=5000 (last finite)
+	h.Observe(5001) // overflow
+	h.Observe(0)    // le=1
+
+	wantCounts := map[int]int64{0: 2, 1: 1, len(histBounds) - 1: 1, len(histBounds): 1}
+	for i := range h.counts {
+		want := wantCounts[i]
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d count %d, want %d", i, got, want)
+		}
+	}
+	if n := h.count.Load(); n != 5 {
+		t.Errorf("count %d, want 5", n)
+	}
+
+	snap := h.snapshot()
+	if snap["count"].(int64) != 5 {
+		t.Errorf("snapshot count = %v", snap["count"])
+	}
+	buckets := snap["buckets_ms"].(map[string]int64)
+	if buckets["1"] != 2 || buckets["2"] != 1 || buckets["+Inf"] != 1 {
+		t.Errorf("snapshot buckets = %v", buckets)
+	}
+}
+
+// fixedMetrics returns a registry with deterministic values for the golden
+// renderings.
+func fixedMetrics() *Metrics {
+	var m Metrics
+	m.CompileRequests.Store(2)
+	m.RunRequests.Store(5)
+	m.InterpretRequests.Store(1)
+	m.StreamRequests.Store(1)
+	m.OK.Store(7)
+	m.ClientErrors.Store(1)
+	m.QueueHighTide.Store(3)
+	m.CacheHits.Store(4)
+	m.CacheMisses.Store(2)
+	m.CacheCoalesced.Store(1)
+	m.MachineSteps[1].Store(1000)
+	m.Collections[1].Store(6)
+	m.RunLatency.Observe(1.5)
+	m.RunLatency.Observe(30)
+	return &m
+}
+
+// TestSnapshotJSONGolden pins the JSON rendering's shape and the
+// deterministic values. The collector_typechecks block is process-global
+// (it depends on which tests compiled first), so only its presence is
+// checked.
+func TestSnapshotJSONGolden(t *testing.T) {
+	snap := fixedMetrics().Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := round["requests"].(map[string]any)
+	for key, want := range map[string]float64{"compile": 2, "run": 5, "interpret": 1, "stream": 1} {
+		if got := reqs[key].(float64); got != want {
+			t.Errorf("requests.%s = %v, want %v", key, got, want)
+		}
+	}
+	cache := round["compiled_cache"].(map[string]any)
+	for key, want := range map[string]float64{"hits": 4, "misses": 2, "coalesced": 1, "evicted": 0} {
+		if got := cache[key].(float64); got != want {
+			t.Errorf("compiled_cache.%s = %v, want %v", key, got, want)
+		}
+	}
+	if _, ok := round["collector_typechecks"].(map[string]any); !ok {
+		t.Errorf("snapshot lacks collector_typechecks")
+	}
+	lat := round["run_latency_ms"].(map[string]any)
+	if got := lat["count"].(float64); got != 2 {
+		t.Errorf("run latency count = %v, want 2", got)
+	}
+	if got := lat["sum_ms"].(float64); got != 31.5 {
+		t.Errorf("run latency sum = %v, want 31.5", got)
+	}
+	forw := round["per_collector"].(map[string]any)["forwarding"].(map[string]any)
+	if forw["machine_steps"].(float64) != 1000 || forw["collections"].(float64) != 6 {
+		t.Errorf("per_collector.forwarding = %v", forw)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition line by line, excluding the
+// process-global typecheck counters whose values depend on test order.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedMetrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "typechecks") {
+			continue
+		}
+		got = append(got, line)
+	}
+	want := strings.Split(`# HELP psgc_requests_total Requests received, by endpoint.
+# TYPE psgc_requests_total counter
+psgc_requests_total{endpoint="compile"} 2
+psgc_requests_total{endpoint="run"} 5
+psgc_requests_total{endpoint="interpret"} 1
+# HELP psgc_stream_requests_total Run requests served over SSE.
+# TYPE psgc_stream_requests_total counter
+psgc_stream_requests_total 1
+# HELP psgc_responses_total Responses sent, by outcome.
+# TYPE psgc_responses_total counter
+psgc_responses_total{outcome="ok"} 7
+psgc_responses_total{outcome="client_error"} 1
+psgc_responses_total{outcome="server_error"} 0
+psgc_responses_total{outcome="rejected"} 0
+psgc_responses_total{outcome="deadline"} 0
+psgc_responses_total{outcome="panic"} 0
+# HELP psgc_queue_depth Jobs waiting or running right now.
+# TYPE psgc_queue_depth gauge
+psgc_queue_depth 0
+# HELP psgc_queue_high_tide Maximum observed queue depth.
+# TYPE psgc_queue_high_tide gauge
+psgc_queue_high_tide 3
+# HELP psgc_compiled_cache_total Compiled-program LRU events.
+# TYPE psgc_compiled_cache_total counter
+psgc_compiled_cache_total{event="hit"} 4
+psgc_compiled_cache_total{event="miss"} 2
+psgc_compiled_cache_total{event="coalesced"} 1
+psgc_compiled_cache_total{event="evicted"} 0
+# HELP psgc_machine_steps_total Machine transitions executed, by collector.
+# TYPE psgc_machine_steps_total counter
+psgc_machine_steps_total{collector="basic"} 0
+psgc_machine_steps_total{collector="forwarding"} 1000
+psgc_machine_steps_total{collector="generational"} 0
+# HELP psgc_collections_total Collector invocations, by collector.
+# TYPE psgc_collections_total counter
+psgc_collections_total{collector="basic"} 0
+psgc_collections_total{collector="forwarding"} 6
+psgc_collections_total{collector="generational"} 0`, "\n")
+
+	// The latency histograms follow; spot-check the run histogram rather
+	// than pinning every zero bucket.
+	if len(got) < len(want) {
+		t.Fatalf("exposition too short: %d lines, want at least %d:\n%s", len(got), len(want), buf.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\ngot:  %q\nwant: %q", i+1, got[i], want[i])
+		}
+	}
+	text := buf.String()
+	for _, line := range []string{
+		`psgc_run_latency_ms_bucket{le="2"} 1`,
+		`psgc_run_latency_ms_bucket{le="50"} 2`,
+		`psgc_run_latency_ms_bucket{le="+Inf"} 2`,
+		`psgc_run_latency_ms_sum 31.5`,
+		`psgc_run_latency_ms_count 2`,
+		`psgc_interpret_latency_ms_count 0`,
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Errorf("exposition lacks %q", line)
+		}
+	}
+
+	// And the whole thing must be scrapeable by the validating parser.
+	if _, err := obs.ParseExposition(buf.Bytes()); err != nil {
+		t.Errorf("exposition does not parse: %v", err)
+	}
+}

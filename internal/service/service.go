@@ -6,20 +6,28 @@
 // (collector.Load) and is observable at /metrics, instead of being paid on
 // every request.
 //
-// Endpoints (all request/response bodies are JSON; see README.md):
+// Endpoints (request/response bodies are JSON unless negotiated otherwise;
+// see README.md):
 //
 //	POST /compile    compile a program, report cache/typecheck behavior
+//	                 (?trace=1 adds pipeline-phase spans)
 //	POST /run        compile (or reuse) and execute on the λGC machine
+//	                 (?trace=1 adds the GC-event timeline; ?stream=1
+//	                 streams progress over SSE)
 //	POST /interpret  run the reference evaluator (no regions, no GC)
 //	GET  /healthz    liveness + queue snapshot
-//	GET  /metrics    the full metrics registry
+//	GET  /metrics    the metrics registry — JSON by default, Prometheus
+//	                 text exposition with Accept: text/plain (or
+//	                 ?format=prometheus)
 //
 // Requests are executed by a bounded worker pool. When the queue is full
 // the service sheds load with HTTP 429 rather than queueing unboundedly;
 // per-request deadlines are mapped onto machine fuel budgets (the machine
 // is deterministic, so steps — not wall clock — are the enforceable
 // resource); worker panics become structured 500s; Shutdown drains the
-// pool gracefully.
+// pool gracefully. Every request gets a trace ID, returned in the
+// X-Trace-Id header and the response body, and carried through the worker
+// pool so queued work stays attributable.
 package service
 
 import (
@@ -27,12 +35,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"psgc"
+	"psgc/internal/obs"
 )
 
 // Config sizes the service. Zero values select the documented defaults.
@@ -90,6 +101,7 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	cache   *compiledCache
+	flights flightGroup
 	metrics *Metrics
 	start   time.Time
 
@@ -102,10 +114,12 @@ type Server struct {
 }
 
 // job is one unit of pool work; done is buffered so an abandoned client
-// never blocks a worker.
+// never blocks a worker. traceID follows the job through the pool so
+// panics and responses stay attributable to the request.
 type job struct {
-	do   func() *response
-	done chan *response
+	do      func() *response
+	done    chan *response
+	traceID string
 }
 
 // response is a finished job: an HTTP status plus a JSON-encodable body.
@@ -181,34 +195,44 @@ func (s *Server) runJob(j *job) (resp *response) {
 		if p := recover(); p != nil {
 			s.metrics.Panics.Add(1)
 			resp = &response{status: http.StatusInternalServerError,
-				body: errorBody{Error: fmt.Sprintf("internal panic: %v", p), Panic: true}}
+				body: errorBody{Error: fmt.Sprintf("internal panic: %v", p), Panic: true, TraceID: j.traceID}}
 		}
 	}()
 	return j.do()
 }
 
-// submit enqueues do on the worker pool and writes its response, shedding
-// load with 429 when the queue is full and 503 during shutdown.
-func (s *Server) submit(w http.ResponseWriter, r *http.Request, do func() *response) {
-	j := &job{do: do, done: make(chan *response, 1)}
+// enqueue places a job on the worker pool, writing a 503 during shutdown
+// or a 429 when the queue is full. It reports whether the job was
+// accepted.
+func (s *Server) enqueue(w http.ResponseWriter, j *job) bool {
 	s.mu.RLock()
 	if s.shutdown {
 		s.mu.RUnlock()
 		s.writeResponse(w, &response{status: http.StatusServiceUnavailable,
-			body: errorBody{Error: "server is shutting down"}})
-		return
+			body: errorBody{Error: "server is shutting down", TraceID: j.traceID}})
+		return false
 	}
 	s.metrics.EnterQueue()
 	select {
 	case s.jobs <- j:
 		s.mu.RUnlock()
+		return true
 	default:
 		s.mu.RUnlock()
 		s.metrics.LeaveQueue()
 		s.metrics.Rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		s.writeResponse(w, &response{status: http.StatusTooManyRequests,
-			body: errorBody{Error: "queue full, retry later"}})
+			body: errorBody{Error: "queue full, retry later", TraceID: j.traceID}})
+		return false
+	}
+}
+
+// submit enqueues do on the worker pool and writes its response, shedding
+// load with 429 when the queue is full and 503 during shutdown.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, traceID string, do func() *response) {
+	j := &job{do: do, done: make(chan *response, 1), traceID: traceID}
+	if !s.enqueue(w, j) {
 		return
 	}
 	select {
@@ -240,6 +264,11 @@ type CompileResponse struct {
 	Cached     bool    `json:"cached"`
 	CodeBlocks int     `json:"code_blocks"`
 	CompileMs  float64 `json:"compile_ms"`
+	TraceID    string  `json:"trace_id,omitempty"`
+	// Pipeline holds the compile's per-phase spans when tracing was
+	// requested; for cache hits they are the spans of the compile that
+	// produced the cached entry.
+	Pipeline []obs.PhaseSpan `json:"pipeline,omitempty"`
 }
 
 // RunRequest is the POST /run payload.
@@ -256,6 +285,18 @@ type RunRequest struct {
 	// server's StepsPerMilli rate; the smaller of Fuel and the mapped
 	// budget wins.
 	DeadlineMs int `json:"deadline_ms"`
+	// Trace includes the pipeline spans and GC-event timeline in the
+	// response (equivalent to the ?trace=1 query parameter).
+	Trace bool `json:"trace"`
+	// MaxEvents caps the retained timeline event log (default 10000;
+	// totals and collection spans are always exact).
+	MaxEvents int `json:"max_events"`
+	// Stream serves the run over SSE with progress events (equivalent to
+	// the ?stream=1 query parameter).
+	Stream bool `json:"stream"`
+	// ProgressSteps is the SSE progress cadence in machine steps
+	// (default 50000; progress is also emitted at every collection).
+	ProgressSteps int `json:"progress_steps"`
 }
 
 // RunStats is the observable execution statistics, present in both
@@ -282,20 +323,30 @@ func statsOf(res psgc.Result) RunStats {
 	}
 }
 
+// TraceReport is the observability payload attached to traced runs: the
+// compile pipeline's phase spans and the GC-event timeline.
+type TraceReport struct {
+	Pipeline []obs.PhaseSpan `json:"pipeline,omitempty"`
+	Timeline *obs.Timeline   `json:"timeline"`
+}
+
 // RunResponse reports an execution.
 type RunResponse struct {
-	Value      int      `json:"value"`
-	Collector  string   `json:"collector"`
-	SourceHash string   `json:"source_hash"`
-	Cached     bool     `json:"cached"`
-	Fuel       int      `json:"fuel"`
-	RunMs      float64  `json:"run_ms"`
-	Stats      RunStats `json:"stats"`
+	Value      int          `json:"value"`
+	Collector  string       `json:"collector"`
+	SourceHash string       `json:"source_hash"`
+	Cached     bool         `json:"cached"`
+	Fuel       int          `json:"fuel"`
+	RunMs      float64      `json:"run_ms"`
+	Stats      RunStats     `json:"stats"`
+	TraceID    string       `json:"trace_id,omitempty"`
+	Trace      *TraceReport `json:"trace,omitempty"`
 }
 
 // InterpretResponse reports a reference-evaluator run.
 type InterpretResponse struct {
-	Value int `json:"value"`
+	Value   int    `json:"value"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorBody is the structured error payload.
@@ -305,6 +356,11 @@ type errorBody struct {
 	Panic bool `json:"panic,omitempty"`
 	// Partial carries the statistics of a deadline-killed run.
 	Partial *RunStats `json:"partial,omitempty"`
+	// TraceID attributes the error to a request.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace carries the timeline recorded up to the point a traced run
+	// was cut off by its fuel budget.
+	Trace *TraceReport `json:"trace,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -324,14 +380,22 @@ func parseCollector(name string) (psgc.Collector, error) {
 	}
 }
 
+// traceRequest assigns the request a trace ID and exposes it in the
+// response headers before any body is written.
+func (s *Server) traceRequest(w http.ResponseWriter) string {
+	id := obs.NewTraceID()
+	w.Header().Set("X-Trace-Id", id)
+	return id
+}
+
 // decode parses a JSON body with the configured size limit.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any, traceID string) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		s.writeResponse(w, &response{status: http.StatusBadRequest,
-			body: errorBody{Error: "bad request body: " + err.Error()}})
+			body: errorBody{Error: "bad request body: " + err.Error(), TraceID: traceID}})
 		return false
 	}
 	return true
@@ -348,22 +412,32 @@ func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
 }
 
 // compiled fetches a ready-to-run program from the LRU or compiles and
-// caches it. The returned bool reports a cache hit.
-func (s *Server) compiled(src string, col psgc.Collector) (*psgc.Compiled, bool, error) {
+// caches it, coalescing concurrent compiles of the same key so N
+// simultaneous misses run the pipeline once. The returned bool reports
+// whether this request avoided a compile (LRU hit or coalesced onto an
+// in-flight one); the spans describe the compile that produced the
+// program.
+func (s *Server) compiled(src string, col psgc.Collector) (*psgc.Compiled, []obs.PhaseSpan, bool, error) {
 	k := keyFor(src, col)
-	if c, ok := s.cache.get(k); ok {
+	if c, spans, ok := s.cache.get(k); ok {
 		s.metrics.CacheHits.Add(1)
-		return c, true, nil
+		return c, spans, true, nil
 	}
-	s.metrics.CacheMisses.Add(1)
-	c, err := psgc.Compile(src, col)
-	if err != nil {
-		return nil, false, err
+	c, spans, err, coalesced := s.flights.do(k, func() (*psgc.Compiled, []obs.PhaseSpan, error) {
+		s.metrics.CacheMisses.Add(1)
+		c, spans, err := psgc.CompileTraced(src, col)
+		if err != nil {
+			return nil, spans, err
+		}
+		if n := s.cache.add(k, c, spans); n > 0 {
+			s.metrics.CacheEvicted.Add(int64(n))
+		}
+		return c, spans, nil
+	})
+	if coalesced {
+		s.metrics.CacheCoalesced.Add(1)
 	}
-	if n := s.cache.add(k, c); n > 0 {
-		s.metrics.CacheEvicted.Add(int64(n))
-	}
-	return c, false, nil
+	return c, spans, coalesced, err
 }
 
 // compileStatus maps a compile error onto an HTTP status: errors in the
@@ -376,89 +450,227 @@ func compileStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// flagged reports whether a boolean request knob is on, either via its
+// query parameter ("1" or "true") or the decoded body field.
+func flagged(r *http.Request, name string, body bool) bool {
+	if body {
+		return true
+	}
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.metrics.CompileRequests.Add(1)
+	traceID := s.traceRequest(w)
 	if !s.requirePost(w, r) {
 		return
 	}
 	var req CompileRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, r, &req, traceID) {
 		return
 	}
 	col, err := parseCollector(req.Collector)
 	if err != nil {
-		s.writeResponse(w, &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error()}})
+		s.writeResponse(w, &response{status: http.StatusBadRequest,
+			body: errorBody{Error: err.Error(), TraceID: traceID}})
 		return
 	}
-	s.submit(w, r, func() *response {
+	trace := flagged(r, "trace", false)
+	s.submit(w, r, traceID, func() *response {
 		t0 := time.Now()
-		c, hit, err := s.compiled(req.Source, col)
+		c, spans, hit, err := s.compiled(req.Source, col)
 		if err != nil {
-			return &response{status: compileStatus(err), body: errorBody{Error: err.Error()}}
+			return &response{status: compileStatus(err), body: errorBody{Error: err.Error(), TraceID: traceID}}
 		}
 		ms := float64(time.Since(t0)) / float64(time.Millisecond)
 		s.metrics.CompileLatency.Observe(ms)
-		return &response{status: http.StatusOK, body: CompileResponse{
+		resp := CompileResponse{
 			Collector:  col.String(),
 			SourceHash: SourceHash(req.Source),
 			Cached:     hit,
 			CodeBlocks: len(c.Prog.Code),
 			CompileMs:  ms,
-		}}
+			TraceID:    traceID,
+		}
+		if trace {
+			resp.Pipeline = spans
+		}
+		return &response{status: http.StatusOK, body: resp}
 	})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.metrics.RunRequests.Add(1)
+	traceID := s.traceRequest(w)
 	if !s.requirePost(w, r) {
 		return
 	}
 	var req RunRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, r, &req, traceID) {
 		return
 	}
 	col, err := parseCollector(req.Collector)
 	if err != nil {
-		s.writeResponse(w, &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error()}})
+		s.writeResponse(w, &response{status: http.StatusBadRequest,
+			body: errorBody{Error: err.Error(), TraceID: traceID}})
 		return
 	}
-	s.submit(w, r, func() *response {
-		c, hit, err := s.compiled(req.Source, col)
-		if err != nil {
-			return &response{status: compileStatus(err), body: errorBody{Error: err.Error()}}
-		}
-		opts := psgc.RunOptions{Capacity: s.cfg.Capacity, FixedCapacity: req.Fixed}
-		if req.Capacity != nil {
-			opts.Capacity = *req.Capacity
-		}
-		opts.Fuel = s.fuelBudget(req.Fuel, req.DeadlineMs)
-		t0 := time.Now()
-		res, err := c.Run(opts)
-		ms := float64(time.Since(t0)) / float64(time.Millisecond)
-		s.metrics.RunLatency.Observe(ms)
-		s.metrics.MachineSteps[col].Add(int64(res.Steps))
-		s.metrics.Collections[col].Add(int64(res.Collections))
-		if err != nil {
-			if errors.Is(err, psgc.ErrOutOfFuel) {
-				// The deadline (as a fuel budget) expired: report the
-				// partial execution so the client can see how far it got.
-				s.metrics.Deadlines.Add(1)
-				partial := statsOf(res)
-				return &response{status: http.StatusGatewayTimeout,
-					body: errorBody{Error: err.Error(), Partial: &partial}}
-			}
-			return &response{status: http.StatusInternalServerError, body: errorBody{Error: err.Error()}}
-		}
-		return &response{status: http.StatusOK, body: RunResponse{
-			Value:      res.Value,
-			Collector:  col.String(),
-			SourceHash: SourceHash(req.Source),
-			Cached:     hit,
-			Fuel:       opts.Fuel,
-			RunMs:      ms,
-			Stats:      statsOf(res),
-		}}
+	trace := flagged(r, "trace", req.Trace)
+	if flagged(r, "stream", req.Stream) {
+		s.streamRun(w, r, req, col, trace, traceID)
+		return
+	}
+	s.submit(w, r, traceID, func() *response {
+		return s.doRun(req, col, trace, traceID, nil)
 	})
+}
+
+// doRun is the shared run path behind the JSON and SSE variants of /run:
+// compile (or fetch), execute with the request's fuel budget, record
+// metrics, and shape the response. progress, if non-nil, receives
+// execution snapshots and can cancel the run by returning false.
+func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID string, progress func(psgc.Progress) bool) *response {
+	c, spans, hit, err := s.compiled(req.Source, col)
+	if err != nil {
+		return &response{status: compileStatus(err), body: errorBody{Error: err.Error(), TraceID: traceID}}
+	}
+	opts := psgc.RunOptions{Capacity: s.cfg.Capacity, FixedCapacity: req.Fixed}
+	if req.Capacity != nil {
+		opts.Capacity = *req.Capacity
+	}
+	opts.Fuel = s.fuelBudget(req.Fuel, req.DeadlineMs)
+	var rec *obs.Recorder
+	if trace {
+		rec = c.Recorder()
+		if req.MaxEvents > 0 {
+			rec.MaxEvents = req.MaxEvents
+		}
+		opts.Recorder = rec
+	}
+	if progress != nil {
+		opts.Progress = progress
+		if req.ProgressSteps > 0 {
+			opts.ProgressEvery = req.ProgressSteps
+		}
+	}
+	var report *TraceReport
+	t0 := time.Now()
+	res, err := c.Run(opts)
+	ms := float64(time.Since(t0)) / float64(time.Millisecond)
+	s.metrics.RunLatency.Observe(ms)
+	s.metrics.MachineSteps[col].Add(int64(res.Steps))
+	s.metrics.Collections[col].Add(int64(res.Collections))
+	if rec != nil {
+		report = &TraceReport{Pipeline: spans, Timeline: rec.Timeline()}
+	}
+	if err != nil {
+		if errors.Is(err, psgc.ErrOutOfFuel) {
+			// The deadline (as a fuel budget) expired: report the
+			// partial execution so the client can see how far it got.
+			s.metrics.Deadlines.Add(1)
+			partial := statsOf(res)
+			return &response{status: http.StatusGatewayTimeout,
+				body: errorBody{Error: err.Error(), Partial: &partial, TraceID: traceID, Trace: report}}
+		}
+		if errors.Is(err, psgc.ErrCanceled) {
+			// The streaming client went away mid-run; nobody is left to
+			// read this, but classify it as a client-side termination.
+			partial := statsOf(res)
+			return &response{status: statusClientClosedRequest,
+				body: errorBody{Error: err.Error(), Partial: &partial, TraceID: traceID}}
+		}
+		return &response{status: http.StatusInternalServerError,
+			body: errorBody{Error: err.Error(), TraceID: traceID}}
+	}
+	return &response{status: http.StatusOK, body: RunResponse{
+		Value:      res.Value,
+		Collector:  col.String(),
+		SourceHash: SourceHash(req.Source),
+		Cached:     hit,
+		Fuel:       opts.Fuel,
+		RunMs:      ms,
+		Stats:      statsOf(res),
+		TraceID:    traceID,
+		Trace:      report,
+	}}
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client
+// that disconnected before the response (no stdlib constant exists).
+const statusClientClosedRequest = 499
+
+// streamRun serves one /run request over Server-Sent Events: "progress"
+// events while the machine executes, then a final "result" (or "error")
+// event carrying the same JSON body the non-streaming endpoint returns.
+// Queue rejection and shutdown still answer with plain JSON status codes —
+// the stream only starts once the job is accepted.
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, req RunRequest, col psgc.Collector, trace bool, traceID string) {
+	s.metrics.StreamRequests.Add(1)
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeResponse(w, &response{status: http.StatusInternalServerError,
+			body: errorBody{Error: "streaming unsupported by this connection", TraceID: traceID}})
+		return
+	}
+	var cancelled atomic.Bool
+	events := make(chan psgc.Progress, 16)
+	j := &job{traceID: traceID, done: make(chan *response, 1)}
+	j.do = func() *response {
+		defer close(events)
+		return s.doRun(req, col, trace, traceID, func(ev psgc.Progress) bool {
+			if cancelled.Load() {
+				return false
+			}
+			select {
+			case events <- ev:
+			default: // never block the machine on a slow client
+			}
+			return true
+		})
+	}
+	if !s.enqueue(w, j) {
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				events = nil // drained; the final response is next
+				continue
+			}
+			writeSSE(w, fl, "progress", ev)
+		case resp := <-j.done:
+			s.countOutcome(resp.status)
+			name := "result"
+			if resp.status >= 400 {
+				name = "error"
+			}
+			writeSSE(w, fl, name, resp.body)
+			return
+		case <-r.Context().Done():
+			// Client gone: tell the machine to stop at its next progress
+			// tick; the worker finishes into the buffered done channel.
+			cancelled.Store(true)
+			return
+		}
+	}
+}
+
+// writeSSE writes one Server-Sent Event with a JSON data payload.
+func writeSSE(w io.Writer, fl http.Flusher, event string, data any) {
+	b, err := json.Marshal(data)
+	if err != nil {
+		b = []byte(`{"error":"encode failure"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	fl.Flush()
 }
 
 // fuelBudget resolves a request's fuel: explicit fuel, a deadline mapped
@@ -479,19 +691,22 @@ func (s *Server) fuelBudget(fuel, deadlineMs int) int {
 
 func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InterpretRequests.Add(1)
+	traceID := s.traceRequest(w)
 	if !s.requirePost(w, r) {
 		return
 	}
 	var req CompileRequest
-	if !s.decode(w, r, &req) {
+	if !s.decode(w, r, &req, traceID) {
 		return
 	}
-	s.submit(w, r, func() *response {
+	s.submit(w, r, traceID, func() *response {
+		t0 := time.Now()
 		n, err := psgc.Interpret(req.Source)
+		s.metrics.InterpretLatency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 		if err != nil {
-			return &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error()}}
+			return &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error(), TraceID: traceID}}
 		}
-		return &response{status: http.StatusOK, body: InterpretResponse{Value: n}}
+		return &response{status: http.StatusOK, body: InterpretResponse{Value: n, TraceID: traceID}}
 	})
 }
 
@@ -512,22 +727,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}})
 }
 
+// wantsPrometheus decides the /metrics representation: the Prometheus text
+// exposition for scrape-style requests (Accept: text/plain or OpenMetrics,
+// or ?format=prometheus), JSON otherwise.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.countOutcome(http.StatusOK)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.metrics.WritePrometheus(w)
+		return
+	}
 	s.writeResponse(w, &response{status: http.StatusOK, body: s.metrics.Snapshot()})
 }
 
-// writeResponse writes one JSON response and records the outcome.
-func (s *Server) writeResponse(w http.ResponseWriter, resp *response) {
+// countOutcome records a response's outcome class.
+func (s *Server) countOutcome(status int) {
 	switch {
-	case resp.status < 300:
+	case status < 300:
 		s.metrics.OK.Add(1)
-	case resp.status == http.StatusTooManyRequests:
+	case status == http.StatusTooManyRequests:
 		// counted at the rejection site
-	case resp.status < 500:
+	case status < 500:
 		s.metrics.ClientErrors.Add(1)
 	default:
 		s.metrics.ServerErrors.Add(1)
 	}
+}
+
+// writeResponse writes one JSON response and records the outcome.
+func (s *Server) writeResponse(w http.ResponseWriter, resp *response) {
+	s.countOutcome(resp.status)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(resp.status)
 	enc := json.NewEncoder(w)

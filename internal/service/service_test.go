@@ -1,15 +1,21 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"psgc"
+	"psgc/internal/obs"
 )
 
 const allocHeavy = `
@@ -391,5 +397,424 @@ func TestFuelBudget(t *testing.T) {
 		if got := s.fuelBudget(c.fuel, c.deadline); got != c.want {
 			t.Errorf("fuelBudget(%d, %d) = %d, want %d", c.fuel, c.deadline, got, c.want)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Observability: tracing, streaming, Prometheus, singleflight
+// ---------------------------------------------------------------------------
+
+// TestRunTraceTimeline asserts /run?trace=1 returns a GC-event timeline
+// whose counts agree with the machine's own statistics: at least one
+// collection span, allocs+copies equal to the puts counter minus the code
+// installs, and spans matching the collection count.
+func TestRunTraceTimeline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	resp, body := postJSON(t, ts.URL+"/compile", CompileRequest{Source: allocHeavy, Collector: "forwarding"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: %d (%s)", resp.StatusCode, body)
+	}
+	codeBlocks := decode[CompileResponse](t, body).CodeBlocks
+
+	cap := 24
+	resp, body = postJSON(t, ts.URL+"/run?trace=1", RunRequest{
+		CompileRequest: CompileRequest{Source: allocHeavy, Collector: "forwarding"},
+		Capacity:       &cap,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d (%s)", resp.StatusCode, body)
+	}
+	rr := decode[RunResponse](t, body)
+	if rr.Trace == nil || rr.Trace.Timeline == nil {
+		t.Fatalf("traced run has no trace report: %s", body)
+	}
+	if len(rr.Trace.Pipeline) == 0 {
+		t.Errorf("trace report has no pipeline spans")
+	}
+	tl := rr.Trace.Timeline
+	if rr.Stats.Collections < 1 || len(tl.Collections) != rr.Stats.Collections {
+		t.Errorf("%d collection spans for %d collections", len(tl.Collections), rr.Stats.Collections)
+	}
+	if tl.Steps != rr.Stats.Steps {
+		t.Errorf("timeline steps %d, run stats say %d", tl.Steps, rr.Stats.Steps)
+	}
+	if got, want := tl.Allocs+tl.Copies, rr.Stats.Puts-codeBlocks; got != want {
+		t.Errorf("allocs+copies = %d, puts minus code installs = %d", got, want)
+	}
+	kinds := map[string]int{}
+	for _, ev := range tl.Events {
+		kinds[ev.Kind]++
+	}
+	for _, kind := range []string{obs.KindAlloc, obs.KindCopy, obs.KindForward, obs.KindCollectStart} {
+		if kinds[kind] == 0 {
+			t.Errorf("timeline has no %q events: %v", kind, kinds)
+		}
+	}
+
+	// The trace ID is in both the header and the body, and they agree.
+	if rr.TraceID == "" || resp.Header.Get("X-Trace-Id") != rr.TraceID {
+		t.Errorf("trace ID header %q, body %q", resp.Header.Get("X-Trace-Id"), rr.TraceID)
+	}
+
+	// An untraced run of the same program carries no trace report.
+	resp, body = postJSON(t, ts.URL+"/run", RunRequest{
+		CompileRequest: CompileRequest{Source: allocHeavy, Collector: "forwarding"},
+		Capacity:       &cap,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("untraced run: %d (%s)", resp.StatusCode, body)
+	}
+	if rr := decode[RunResponse](t, body); rr.Trace != nil {
+		t.Errorf("untraced run has a trace report")
+	}
+}
+
+// TestDeadlineTraceReport asserts a fuel-killed traced run still reports
+// the timeline up to the cutoff.
+func TestDeadlineTraceReport(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, StepsPerMilli: 100})
+
+	resp, body := postJSON(t, ts.URL+"/run?trace=1", RunRequest{
+		CompileRequest: CompileRequest{Source: allocHeavy},
+		DeadlineMs:     1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, body)
+	}
+	eb := decode[errorBody](t, body)
+	if eb.Trace == nil || eb.Trace.Timeline == nil {
+		t.Fatalf("deadline response has no trace: %s", body)
+	}
+	if eb.Trace.Timeline.Steps != 100 {
+		t.Errorf("cutoff timeline at step %d, want the 100-step budget", eb.Trace.Timeline.Steps)
+	}
+}
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// readSSE parses an SSE body into events.
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var (
+		events []sseEvent
+		cur    sseEvent
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" || cur.data != nil {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = append(cur.data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return events
+}
+
+// TestRunStreamSSE drives /run?stream=1 and asserts the stream carries
+// monotonically progressing snapshots and ends with a result event whose
+// body matches the non-streaming response shape.
+func TestRunStreamSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	cap := 24
+	payload, err := json.Marshal(RunRequest{
+		CompileRequest: CompileRequest{Source: allocHeavy, Collector: "forwarding"},
+		Capacity:       &cap,
+		ProgressSteps:  500,
+		Trace:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/run?stream=1", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+
+	events := readSSE(t, resp.Body)
+	if len(events) < 2 {
+		t.Fatalf("stream delivered %d events, want progress plus a result", len(events))
+	}
+	last := events[len(events)-1]
+	if last.name != "result" {
+		t.Fatalf("final event %q (%s), want result", last.name, last.data)
+	}
+
+	var prevSteps int
+	progressed := 0
+	for _, ev := range events[:len(events)-1] {
+		if ev.name != "progress" {
+			t.Fatalf("unexpected event %q before the result", ev.name)
+		}
+		var p psgc.Progress
+		if err := json.Unmarshal(ev.data, &p); err != nil {
+			t.Fatalf("bad progress payload %s: %v", ev.data, err)
+		}
+		if p.Steps < prevSteps {
+			t.Errorf("progress went backwards: %d after %d", p.Steps, prevSteps)
+		}
+		prevSteps = p.Steps
+		progressed++
+	}
+	if progressed == 0 {
+		t.Errorf("no progress events before the result")
+	}
+
+	rr := decode[RunResponse](t, last.data)
+	if rr.Stats.Collections == 0 || rr.Trace == nil {
+		t.Errorf("streamed result lacks collections or trace: %s", last.data)
+	}
+	if rr.Stats.Steps < prevSteps {
+		t.Errorf("final steps %d behind last progress %d", rr.Stats.Steps, prevSteps)
+	}
+}
+
+// TestMetricsPrometheus asserts the content-negotiated /metrics exposition
+// parses as valid Prometheus text format and reflects request traffic.
+func TestMetricsPrometheus(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	cap := 24
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, ts.URL+"/run", RunRequest{
+			CompileRequest: CompileRequest{Source: allocHeavy, Collector: "forwarding"},
+			Capacity:       &cap,
+		}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type %q, want the 0.0.4 text exposition", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(data)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, data)
+	}
+
+	reqs := fams["psgc_requests_total"]
+	if reqs == nil {
+		t.Fatal("no psgc_requests_total family")
+	}
+	found := false
+	for _, s := range reqs.Samples {
+		if s.Labels["endpoint"] == "run" {
+			found = true
+			if s.Value != 2 {
+				t.Errorf("run requests %v, want 2", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no endpoint=run sample in %+v", reqs.Samples)
+	}
+	if fams["psgc_run_latency_ms"] == nil || fams["psgc_run_latency_ms"].Type != "histogram" {
+		t.Errorf("run latency histogram missing or mistyped")
+	}
+	for _, s := range fams["psgc_collections_total"].Samples {
+		if s.Labels["collector"] == "forwarding" && s.Value == 0 {
+			t.Errorf("forwarding collections counter still 0 after collecting runs")
+		}
+	}
+
+	// ?format=prometheus negotiates the same representation; the default
+	// stays JSON.
+	resp2, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("?format=prometheus Content-Type %q", ct)
+	}
+	resp3, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if ct := resp3.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("default Content-Type %q, want JSON", ct)
+	}
+}
+
+// TestFlightGroupSingleCompile is the deterministic singleflight contract:
+// with a leader parked inside the compile, N followers join its flight and
+// the compile function runs exactly once.
+func TestFlightGroupSingleCompile(t *testing.T) {
+	var g flightGroup
+	k := keyFor("shared", psgc.Basic)
+	want := &psgc.Compiled{}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	calls := 0
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c, _, err, coalesced := g.do(k, func() (*psgc.Compiled, []obs.PhaseSpan, error) {
+			calls++
+			close(entered)
+			<-release
+			return want, nil, nil
+		})
+		if c != want || err != nil || coalesced {
+			t.Errorf("leader got (%v, %v, coalesced=%v)", c, err, coalesced)
+		}
+	}()
+	<-entered
+
+	const followers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, _, err, coalesced := g.do(k, func() (*psgc.Compiled, []obs.PhaseSpan, error) {
+				t.Error("follower ran the compile")
+				return nil, nil, nil
+			})
+			if c != want || err != nil || !coalesced {
+				t.Errorf("follower got (%v, %v, coalesced=%v)", c, err, coalesced)
+			}
+		}()
+	}
+	// Followers must be inside do before the leader finishes for the test
+	// to mean anything; give them a moment to park on the done channel.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	if calls != 1 {
+		t.Errorf("compile ran %d times, want exactly 1", calls)
+	}
+
+	// The flight is gone: the next miss runs a fresh compile.
+	_, _, _, coalesced := g.do(k, func() (*psgc.Compiled, []obs.PhaseSpan, error) {
+		calls++
+		return want, nil, nil
+	})
+	if coalesced || calls != 2 {
+		t.Errorf("post-flight call: coalesced=%v calls=%d", coalesced, calls)
+	}
+}
+
+// TestCompiledCoalesces pins the server's compile path against an in-flight
+// compile: every concurrent miss joins the flight and is counted as
+// coalesced, not as a compile.
+func TestCompiledCoalesces(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	_ = ts
+
+	src := "40 + 2"
+	k := keyFor(src, psgc.Basic)
+	call := &flightCall{done: make(chan struct{})}
+	s.flights.mu.Lock()
+	s.flights.inflight = map[cacheKey]*flightCall{k: call}
+	s.flights.mu.Unlock()
+
+	const waiters = 4
+	var wg, entered sync.WaitGroup
+	entered.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entered.Done()
+			c, _, cached, err := s.compiled(src, psgc.Basic)
+			if err != nil || c == nil || !cached {
+				t.Errorf("coalesced compile got (%v, cached=%v, %v)", c, cached, err)
+			}
+		}()
+	}
+	// Wait for every waiter to be on its way into the flight before
+	// completing it; the LRU stays empty until then, so they can only park
+	// on the injected call.
+	entered.Wait()
+	time.Sleep(50 * time.Millisecond)
+
+	real, spans, err := psgc.CompileTraced(src, psgc.Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call.compiled, call.pipeline = real, spans
+	s.flights.mu.Lock()
+	delete(s.flights.inflight, k)
+	s.flights.mu.Unlock()
+	close(call.done)
+	wg.Wait()
+
+	if got := s.metrics.CacheCoalesced.Load(); got != waiters {
+		t.Errorf("coalesced counter %d, want %d", got, waiters)
+	}
+	if got := s.metrics.CacheMisses.Load(); got != 0 {
+		t.Errorf("miss counter %d, want 0 — nobody compiled", got)
+	}
+}
+
+// TestConcurrentCompileAccounting hammers one fresh source over HTTP and
+// checks the cache accounting identity: every request is a hit, a
+// coalesced wait, or an actual compile.
+func TestConcurrentCompileAccounting(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 8, QueueDepth: 32})
+
+	const clients = 12
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/compile", CompileRequest{Source: allocHeavy + "\n", Collector: "generational"})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("compile: %d (%s)", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits := s.metrics.CacheHits.Load()
+	misses := s.metrics.CacheMisses.Load()
+	coalesced := s.metrics.CacheCoalesced.Load()
+	if hits+misses+coalesced != clients {
+		t.Errorf("hits %d + misses %d + coalesced %d != %d requests", hits, misses, coalesced, clients)
+	}
+	if misses < 1 {
+		t.Errorf("nobody compiled: misses = %d", misses)
 	}
 }

@@ -226,7 +226,7 @@ type RunStats struct {
 func (c CollectOnce) Run(fuel int) (RunStats, error) {
 	m := gclang.NewMachine(c.Dialect, c.Prog, 0)
 	maxCont := 0
-	m.Trace = func(m *gclang.Machine) {
+	m.Trace = func(m *gclang.Machine, _ gclang.Term) {
 		rs := m.Mem.Regions()
 		// Regions in creation order: cd, mutator region(s), then the
 		// collector's (to-space and) continuation region — the last one.

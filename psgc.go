@@ -28,6 +28,7 @@ import (
 	"psgc/internal/collector"
 	"psgc/internal/cps"
 	"psgc/internal/gclang"
+	"psgc/internal/obs"
 	"psgc/internal/regions"
 	"psgc/internal/source"
 	"psgc/internal/translate"
@@ -83,6 +84,11 @@ type Compiled struct {
 	Clos   clos.Program
 
 	entries map[regions.Addr]bool
+	// entryNames names each entry point ("gc", or "minor"/"major") and
+	// collectorFuns is the cd prefix holding the certified collector code;
+	// both seed the GC-event Recorder.
+	entryNames    map[regions.Addr]string
+	collectorFuns int
 }
 
 // Compile parses, typechecks and compiles a source program, linking it
@@ -90,11 +96,24 @@ type Compiled struct {
 // included — is verified by the λGC typechecker; a failure there is a bug
 // in this library, never in the user program.
 func Compile(src string, col Collector) (*Compiled, error) {
+	c, _, err := CompileTraced(src, col)
+	return c, err
+}
+
+// CompileTraced is Compile with per-phase wall-clock spans: parse, cps,
+// closconv, collector (the verified-collector cache lookup), translate,
+// and typecheck. Spans are returned even when compilation fails, covering
+// the phases that ran.
+func CompileTraced(src string, col Collector) (*Compiled, []obs.PhaseSpan, error) {
+	pl := obs.NewPipeline()
+	end := pl.Phase("parse")
 	p, err := source.Parse(src)
+	end()
 	if err != nil {
-		return nil, err
+		return nil, pl.Spans(), err
 	}
-	return CompileProgram(p, col)
+	c, err := compileProgram(p, col, pl)
+	return c, pl.Spans(), err
 }
 
 // CompileProgram is Compile for an already parsed source program.
@@ -105,18 +124,36 @@ func Compile(src string, col Collector) (*Compiled, error) {
 // and shared by every compile, so only the mutator's own code blocks are
 // checked here. CompileProgram is safe for concurrent use.
 func CompileProgram(p source.Program, col Collector) (*Compiled, error) {
+	return compileProgram(p, col, nil)
+}
+
+// CompileProgramTraced is CompileProgram with per-phase spans (everything
+// after parsing; see CompileTraced).
+func CompileProgramTraced(p source.Program, col Collector) (*Compiled, []obs.PhaseSpan, error) {
+	pl := obs.NewPipeline()
+	c, err := compileProgram(p, col, pl)
+	return c, pl.Spans(), err
+}
+
+func compileProgram(p source.Program, col Collector, pl *obs.Pipeline) (*Compiled, error) {
 	if col < Basic || col > Generational {
 		return nil, fmt.Errorf("psgc: unknown collector %v", col)
 	}
+	end := pl.Phase("cps")
 	cp, err := cps.Convert(p)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = pl.Phase("closconv")
 	lp, err := closconv.Convert(cp)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = pl.Phase("collector")
 	v, err := collector.Load(col.Dialect())
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("psgc: internal error: %w", err)
 	}
@@ -126,16 +163,30 @@ func CompileProgram(p source.Program, col Collector) (*Compiled, error) {
 	for _, a := range v.Entries {
 		entries[a] = true
 	}
+	entryNames := map[regions.Addr]string{}
+	if col == Generational {
+		entryNames[v.Minor.Addr] = "minor"
+		entryNames[v.Major.Addr] = "major"
+	} else {
+		entryNames[v.GC.Addr] = "gc"
+	}
+	end = pl.Phase("translate")
 	gp, err := translate.Translate(lp, l, opts)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = pl.Phase("typecheck")
 	checker := &gclang.Checker{Dialect: col.Dialect()}
 	elab, _, err := checker.CheckProgramPrefix(gp, len(v.Funs))
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("psgc: internal error: compiled program does not typecheck: %w", err)
 	}
-	return &Compiled{Collector: col, Prog: elab, Source: p, Clos: lp, entries: entries}, nil
+	return &Compiled{
+		Collector: col, Prog: elab, Source: p, Clos: lp,
+		entries: entries, entryNames: entryNames, collectorFuns: len(v.Funs),
+	}, nil
 }
 
 // compileProgramCold is the uncached compile path: it rebuilds and
@@ -154,24 +205,30 @@ func compileProgramCold(p source.Program, col Collector) (*Compiled, error) {
 	l := &collector.Layout{}
 	opts := translate.Options{Dialect: col.Dialect()}
 	entries := map[regions.Addr]bool{}
+	entryNames := map[regions.Addr]string{}
 	switch col {
 	case Basic:
 		b := collector.BuildBasic(l)
 		opts.GC = l.Addr(b.GC)
 		entries[opts.GC.Addr] = true
+		entryNames[opts.GC.Addr] = "gc"
 	case Forwarding:
 		f := collector.BuildForw(l)
 		opts.GC = l.Addr(f.GC)
 		entries[opts.GC.Addr] = true
+		entryNames[opts.GC.Addr] = "gc"
 	case Generational:
 		g := collector.BuildGen(l)
 		opts.Minor = l.Addr(g.Minor)
 		opts.Major = l.Addr(g.Major)
 		entries[opts.Minor.Addr] = true
 		entries[opts.Major.Addr] = true
+		entryNames[opts.Minor.Addr] = "minor"
+		entryNames[opts.Major.Addr] = "major"
 	default:
 		return nil, fmt.Errorf("psgc: unknown collector %v", col)
 	}
+	collectorFuns := len(l.Funs)
 	gp, err := translate.Translate(lp, l, opts)
 	if err != nil {
 		return nil, err
@@ -181,7 +238,10 @@ func compileProgramCold(p source.Program, col Collector) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("psgc: internal error: compiled program does not typecheck: %w", err)
 	}
-	return &Compiled{Collector: col, Prog: elab, Source: p, Clos: lp, entries: entries}, nil
+	return &Compiled{
+		Collector: col, Prog: elab, Source: p, Clos: lp,
+		entries: entries, entryNames: entryNames, collectorFuns: collectorFuns,
+	}, nil
 }
 
 // RunOptions configures an execution.
@@ -204,7 +264,29 @@ type RunOptions struct {
 	// every transition (requires Ghost). Very slow; used by the
 	// soundness test-suite.
 	CheckEveryStep bool
+	// Recorder, if non-nil, captures a structured GC-event timeline
+	// during the run (create one with Compiled.Recorder; read it with
+	// Recorder.Timeline afterwards). One Recorder serves one run.
+	Recorder *obs.Recorder
+	// Progress, if non-nil, is called every ProgressEvery steps and at
+	// every collector entry. Returning false cancels the run: Run returns
+	// ErrCanceled with the partial Result.
+	Progress func(Progress) bool
+	// ProgressEvery is the Progress cadence in machine steps
+	// (default DefaultProgressEvery).
+	ProgressEvery int
 }
+
+// Progress is a point-in-time execution snapshot delivered to
+// RunOptions.Progress (and streamed over SSE by the service).
+type Progress struct {
+	Steps       int `json:"steps"`
+	Collections int `json:"collections"`
+	LiveCells   int `json:"live_cells"`
+}
+
+// DefaultProgressEvery is the default Progress cadence in machine steps.
+const DefaultProgressEvery = 50_000
 
 // Result reports an execution's outcome.
 type Result struct {
@@ -231,6 +313,11 @@ const DefaultFuel = 50_000_000
 // what the program did before it was cut off.
 var ErrOutOfFuel = errors.New("psgc: out of fuel")
 
+// ErrCanceled is returned (wrapped) by Run when a Progress callback
+// returns false. The accompanying Result carries the partial execution's
+// statistics, like ErrOutOfFuel.
+var ErrCanceled = errors.New("psgc: run canceled")
+
 // NewMachine loads the compiled program into a fresh machine. Most
 // callers want Run; NewMachine is for stepping or inspecting states.
 func (c *Compiled) NewMachine(opts RunOptions) *gclang.Machine {
@@ -240,14 +327,28 @@ func (c *Compiled) NewMachine(opts RunOptions) *gclang.Machine {
 	return m
 }
 
+// Recorder returns a GC-event recorder wired to this program's collector
+// entry points and certified code prefix. Pass it in RunOptions.Recorder
+// (one recorder per run) and read Recorder.Timeline after Run returns.
+func (c *Compiled) Recorder() *obs.Recorder {
+	return obs.NewRecorder(c.entryNames, c.collectorFuns)
+}
+
 // Run executes the compiled program. If the fuel budget runs out the
 // returned error wraps ErrOutOfFuel and the Result still carries the
 // partial execution's statistics.
 func (c *Compiled) Run(opts RunOptions) (Result, error) {
 	m := c.NewMachine(opts)
+	if opts.Recorder != nil {
+		opts.Recorder.Attach(m)
+	}
 	fuel := opts.Fuel
 	if fuel == 0 {
 		fuel = DefaultFuel
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = DefaultProgressEvery
 	}
 	collections := 0
 	for !m.Halted {
@@ -256,9 +357,11 @@ func (c *Compiled) Run(opts RunOptions) (Result, error) {
 		}
 		fuel--
 		// A term about to invoke a collector entry point is a collection.
+		collected := false
 		if app, ok := m.Term.(gclang.AppT); ok {
 			if a, ok := app.Fn.(gclang.AddrV); ok && c.entries[a.Addr] {
 				collections++
+				collected = true
 			}
 		}
 		if err := m.Step(); err != nil {
@@ -267,6 +370,16 @@ func (c *Compiled) Run(opts RunOptions) (Result, error) {
 		if opts.CheckEveryStep {
 			if err := m.CheckState(); err != nil {
 				return Result{}, err
+			}
+		}
+		if opts.Progress != nil && (collected || m.Steps%every == 0) {
+			ok := opts.Progress(Progress{
+				Steps:       m.Steps,
+				Collections: collections,
+				LiveCells:   m.Mem.LiveCells(),
+			})
+			if !ok {
+				return partialResult(m, collections), fmt.Errorf("%w after %d steps", ErrCanceled, m.Steps)
 			}
 		}
 	}
