@@ -318,3 +318,67 @@ func BenchmarkAblationHeapGrowth(b *testing.B) {
 		run(b, RunOptions{Capacity: 1024, FixedCapacity: true})
 	})
 }
+
+// E1 under both engines: the environment machine against the substitution
+// oracle on the single-collection workloads, bare machines (no trace hook)
+// so the numbers isolate the stepping cost. See EXPERIMENTS.md §E1 and
+// BENCH_4.json for the recorded speedups.
+func benchEnvVsSubst(b *testing.B, d gclang.Dialect, shape workload.Shape, size int) {
+	b.Helper()
+	c, err := workload.BuildCollectOnce(d, shape, size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("subst", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := gclang.NewMachine(c.Dialect, c.Prog, 0)
+			if _, err := m.Run(2_000_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("env", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := gclang.NewEnvMachine(c.Dialect, c.Prog, 0)
+			if _, err := m.Run(2_000_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEnvVsSubstBasicList(b *testing.B) {
+	benchEnvVsSubst(b, gclang.Base, workload.List, 256)
+}
+
+func BenchmarkEnvVsSubstBasicListLarge(b *testing.B) {
+	benchEnvVsSubst(b, gclang.Base, workload.List, 1024)
+}
+
+func BenchmarkEnvVsSubstForwDAG(b *testing.B) {
+	benchEnvVsSubst(b, gclang.Forw, workload.DAG, 10)
+}
+
+func BenchmarkEnvVsSubstGenList(b *testing.B) {
+	benchEnvVsSubst(b, gclang.Gen, workload.List, 256)
+}
+
+// BenchmarkEnvVsSubstEndToEnd compares the engines through the public
+// Compiled.Run path (compile once, run with collections at capacity 48),
+// i.e. what the service and CLI actually pay.
+func BenchmarkEnvVsSubstEndToEnd(b *testing.B) {
+	src := "fun build (n : int) : int =\n  if0 n then 0\n  else let p = (n, (n, n)) in fst p + build (n - 1)\ndo build 40"
+	c, err := Compile(src, Basic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eng := range []Engine{EngineSubst, EngineEnv} {
+		b.Run(eng.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(RunOptions{Capacity: 48, Engine: eng}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,13 +2,28 @@
 // (E1–E9): the behavioural claims of "Principled Scavenging" measured on
 // this reproduction. Run with no arguments for every experiment, or pass
 // experiment ids (e1 … e9) to select.
+//
+// Additional modes:
+//
+//	-engine env|subst     execution engine for in-process experiments (default env)
+//	-remote URL           also drive the E1 workload through a running psgc-served
+//	                      instance and report latency percentiles next to the
+//	                      in-process numbers
+//	-snapshot PATH        write a JSON snapshot of the E1 workload under both
+//	                      engines (the CI BENCH_4.json artifact) and exit
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
+	"net/http"
+	"os"
+	"sort"
 
 	"time"
 
@@ -37,10 +52,30 @@ var experiments = []struct {
 	{"e9", "mutator overhead of the region discipline (Fig. 3)", e9},
 }
 
+// runEngine is the engine every in-process experiment runs on, from -engine.
+var runEngine psgc.Engine
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("psgc-bench: ")
+	engineName := flag.String("engine", "env", "execution engine for in-process experiments: env or subst")
+	remoteURL := flag.String("remote", "", "base URL of a running psgc-served; adds remote latency percentiles to the E1 workload")
+	snapshot := flag.String("snapshot", "", "write a JSON snapshot of the E1 workload under both engines to this path and exit")
 	flag.Parse()
+	var err error
+	if runEngine, err = psgc.ParseEngine(*engineName); err != nil {
+		log.Fatal(err)
+	}
+	if *snapshot != "" {
+		if err := writeSnapshot(*snapshot); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *remoteURL != "" {
+		remoteBench(*remoteURL)
+		return
+	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[a] = true
@@ -53,6 +88,15 @@ func main() {
 		e.run()
 		fmt.Println()
 	}
+}
+
+// runDriver executes a single-collection workload driver on the selected
+// engine.
+func runDriver(c workload.CollectOnce, fuel int) (workload.RunStats, error) {
+	if runEngine == psgc.EngineSubst {
+		return c.Run(fuel)
+	}
+	return c.RunEnv(fuel)
 }
 
 const allocHeavy = `
@@ -76,7 +120,7 @@ func e1() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := c.Run(psgc.RunOptions{Capacity: capacity})
+			res, err := c.Run(psgc.RunOptions{Capacity: capacity, Engine: runEngine})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -96,7 +140,7 @@ func e2() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err := c.Run(2_000_000_000)
+		st, err := runDriver(c, 2_000_000_000)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -113,7 +157,7 @@ func e3() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bs, err := b.Run(2_000_000_000)
+		bs, err := runDriver(b, 2_000_000_000)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -121,7 +165,7 @@ func e3() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fs, err := f.Run(2_000_000_000)
+		fs, err := runDriver(f, 2_000_000_000)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -162,7 +206,7 @@ do churn (%d, tower 10)
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := c.Run(psgc.RunOptions{Capacity: 48})
+			res, err := c.Run(psgc.RunOptions{Capacity: 48, Engine: runEngine})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -274,10 +318,198 @@ func e9() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := c.Run(psgc.RunOptions{Capacity: 0}) // no collections
+		res, err := c.Run(psgc.RunOptions{Capacity: 0, Engine: runEngine}) // no collections
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-8s | %9d | %4d | %4d\n", p.name, res.Steps, res.Stats.Puts, res.Stats.Gets)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Remote mode and snapshot emission
+// ---------------------------------------------------------------------------
+
+// remoteRunRequest mirrors the service's RunRequest wire shape (the bench
+// binary deliberately doesn't import internal/service: it exercises the
+// HTTP surface a real client sees).
+type remoteRunRequest struct {
+	Source    string `json:"source"`
+	Collector string `json:"collector"`
+	Engine    string `json:"engine"`
+	Capacity  *int   `json:"capacity,omitempty"`
+}
+
+type remoteRunResponse struct {
+	Value  int     `json:"value"`
+	Engine string  `json:"engine"`
+	Cached bool    `json:"cached"`
+	RunMs  float64 `json:"run_ms"`
+}
+
+// percentile returns the p-th percentile (0 < p ≤ 1) of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// remoteBench drives the E1 allocation-heavy workload through a running
+// psgc-served instance: for each collector × engine it measures end-to-end
+// request latency percentiles and prints them next to the in-process run
+// time of the same program.
+func remoteBench(base string) {
+	const (
+		warmup   = 3
+		requests = 30
+		capacity = 32
+	)
+	want, err := psgc.Interpret(allocHeavy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	fmt.Printf("remote %s: %d requests per row after %d warmups, capacity %d\n",
+		base, requests, warmup, capacity)
+	fmt.Println("collector    | engine | in-proc ms | remote p50 | p90 | p99 | ok")
+	for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+		for _, eng := range []string{"env", "subst"} {
+			// In-process reference number for the same program and engine.
+			c, err := psgc.Compile(allocHeavy, col)
+			if err != nil {
+				log.Fatal(err)
+			}
+			e, _ := psgc.ParseEngine(eng)
+			t0 := time.Now()
+			res, err := c.Run(psgc.RunOptions{Capacity: capacity, Engine: e})
+			if err != nil {
+				log.Fatal(err)
+			}
+			inProcMs := float64(time.Since(t0)) / float64(time.Millisecond)
+			ok := res.Value == want
+
+			cp := capacity
+			body, err := json.Marshal(remoteRunRequest{
+				Source: allocHeavy, Collector: col.String(), Engine: eng, Capacity: &cp,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			lat := make([]float64, 0, requests)
+			for i := 0; i < warmup+requests; i++ {
+				t0 := time.Now()
+				resp, err := client.Post(base+"/run", "application/json", bytes.NewReader(body))
+				if err != nil {
+					log.Fatalf("remote run: %v", err)
+				}
+				var rr remoteRunResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&rr)
+				resp.Body.Close()
+				if decErr != nil {
+					log.Fatalf("remote run: decode: %v", decErr)
+				}
+				if resp.StatusCode != http.StatusOK {
+					log.Fatalf("remote run: status %d", resp.StatusCode)
+				}
+				if i < warmup {
+					continue
+				}
+				lat = append(lat, float64(time.Since(t0))/float64(time.Millisecond))
+				ok = ok && rr.Value == want && rr.Engine == eng
+			}
+			sort.Float64s(lat)
+			fmt.Printf("%-12s | %-6s | %10.3f | %10.3f | %7.3f | %7.3f | %v\n",
+				col, eng, inProcMs,
+				percentile(lat, 0.50), percentile(lat, 0.90), percentile(lat, 0.99), ok)
+		}
+	}
+}
+
+// snapshotRow is one E1 configuration measured under one engine.
+type snapshotRow struct {
+	Capacity    int     `json:"capacity"`
+	Collector   string  `json:"collector"`
+	Engine      string  `json:"engine"`
+	Value       int     `json:"value"`
+	ResultOK    bool    `json:"result_ok"`
+	Steps       int     `json:"steps"`
+	Collections int     `json:"collections"`
+	Puts        int     `json:"puts"`
+	Reclaimed   int     `json:"reclaimed"`
+	MaxLive     int     `json:"max_live"`
+	RunMs       float64 `json:"run_ms"`
+}
+
+type snapshotFile struct {
+	Experiment string `json:"experiment"`
+	Workload   string `json:"workload"`
+	// EnvSpeedupGeomean is the geometric mean over configurations of
+	// subst-run-ms / env-run-ms (best of three runs each).
+	EnvSpeedupGeomean float64       `json:"env_speedup_geomean"`
+	Rows              []snapshotRow `json:"rows"`
+}
+
+// writeSnapshot runs the E1 workload under both engines and writes the
+// BENCH_4.json artifact: per-configuration stats plus the headline
+// env-over-subst speedup.
+func writeSnapshot(path string) error {
+	want, err := psgc.Interpret(allocHeavy)
+	if err != nil {
+		return err
+	}
+	snap := snapshotFile{Experiment: "e1", Workload: "allocHeavy (build 60)"}
+	logSum, logN := 0.0, 0
+	for _, capacity := range []int{16, 32, 64, 128} {
+		for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+			c, err := psgc.Compile(allocHeavy, col)
+			if err != nil {
+				return err
+			}
+			var pair [2]float64 // best-of-3 ms, indexed by engine
+			for _, eng := range []psgc.Engine{psgc.EngineEnv, psgc.EngineSubst} {
+				best := math.Inf(1)
+				var res psgc.Result
+				for rep := 0; rep < 3; rep++ {
+					t0 := time.Now()
+					res, err = c.Run(psgc.RunOptions{Capacity: capacity, Engine: eng})
+					if err != nil {
+						return err
+					}
+					if ms := float64(time.Since(t0)) / float64(time.Millisecond); ms < best {
+						best = ms
+					}
+				}
+				pair[eng] = best
+				snap.Rows = append(snap.Rows, snapshotRow{
+					Capacity: capacity, Collector: col.String(), Engine: eng.String(),
+					Value: res.Value, ResultOK: res.Value == want,
+					Steps: res.Steps, Collections: res.Collections,
+					Puts: res.Stats.Puts, Reclaimed: res.Stats.CellsReclaimed,
+					MaxLive: res.Stats.MaxLiveCells, RunMs: best,
+				})
+			}
+			if pair[psgc.EngineEnv] > 0 {
+				logSum += math.Log(pair[psgc.EngineSubst] / pair[psgc.EngineEnv])
+				logN++
+			}
+		}
+	}
+	if logN > 0 {
+		snap.EnvSpeedupGeomean = math.Exp(logSum / float64(logN))
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d rows, env speedup (geomean) %.2fx\n", path, len(snap.Rows), snap.EnvSpeedupGeomean)
+	return nil
 }

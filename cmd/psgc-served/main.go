@@ -46,6 +46,7 @@ func main() {
 		workers     = flag.Int("workers", 4, "worker pool size")
 		queue       = flag.Int("queue", 64, "queue depth before requests are shed with 429")
 		cacheSize   = flag.Int("cache", 128, "compiled-program LRU capacity (entries)")
+		cacheWeight = flag.Int("cache-weight", 0, "compiled-program LRU weight budget in AST nodes (0 = default 512k, negative disables)")
 		capacity    = flag.Int("capacity", 64, "default region capacity for /run")
 		fuel        = flag.Int("fuel", psgc.DefaultFuel, "default machine step budget")
 		stepsPerMs  = flag.Int("steps-per-ms", 25_000, "fuel granted per millisecond of request deadline")
@@ -76,6 +77,7 @@ func main() {
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheSize:     *cacheSize,
+		CacheWeight:   *cacheWeight,
 		Capacity:      *capacity,
 		DefaultFuel:   *fuel,
 		StepsPerMilli: *stepsPerMs,

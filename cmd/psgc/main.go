@@ -10,6 +10,7 @@
 // Flags:
 //
 //	-gc basic|forwarding|generational    collector (default basic)
+//	-engine env|subst                    execution engine (default env)
 //	-capacity N                          region capacity triggering GC (default 64; 0 = never collect)
 //	-fixed                               disable heap growth
 //	-check                               re-check machine-state well-formedness every step
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		gcName    = fs.String("gc", "basic", "collector: basic, forwarding, or generational")
+		engine    = fs.String("engine", "env", "execution engine: env (environment machine) or subst (substitution oracle; -check implies subst)")
 		capacity  = fs.Int("capacity", 64, "region capacity at which ifgc triggers a collection (0 disables)")
 		fixed     = fs.Bool("fixed", false, "disable the survivor-driven heap growth policy")
 		check     = fs.Bool("check", false, "re-check machine-state well-formedness after every step (slow)")
@@ -112,10 +114,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	eng, err := psgc.ParseEngine(*engine)
+	if err != nil {
+		return fail(err)
+	}
 	opts := psgc.RunOptions{
 		Capacity:       *capacity,
 		FixedCapacity:  *fixed,
 		CheckEveryStep: *check,
+		Engine:         eng,
 	}
 	var rec *obs.Recorder
 	if tracing {

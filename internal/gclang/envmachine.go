@@ -1,0 +1,910 @@
+package gclang
+
+import (
+	"errors"
+	"fmt"
+
+	"psgc/internal/names"
+	"psgc/internal/regions"
+	"psgc/internal/tags"
+)
+
+// EnvMachine executes λGC terms under the same allocation semantics as
+// Machine, but resolves variables through environments instead of rewriting
+// the term with a substitution at every transition.
+//
+// The design exploits two facts about λGC:
+//
+//   - Terms never return (the language is CPS): control only descends into
+//     subterms or jumps to a code block, so no binding made inside a block
+//     is ever needed after control leaves its scope. The machine therefore
+//     needs no continuation stack, and shadowing can overwrite: once a
+//     binder rebinds a name, the outer binding is dead.
+//
+//   - The machine only ever substitutes closed payloads (Subst.Closed):
+//     values, tags, regions, and types flowing through the environment have
+//     no free names, so sequential substitution coincides with environment
+//     lookup (innermost wins) and no capture is possible.
+//
+// Bindings are resolved eagerly: every value, tag, region, or type entering
+// the environment is fully resolved against the current environment first,
+// so stored payloads are always closed. Only term bodies stay unresolved —
+// they are the typechecked artifact; closures exist only at machine level.
+//
+// Code blocks are closed, so a call resets the environment to exactly the
+// call's bindings: the maps are cleared (retaining their buckets) and the
+// parameters rebound, giving steady-state allocation-free stepping.
+//
+// The EnvMachine is observationally equivalent to Machine: same memory
+// effects in the same order, same step counts, same regions.Memory counters
+// (TestEnvMachineAgreesWithSubst co-steps both). Ghost mode (Ψ maintenance)
+// is not supported here; ghost runs use the substitution machine, which
+// remains the semantic oracle.
+type EnvMachine struct {
+	Dialect Dialect
+	Mem     *regions.Memory[Value]
+
+	// Ctrl is the current control term: a subterm of the loaded program (or
+	// of a code block), interpreted relative to the environment.
+	Ctrl Term
+
+	// Steps counts machine transitions taken so far.
+	Steps int
+
+	// Halted and Result are set once the program reaches halt v.
+	Halted bool
+	Result Value
+
+	// Trace, if non-nil, is called after every step with the pre-step term,
+	// mirroring Machine.Trace. For the term heads that internal/obs
+	// classifies (calls, lets, sets, halts, onlys) the machine synthesizes a
+	// head with its scrutinised fields resolved, so consumers see exactly
+	// what the substitution machine would have shown; other heads are passed
+	// through unresolved (their shape, not their content, is what matters).
+	Trace func(m *EnvMachine, before Term)
+
+	// The four binder namespaces. Overwrite-on-shadow is sound because CPS
+	// control never returns to an outer scope (see the type comment).
+	envVals map[names.Name]Value
+	envTags map[names.Name]tags.Tag
+	envRegs map[names.Name]Region
+	envTyps map[names.Name]Type
+
+	// Shadow stacks for binders crossed while resolving inside tags, types,
+	// and pack bodies (resolution walks under binders without extending the
+	// environment).
+	shTags []names.Name
+	shRegs []names.Name
+	shTyps []names.Name
+
+	// Scratch buffers reused across calls for pre-clear operand resolution.
+	scratchTags  []tags.Tag
+	scratchRegs  []Region
+	scratchVals  []Value
+	scratchNames []regions.Name
+}
+
+// NewEnvMachine loads a program into a fresh memory with the given region
+// capacity, installing code blocks in the cd region at offsets matching
+// their indices exactly as NewMachine does.
+func NewEnvMachine(d Dialect, p Program, capacity int) *EnvMachine {
+	m := &EnvMachine{
+		Dialect: d,
+		Mem:     regions.New[Value](capacity),
+		Ctrl:    p.Main,
+		envVals: map[names.Name]Value{},
+		envTags: map[names.Name]tags.Tag{},
+		envRegs: map[names.Name]Region{},
+		envTyps: map[names.Name]Type{},
+	}
+	for i, nf := range p.Code {
+		addr, err := m.Mem.Put(regions.CD, nf.Fun)
+		if err != nil || addr.Off != i {
+			panic(fmt.Sprintf("gclang: code install failed: %v", err))
+		}
+	}
+	return m
+}
+
+// Run steps the machine until halt, an error, or the fuel limit.
+func (m *EnvMachine) Run(fuel int) (Value, error) {
+	for !m.Halted {
+		if fuel <= 0 {
+			return nil, ErrFuel
+		}
+		fuel--
+		if err := m.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return m.Result, nil
+}
+
+// RunInt runs the machine and requires an integer result.
+func (m *EnvMachine) RunInt(fuel int) (int, error) {
+	v, err := m.Run(fuel)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(Num)
+	if !ok {
+		return 0, fmt.Errorf("gclang: halt with non-integer %s", v)
+	}
+	return n.N, nil
+}
+
+// PendingCall reports the code address about to be invoked when the control
+// term is a call whose head is (or is bound to) an address. It allocates
+// nothing; run loops use it to count collector entries.
+func (m *EnvMachine) PendingCall() (regions.Addr, bool) {
+	app, ok := m.Ctrl.(AppT)
+	if !ok {
+		return regions.Addr{}, false
+	}
+	fn := app.Fn
+	if v, ok := fn.(Var); ok {
+		if b, ok := m.envVals[v.Name]; ok {
+			fn = b
+		}
+	}
+	if a, ok := fn.(AddrV); ok {
+		return a.Addr, true
+	}
+	return regions.Addr{}, false
+}
+
+// Step performs one machine transition. Like Machine.Step, an error leaves
+// the machine state unchanged: rules validate their side conditions before
+// applying memory effects.
+func (m *EnvMachine) Step() error {
+	if m.Halted {
+		return errors.New("gclang: step after halt")
+	}
+	next, before, err := m.step(m.Ctrl, m.Trace != nil)
+	if err != nil {
+		return err
+	}
+	m.Ctrl = next
+	m.Steps++
+	if m.Trace != nil {
+		m.Trace(m, before)
+	}
+	return nil
+}
+
+// step returns the next control term and, when tracing, the pre-step term
+// with its classified head fields resolved.
+func (m *EnvMachine) step(e Term, tracing bool) (Term, Term, error) {
+	switch e := e.(type) {
+	case HaltT:
+		v := m.resolveValue(e.V)
+		m.Halted = true
+		m.Result = v
+		var before Term = e
+		if tracing {
+			before = HaltT{V: v}
+		}
+		return e, before, nil
+	case AppT:
+		return m.stepApp(e, tracing)
+	case LetT:
+		v, rop, err := m.stepOp(e.Op, tracing)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: in %s", err, e.Op)
+		}
+		m.envVals[e.X] = v
+		var before Term = e
+		if tracing {
+			before = LetT{X: e.X, Op: rop, Body: e.Body}
+		}
+		return e.Body, before, nil
+	case IfGCT:
+		rn, ok := m.resolveRegion(e.R).(RName)
+		if !ok {
+			return nil, nil, stuck(e, "ifgc on region variable %s", e.R)
+		}
+		if m.Mem.Full(rn.Name) {
+			return e.Full, e, nil
+		}
+		return e.Else, e, nil
+	case OpenTagT:
+		pk, ok := m.resolveValue(e.V).(PackTag)
+		if !ok {
+			return nil, nil, stuck(e, "open of non-package %s", e.V)
+		}
+		m.envTags[e.T] = pk.Tag
+		m.envVals[e.X] = pk.Val
+		return e.Body, e, nil
+	case OpenAlphaT:
+		pk, ok := m.resolveValue(e.V).(PackAlpha)
+		if !ok {
+			return nil, nil, stuck(e, "open of non-package %s", e.V)
+		}
+		m.envTyps[e.A] = pk.Hidden
+		m.envVals[e.X] = pk.Val
+		return e.Body, e, nil
+	case LetRegionT:
+		nu := m.Mem.NewRegion()
+		m.envRegs[e.R] = RName{Name: nu}
+		return e.Body, e, nil
+	case OnlyT:
+		delta, _ := m.regionSlice(e.Delta)
+		keep := m.scratchNames[:0]
+		for _, r := range delta {
+			rn, ok := r.(RName)
+			if !ok {
+				return nil, nil, stuck(e, "only with region variable %s", r)
+			}
+			keep = append(keep, rn.Name)
+		}
+		m.scratchNames = keep
+		if err := m.Mem.Only(keep); err != nil {
+			return nil, nil, stuck(e, "%v", err)
+		}
+		var before Term = e
+		if tracing {
+			before = OnlyT{Delta: delta, Body: e.Body}
+		}
+		return e.Body, before, nil
+	case TypecaseT:
+		return m.stepTypecase(e)
+	case IfLeftT:
+		switch v := m.resolveValue(e.V).(type) {
+		case InlV:
+			m.envVals[e.X] = v
+			return e.L, e, nil
+		case InrV:
+			m.envVals[e.X] = v
+			return e.R, e, nil
+		default:
+			return nil, nil, stuck(e, "ifleft on untagged value %s", e.V)
+		}
+	case SetT:
+		dst, ok := m.resolveValue(e.Dst).(AddrV)
+		if !ok {
+			return nil, nil, stuck(e, "set destination %s is not an address", e.Dst)
+		}
+		src := m.resolveValue(e.Src)
+		if err := m.Mem.Set(dst.Addr, src); err != nil {
+			return nil, nil, stuck(e, "%v", err)
+		}
+		var before Term = e
+		if tracing {
+			before = SetT{Dst: dst, Src: src, Body: e.Body}
+		}
+		return e.Body, before, nil
+	case WidenT:
+		// Operationally a no-op (§7.1): the cast re-views memory. Ghost Ψ
+		// maintenance lives in the substitution machine only.
+		m.envVals[e.X] = m.resolveValue(e.V)
+		return e.Body, e, nil
+	case OpenRegionT:
+		pk, ok := m.resolveValue(e.V).(PackRegion)
+		if !ok {
+			return nil, nil, stuck(e, "open of non-region-package %s", e.V)
+		}
+		m.envRegs[e.R] = pk.R
+		m.envVals[e.X] = pk.Val
+		return e.Body, e, nil
+	case IfRegT:
+		n1, ok1 := m.resolveRegion(e.R1).(RName)
+		n2, ok2 := m.resolveRegion(e.R2).(RName)
+		if !ok1 || !ok2 {
+			return nil, nil, stuck(e, "ifreg on region variables")
+		}
+		if n1 == n2 {
+			return e.Then, e, nil
+		}
+		return e.Else, e, nil
+	case If0T:
+		n, ok := m.resolveValue(e.V).(Num)
+		if !ok {
+			return nil, nil, stuck(e, "if0 on non-integer %s", e.V)
+		}
+		if n.N == 0 {
+			return e.Then, e, nil
+		}
+		return e.Else, e, nil
+	default:
+		return nil, nil, stuck(e, "no rule for %T", e)
+	}
+}
+
+// stepApp mirrors Machine.stepApp: translucent heads first restore their
+// recorded tags in a step of their own, then the code block is fetched from
+// memory and its binders are instantiated. The call protocol resolves every
+// operand against the current environment first, then clears the
+// environment and binds the parameters — code blocks are closed, so nothing
+// else can be referenced from the body.
+func (m *EnvMachine) stepApp(e AppT, tracing bool) (Term, Term, error) {
+	fn := m.resolveValue(e.Fn)
+	if ta, ok := fn.(TAppV); ok {
+		if len(e.Tags) != 0 || len(e.Rs) != 0 {
+			return nil, nil, stuck(e, "translucent call with extra tags or regions")
+		}
+		// The rewritten call is fully resolved, so re-resolving it on the
+		// next step is the identity (and allocation-free).
+		args, _ := m.valueSlice(e.Args)
+		next := AppT{Fn: ta.Val, Tags: ta.Tags, Rs: ta.Rs, Args: args}
+		var before Term = e
+		if tracing {
+			before = AppT{Fn: fn, Args: args}
+		}
+		return next, before, nil
+	}
+	addr, ok := fn.(AddrV)
+	if !ok {
+		return nil, nil, stuck(e, "call of non-address %s", fn)
+	}
+	cell, err := m.Mem.Get(addr.Addr)
+	if err != nil {
+		return nil, nil, stuck(e, "%v", err)
+	}
+	lam, ok := cell.(LamV)
+	if !ok {
+		return nil, nil, stuck(e, "call of non-code cell %s", addr.Addr)
+	}
+	if len(e.Tags) != len(lam.TParams) || len(e.Rs) != len(lam.RParams) || len(e.Args) != len(lam.Params) {
+		return nil, nil, stuck(e, "arity mismatch calling %s", addr.Addr)
+	}
+	callTags := m.scratchTags[:0]
+	for _, t := range e.Tags {
+		rt, _ := m.tag(t)
+		callTags = append(callTags, rt)
+	}
+	callRegs := m.scratchRegs[:0]
+	for _, r := range e.Rs {
+		rr, _ := m.region(r)
+		callRegs = append(callRegs, rr)
+	}
+	callArgs := m.scratchVals[:0]
+	for _, a := range e.Args {
+		rv, _ := m.value(a)
+		callArgs = append(callArgs, rv)
+	}
+	m.scratchTags, m.scratchRegs, m.scratchVals = callTags, callRegs, callArgs
+	var before Term = e
+	if tracing {
+		before = AppT{
+			Fn:   fn,
+			Tags: append([]tags.Tag(nil), callTags...),
+			Rs:   append([]Region(nil), callRegs...),
+			Args: append([]Value(nil), callArgs...),
+		}
+	}
+	clear(m.envVals)
+	clear(m.envTags)
+	clear(m.envRegs)
+	clear(m.envTyps)
+	for i, tp := range lam.TParams {
+		m.envTags[tp.Name] = callTags[i]
+	}
+	for i, r := range lam.RParams {
+		m.envRegs[r] = callRegs[i]
+	}
+	for i, p := range lam.Params {
+		m.envVals[p.Name] = callArgs[i]
+	}
+	return lam.Body, before, nil
+}
+
+// stepOp evaluates a let-bound operation, returning the bound value and,
+// when tracing, the operation with its scrutinised fields resolved.
+func (m *EnvMachine) stepOp(op Op, tracing bool) (Value, Op, error) {
+	switch op := op.(type) {
+	case ValOp:
+		v, _ := m.value(op.V)
+		var rop Op = op
+		if tracing {
+			rop = ValOp{V: v}
+		}
+		return v, rop, nil
+	case ProjOp:
+		v, _ := m.value(op.V)
+		p, ok := v.(PairV)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: projection from non-pair %s", ErrStuck, v)
+		}
+		var rop Op = op
+		if tracing {
+			rop = ProjOp{I: op.I, V: v}
+		}
+		if op.I == 1 {
+			return p.L, rop, nil
+		}
+		return p.R, rop, nil
+	case PutOp:
+		rn, ok := m.resolveRegion(op.R).(RName)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: put into region variable %s", ErrStuck, op.R)
+		}
+		v, _ := m.value(op.V)
+		addr, err := m.Mem.Put(rn.Name, v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrStuck, err)
+		}
+		var rop Op = op
+		if tracing {
+			rop = PutOp{R: rn, V: v, Anno: op.Anno}
+		}
+		return AddrV{Addr: addr}, rop, nil
+	case GetOp:
+		v, _ := m.value(op.V)
+		a, ok := v.(AddrV)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: get from non-address %s", ErrStuck, v)
+		}
+		cell, err := m.Mem.Get(a.Addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rop Op = op
+		if tracing {
+			rop = GetOp{V: v}
+		}
+		return cell, rop, nil
+	case StripOp:
+		sv := m.resolveValue(op.V)
+		var rop Op = op
+		if tracing {
+			rop = StripOp{V: sv}
+		}
+		switch v := sv.(type) {
+		case InlV:
+			return v.Val, rop, nil
+		case InrV:
+			return v.Val, rop, nil
+		default:
+			return nil, nil, fmt.Errorf("%w: strip of untagged value %s", ErrStuck, v)
+		}
+	case ArithOp:
+		lv, _ := m.value(op.L)
+		rv, _ := m.value(op.R)
+		l, lok := lv.(Num)
+		r, rok := rv.(Num)
+		if !lok || !rok {
+			return nil, nil, fmt.Errorf("%w: arithmetic on non-integers", ErrStuck)
+		}
+		var rop Op = op
+		if tracing {
+			rop = ArithOp{Kind: op.Kind, L: lv, R: rv}
+		}
+		switch op.Kind {
+		case Add:
+			return Num{N: l.N + r.N}, rop, nil
+		case Sub:
+			return Num{N: l.N - r.N}, rop, nil
+		case Mul:
+			return Num{N: l.N * r.N}, rop, nil
+		default:
+			return nil, nil, fmt.Errorf("%w: unknown operator", ErrStuck)
+		}
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown op %T", ErrStuck, op)
+	}
+}
+
+// stepTypecase dispatches on the β-normal form of the resolved scrutinee,
+// exactly as Machine.stepTypecase does on the substituted one.
+func (m *EnvMachine) stepTypecase(e TypecaseT) (Term, Term, error) {
+	nf, err := tags.Normalize(m.resolveTag(e.Tag))
+	if err != nil {
+		return nil, nil, stuck(e, "%v", err)
+	}
+	switch t := nf.(type) {
+	case tags.Int:
+		return e.IntArm, e, nil
+	case tags.Code:
+		if len(t.Args) != 1 {
+			return nil, nil, stuck(e, "typecase on %d-ary code tag %s", len(t.Args), nf)
+		}
+		m.envTags[e.TL] = t.Args[0]
+		return e.LamArm, e, nil
+	case tags.Prod:
+		m.envTags[e.T1] = t.L
+		m.envTags[e.T2] = t.R
+		return e.ProdArm, e, nil
+	case tags.Exist:
+		m.envTags[e.Te] = tags.Lam{Param: t.Bound, Body: t.Body}
+		return e.ExistArm, e, nil
+	default:
+		return nil, nil, stuck(e, "typecase on open tag %s", nf)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Resolution: environment lookup with shadow tracking. Every resolver
+// returns the resolved syntax plus a changed flag; unchanged subtrees are
+// returned as-is, so resolving closed syntax allocates nothing. Resolution
+// is the environment-based reading of the machine's closed substitutions:
+// innermost binding wins, binders under which we descend only shadow
+// (Subst with Closed set never renames).
+// ---------------------------------------------------------------------------
+
+func shadowed(stack []names.Name, n names.Name) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *EnvMachine) resolveValue(v Value) Value {
+	out, _ := m.value(v)
+	return out
+}
+
+func (m *EnvMachine) resolveTag(t tags.Tag) tags.Tag {
+	out, _ := m.tag(t)
+	return out
+}
+
+func (m *EnvMachine) resolveRegion(r Region) Region {
+	out, _ := m.region(r)
+	return out
+}
+
+func (m *EnvMachine) value(v Value) (Value, bool) {
+	switch v := v.(type) {
+	case Num:
+		return v, false
+	case AddrV:
+		return v, false
+	case Var:
+		// Term-variable binders never occur inside values (LamV resolves
+		// through substView), so no shadow stack exists for this namespace.
+		if r, ok := m.envVals[v.Name]; ok {
+			return r, true
+		}
+		return v, false
+	case PairV:
+		l, cl := m.value(v.L)
+		r, cr := m.value(v.R)
+		if !cl && !cr {
+			return v, false
+		}
+		return PairV{L: l, R: r}, true
+	case PackTag:
+		tg, ct := m.tag(v.Tag)
+		val, cv := m.value(v.Val)
+		m.shTags = append(m.shTags, v.Bound)
+		body, cb := m.typ(v.Body)
+		m.shTags = m.shTags[:len(m.shTags)-1]
+		if !ct && !cv && !cb {
+			return v, false
+		}
+		return PackTag{Bound: v.Bound, Kind: v.Kind, Tag: tg, Val: val, Body: body}, true
+	case PackAlpha:
+		delta, cd := m.regionSlice(v.Delta)
+		hidden, ch := m.typ(v.Hidden)
+		val, cv := m.value(v.Val)
+		m.shTyps = append(m.shTyps, v.Bound)
+		body, cb := m.typ(v.Body)
+		m.shTyps = m.shTyps[:len(m.shTyps)-1]
+		if !cd && !ch && !cv && !cb {
+			return v, false
+		}
+		return PackAlpha{Bound: v.Bound, Delta: delta, Hidden: hidden, Val: val, Body: body}, true
+	case PackRegion:
+		delta, cd := m.regionSlice(v.Delta)
+		r, cr := m.region(v.R)
+		val, cv := m.value(v.Val)
+		m.shRegs = append(m.shRegs, v.Bound)
+		body, cb := m.typ(v.Body)
+		m.shRegs = m.shRegs[:len(m.shRegs)-1]
+		if !cd && !cr && !cv && !cb {
+			return v, false
+		}
+		return PackRegion{Bound: v.Bound, Delta: delta, R: r, Val: val, Body: body}, true
+	case TAppV:
+		val, cv := m.value(v.Val)
+		ts, ct := m.tagSlice(v.Tags)
+		rs, cr := m.regionSlice(v.Rs)
+		if !cv && !ct && !cr {
+			return v, false
+		}
+		return TAppV{Val: val, Tags: ts, Rs: rs}, true
+	case LamV:
+		// Rare: code blocks live in cd and are closed; a literal block only
+		// flows through the environment when a program embeds one in a value
+		// position. Delegate its binder structure to the oracle substitution.
+		return m.substView().Value(v), true
+	case InlV:
+		val, cv := m.value(v.Val)
+		if !cv {
+			return v, false
+		}
+		return InlV{Val: val}, true
+	case InrV:
+		val, cv := m.value(v.Val)
+		if !cv {
+			return v, false
+		}
+		return InrV{Val: val}, true
+	default:
+		panic(fmt.Sprintf("gclang: unknown value %T", v))
+	}
+}
+
+// substView exposes the current environment as a closed simultaneous
+// substitution for the rare LamV case. Safe to share the maps: a closed
+// Subst never mutates them (drop copies).
+func (m *EnvMachine) substView() *Subst {
+	if len(m.shTags) != 0 || len(m.shRegs) != 0 || len(m.shTyps) != 0 {
+		// Values never occur inside types, so a LamV is never resolved under
+		// a shadowing binder; see the resolver ordering in value().
+		panic("gclang: lam resolution under binder")
+	}
+	return &Subst{Vals: m.envVals, Tags: m.envTags, Regs: m.envRegs, Types: m.envTyps, Closed: true}
+}
+
+func (m *EnvMachine) tag(t tags.Tag) (tags.Tag, bool) {
+	if len(m.envTags) == 0 {
+		return t, false
+	}
+	return m.tag1(t)
+}
+
+func (m *EnvMachine) tag1(t tags.Tag) (tags.Tag, bool) {
+	switch t := t.(type) {
+	case tags.Int:
+		return t, false
+	case tags.Var:
+		if shadowed(m.shTags, t.Name) {
+			return t, false
+		}
+		if r, ok := m.envTags[t.Name]; ok {
+			return r, true
+		}
+		return t, false
+	case tags.Prod:
+		l, cl := m.tag1(t.L)
+		r, cr := m.tag1(t.R)
+		if !cl && !cr {
+			return t, false
+		}
+		return tags.Prod{L: l, R: r}, true
+	case tags.Code:
+		args, ca := m.tagSlice1(t.Args)
+		if !ca {
+			return t, false
+		}
+		return tags.Code{Args: args}, true
+	case tags.Exist:
+		m.shTags = append(m.shTags, t.Bound)
+		body, cb := m.tag1(t.Body)
+		m.shTags = m.shTags[:len(m.shTags)-1]
+		if !cb {
+			return t, false
+		}
+		return tags.Exist{Bound: t.Bound, Body: body}, true
+	case tags.Lam:
+		m.shTags = append(m.shTags, t.Param)
+		body, cb := m.tag1(t.Body)
+		m.shTags = m.shTags[:len(m.shTags)-1]
+		if !cb {
+			return t, false
+		}
+		return tags.Lam{Param: t.Param, Body: body}, true
+	case tags.App:
+		fn, cf := m.tag1(t.Fn)
+		arg, ca := m.tag1(t.Arg)
+		if !cf && !ca {
+			return t, false
+		}
+		return tags.App{Fn: fn, Arg: arg}, true
+	default:
+		panic(fmt.Sprintf("gclang: unknown tag %T", t))
+	}
+}
+
+func (m *EnvMachine) region(r Region) (Region, bool) {
+	if rv, ok := r.(RVar); ok {
+		if shadowed(m.shRegs, rv.Name) {
+			return r, false
+		}
+		if repl, ok := m.envRegs[rv.Name]; ok {
+			return repl, true
+		}
+	}
+	return r, false
+}
+
+// typ resolves a type. Term variables cannot occur in types, so when the
+// environment binds only values the type is unchanged — the same
+// short-circuit Subst.Type relies on, and just as load-bearing here.
+func (m *EnvMachine) typ(t Type) (Type, bool) {
+	if len(m.envTags) == 0 && len(m.envRegs) == 0 && len(m.envTyps) == 0 {
+		return t, false
+	}
+	return m.typ1(t)
+}
+
+func (m *EnvMachine) typ1(t Type) (Type, bool) {
+	switch t := t.(type) {
+	case IntT:
+		return t, false
+	case ProdT:
+		l, cl := m.typ1(t.L)
+		r, cr := m.typ1(t.R)
+		if !cl && !cr {
+			return t, false
+		}
+		return ProdT{L: l, R: r}, true
+	case CodeT:
+		// The tag and region binders scope over Params.
+		for _, tp := range t.TParams {
+			m.shTags = append(m.shTags, tp.Name)
+		}
+		m.shRegs = append(m.shRegs, t.RParams...)
+		params, cp := m.typeSlice1(t.Params)
+		m.shRegs = m.shRegs[:len(m.shRegs)-len(t.RParams)]
+		m.shTags = m.shTags[:len(m.shTags)-len(t.TParams)]
+		if !cp {
+			return t, false
+		}
+		return CodeT{TParams: t.TParams, RParams: t.RParams, Params: params}, true
+	case ExistT:
+		m.shTags = append(m.shTags, t.Bound)
+		body, cb := m.typ1(t.Body)
+		m.shTags = m.shTags[:len(m.shTags)-1]
+		if !cb {
+			return t, false
+		}
+		return ExistT{Bound: t.Bound, Kind: t.Kind, Body: body}, true
+	case AtT:
+		body, cb := m.typ1(t.Body)
+		r, cr := m.region(t.R)
+		if !cb && !cr {
+			return t, false
+		}
+		return AtT{Body: body, R: r}, true
+	case MT:
+		rs, cr := m.regionSlice(t.Rs)
+		tg, ct := m.tag(t.Tag)
+		if !cr && !ct {
+			return t, false
+		}
+		return MT{Rs: rs, Tag: tg}, true
+	case CT:
+		from, cf := m.region(t.From)
+		to, ct := m.region(t.To)
+		tg, cg := m.tag(t.Tag)
+		if !cf && !ct && !cg {
+			return t, false
+		}
+		return CT{From: from, To: to, Tag: tg}, true
+	case AlphaT:
+		if shadowed(m.shTyps, t.Name) {
+			return t, false
+		}
+		if repl, ok := m.envTyps[t.Name]; ok {
+			return repl, true
+		}
+		return t, false
+	case ExistAlphaT:
+		delta, cd := m.regionSlice(t.Delta)
+		m.shTyps = append(m.shTyps, t.Bound)
+		body, cb := m.typ1(t.Body)
+		m.shTyps = m.shTyps[:len(m.shTyps)-1]
+		if !cd && !cb {
+			return t, false
+		}
+		return ExistAlphaT{Bound: t.Bound, Delta: delta, Body: body}, true
+	case TransT:
+		ts, ct := m.tagSlice(t.Tags)
+		rs, cr := m.regionSlice(t.Rs)
+		params, cp := m.typeSlice1(t.Params)
+		r, c0 := m.region(t.R)
+		if !ct && !cr && !cp && !c0 {
+			return t, false
+		}
+		return TransT{Tags: ts, Rs: rs, Params: params, R: r}, true
+	case LeftT:
+		body, cb := m.typ1(t.Body)
+		if !cb {
+			return t, false
+		}
+		return LeftT{Body: body}, true
+	case RightT:
+		body, cb := m.typ1(t.Body)
+		if !cb {
+			return t, false
+		}
+		return RightT{Body: body}, true
+	case SumT:
+		l, cl := m.typ1(t.L)
+		r, cr := m.typ1(t.R)
+		if !cl && !cr {
+			return t, false
+		}
+		return SumT{L: l, R: r}, true
+	case ExistRT:
+		delta, cd := m.regionSlice(t.Delta)
+		m.shRegs = append(m.shRegs, t.Bound)
+		body, cb := m.typ1(t.Body)
+		m.shRegs = m.shRegs[:len(m.shRegs)-1]
+		if !cd && !cb {
+			return t, false
+		}
+		return ExistRT{Bound: t.Bound, Delta: delta, Body: body}, true
+	default:
+		panic(fmt.Sprintf("gclang: unknown type %T", t))
+	}
+}
+
+func (m *EnvMachine) valueSlice(vs []Value) ([]Value, bool) {
+	var out []Value
+	for i, v := range vs {
+		rv, cv := m.value(v)
+		if cv && out == nil {
+			out = append([]Value(nil), vs...)
+		}
+		if out != nil {
+			out[i] = rv
+		}
+	}
+	if out == nil {
+		return vs, false
+	}
+	return out, true
+}
+
+func (m *EnvMachine) tagSlice(ts []tags.Tag) ([]tags.Tag, bool) {
+	if len(m.envTags) == 0 {
+		return ts, false
+	}
+	return m.tagSlice1(ts)
+}
+
+func (m *EnvMachine) tagSlice1(ts []tags.Tag) ([]tags.Tag, bool) {
+	var out []tags.Tag
+	for i, t := range ts {
+		rt, ct := m.tag1(t)
+		if ct && out == nil {
+			out = append([]tags.Tag(nil), ts...)
+		}
+		if out != nil {
+			out[i] = rt
+		}
+	}
+	if out == nil {
+		return ts, false
+	}
+	return out, true
+}
+
+func (m *EnvMachine) regionSlice(rs []Region) ([]Region, bool) {
+	var out []Region
+	for i, r := range rs {
+		rr, cr := m.region(r)
+		if cr && out == nil {
+			out = append([]Region(nil), rs...)
+		}
+		if out != nil {
+			out[i] = rr
+		}
+	}
+	if out == nil {
+		return rs, false
+	}
+	return out, true
+}
+
+func (m *EnvMachine) typeSlice1(ts []Type) ([]Type, bool) {
+	var out []Type
+	for i, t := range ts {
+		rt, ct := m.typ1(t)
+		if ct && out == nil {
+			out = append([]Type(nil), ts...)
+		}
+		if out != nil {
+			out[i] = rt
+		}
+	}
+	if out == nil {
+		return ts, false
+	}
+	return out, true
+}

@@ -106,7 +106,23 @@ func stuck(e Term, format string, args ...any) error {
 	return fmt.Errorf("%w: %s: in %s", ErrStuck, fmt.Sprintf(format, args...), e)
 }
 
-// Step performs one machine transition.
+// PendingCall reports the code address about to be invoked when the current
+// term is a call whose head is an address. It allocates nothing; run loops
+// use it to count collector entries.
+func (m *Machine) PendingCall() (regions.Addr, bool) {
+	if app, ok := m.Term.(AppT); ok {
+		if a, ok := app.Fn.(AddrV); ok {
+			return a.Addr, true
+		}
+	}
+	return regions.Addr{}, false
+}
+
+// Step performs one machine transition. An error leaves the machine state
+// unchanged: rules validate their side conditions before applying memory
+// effects, so m.Term, m.Steps, and the trace stay consistent. (The only
+// bookkeeping touched before an error can surface is the Gets counter on a
+// call whose fetched cell then fails validation.)
 func (m *Machine) Step() error {
 	if m.Halted {
 		return errors.New("gclang: step after halt")
@@ -321,14 +337,17 @@ func (m *Machine) stepOp(op Op) (Value, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: put into region variable %s", ErrStuck, op.R)
 		}
+		if m.Ghost && op.Anno == nil {
+			// Validated before the Put: an erroring step must not leave a
+			// partial memory effect behind (no step is counted and the trace
+			// never fires, so m.Term and the counters must stay untouched).
+			return nil, fmt.Errorf("gclang: ghost mode requires elaborated puts (missing annotation)")
+		}
 		addr, err := m.Mem.Put(rn.Name, op.V)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrStuck, err)
 		}
 		if m.Ghost {
-			if op.Anno == nil {
-				return nil, fmt.Errorf("gclang: ghost mode requires elaborated puts (missing annotation)")
-			}
 			m.Psi[addr] = op.Anno
 		}
 		return AddrV{Addr: addr}, nil

@@ -1,0 +1,114 @@
+package gclang
+
+import "psgc/internal/tags"
+
+// ProgramSize returns the number of AST nodes in a program: every term,
+// value, and operation counts one, and embedded tags count via tags.Size.
+// Type annotations are excluded — they track term size closely, and the
+// count only needs to be a monotone weight (the service's compiled-program
+// cache uses it for size-aware admission).
+func ProgramSize(p Program) int {
+	n := TermSize(p.Main)
+	for _, nf := range p.Code {
+		n += ValueSize(nf.Fun)
+	}
+	return n
+}
+
+// TermSize counts the AST nodes of a term (see ProgramSize).
+func TermSize(e Term) int {
+	switch e := e.(type) {
+	case AppT:
+		n := 1 + valuesSize(e.Args)
+		for _, t := range e.Tags {
+			n += tags.Size(t)
+		}
+		return n
+	case LetT:
+		return 1 + opSize(e.Op) + TermSize(e.Body)
+	case HaltT:
+		return 1 + ValueSize(e.V)
+	case IfGCT:
+		return 1 + TermSize(e.Full) + TermSize(e.Else)
+	case OpenTagT:
+		return 1 + ValueSize(e.V) + TermSize(e.Body)
+	case OpenAlphaT:
+		return 1 + ValueSize(e.V) + TermSize(e.Body)
+	case LetRegionT:
+		return 1 + TermSize(e.Body)
+	case OnlyT:
+		return 1 + TermSize(e.Body)
+	case TypecaseT:
+		return 1 + tags.Size(e.Tag) + TermSize(e.IntArm) + TermSize(e.LamArm) +
+			TermSize(e.ProdArm) + TermSize(e.ExistArm)
+	case IfLeftT:
+		return 1 + ValueSize(e.V) + TermSize(e.L) + TermSize(e.R)
+	case SetT:
+		return 1 + ValueSize(e.Dst) + ValueSize(e.Src) + TermSize(e.Body)
+	case WidenT:
+		return 1 + tags.Size(e.Tag) + ValueSize(e.V) + TermSize(e.Body)
+	case OpenRegionT:
+		return 1 + ValueSize(e.V) + TermSize(e.Body)
+	case IfRegT:
+		return 1 + TermSize(e.Then) + TermSize(e.Else)
+	case If0T:
+		return 1 + ValueSize(e.V) + TermSize(e.Then) + TermSize(e.Else)
+	default:
+		return 1
+	}
+}
+
+// ValueSize counts the AST nodes of a value (see ProgramSize).
+func ValueSize(v Value) int {
+	switch v := v.(type) {
+	case PairV:
+		return 1 + ValueSize(v.L) + ValueSize(v.R)
+	case PackTag:
+		return 1 + tags.Size(v.Tag) + ValueSize(v.Val)
+	case PackAlpha:
+		return 1 + ValueSize(v.Val)
+	case PackRegion:
+		return 1 + ValueSize(v.Val)
+	case TAppV:
+		n := 1 + ValueSize(v.Val)
+		for _, t := range v.Tags {
+			n += tags.Size(t)
+		}
+		return n
+	case LamV:
+		return 1 + len(v.Params) + TermSize(v.Body)
+	case InlV:
+		return 1 + ValueSize(v.Val)
+	case InrV:
+		return 1 + ValueSize(v.Val)
+	default:
+		return 1
+	}
+}
+
+func valuesSize(vs []Value) int {
+	n := 0
+	for _, v := range vs {
+		n += ValueSize(v)
+	}
+	return n
+}
+
+func opSize(op Op) int {
+	switch op := op.(type) {
+	case ValOp:
+		return 1 + ValueSize(op.V)
+	case ProjOp:
+		return 1 + ValueSize(op.V)
+	case PutOp:
+		return 1 + ValueSize(op.V)
+	case GetOp:
+		return 1 + ValueSize(op.V)
+	case StripOp:
+		return 1 + ValueSize(op.V)
+	case ArithOp:
+		return 1 + ValueSize(op.L) + ValueSize(op.R)
+	default:
+		return 1
+	}
+}

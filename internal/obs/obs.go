@@ -236,12 +236,26 @@ func NewRecorder(entries map[regions.Addr]string, collectorFuns int) *Recorder {
 	}
 }
 
-// Attach wires the recorder into the machine's Trace hook, chaining any
-// hook already installed.
+// Attach wires the recorder into the substitution machine's Trace hook,
+// chaining any hook already installed.
 func (r *Recorder) Attach(m *gclang.Machine) {
 	prev := m.Trace
 	m.Trace = func(m *gclang.Machine, before gclang.Term) {
-		r.observe(m, before)
+		r.Observe(m.Steps, m.Mem, before)
+		if prev != nil {
+			prev(m, before)
+		}
+	}
+}
+
+// AttachEnv wires the recorder into the environment machine's Trace hook,
+// chaining any hook already installed. The env machine synthesizes pre-step
+// terms with the classified head fields resolved, so classification is
+// identical to the substitution machine's.
+func (r *Recorder) AttachEnv(m *gclang.EnvMachine) {
+	prev := m.Trace
+	m.Trace = func(m *gclang.EnvMachine, before gclang.Term) {
+		r.Observe(m.Steps, m.Mem, before)
 		if prev != nil {
 			prev(m, before)
 		}
@@ -291,9 +305,11 @@ func (r *Recorder) closeSpan(end int) {
 	r.curIdx = -1
 }
 
-// observe classifies the step that just reduced `before`.
-func (r *Recorder) observe(m *gclang.Machine, before gclang.Term) {
-	step := m.Steps
+// Observe classifies one machine transition: step is the 1-based step that
+// just reduced `before`, and mem is the memory with the step's effects
+// already applied. It is engine-agnostic — Attach and AttachEnv both feed
+// it — and exported so co-stepping tests can drive it directly.
+func (r *Recorder) Observe(step int, mem *regions.Memory[gclang.Value], before gclang.Term) {
 	r.lastStep = step
 	switch t := before.(type) {
 	case gclang.AppT:
@@ -376,7 +392,7 @@ func (r *Recorder) observe(m *gclang.Machine, before gclang.Term) {
 	case gclang.LetRegionT:
 		// The freshly created region is the youngest; start tracking it so
 		// a later only can report its size after it is gone.
-		rs := m.Mem.Regions()
+		rs := mem.Regions()
 		if len(rs) > 0 {
 			r.reg(rs[len(rs)-1])
 		}
@@ -384,7 +400,7 @@ func (r *Recorder) observe(m *gclang.Machine, before gclang.Term) {
 		// Regions we tracked that no longer exist were freed by this step.
 		var freed []regions.Name
 		for n := range r.regs {
-			if !m.Mem.Has(n) {
+			if !mem.Has(n) {
 				freed = append(freed, n)
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"psgc"
+	"psgc/internal/gclang"
 	"psgc/internal/obs"
 )
 
@@ -31,26 +32,37 @@ func SourceHash(src string) string {
 // compiledCache is an LRU of ready-to-run compiled programs. A *psgc.Compiled
 // is immutable, so one entry may be handed to any number of concurrent
 // workers; the lock only guards the LRU bookkeeping.
+//
+// Admission is size-aware: each entry is weighted by the AST size of its
+// elaborated λGC program (gclang.ProgramSize), and eviction runs while the
+// cache exceeds the entry-count cap or the total weight budget. One huge
+// program can therefore displace many small ones, but never itself: the
+// most recently used entry always stays, even when it alone exceeds the
+// budget.
 type compiledCache struct {
-	mu      sync.Mutex
-	max     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[cacheKey]*list.Element
+	mu        sync.Mutex
+	max       int        // entry-count cap; 0 = unlimited
+	maxWeight int        // total-weight budget; 0 = unlimited
+	weight    int        // current total weight
+	order     *list.List // front = most recently used; values are *cacheEntry
+	entries   map[cacheKey]*list.Element
 }
 
 type cacheEntry struct {
 	key      cacheKey
 	compiled *psgc.Compiled
+	weight   int
 	// pipeline holds the phase spans of the compile that produced the
 	// entry, so traced cache hits can still report what the compile cost.
 	pipeline []obs.PhaseSpan
 }
 
-func newCompiledCache(max int) *compiledCache {
+func newCompiledCache(max, maxWeight int) *compiledCache {
 	return &compiledCache{
-		max:     max,
-		order:   list.New(),
-		entries: make(map[cacheKey]*list.Element),
+		max:       max,
+		maxWeight: maxWeight,
+		order:     list.New(),
+		entries:   make(map[cacheKey]*list.Element),
 	}
 }
 
@@ -68,24 +80,34 @@ func (c *compiledCache) get(k cacheKey) (*psgc.Compiled, []obs.PhaseSpan, bool) 
 	return e.compiled, e.pipeline, true
 }
 
-// add inserts (or refreshes) an entry, evicting the least recently used
-// entry beyond the capacity. Returns the number of evictions.
+// add inserts (or refreshes) an entry, evicting least recently used
+// entries while the cache is over the entry cap or the weight budget.
+// Returns the number of evictions.
 func (c *compiledCache) add(k cacheKey, compiled *psgc.Compiled, pipeline []obs.PhaseSpan) int {
+	w := gclang.ProgramSize(compiled.Prog)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		c.order.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
+		c.weight += w - e.weight
 		e.compiled = compiled
+		e.weight = w
 		e.pipeline = pipeline
 		return 0
 	}
-	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, compiled: compiled, pipeline: pipeline})
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, compiled: compiled, weight: w, pipeline: pipeline})
+	c.weight += w
 	evicted := 0
-	for c.max > 0 && c.order.Len() > c.max {
+	// Never evict the entry just admitted (order.Len() > 1): an oversized
+	// program still runs, it just won't keep company.
+	for c.order.Len() > 1 &&
+		((c.max > 0 && c.order.Len() > c.max) || (c.maxWeight > 0 && c.weight > c.maxWeight)) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.entries, e.key)
+		c.weight -= e.weight
 		evicted++
 	}
 	return evicted
@@ -96,6 +118,13 @@ func (c *compiledCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// totalWeight reports the summed ProgramSize weight of the cached programs.
+func (c *compiledCache) totalWeight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.weight
 }
 
 // flightGroup coalesces concurrent compiles of the same key (singleflight):

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"psgc"
+	"psgc/internal/gclang"
+)
+
+// compiledOfLets builds a *psgc.Compiled whose program is a chain of n
+// trivial lets, giving it an AST weight of 3n+2 (let + valop + num each,
+// plus halt + num).
+func compiledOfLets(n int) *psgc.Compiled {
+	var body gclang.Term = gclang.HaltT{V: gclang.Num{N: 0}}
+	for i := 0; i < n; i++ {
+		body = gclang.LetT{X: "x", Op: gclang.ValOp{V: gclang.Num{N: 1}}, Body: body}
+	}
+	return &psgc.Compiled{Prog: gclang.Program{Main: body}}
+}
+
+func key(i int) cacheKey { return keyFor(fmt.Sprintf("src-%d", i), psgc.Basic) }
+
+func TestCacheWeightEvictsInLRUOrder(t *testing.T) {
+	small := compiledOfLets(1) // weight 5
+	sw := gclang.ProgramSize(small.Prog)
+	c := newCompiledCache(10, 4*sw) // room for four small entries
+	for i := 0; i < 4; i++ {
+		if ev := c.add(key(i), small, nil); ev != 0 {
+			t.Fatalf("add %d evicted %d", i, ev)
+		}
+	}
+	// A big entry worth three small ones forces out the three least
+	// recently used — and only those.
+	big := compiledOfLets(4) // weight 14: fits only alongside one small entry
+	if ev := c.add(key(4), big, nil); ev != 3 {
+		t.Fatalf("big add evicted %d entries, want 3", ev)
+	}
+	for i, want := range []bool{false, false, false, true, true} {
+		_, _, ok := c.get(key(i))
+		if ok != want {
+			t.Errorf("entry %d cached = %v, want %v (LRU order violated)", i, ok, want)
+		}
+	}
+	if got := c.totalWeight(); got > 4*sw {
+		t.Errorf("weight %d over budget %d", got, 4*sw)
+	}
+}
+
+func TestCacheOversizedNewestStays(t *testing.T) {
+	small := compiledOfLets(1)
+	c := newCompiledCache(10, 3*gclang.ProgramSize(small.Prog))
+	c.add(key(0), small, nil)
+	c.add(key(1), small, nil)
+	// An entry that alone exceeds the whole budget evicts everything else
+	// but is still admitted: the program ran, keep it for repeats.
+	huge := compiledOfLets(100)
+	if ev := c.add(key(2), huge, nil); ev != 2 {
+		t.Fatalf("huge add evicted %d, want 2", ev)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if _, _, ok := c.get(key(2)); !ok {
+		t.Fatal("oversized newest entry was evicted")
+	}
+}
+
+func TestCacheEntryCapWithoutWeightBudget(t *testing.T) {
+	c := newCompiledCache(2, 0) // weight budget disabled
+	c.add(key(0), compiledOfLets(50), nil)
+	c.add(key(1), compiledOfLets(50), nil)
+	if ev := c.add(key(2), compiledOfLets(50), nil); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	if _, _, ok := c.get(key(0)); ok {
+		t.Error("LRU entry survived entry-cap eviction")
+	}
+}
+
+func TestCacheGetPromotes(t *testing.T) {
+	small := compiledOfLets(1)
+	c := newCompiledCache(2, 0)
+	c.add(key(0), small, nil)
+	c.add(key(1), small, nil)
+	c.get(key(0)) // key 0 is now most recently used
+	c.add(key(2), small, nil)
+	if _, _, ok := c.get(key(0)); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, _, ok := c.get(key(1)); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestCacheRefreshAdjustsWeight(t *testing.T) {
+	c := newCompiledCache(10, 0)
+	c.add(key(0), compiledOfLets(10), nil)
+	w1 := c.totalWeight()
+	c.add(key(0), compiledOfLets(2), nil) // refresh with a smaller program
+	w2 := c.totalWeight()
+	if want := gclang.ProgramSize(compiledOfLets(2).Prog); w2 != want {
+		t.Errorf("weight after refresh = %d, want %d (was %d)", w2, want, w1)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}

@@ -56,6 +56,11 @@ type Config struct {
 	// CacheSize is the compiled-program LRU capacity in entries
 	// (default 128).
 	CacheSize int
+	// CacheWeight bounds the summed AST size (gclang.ProgramSize) of the
+	// cached programs, so a few huge programs cannot pin as much memory as
+	// 128 typical ones. 0 uses the default of 512k AST nodes; negative
+	// disables the weight budget (entry count still applies).
+	CacheWeight int
 	// Capacity is the default region capacity for /run requests that do
 	// not specify one (default 64).
 	Capacity int
@@ -63,8 +68,9 @@ type Config struct {
 	// specify neither fuel nor a deadline (default psgc.DefaultFuel).
 	DefaultFuel int
 	// StepsPerMilli converts a request deadline into a fuel budget
-	// (default 25000 machine steps per millisecond — conservative for
-	// the substitution-based machine).
+	// (default 25000 machine steps per millisecond — sized to the slower
+	// substitution engine, so deadlines stay conservative for requests
+	// that opt out of the default environment engine).
 	StepsPerMilli int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
@@ -79,6 +85,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 128
+	}
+	if c.CacheWeight == 0 {
+		c.CacheWeight = 512 * 1024
+	} else if c.CacheWeight < 0 {
+		c.CacheWeight = 0
 	}
 	if c.Capacity <= 0 {
 		c.Capacity = 64
@@ -134,7 +145,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		cache:   newCompiledCache(cfg.CacheSize),
+		cache:   newCompiledCache(cfg.CacheSize, cfg.CacheWeight),
 		metrics: &Metrics{},
 		start:   time.Now(),
 		jobs:    make(chan *job, cfg.QueueDepth),
@@ -297,6 +308,10 @@ type RunRequest struct {
 	// ProgressSteps is the SSE progress cadence in machine steps
 	// (default 50000; progress is also emitted at every collection).
 	ProgressSteps int `json:"progress_steps"`
+	// Engine selects the execution engine: "env" (default) or "subst"
+	// (the substitution-stepping oracle). Equivalent to the ?engine=
+	// query parameter, which takes precedence.
+	Engine string `json:"engine"`
 }
 
 // RunStats is the observable execution statistics, present in both
@@ -334,6 +349,7 @@ type TraceReport struct {
 type RunResponse struct {
 	Value      int          `json:"value"`
 	Collector  string       `json:"collector"`
+	Engine     string       `json:"engine"`
 	SourceHash string       `json:"source_hash"`
 	Cached     bool         `json:"cached"`
 	Fuel       int          `json:"fuel"`
@@ -516,6 +532,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			body: errorBody{Error: err.Error(), TraceID: traceID}})
 		return
 	}
+	if v := r.URL.Query().Get("engine"); v != "" {
+		req.Engine = v
+	}
+	if _, err := psgc.ParseEngine(req.Engine); err != nil {
+		s.writeResponse(w, &response{status: http.StatusBadRequest,
+			body: errorBody{Error: err.Error(), TraceID: traceID}})
+		return
+	}
 	trace := flagged(r, "trace", req.Trace)
 	if flagged(r, "stream", req.Stream) {
 		s.streamRun(w, r, req, col, trace, traceID)
@@ -536,6 +560,12 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 		return &response{status: compileStatus(err), body: errorBody{Error: err.Error(), TraceID: traceID}}
 	}
 	opts := psgc.RunOptions{Capacity: s.cfg.Capacity, FixedCapacity: req.Fixed}
+	// Validated in handleRun; re-parsed here so doRun stands alone.
+	engine, err := psgc.ParseEngine(req.Engine)
+	if err != nil {
+		return &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error(), TraceID: traceID}}
+	}
+	opts.Engine = engine
 	if req.Capacity != nil {
 		opts.Capacity = *req.Capacity
 	}
@@ -586,6 +616,7 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 	return &response{status: http.StatusOK, body: RunResponse{
 		Value:      res.Value,
 		Collector:  col.String(),
+		Engine:     engine.String(),
 		SourceHash: SourceHash(req.Source),
 		Cached:     hit,
 		Fuel:       opts.Fuel,
@@ -724,6 +755,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_depth":    s.metrics.QueueDepth.Load(),
 		"queue_capacity": s.cfg.QueueDepth,
 		"cache_entries":  s.cache.len(),
+		"cache_weight":   s.cache.totalWeight(),
 	}})
 }
 

@@ -221,32 +221,57 @@ type RunStats struct {
 	AllRegions int
 }
 
-// Run executes the driver, sampling the continuation region's size at
-// every step (the §6.1 temporary-region bound).
+// Run executes the driver on the substitution machine, sampling the
+// continuation region's size at every step (the §6.1 temporary-region
+// bound).
 func (c CollectOnce) Run(fuel int) (RunStats, error) {
-	m := gclang.NewMachine(c.Dialect, c.Prog, 0)
+	return c.run(fuel, false)
+}
+
+// RunEnv is Run on the environment machine.
+func (c CollectOnce) RunEnv(fuel int) (RunStats, error) {
+	return c.run(fuel, true)
+}
+
+func (c CollectOnce) run(fuel int, env bool) (RunStats, error) {
+	// Regions in creation order: cd, mutator region(s), then the
+	// collector's (to-space and) continuation region — the last one.
 	maxCont := 0
-	m.Trace = func(m *gclang.Machine, _ gclang.Term) {
-		rs := m.Mem.Regions()
-		// Regions in creation order: cd, mutator region(s), then the
-		// collector's (to-space and) continuation region — the last one.
+	sample := func(mem *regions.Memory[gclang.Value]) {
+		rs := mem.Regions()
 		if len(rs) >= 1+c.MutatorRegions+1 {
 			cont := rs[len(rs)-1]
-			if s := m.Mem.Size(cont); s > maxCont {
+			if s := mem.Size(cont); s > maxCont {
 				maxCont = s
 			}
 		}
 	}
-	if _, err := m.Run(fuel); err != nil {
+	var (
+		mem   *regions.Memory[gclang.Value]
+		steps int
+		err   error
+	)
+	if env {
+		m := gclang.NewEnvMachine(c.Dialect, c.Prog, 0)
+		m.Trace = func(m *gclang.EnvMachine, _ gclang.Term) { sample(m.Mem) }
+		_, err = m.Run(fuel)
+		mem, steps = m.Mem, m.Steps
+	} else {
+		m := gclang.NewMachine(c.Dialect, c.Prog, 0)
+		m.Trace = func(m *gclang.Machine, _ gclang.Term) { sample(m.Mem) }
+		_, err = m.Run(fuel)
+		mem, steps = m.Mem, m.Steps
+	}
+	if err != nil {
 		return RunStats{}, err
 	}
-	live := m.Mem.LiveCells()
+	live := mem.LiveCells()
 	return RunStats{
-		Steps:      m.Steps,
+		Steps:      steps,
 		Copied:     live,
 		MaxCont:    maxCont,
-		MemStats:   m.Mem.Stats,
+		MemStats:   mem.Stats,
 		LiveAfter:  live,
-		AllRegions: len(m.Mem.Regions()),
+		AllRegions: len(mem.Regions()),
 	}, nil
 }

@@ -244,6 +244,47 @@ func compileProgramCold(p source.Program, col Collector) (*Compiled, error) {
 	}, nil
 }
 
+// Engine selects which λGC abstract machine Run uses. Both machines are
+// observationally equivalent — same results, step counts, memory effects,
+// and trace classification (internal/gclang's differential test co-steps
+// them) — but the environment machine avoids the substitution machine's
+// per-step term rewriting and is several times faster.
+type Engine int
+
+const (
+	// EngineEnv is the environment-based machine (gclang.EnvMachine), the
+	// default: variables resolve through environments and stepping is
+	// allocation-free in the steady state.
+	EngineEnv Engine = iota
+	// EngineSubst is the substitution-based machine of Fig. 5
+	// (gclang.Machine), kept as the semantic oracle. Ghost mode and
+	// CheckEveryStep always run on it: the ghost memory type Ψ lives there.
+	EngineSubst
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineEnv:
+		return "env"
+	case EngineSubst:
+		return "subst"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses an engine name: "env" (or empty) and "subst".
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "env":
+		return EngineEnv, nil
+	case "subst":
+		return EngineSubst, nil
+	default:
+		return 0, fmt.Errorf("psgc: unknown engine %q (want env or subst)", s)
+	}
+}
+
 // RunOptions configures an execution.
 type RunOptions struct {
 	// Capacity is the per-region cell count at which ifgc reports a
@@ -275,6 +316,9 @@ type RunOptions struct {
 	// ProgressEvery is the Progress cadence in machine steps
 	// (default DefaultProgressEvery).
 	ProgressEvery int
+	// Engine selects the abstract machine (default EngineEnv). Ghost and
+	// CheckEveryStep force EngineSubst regardless.
+	Engine Engine
 }
 
 // Progress is a point-in-time execution snapshot delivered to
@@ -327,6 +371,15 @@ func (c *Compiled) NewMachine(opts RunOptions) *gclang.Machine {
 	return m
 }
 
+// NewEnvMachine loads the compiled program into a fresh environment
+// machine (the default Run engine). Ghost mode is not available on it; use
+// NewMachine for stepping with Ψ.
+func (c *Compiled) NewEnvMachine(opts RunOptions) *gclang.EnvMachine {
+	m := gclang.NewEnvMachine(c.Collector.Dialect(), c.Prog, opts.Capacity)
+	m.Mem.AutoGrow = !opts.FixedCapacity
+	return m
+}
+
 // Recorder returns a GC-event recorder wired to this program's collector
 // entry points and certified code prefix. Pass it in RunOptions.Recorder
 // (one recorder per run) and read Recorder.Timeline after Run returns.
@@ -337,32 +390,45 @@ func (c *Compiled) Recorder() *obs.Recorder {
 // Run executes the compiled program. If the fuel budget runs out the
 // returned error wraps ErrOutOfFuel and the Result still carries the
 // partial execution's statistics.
+//
+// The engine is opts.Engine (environment machine by default); Ghost and
+// CheckEveryStep force the substitution machine, which carries the ghost Ψ.
 func (c *Compiled) Run(opts RunOptions) (Result, error) {
+	if opts.Engine == EngineSubst || opts.Ghost || opts.CheckEveryStep {
+		return c.runSubst(opts)
+	}
+	return c.runEnv(opts)
+}
+
+func runBudgets(opts RunOptions) (fuel, every int) {
+	fuel = opts.Fuel
+	if fuel == 0 {
+		fuel = DefaultFuel
+	}
+	every = opts.ProgressEvery
+	if every <= 0 {
+		every = DefaultProgressEvery
+	}
+	return fuel, every
+}
+
+func (c *Compiled) runSubst(opts RunOptions) (Result, error) {
 	m := c.NewMachine(opts)
 	if opts.Recorder != nil {
 		opts.Recorder.Attach(m)
 	}
-	fuel := opts.Fuel
-	if fuel == 0 {
-		fuel = DefaultFuel
-	}
-	every := opts.ProgressEvery
-	if every <= 0 {
-		every = DefaultProgressEvery
-	}
+	fuel, every := runBudgets(opts)
 	collections := 0
 	for !m.Halted {
 		if fuel <= 0 {
-			return partialResult(m, collections), fmt.Errorf("%w after %d steps", ErrOutOfFuel, m.Steps)
+			return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w after %d steps", ErrOutOfFuel, m.Steps)
 		}
 		fuel--
 		// A term about to invoke a collector entry point is a collection.
 		collected := false
-		if app, ok := m.Term.(gclang.AppT); ok {
-			if a, ok := app.Fn.(gclang.AddrV); ok && c.entries[a.Addr] {
-				collections++
-				collected = true
-			}
+		if a, ok := m.PendingCall(); ok && c.entries[a] {
+			collections++
+			collected = true
 		}
 		if err := m.Step(); err != nil {
 			return Result{}, err
@@ -379,26 +445,64 @@ func (c *Compiled) Run(opts RunOptions) (Result, error) {
 				LiveCells:   m.Mem.LiveCells(),
 			})
 			if !ok {
-				return partialResult(m, collections), fmt.Errorf("%w after %d steps", ErrCanceled, m.Steps)
+				return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w after %d steps", ErrCanceled, m.Steps)
 			}
 		}
 	}
-	n, ok := m.Result.(gclang.Num)
-	if !ok {
-		return Result{}, fmt.Errorf("psgc: program halted with non-integer %s", m.Result)
+	return finishResult(m.Result, m.Steps, collections, m.Mem)
+}
+
+func (c *Compiled) runEnv(opts RunOptions) (Result, error) {
+	m := c.NewEnvMachine(opts)
+	if opts.Recorder != nil {
+		opts.Recorder.AttachEnv(m)
 	}
-	res := partialResult(m, collections)
+	fuel, every := runBudgets(opts)
+	collections := 0
+	for !m.Halted {
+		if fuel <= 0 {
+			return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w after %d steps", ErrOutOfFuel, m.Steps)
+		}
+		fuel--
+		collected := false
+		if a, ok := m.PendingCall(); ok && c.entries[a] {
+			collections++
+			collected = true
+		}
+		if err := m.Step(); err != nil {
+			return Result{}, err
+		}
+		if opts.Progress != nil && (collected || m.Steps%every == 0) {
+			ok := opts.Progress(Progress{
+				Steps:       m.Steps,
+				Collections: collections,
+				LiveCells:   m.Mem.LiveCells(),
+			})
+			if !ok {
+				return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w after %d steps", ErrCanceled, m.Steps)
+			}
+		}
+	}
+	return finishResult(m.Result, m.Steps, collections, m.Mem)
+}
+
+func finishResult(v gclang.Value, steps, collections int, mem *regions.Memory[gclang.Value]) (Result, error) {
+	n, ok := v.(gclang.Num)
+	if !ok {
+		return Result{}, fmt.Errorf("psgc: program halted with non-integer %s", v)
+	}
+	res := partialResult(steps, collections, mem)
 	res.Value = n.N
 	return res, nil
 }
 
-// partialResult snapshots a machine's observable statistics.
-func partialResult(m *gclang.Machine, collections int) Result {
+// partialResult snapshots an execution's observable statistics.
+func partialResult(steps, collections int, mem *regions.Memory[gclang.Value]) Result {
 	return Result{
-		Steps:       m.Steps,
+		Steps:       steps,
 		Collections: collections,
-		Stats:       m.Mem.Stats,
-		LiveCells:   m.Mem.LiveCells(),
+		Stats:       mem.Stats,
+		LiveCells:   mem.LiveCells(),
 	}
 }
 
