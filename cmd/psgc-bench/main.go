@@ -18,12 +18,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 
 	"time"
 
@@ -60,6 +62,7 @@ func main() {
 	log.SetPrefix("psgc-bench: ")
 	engineName := flag.String("engine", "env", "execution engine for in-process experiments: env or subst")
 	remoteURL := flag.String("remote", "", "base URL of a running psgc-served; adds remote latency percentiles to the E1 workload")
+	flag.IntVar(&remoteRetries, "retries", 4, "retry budget per remote request on 429/503/transport errors (jittered backoff, honors Retry-After)")
 	snapshot := flag.String("snapshot", "", "write a JSON snapshot of the E1 workload under both engines to this path and exit")
 	flag.Parse()
 	var err error
@@ -99,12 +102,7 @@ func runDriver(c workload.CollectOnce, fuel int) (workload.RunStats, error) {
 	return c.RunEnv(fuel)
 }
 
-const allocHeavy = `
-fun build (n : int) : int =
-  if0 n then 0
-  else let p = (n, (n, n)) in fst p + build (n - 1)
-do build 60
-`
+var allocHeavy = workload.AllocHeavySrc(60)
 
 // e1: the basic collector keeps an allocation-heavy program's result
 // intact while collecting, across capacities.
@@ -347,6 +345,49 @@ type remoteRunResponse struct {
 	RunMs  float64 `json:"run_ms"`
 }
 
+// remoteRetries is the -retries budget for postWithRetry.
+var remoteRetries int
+
+// postWithRetry posts body to url, retrying transport errors and 429/503
+// responses with jittered exponential backoff. A Retry-After header, when
+// present and parseable, overrides the computed backoff (capped at 5s so a
+// pathological server cannot stall the bench). The rng is seeded by the
+// caller so retry schedules are reproducible run to run.
+func postWithRetry(client *http.Client, url string, body []byte, rng *rand.Rand) (*http.Response, error) {
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				if d := time.Duration(secs) * time.Second; d < maxBackoff {
+					backoff = d
+				} else {
+					backoff = maxBackoff
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		default:
+			return resp, nil
+		}
+		if attempt >= remoteRetries {
+			return nil, fmt.Errorf("after %d attempts: %w", attempt+1, lastErr)
+		}
+		// Full jitter on top of the exponential base spreads retries from
+		// concurrent bench runs instead of synchronizing them.
+		time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
 // percentile returns the p-th percentile (0 < p ≤ 1) of sorted samples.
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
@@ -400,10 +441,11 @@ func remoteBench(base string) {
 			if err != nil {
 				log.Fatal(err)
 			}
+			rng := rand.New(rand.NewSource(1))
 			lat := make([]float64, 0, requests)
 			for i := 0; i < warmup+requests; i++ {
 				t0 := time.Now()
-				resp, err := client.Post(base+"/run", "application/json", bytes.NewReader(body))
+				resp, err := postWithRetry(client, base+"/run", body, rng)
 				if err != nil {
 					log.Fatalf("remote run: %v", err)
 				}

@@ -19,6 +19,11 @@
 //	-fuel N               default machine step budget (default 50M)
 //	-steps-per-ms N       deadline_ms -> fuel conversion rate (default 25000)
 //	-debug-addr addr      serve net/http/pprof on a separate listener (off by default)
+//	-cocheck-sample F     fraction of env-engine runs co-checked against the oracle (default 0)
+//	-watchdog-ms N        per-run wall-clock stall budget; 0 disables (default 0)
+//	-shed-threshold F     queue fraction at which trace/stream requests are shed (default 0.75, negative disables)
+//	-chaos spec           install fault injection, e.g. "worker.latency=0.1:5ms,machine.corrupt=0.01"
+//	-chaos-seed N         deterministic seed for the chaos registry (default 1)
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"psgc"
+	"psgc/internal/fault"
 	"psgc/internal/service"
 )
 
@@ -52,8 +58,23 @@ func main() {
 		stepsPerMs  = flag.Int("steps-per-ms", 25_000, "fuel granted per millisecond of request deadline")
 		drainWindow = flag.Duration("drain", 30*time.Second, "graceful shutdown window")
 		debugAddr   = flag.String("debug-addr", "", "listen address for net/http/pprof (e.g. localhost:6060; empty disables)")
+
+		cocheckSample = flag.Float64("cocheck-sample", 0, "fraction of env-engine runs co-checked against the substitution oracle (0 disables, 1 checks every run)")
+		watchdogMs    = flag.Int("watchdog-ms", 0, "per-run wall-clock stall budget in milliseconds (0 disables)")
+		shedThreshold = flag.Float64("shed-threshold", 0, "queue fraction at which trace/stream requests are shed (0 = default 0.75, negative disables)")
+		chaosSpec     = flag.String("chaos", "", `fault-injection spec, "point=prob[:delay],..." (e.g. "worker.latency=0.1:5ms,machine.corrupt=0.01")`)
+		chaosSeed     = flag.Int64("chaos-seed", 1, "deterministic seed for the chaos registry")
 	)
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		reg, err := fault.ParseSpec(*chaosSpec, *chaosSeed)
+		if err != nil {
+			log.Fatalf("-chaos: %v", err)
+		}
+		fault.Install(reg)
+		log.Printf("chaos registry installed (seed %d): %s", *chaosSeed, *chaosSpec)
+	}
 
 	// pprof goes on its own listener (typically bound to localhost) so
 	// profiling endpoints are never exposed on the service port.
@@ -81,6 +102,9 @@ func main() {
 		Capacity:      *capacity,
 		DefaultFuel:   *fuel,
 		StepsPerMilli: *stepsPerMs,
+		CoCheckSample: *cocheckSample,
+		WatchdogMs:    *watchdogMs,
+		ShedThreshold: *shedThreshold,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

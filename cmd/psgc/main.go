@@ -19,6 +19,9 @@
 //	-interp                              run the reference evaluator instead
 //	-trace                               print pipeline-phase spans and the GC-event timeline
 //	-trace-json                          emit the run and its full trace as JSON on stdout
+//	-cocheck                             co-step the env engine against the substitution oracle
+//	-chaos spec                          install fault injection ("point=prob[:delay],...")
+//	-chaos-seed N                        deterministic seed for -chaos (default 1)
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"psgc"
 	"psgc/internal/closconv"
 	"psgc/internal/cps"
+	"psgc/internal/fault"
 	"psgc/internal/obs"
 	"psgc/internal/source"
 )
@@ -57,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace     = fs.Bool("trace", false, "print compile-phase spans and the GC-event timeline to stderr")
 		traceJSON = fs.Bool("trace-json", false, "emit the result with the full trace as JSON on stdout")
 		maxEvents = fs.Int("trace-events", obs.DefaultMaxEvents, "cap on retained timeline events")
+		cocheck   = fs.Bool("cocheck", false, "co-step the env engine against the substitution oracle; a divergence fails the run")
+		chaosSpec = fs.String("chaos", "", `fault-injection spec, "point=prob[:delay],..."`)
+		chaosSeed = fs.Int64("chaos-seed", 1, "deterministic seed for -chaos")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,6 +71,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintf(stderr, "psgc: %v\n", err)
 		return 1
+	}
+
+	if *chaosSpec != "" {
+		reg, err := fault.ParseSpec(*chaosSpec, *chaosSeed)
+		if err != nil {
+			return fail(err)
+		}
+		fault.Install(reg)
+		// The registry is process-global; uninstall on the way out so the
+		// in-process CLI tests (and any other embedder) don't inherit it.
+		defer fault.Install(nil)
 	}
 
 	var src string
@@ -124,6 +142,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CheckEveryStep: *check,
 		Engine:         eng,
 	}
+	var divergence *psgc.Divergence
+	if *cocheck {
+		opts.CoCheck = true
+		opts.OnDivergence = func(d psgc.Divergence) { divergence = &d }
+	}
 	var rec *obs.Recorder
 	if tracing {
 		rec = compiled.Recorder()
@@ -133,6 +156,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	res, err := compiled.Run(opts)
 	if err != nil {
 		return fail(err)
+	}
+	if divergence != nil {
+		// The printed value is the oracle's and therefore correct, but an
+		// engine divergence is a bug worth a hard failure in scripts.
+		fmt.Fprintln(stdout, res.Value)
+		fmt.Fprintf(stderr, "psgc: engine divergence: %s\n", divergence)
+		return 1
 	}
 	if *traceJSON {
 		out := struct {

@@ -167,3 +167,54 @@ func TestTraceJSON(t *testing.T) {
 		}
 	}
 }
+
+const buildChainSrc = "fun build (n : int) : int =\n  if0 n then 0\n  else let p = (n, (n, n)) in fst p + build (n - 1)\ndo build 30"
+
+// TestCoCheckCleanCLI asserts a clean co-checked run behaves exactly like a
+// plain one: the value on stdout, exit 0, nothing on stderr.
+func TestCoCheckCleanCLI(t *testing.T) {
+	code, out, errOut := runCLI(t, "-cocheck", "-capacity", "40", "-e", buildChainSrc)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if strings.TrimSpace(out) != "465" {
+		t.Errorf("output %q, want 465", out)
+	}
+	if strings.Contains(errOut, "divergence") {
+		t.Errorf("clean co-checked run reported a divergence: %q", errOut)
+	}
+}
+
+// TestCoCheckDivergenceCLI injects synthetic heap corruption under -cocheck:
+// the oracle's (correct) value is still printed, but the divergence goes to
+// stderr and the exit code is 1 so scripts notice.
+func TestCoCheckDivergenceCLI(t *testing.T) {
+	code, out, errOut := runCLI(t,
+		"-chaos", "machine.corrupt=1", "-cocheck", "-capacity", "40", "-e", buildChainSrc)
+	if code != 1 {
+		t.Fatalf("exit %d (stderr %q), want 1", code, errOut)
+	}
+	if strings.TrimSpace(out) != "465" {
+		t.Errorf("output %q, want the oracle's 465", out)
+	}
+	if !strings.Contains(errOut, "engine divergence") {
+		t.Errorf("stderr %q does not report the divergence", errOut)
+	}
+
+	// The deferred uninstall ran: the next in-process invocation is clean.
+	code, out, errOut = runCLI(t, "-capacity", "40", "-e", buildChainSrc)
+	if code != 0 || strings.TrimSpace(out) != "465" {
+		t.Errorf("chaos registry leaked across invocations: exit %d output %q stderr %q", code, out, errOut)
+	}
+}
+
+// TestChaosSpecRejectedCLI pins the error path for malformed -chaos specs.
+func TestChaosSpecRejectedCLI(t *testing.T) {
+	code, _, errOut := runCLI(t, "-chaos", "no.such.point=1", "-e", "1 + 2")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "no.such.point") {
+		t.Errorf("stderr %q does not name the bad point", errOut)
+	}
+}

@@ -1,0 +1,126 @@
+package psgc
+
+import (
+	"fmt"
+
+	"psgc/internal/gclang"
+)
+
+// Divergence describes one observed disagreement between the environment
+// machine and the substitution oracle during a co-checked run.
+type Divergence struct {
+	// Step is the oracle's step count when the disagreement was observed.
+	Step int `json:"step"`
+	// Detail says what disagreed (pending call, step parity, memory
+	// counters, final result, or a heap cell).
+	Detail string `json:"detail"`
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("diverged at step %d: %s", d.Step, d.Detail)
+}
+
+// runCoChecked steps the environment machine in lockstep with the
+// substitution oracle, comparing the observables the differential test
+// suite pins: the pending collector call before each step, step counts,
+// halt status, the full regions.Stats counters after each step, and — at
+// halt — the final value and every heap cell.
+//
+// The oracle is authoritative. On the first disagreement (including an
+// env-machine step error, which injected faults can produce) the shadow
+// env machine is abandoned, opts.OnDivergence is invoked, and the run
+// continues on the oracle alone; the returned Result is always the
+// oracle's. The Recorder, Progress callbacks, and collection counting all
+// observe the oracle, so a diverging shadow cannot pollute the timeline.
+func (c *Compiled) runCoChecked(opts RunOptions) (Result, error) {
+	oracle := c.NewMachine(opts)
+	shadow := c.NewEnvMachine(opts)
+	if opts.Recorder != nil {
+		opts.Recorder.Attach(oracle)
+	}
+	fuel, every := runBudgets(opts)
+	collections := 0
+	diverge := func(step int, format string, args ...any) {
+		shadow = nil
+		if opts.OnDivergence != nil {
+			opts.OnDivergence(Divergence{Step: step, Detail: fmt.Sprintf(format, args...)})
+		}
+	}
+	for !oracle.Halted {
+		if fuel <= 0 {
+			return partialResult(oracle.Steps, collections, oracle.Mem), fmt.Errorf("%w after %d steps", ErrOutOfFuel, oracle.Steps)
+		}
+		fuel--
+		collected := false
+		oa, oPending := oracle.PendingCall()
+		if oPending && c.entries[oa] {
+			collections++
+			collected = true
+		}
+		if shadow != nil {
+			if sa, sPending := shadow.PendingCall(); sPending != oPending || sa != oa {
+				diverge(oracle.Steps, "pending call: oracle (%v,%v) env (%v,%v)", oa, oPending, sa, sPending)
+			}
+		}
+		if err := oracle.Step(); err != nil {
+			return Result{}, err
+		}
+		if shadow != nil {
+			if err := shadow.Step(); err != nil {
+				diverge(oracle.Steps, "env machine error: %v", err)
+			} else if shadow.Steps != oracle.Steps || shadow.Halted != oracle.Halted {
+				diverge(oracle.Steps, "step/halt: oracle (%d,%v) env (%d,%v)",
+					oracle.Steps, oracle.Halted, shadow.Steps, shadow.Halted)
+			} else if shadow.Mem.Stats != oracle.Mem.Stats {
+				diverge(oracle.Steps, "memory counters: oracle %+v env %+v", oracle.Mem.Stats, shadow.Mem.Stats)
+			}
+		}
+		if opts.Progress != nil && (collected || oracle.Steps%every == 0) {
+			ok := opts.Progress(Progress{
+				Steps:       oracle.Steps,
+				Collections: collections,
+				LiveCells:   oracle.Mem.LiveCells(),
+			})
+			if !ok {
+				return partialResult(oracle.Steps, collections, oracle.Mem), fmt.Errorf("%w after %d steps", ErrCanceled, oracle.Steps)
+			}
+		}
+	}
+	// Snapshot the result before the heap walk: compareHalt reads cells
+	// through Mem.Get, which counts, and the reported Stats must match a
+	// plain run's.
+	res, err := finishResult(oracle.Result, oracle.Steps, collections, oracle.Mem)
+	if shadow != nil {
+		if detail := compareHalt(oracle, shadow); detail != "" {
+			diverge(oracle.Steps, "%s", detail)
+		}
+	}
+	return res, err
+}
+
+// compareHalt compares the halted machines' results and full heaps,
+// returning a non-empty description of the first mismatch. Corruption the
+// mutator never read surfaces here: the counters agree, but a cell differs.
+func compareHalt(oracle *gclang.Machine, shadow *gclang.EnvMachine) string {
+	if or, sr := oracle.Result.String(), shadow.Result.String(); or != sr {
+		return fmt.Sprintf("result: oracle %s env %s", or, sr)
+	}
+	oc, sc := oracle.Mem.Cells(), shadow.Mem.Cells()
+	if len(oc) != len(sc) {
+		return fmt.Sprintf("heap size: oracle %d cells env %d cells", len(oc), len(sc))
+	}
+	for i, a := range oc {
+		if sc[i] != a {
+			return fmt.Sprintf("heap shape: cell %d at %v (oracle) vs %v (env)", i, a, sc[i])
+		}
+		ov, err1 := oracle.Mem.Get(a)
+		sv, err2 := shadow.Mem.Get(a)
+		if err1 != nil || err2 != nil {
+			return fmt.Sprintf("heap read at %v: oracle err %v env err %v", a, err1, err2)
+		}
+		if ov.String() != sv.String() {
+			return fmt.Sprintf("heap cell %v: oracle %s env %s", a, ov, sv)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,158 @@
+package psgc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"psgc/internal/fault"
+)
+
+// TestCoCheckAgreesClean runs every collector co-checked with no faults
+// installed: the engines must agree (no divergence callback), and the
+// result must match both the reference evaluator and a plain env run.
+func TestCoCheckAgreesClean(t *testing.T) {
+	want, err := Interpret(allocHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range allCollectors {
+		c, err := Compile(allocHeavy, col)
+		if err != nil {
+			t.Fatalf("%v: %v", col, err)
+		}
+		var div *Divergence
+		res, err := c.Run(RunOptions{
+			Capacity: 40,
+			CoCheck:  true,
+			OnDivergence: func(d Divergence) {
+				div = &d
+			},
+		})
+		if err != nil {
+			t.Fatalf("%v: co-checked run: %v", col, err)
+		}
+		if div != nil {
+			t.Fatalf("%v: clean run diverged: %v", col, *div)
+		}
+		if res.Value != want {
+			t.Errorf("%v: value %d, want %d", col, res.Value, want)
+		}
+		plain, err := c.Run(RunOptions{Capacity: 40})
+		if err != nil {
+			t.Fatalf("%v: plain run: %v", col, err)
+		}
+		if res.Steps != plain.Steps || res.Collections != plain.Collections || res.Stats != plain.Stats {
+			t.Errorf("%v: co-checked observables %+v differ from plain run %+v", col, res, plain)
+		}
+	}
+}
+
+// TestCoCheckCatchesCorruption injects heap corruption (env machine only)
+// and asserts the co-check detects the divergence while the run still
+// returns the oracle's correct result — the guardrail the service builds on.
+func TestCoCheckCatchesCorruption(t *testing.T) {
+	fault.Install(fault.NewRegistry(1).Enable(fault.HeapCorrupt, 1))
+	defer fault.Install(nil)
+
+	want, err := Interpret(allocHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(allocHeavy, Forwarding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var divs []Divergence
+	res, err := c.Run(RunOptions{
+		Capacity: 40,
+		CoCheck:  true,
+		OnDivergence: func(d Divergence) {
+			divs = append(divs, d)
+		},
+	})
+	if err != nil {
+		t.Fatalf("co-checked run under corruption: %v", err)
+	}
+	if len(divs) != 1 {
+		t.Fatalf("got %d divergence callbacks, want exactly 1: %v", len(divs), divs)
+	}
+	if divs[0].Step <= 0 || divs[0].Detail == "" {
+		t.Errorf("malformed divergence: %+v", divs[0])
+	}
+	if res.Value != want {
+		t.Errorf("fallback value %d, want the oracle's %d", res.Value, want)
+	}
+}
+
+// TestCoCheckCatchesEnvStepFault injects step errors into the env machine:
+// the shadow dies, the divergence reports the injected error, and the
+// oracle still completes the run.
+func TestCoCheckCatchesEnvStepFault(t *testing.T) {
+	fault.Install(fault.NewRegistry(1).Enable(fault.MachineStep, 1))
+	defer fault.Install(nil)
+
+	c, err := Compile(allocHeavy, Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var div Divergence
+	res, err := c.Run(RunOptions{
+		Capacity:     40,
+		CoCheck:      true,
+		OnDivergence: func(d Divergence) { div = d },
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(div.Detail, "injected fault") {
+		t.Errorf("divergence detail %q does not report the injected error", div.Detail)
+	}
+	want, _ := Interpret(allocHeavy)
+	if res.Value != want {
+		t.Errorf("value %d, want %d", res.Value, want)
+	}
+}
+
+// TestCompileFaultPoint asserts the compile.parse injection point fails
+// compiles with the ErrInjected sentinel, and that compilation recovers
+// once the registry is uninstalled.
+func TestCompileFaultPoint(t *testing.T) {
+	fault.Install(fault.NewRegistry(1).Enable(fault.CompileParse, 1))
+	_, err := Compile(allocHeavy, Basic)
+	fault.Install(nil)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("compile under injection: err %v, want ErrInjected", err)
+	}
+	if _, err := Compile(allocHeavy, Basic); err != nil {
+		t.Fatalf("compile after uninstall: %v", err)
+	}
+}
+
+// TestEnvMachineInjectedStepLeavesStateUnchanged pins the stuck-step
+// contract for injected faults: the error must not advance the machine.
+func TestEnvMachineInjectedStepLeavesStateUnchanged(t *testing.T) {
+	c, err := Compile(allocHeavy, Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewEnvMachine(RunOptions{Capacity: 40})
+	for i := 0; i < 10; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps, stats := m.Steps, m.Mem.Stats
+	fault.Install(fault.NewRegistry(1).Enable(fault.MachineStep, 1))
+	errInjected := m.Step()
+	fault.Install(nil)
+	if !errors.Is(errInjected, fault.ErrInjected) {
+		t.Fatalf("step under injection: %v", errInjected)
+	}
+	if m.Steps != steps || m.Mem.Stats != stats {
+		t.Error("injected step error mutated machine state")
+	}
+	if err := m.Step(); err != nil {
+		t.Fatalf("machine unusable after injected error: %v", err)
+	}
+}

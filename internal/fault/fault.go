@@ -1,0 +1,228 @@
+// Package fault is a seedable, deterministic fault-injection registry.
+//
+// Code under test (and, when explicitly enabled, production binaries run in
+// chaos mode) calls Should / Fire at named injection points. When no
+// registry is installed the cost of a call site is one atomic pointer load
+// and a nil check, so the points can stay compiled into the hot paths —
+// including the λGC machine step loop — without measurable overhead.
+//
+// A Registry is seeded, and each point fires with an independent Bernoulli
+// draw from the registry's PRNG, so a single-threaded run with a fixed seed
+// replays the exact same fault schedule. Under concurrency the draw order
+// depends on goroutine interleaving; chaos tests that need hard determinism
+// enable points with probability 1.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site. The set is closed: ParseSpec rejects
+// unknown names so a typo in a -chaos flag fails loudly instead of running
+// a clean experiment that was meant to be faulty.
+type Point string
+
+const (
+	// CompileParse fails the compile pipeline before it starts.
+	CompileParse Point = "compile.parse"
+	// MachineStep makes an env-machine step return an injected error,
+	// leaving the machine state unchanged (the normal stuck-step contract).
+	MachineStep Point = "machine.step"
+	// MachineStall sleeps the configured delay inside an env-machine step,
+	// modeling a stalled mutator that a watchdog must cut short.
+	MachineStall Point = "machine.stall"
+	// HeapCorrupt silently overwrites a live heap cell of the env machine
+	// with a poison number, without touching the memory statistics — the
+	// corruption only surfaces through later machine behavior, which is
+	// exactly what oracle co-checking must catch.
+	HeapCorrupt Point = "machine.corrupt"
+	// WorkerPanic panics inside a service worker's job function.
+	WorkerPanic Point = "worker.panic"
+	// WorkerLatency sleeps the configured delay before a worker starts a job.
+	WorkerLatency Point = "worker.latency"
+	// CacheEvict triggers an eviction storm that flushes the probationary
+	// segment of the compiled-program cache.
+	CacheEvict Point = "cache.evict"
+)
+
+// Points returns every defined injection point, sorted by name.
+func Points() []Point {
+	ps := []Point{CompileParse, MachineStep, MachineStall, HeapCorrupt, WorkerPanic, WorkerLatency, CacheEvict}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}
+
+// ErrInjected is the sentinel wrapped by every injected error, so callers
+// and tests can tell a synthetic fault from an organic one.
+var ErrInjected = errors.New("injected fault")
+
+type pointState struct {
+	prob  float64
+	delay time.Duration
+	fired int64
+}
+
+// Registry holds the enabled points and the seeded PRNG behind them.
+type Registry struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	points map[Point]*pointState
+}
+
+// NewRegistry returns an empty registry whose draws are driven by seed.
+func NewRegistry(seed int64) *Registry {
+	return &Registry{
+		rng:    rand.New(rand.NewSource(seed)),
+		points: make(map[Point]*pointState),
+	}
+}
+
+// Enable arms a point with the given firing probability (clamped to [0,1])
+// and returns the registry for chaining.
+func (r *Registry) Enable(p Point, prob float64) *Registry {
+	return r.EnableDelay(p, prob, 0)
+}
+
+// EnableDelay arms a point with a probability and an associated delay
+// (meaningful for the latency-style points MachineStall and WorkerLatency).
+func (r *Registry) EnableDelay(p Point, prob float64, delay time.Duration) *Registry {
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.points[p] = &pointState{prob: prob, delay: delay}
+	return r
+}
+
+// Fire draws the point. When it fires it reports true along with the
+// configured delay (zero for error-style points) and bumps the fired count.
+func (r *Registry) Fire(p Point) (time.Duration, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.points[p]
+	if !ok || st.prob <= 0 {
+		return 0, false
+	}
+	if st.prob < 1 && r.rng.Float64() >= st.prob {
+		return 0, false
+	}
+	st.fired++
+	return st.delay, true
+}
+
+// Should is Fire without the delay, for error/panic-style points.
+func (r *Registry) Should(p Point) bool {
+	_, ok := r.Fire(p)
+	return ok
+}
+
+// Fired reports how many times the point has fired.
+func (r *Registry) Fired(p Point) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.points[p]; ok {
+		return st.fired
+	}
+	return 0
+}
+
+// Snapshot returns the armed points with their probabilities and fire
+// counts, for /healthz and logs.
+func (r *Registry) Snapshot() map[string]map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]map[string]any, len(r.points))
+	for p, st := range r.points {
+		e := map[string]any{"prob": st.prob, "fired": st.fired}
+		if st.delay > 0 {
+			e["delay"] = st.delay.String()
+		}
+		out[string(p)] = e
+	}
+	return out
+}
+
+// active is the process-wide installed registry. Call sites load it once
+// per check; a nil pointer means every point is disabled.
+var active atomic.Pointer[Registry]
+
+// Install makes r the process-wide registry; Install(nil) disables all
+// injection. Tests that install a registry must uninstall it when done.
+func Install(r *Registry) { active.Store(r) }
+
+// Installed returns the current registry, or nil when injection is off.
+// Hot loops should load this once and reuse the result for several points.
+func Installed() *Registry { return active.Load() }
+
+// Should reports whether the point fires under the installed registry.
+// This is the ~zero-overhead fast path: with no registry installed it is
+// one atomic load and a branch.
+func Should(p Point) bool {
+	r := active.Load()
+	return r != nil && r.Should(p)
+}
+
+// Sleep blocks for the point's configured delay when the point fires.
+func Sleep(p Point) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	if d, ok := r.Fire(p); ok && d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// ParseSpec parses a chaos specification of the form
+//
+//	point=prob[:delay][,point=prob[:delay]...]
+//
+// e.g. "machine.step=0.01,worker.latency=1:5ms", into a registry seeded
+// with seed. Unknown point names and malformed probabilities are errors.
+func ParseSpec(spec string, seed int64) (*Registry, error) {
+	r := NewRegistry(seed)
+	known := make(map[Point]bool, len(Points()))
+	for _, p := range Points() {
+		known[p] = true
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not point=prob", part)
+		}
+		p := Point(strings.TrimSpace(name))
+		if !known[p] {
+			return nil, fmt.Errorf("fault: unknown point %q (known: %v)", name, Points())
+		}
+		probStr, delayStr, hasDelay := strings.Cut(rest, ":")
+		prob, err := strconv.ParseFloat(strings.TrimSpace(probStr), 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("fault: bad probability %q for %s (want [0,1])", probStr, p)
+		}
+		var delay time.Duration
+		if hasDelay {
+			delay, err = time.ParseDuration(strings.TrimSpace(delayStr))
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad delay %q for %s: %v", delayStr, p, err)
+			}
+		}
+		r.EnableDelay(p, prob, delay)
+	}
+	return r, nil
+}

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	Install(nil)
+	for _, p := range Points() {
+		if Should(p) {
+			t.Errorf("point %s fires with no registry installed", p)
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		r := NewRegistry(seed).Enable(MachineStep, 0.3)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = r.Should(MachineStep)
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at draw %d", i)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 200-draw schedule")
+	}
+}
+
+func TestProbabilityExtremes(t *testing.T) {
+	r := NewRegistry(1).Enable(WorkerPanic, 1).Enable(CompileParse, 0)
+	for i := 0; i < 50; i++ {
+		if !r.Should(WorkerPanic) {
+			t.Fatal("prob=1 point did not fire")
+		}
+		if r.Should(CompileParse) {
+			t.Fatal("prob=0 point fired")
+		}
+	}
+	if got := r.Fired(WorkerPanic); got != 50 {
+		t.Errorf("fired count = %d, want 50", got)
+	}
+	if got := r.Fired(CompileParse); got != 0 {
+		t.Errorf("disabled point fired count = %d, want 0", got)
+	}
+}
+
+func TestFireDelay(t *testing.T) {
+	r := NewRegistry(1).EnableDelay(WorkerLatency, 1, 3*time.Millisecond)
+	d, ok := r.Fire(WorkerLatency)
+	if !ok || d != 3*time.Millisecond {
+		t.Errorf("Fire = (%v, %v), want (3ms, true)", d, ok)
+	}
+}
+
+func TestInstallUninstall(t *testing.T) {
+	r := NewRegistry(7).Enable(CacheEvict, 1)
+	Install(r)
+	defer Install(nil)
+	if !Should(CacheEvict) {
+		t.Error("installed point did not fire")
+	}
+	Install(nil)
+	if Should(CacheEvict) {
+		t.Error("point fired after uninstall")
+	}
+}
+
+func TestConcurrentDrawsRaceFree(t *testing.T) {
+	r := NewRegistry(1).Enable(MachineStep, 0.5)
+	Install(r)
+	defer Install(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				Should(MachineStep)
+				Sleep(WorkerLatency)
+			}
+		}()
+	}
+	wg.Wait()
+	fired := r.Fired(MachineStep)
+	if fired == 0 || fired == 4000 {
+		t.Errorf("fired = %d over 4000 draws at p=0.5, implausible", fired)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	r, err := ParseSpec("machine.step=0.25, worker.latency=1:5ms ,cache.evict=1", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if snap["machine.step"]["prob"] != 0.25 {
+		t.Errorf("machine.step prob = %v", snap["machine.step"]["prob"])
+	}
+	if snap["worker.latency"]["delay"] != "5ms" {
+		t.Errorf("worker.latency delay = %v", snap["worker.latency"]["delay"])
+	}
+	if d, ok := r.Fire(WorkerLatency); !ok || d != 5*time.Millisecond {
+		t.Errorf("worker.latency Fire = (%v,%v)", d, ok)
+	}
+
+	for _, bad := range []string{"nonsense=1", "machine.step", "machine.step=2", "machine.step=x", "worker.latency=1:xx"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if r, err := ParseSpec("", 1); err != nil || len(r.Snapshot()) != 0 {
+		t.Errorf("empty spec should give an empty registry, got %v, %v", r.Snapshot(), err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"psgc/internal/fault"
 	"psgc/internal/names"
 	"psgc/internal/regions"
 	"psgc/internal/tags"
@@ -159,6 +160,11 @@ func (m *EnvMachine) PendingCall() (regions.Addr, bool) {
 func (m *EnvMachine) Step() error {
 	if m.Halted {
 		return errors.New("gclang: step after halt")
+	}
+	if r := fault.Installed(); r != nil {
+		if err := m.injectFaults(r); err != nil {
+			return err
+		}
 	}
 	next, before, err := m.step(m.Ctrl, m.Trace != nil)
 	if err != nil {

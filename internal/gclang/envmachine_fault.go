@@ -1,0 +1,51 @@
+package gclang
+
+import (
+	"fmt"
+	"time"
+
+	"psgc/internal/fault"
+	"psgc/internal/regions"
+)
+
+// injectFaults applies the machine-level injection points before a step.
+// Only the environment machine carries these hooks: the substitution
+// machine is the semantic oracle and stays clean, which is what makes
+// injected corruption detectable by co-checking.
+func (m *EnvMachine) injectFaults(r *fault.Registry) error {
+	if d, ok := r.Fire(fault.MachineStall); ok && d > 0 {
+		time.Sleep(d)
+	}
+	if r.Should(fault.MachineStep) {
+		return fmt.Errorf("gclang: %w at step %d", fault.ErrInjected, m.Steps)
+	}
+	if r.Should(fault.HeapCorrupt) {
+		m.corruptCell()
+	}
+	return nil
+}
+
+// corruptPoison is the value injected heap corruption writes: a number a
+// well-typed program never computes, so a later read either misbehaves
+// (wrong result, detectable by the oracle) or violates the tag discipline
+// and sticks the machine.
+var corruptPoison = Num{N: 0xBEEF}
+
+// corruptCell overwrites the most recently allocated data cell via
+// regions.Corrupt, which records no statistics — the damage is invisible
+// to the counter identities and only surfaces through behavior.
+func (m *EnvMachine) corruptCell() {
+	order := m.Mem.Regions()
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n == regions.CD {
+			continue
+		}
+		size := m.Mem.Size(n)
+		if size == 0 {
+			continue
+		}
+		m.Mem.Corrupt(regions.Addr{Region: n, Off: size - 1}, corruptPoison)
+		return
+	}
+}

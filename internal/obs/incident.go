@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Incident is one recorded guardrail event — an engine divergence, a
+// watchdog cut, or any other condition worth keeping for post-mortems.
+type Incident struct {
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"`
+	TraceID string    `json:"trace_id,omitempty"`
+	// Subject identifies what the incident is about (e.g. a source hash).
+	Subject string `json:"subject,omitempty"`
+	Detail  string `json:"detail"`
+}
+
+// IncidentLog is a bounded ring of incidents. Recording never blocks on
+// readers and never grows past the capacity; older incidents are dropped
+// first, but the total count keeps the true number observed.
+type IncidentLog struct {
+	mu    sync.Mutex
+	ring  []Incident
+	next  int
+	full  bool
+	total int64
+}
+
+// DefaultIncidentCap bounds the retained incidents when NewIncidentLog is
+// given a non-positive capacity.
+const DefaultIncidentCap = 256
+
+// NewIncidentLog returns a log retaining at most capacity incidents.
+func NewIncidentLog(capacity int) *IncidentLog {
+	if capacity <= 0 {
+		capacity = DefaultIncidentCap
+	}
+	return &IncidentLog{ring: make([]Incident, capacity)}
+}
+
+// Record appends an incident, stamping Time if unset.
+func (l *IncidentLog) Record(in Incident) {
+	if in.Time.IsZero() {
+		in.Time = time.Now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring[l.next] = in
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.total++
+}
+
+// Total reports how many incidents have ever been recorded.
+func (l *IncidentLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained incidents, oldest first.
+func (l *IncidentLog) Snapshot() []Incident {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Incident
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+	}
+	out = append(out, l.ring[:l.next]...)
+	return out
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIncidentLogRingSemantics(t *testing.T) {
+	l := NewIncidentLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(Incident{Kind: "divergence", Detail: fmt.Sprintf("d%d", i)})
+	}
+	if got := l.Total(); got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d, want 3", len(snap))
+	}
+	for i, want := range []string{"d2", "d3", "d4"} {
+		if snap[i].Detail != want {
+			t.Errorf("snapshot[%d] = %q, want %q (oldest-first order)", i, snap[i].Detail, want)
+		}
+		if snap[i].Time.IsZero() {
+			t.Errorf("snapshot[%d] has no timestamp", i)
+		}
+	}
+}
+
+func TestIncidentLogUnderfilled(t *testing.T) {
+	l := NewIncidentLog(0) // default capacity
+	stamp := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	l.Record(Incident{Kind: "watchdog", Time: stamp})
+	snap := l.Snapshot()
+	if len(snap) != 1 || !snap[0].Time.Equal(stamp) {
+		t.Errorf("snapshot = %+v, want the one stamped incident", snap)
+	}
+}
+
+func TestIncidentLogConcurrent(t *testing.T) {
+	l := NewIncidentLog(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Record(Incident{Kind: "k"})
+				l.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Total(); got != 800 {
+		t.Errorf("total = %d, want 800", got)
+	}
+}

@@ -142,6 +142,21 @@ func (m *Memory[V]) Set(a Addr, v V) error {
 	return nil
 }
 
+// Corrupt silently overwrites the cell at a, bypassing the statistics a
+// Set would record. It exists solely for fault injection (internal/fault's
+// machine.corrupt point): synthetic heap corruption must not perturb the
+// counter identities that oracle co-checking compares, so the damage can
+// only surface through later machine behavior. Reports whether a named a
+// live cell.
+func (m *Memory[V]) Corrupt(a Addr, v V) bool {
+	r, ok := m.regions[a.Region]
+	if !ok || a.Off < 0 || a.Off >= len(r.cells) {
+		return false
+	}
+	r.cells[a.Off] = v
+	return true
+}
+
 // Only reclaims every region not listed in keep ("only ∆ in e"). The code
 // region is always retained, as in the paper's typing rule. Keeping an
 // already-dead region name is an error (the static semantics prevents it).

@@ -93,6 +93,99 @@ func TestCacheGetPromotes(t *testing.T) {
 	}
 }
 
+// TestCacheSegmentation pins the SLRU mechanics: admissions land in
+// probation, a hit promotes to protected, and protected overflow demotes
+// back to probation rather than evicting.
+func TestCacheSegmentation(t *testing.T) {
+	small := compiledOfLets(1)
+	c := newCompiledCache(10, 0)
+	for i := 0; i < 4; i++ {
+		c.add(key(i), small, nil)
+	}
+	if prob, prot, _ := c.segments(); prob != 4 || prot != 0 {
+		t.Fatalf("segments after adds = (%d,%d), want (4,0)", prob, prot)
+	}
+	c.get(key(1))
+	c.get(key(2))
+	prob, prot, protW := c.segments()
+	if prob != 2 || prot != 2 {
+		t.Fatalf("segments after two hits = (%d,%d), want (2,2)", prob, prot)
+	}
+	if want := 2 * gclang.ProgramSize(small.Prog); protW != want {
+		t.Errorf("protected weight = %d, want %d", protW, want)
+	}
+	// protected cap for max=10 is 8 entries; promote more than that and the
+	// LRU protected entries must fall back to probation, not disappear.
+	c = newCompiledCache(10, 0)
+	for i := 0; i < 10; i++ {
+		c.add(key(i), small, nil)
+		c.get(key(i))
+	}
+	prob, prot, _ = c.segments()
+	if prot != 8 || prob != 2 {
+		t.Errorf("segments after 10 promotions = (%d,%d), want (2,8)", prob, prot)
+	}
+	if c.len() != 10 {
+		t.Errorf("len = %d, want 10 (demotion must not evict)", c.len())
+	}
+	if err := c.coherent(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheStormSparesProtected is the property the SLRU upgrade buys:
+// an eviction storm (the cache.evict fault) flushes probation but cannot
+// touch entries with demonstrated reuse.
+func TestCacheStormSparesProtected(t *testing.T) {
+	small := compiledOfLets(1)
+	c := newCompiledCache(10, 0)
+	for i := 0; i < 6; i++ {
+		c.add(key(i), small, nil)
+	}
+	c.get(key(0)) // the one hot program
+	if ev := c.storm(); ev != 5 {
+		t.Fatalf("storm evicted %d, want the 5 probationary entries", ev)
+	}
+	if _, _, ok := c.get(key(0)); !ok {
+		t.Error("hot (protected) entry lost to the storm")
+	}
+	for i := 1; i < 6; i++ {
+		if _, _, ok := c.get(key(i)); ok {
+			t.Errorf("probationary entry %d survived the storm", i)
+		}
+	}
+	if err := c.coherent(); err != nil {
+		t.Error(err)
+	}
+	if got := c.totalWeight(); got != gclang.ProgramSize(small.Prog) {
+		t.Errorf("weight after storm = %d, want one entry's worth", got)
+	}
+}
+
+// TestCacheProtectedSpillsWhenProbationEmpty covers the eviction edge
+// where the only probationary entry is the fresh admission: the spill
+// must come from the protected tail, never the new entry.
+func TestCacheProtectedSpillsWhenProbationEmpty(t *testing.T) {
+	small := compiledOfLets(1)
+	c := newCompiledCache(2, 0)
+	c.add(key(0), small, nil)
+	c.get(key(0))
+	c.add(key(1), small, nil)
+	c.get(key(1)) // both cached entries now protected
+	if ev := c.add(key(2), small, nil); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	if _, _, ok := c.get(key(2)); !ok {
+		t.Error("fresh admission was evicted")
+	}
+	if _, _, ok := c.get(key(0)); ok {
+		t.Error("protected LRU entry survived a full-cache admission")
+	}
+	if err := c.coherent(); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestCacheRefreshAdjustsWeight(t *testing.T) {
 	c := newCompiledCache(10, 0)
 	c.add(key(0), compiledOfLets(10), nil)

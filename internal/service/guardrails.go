@@ -1,0 +1,115 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psgc"
+	"psgc/internal/obs"
+)
+
+// guardrails is the runtime-protection state layered over the worker pool:
+// the co-check sampler, the per-program circuit breakers, and the incident
+// log they feed. The paper's soundness theorems say a verified collector
+// cannot corrupt the heap; the guardrails are the operational analogue —
+// if the fast engine ever disagrees with the substitution oracle on a
+// sampled run, the request is served by the oracle and the program is
+// pinned to it until an operator intervenes.
+type guardrails struct {
+	// sampleEvery co-checks every Nth env-engine run (deterministic
+	// counter-based sampling, so tests and capacity planning see an exact
+	// rate); 0 disables co-checking.
+	sampleEvery int64
+	counter     atomic.Int64
+
+	mu sync.Mutex
+	// breakers maps a program's source hash to its open breaker. A breaker
+	// opens on the first observed divergence and stays open for the life of
+	// the process: a program that diverged once is evidence of an engine
+	// bug, and correctness beats speed until someone looks.
+	breakers  map[string]*breakerState
+	incidents *obs.IncidentLog
+}
+
+// breakerState describes one open per-program circuit breaker, as
+// surfaced in /healthz.
+type breakerState struct {
+	SourceHash  string    `json:"source_hash"`
+	Collector   string    `json:"collector"`
+	OpenedAt    time.Time `json:"opened_at"`
+	Divergences int       `json:"divergences"`
+	LastDetail  string    `json:"last_detail"`
+}
+
+func newGuardrails(sample float64) *guardrails {
+	g := &guardrails{
+		breakers:  map[string]*breakerState{},
+		incidents: obs.NewIncidentLog(0),
+	}
+	if sample > 0 {
+		if sample > 1 {
+			sample = 1
+		}
+		g.sampleEvery = int64(1/sample + 0.5)
+		if g.sampleEvery < 1 {
+			g.sampleEvery = 1
+		}
+	}
+	return g
+}
+
+// shouldCoCheck reports whether this env-engine run is in the sample.
+func (g *guardrails) shouldCoCheck() bool {
+	if g.sampleEvery <= 0 {
+		return false
+	}
+	return (g.counter.Add(1)-1)%g.sampleEvery == 0
+}
+
+// breakerOpen reports whether the program's breaker is open.
+func (g *guardrails) breakerOpen(hash string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, open := g.breakers[hash]
+	return open
+}
+
+// trip records a divergence: an incident in the log and an opened (or
+// re-confirmed) breaker. Reports whether this call newly opened one.
+func (g *guardrails) trip(hash, col, traceID string, d psgc.Divergence) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.incidents.Record(obs.Incident{
+		Kind:    "engine_divergence",
+		TraceID: traceID,
+		Subject: hash,
+		Detail:  d.String(),
+	})
+	if b, ok := g.breakers[hash]; ok {
+		b.Divergences++
+		b.LastDetail = d.Detail
+		return false
+	}
+	g.breakers[hash] = &breakerState{
+		SourceHash:  hash,
+		Collector:   col,
+		OpenedAt:    time.Now(),
+		Divergences: 1,
+		LastDetail:  d.Detail,
+	}
+	return true
+}
+
+// openBreakers lists the open breakers sorted by source hash, for /healthz.
+func (g *guardrails) openBreakers() []breakerState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]breakerState, 0, len(g.breakers))
+	for _, b := range g.breakers {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SourceHash < out[j].SourceHash })
+	return out
+}

@@ -42,6 +42,14 @@ type Metrics struct {
 	MachineSteps [3]atomic.Int64
 	Collections  [3]atomic.Int64
 
+	// Guardrail counters (PR 5).
+	CoCheckRuns        atomic.Int64 // runs co-stepped against the oracle
+	CoCheckDivergences atomic.Int64 // co-checked runs that diverged
+	BreakersOpen       atomic.Int64 // per-program circuit breakers open (gauge)
+	WatchdogStalls     atomic.Int64 // runs cut short by the wall-clock watchdog
+	Shed               atomic.Int64 // trace/stream requests shed under overload
+	Canceled           atomic.Int64 // runs canceled by client disconnect
+
 	// Latency histograms.
 	CompileLatency   Histogram
 	RunLatency       Histogram
@@ -150,6 +158,14 @@ func (m *Metrics) Snapshot() map[string]any {
 			"forwarding":   collector.Typechecks(gclang.Forw),
 			"generational": collector.Typechecks(gclang.Gen),
 		},
+		"guardrails": map[string]int64{
+			"cocheck_runs":        m.CoCheckRuns.Load(),
+			"cocheck_divergences": m.CoCheckDivergences.Load(),
+			"breakers_open":       m.BreakersOpen.Load(),
+			"watchdog_stalls":     m.WatchdogStalls.Load(),
+			"shed":                m.Shed.Load(),
+			"canceled":            m.Canceled.Load(),
+		},
 		"per_collector":        perCollector,
 		"compile_latency_ms":   m.CompileLatency.snapshot(),
 		"run_latency_ms":       m.RunLatency.snapshot(),
@@ -210,6 +226,18 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		typechecks...)
 	p.Counter("psgc_machine_steps_total", "Machine transitions executed, by collector.", steps...)
 	p.Counter("psgc_collections_total", "Collector invocations, by collector.", collections...)
+	p.Counter("psgc_cocheck_runs_total", "Runs co-stepped against the substitution oracle.",
+		obs.Sample{Value: float64(m.CoCheckRuns.Load())})
+	p.Counter("psgc_cocheck_divergences_total", "Co-checked runs where the engines diverged.",
+		obs.Sample{Value: float64(m.CoCheckDivergences.Load())})
+	p.Gauge("psgc_breakers_open", "Per-program circuit breakers currently open.",
+		obs.Sample{Value: float64(m.BreakersOpen.Load())})
+	p.Counter("psgc_watchdog_stalls_total", "Runs cut short by the wall-clock watchdog.",
+		obs.Sample{Value: float64(m.WatchdogStalls.Load())})
+	p.Counter("psgc_shed_total", "Trace/stream requests shed under overload.",
+		obs.Sample{Value: float64(m.Shed.Load())})
+	p.Counter("psgc_canceled_total", "Runs canceled by client disconnect.",
+		obs.Sample{Value: float64(m.Canceled.Load())})
 	m.CompileLatency.writeProm(p, "psgc_compile_latency_ms", "Compile latency in milliseconds.")
 	m.RunLatency.writeProm(p, "psgc_run_latency_ms", "Run latency in milliseconds.")
 	m.InterpretLatency.writeProm(p, "psgc_interpret_latency_ms", "Interpret latency in milliseconds.")

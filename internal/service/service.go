@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"psgc"
+	"psgc/internal/fault"
 	"psgc/internal/obs"
 )
 
@@ -74,6 +75,20 @@ type Config struct {
 	StepsPerMilli int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// CoCheckSample is the fraction of env-engine /run requests co-stepped
+	// against the substitution oracle (sampled oracle co-checking). 0
+	// disables; 1 co-checks every run. Sampling is deterministic: a rate of
+	// s checks every round(1/s)-th run.
+	CoCheckSample float64
+	// WatchdogMs is the per-run wall-clock stall budget: a run exceeding it
+	// is cut at its next progress tick and answered as a 504 with partial
+	// statistics, instead of holding a worker hostage. 0 disables.
+	WatchdogMs int
+	// ShedThreshold is the queue-utilization fraction at or above which
+	// trace/stream requests (the expensive observability tier) are shed
+	// with 429 before plain runs are. 0 selects the default of 0.75;
+	// negative disables shedding.
+	ShedThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +118,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.ShedThreshold == 0 {
+		c.ShedThreshold = 0.75
+	} else if c.ShedThreshold < 0 {
+		c.ShedThreshold = 0
+	}
 	return c
 }
 
@@ -114,6 +134,7 @@ type Server struct {
 	cache   *compiledCache
 	flights flightGroup
 	metrics *Metrics
+	guard   *guardrails
 	start   time.Time
 
 	// mu guards jobs against Shutdown closing the channel while a
@@ -147,6 +168,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		cache:   newCompiledCache(cfg.CacheSize, cfg.CacheWeight),
 		metrics: &Metrics{},
+		guard:   newGuardrails(cfg.CoCheckSample),
 		start:   time.Now(),
 		jobs:    make(chan *job, cfg.QueueDepth),
 	}
@@ -209,6 +231,13 @@ func (s *Server) runJob(j *job) (resp *response) {
 				body: errorBody{Error: fmt.Sprintf("internal panic: %v", p), Panic: true, TraceID: j.traceID}}
 		}
 	}()
+	// Chaos points: injected queue latency and worker panics. The panic
+	// deliberately fires inside the recover above — the chaos suite asserts
+	// no panic ever escapes a worker.
+	fault.Sleep(fault.WorkerLatency)
+	if fault.Should(fault.WorkerPanic) {
+		panic(fmt.Sprintf("%v in worker", fault.ErrInjected))
+	}
 	return j.do()
 }
 
@@ -219,6 +248,9 @@ func (s *Server) enqueue(w http.ResponseWriter, j *job) bool {
 	s.mu.RLock()
 	if s.shutdown {
 		s.mu.RUnlock()
+		// A draining instance will not come back; tell clients when a
+		// replacement is worth trying.
+		w.Header().Set("Retry-After", "5")
 		s.writeResponse(w, &response{status: http.StatusServiceUnavailable,
 			body: errorBody{Error: "server is shutting down", TraceID: j.traceID}})
 		return false
@@ -312,6 +344,11 @@ type RunRequest struct {
 	// (the substitution-stepping oracle). Equivalent to the ?engine=
 	// query parameter, which takes precedence.
 	Engine string `json:"engine"`
+	// CoCheck forces this run into the oracle co-check regardless of the
+	// server's sample rate (equivalent to ?cocheck=1). Only meaningful for
+	// the env engine; slower, but a divergence can never produce a wrong
+	// answer — the oracle's result is always the one returned.
+	CoCheck bool `json:"cocheck"`
 }
 
 // RunStats is the observable execution statistics, present in both
@@ -347,16 +384,22 @@ type TraceReport struct {
 
 // RunResponse reports an execution.
 type RunResponse struct {
-	Value      int          `json:"value"`
-	Collector  string       `json:"collector"`
-	Engine     string       `json:"engine"`
-	SourceHash string       `json:"source_hash"`
-	Cached     bool         `json:"cached"`
-	Fuel       int          `json:"fuel"`
-	RunMs      float64      `json:"run_ms"`
-	Stats      RunStats     `json:"stats"`
-	TraceID    string       `json:"trace_id,omitempty"`
-	Trace      *TraceReport `json:"trace,omitempty"`
+	Value      int     `json:"value"`
+	Collector  string  `json:"collector"`
+	Engine     string  `json:"engine"`
+	SourceHash string  `json:"source_hash"`
+	Cached     bool    `json:"cached"`
+	Fuel       int     `json:"fuel"`
+	RunMs      float64 `json:"run_ms"`
+	// CoChecked marks runs that were co-stepped against the oracle
+	// (sampled, forced, or breaker-pinned runs report their engine instead).
+	CoChecked bool `json:"cochecked,omitempty"`
+	// Diverged marks co-checked runs where the engines disagreed; the
+	// value is the oracle's.
+	Diverged bool         `json:"diverged,omitempty"`
+	Stats    RunStats     `json:"stats"`
+	TraceID  string       `json:"trace_id,omitempty"`
+	Trace    *TraceReport `json:"trace,omitempty"`
 }
 
 // InterpretResponse reports a reference-evaluator run.
@@ -434,6 +477,14 @@ func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
 // in-flight one); the spans describe the compile that produced the
 // program.
 func (s *Server) compiled(src string, col psgc.Collector) (*psgc.Compiled, []obs.PhaseSpan, bool, error) {
+	// Chaos point: an eviction storm flushes the probationary segment
+	// before this request touches the cache, so a hit here proves the
+	// entry had earned protection.
+	if fault.Should(fault.CacheEvict) {
+		if n := s.cache.storm(); n > 0 {
+			s.metrics.CacheEvicted.Add(int64(n))
+		}
+	}
 	k := keyFor(src, col)
 	if c, spans, ok := s.cache.get(k); ok {
 		s.metrics.CacheHits.Add(1)
@@ -458,9 +509,10 @@ func (s *Server) compiled(src string, col psgc.Collector) (*psgc.Compiled, []obs
 
 // compileStatus maps a compile error onto an HTTP status: errors in the
 // user's program are 400s; a pipeline bug (the compiled program failing
-// λGC typechecking, a broken collector) is a 500.
+// λGC typechecking, a broken collector) or an injected infrastructure
+// fault is a 500 — the program may be fine.
 func compileStatus(err error) int {
-	if strings.Contains(err.Error(), "internal error") {
+	if strings.Contains(err.Error(), "internal error") || errors.Is(err, fault.ErrInjected) {
 		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
@@ -540,14 +592,35 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			body: errorBody{Error: err.Error(), TraceID: traceID}})
 		return
 	}
+	req.CoCheck = flagged(r, "cocheck", req.CoCheck)
 	trace := flagged(r, "trace", req.Trace)
-	if flagged(r, "stream", req.Stream) {
+	stream := flagged(r, "stream", req.Stream)
+	// Graceful degradation: when the queue is nearly full, the expensive
+	// observability tier (traced and streamed runs) is shed first so plain
+	// runs keep landing. 429 + Retry-After, like a full queue.
+	if (trace || stream) && s.overloaded() {
+		s.metrics.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeResponse(w, &response{status: http.StatusTooManyRequests,
+			body: errorBody{Error: "degraded under load: trace/stream requests are shed, retry later or drop the trace", TraceID: traceID}})
+		return
+	}
+	if stream {
 		s.streamRun(w, r, req, col, trace, traceID)
 		return
 	}
 	s.submit(w, r, traceID, func() *response {
 		return s.doRun(req, col, trace, traceID, nil)
 	})
+}
+
+// overloaded reports whether queue utilization has reached the shed
+// threshold (the service's degradation mode).
+func (s *Server) overloaded() bool {
+	if s.cfg.ShedThreshold <= 0 {
+		return false
+	}
+	return float64(s.metrics.QueueDepth.Load()) >= s.cfg.ShedThreshold*float64(s.cfg.QueueDepth)
 }
 
 // doRun is the shared run path behind the JSON and SSE variants of /run:
@@ -565,6 +638,26 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 	if err != nil {
 		return &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error(), TraceID: traceID}}
 	}
+	hash := SourceHash(req.Source)
+	diverged := false
+	if engine == psgc.EngineEnv {
+		if s.guard.breakerOpen(hash) {
+			// This program diverged on a co-checked run before: pin it to
+			// the oracle. The response's engine field reports the truth.
+			engine = psgc.EngineSubst
+		} else if req.CoCheck || s.guard.shouldCoCheck() {
+			opts.CoCheck = true
+			s.metrics.CoCheckRuns.Add(1)
+			opts.OnDivergence = func(d psgc.Divergence) {
+				diverged = true
+				engine = psgc.EngineSubst // the oracle finishes the run
+				s.metrics.CoCheckDivergences.Add(1)
+				if s.guard.trip(hash, col.String(), traceID, d) {
+					s.metrics.BreakersOpen.Add(1)
+				}
+			}
+		}
+	}
 	opts.Engine = engine
 	if req.Capacity != nil {
 		opts.Capacity = *req.Capacity
@@ -578,12 +671,31 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 		}
 		opts.Recorder = rec
 	}
-	if progress != nil {
-		opts.Progress = progress
-		if req.ProgressSteps > 0 {
-			opts.ProgressEvery = req.ProgressSteps
+	if req.ProgressSteps > 0 {
+		opts.ProgressEvery = req.ProgressSteps
+	}
+	// The watchdog rides the Progress callback: the machine is cut at the
+	// first tick past the wall-clock budget and the run is answered as a
+	// budgeted partial result instead of a hung worker.
+	stalled := false
+	if s.cfg.WatchdogMs > 0 {
+		deadline := time.Now().Add(time.Duration(s.cfg.WatchdogMs) * time.Millisecond)
+		if opts.ProgressEvery == 0 {
+			opts.ProgressEvery = watchdogProgressEvery
+		}
+		inner := progress
+		progress = func(p psgc.Progress) bool {
+			if time.Now().After(deadline) {
+				stalled = true
+				return false
+			}
+			if inner != nil {
+				return inner(p)
+			}
+			return true
 		}
 	}
+	opts.Progress = progress
 	var report *TraceReport
 	t0 := time.Now()
 	res, err := c.Run(opts)
@@ -604,9 +716,20 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 				body: errorBody{Error: err.Error(), Partial: &partial, TraceID: traceID, Trace: report}}
 		}
 		if errors.Is(err, psgc.ErrCanceled) {
+			partial := statsOf(res)
+			if stalled {
+				s.metrics.WatchdogStalls.Add(1)
+				s.guard.incidents.Record(obs.Incident{
+					Kind: "watchdog_stall", TraceID: traceID, Subject: hash,
+					Detail: fmt.Sprintf("cut after %d steps at the %dms budget", res.Steps, s.cfg.WatchdogMs),
+				})
+				return &response{status: http.StatusGatewayTimeout,
+					body: errorBody{Error: fmt.Sprintf("watchdog: run stalled past %dms; partial result attached", s.cfg.WatchdogMs),
+						Partial: &partial, TraceID: traceID, Trace: report}}
+			}
 			// The streaming client went away mid-run; nobody is left to
 			// read this, but classify it as a client-side termination.
-			partial := statsOf(res)
+			s.metrics.Canceled.Add(1)
 			return &response{status: statusClientClosedRequest,
 				body: errorBody{Error: err.Error(), Partial: &partial, TraceID: traceID}}
 		}
@@ -617,15 +740,23 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 		Value:      res.Value,
 		Collector:  col.String(),
 		Engine:     engine.String(),
-		SourceHash: SourceHash(req.Source),
+		SourceHash: hash,
 		Cached:     hit,
 		Fuel:       opts.Fuel,
 		RunMs:      ms,
+		CoChecked:  opts.CoCheck,
+		Diverged:   diverged,
 		Stats:      statsOf(res),
 		TraceID:    traceID,
 		Trace:      report,
 	}}
 }
+
+// watchdogProgressEvery is the Progress cadence a watchdog-enabled run
+// uses when the request did not choose one: frequent enough to catch a
+// stall within tens of milliseconds of healthy stepping, coarse enough to
+// stay invisible in the latency histograms.
+const watchdogProgressEvery = 2_000
 
 // statusClientClosedRequest is nginx's conventional status for a client
 // that disconnected before the response (no stdlib constant exists).
@@ -748,15 +879,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "shutting_down"
 	}
 	s.mu.RUnlock()
-	s.writeResponse(w, &response{status: http.StatusOK, body: map[string]any{
-		"status":         status,
-		"uptime_ms":      time.Since(s.start).Milliseconds(),
-		"workers":        s.cfg.Workers,
-		"queue_depth":    s.metrics.QueueDepth.Load(),
-		"queue_capacity": s.cfg.QueueDepth,
-		"cache_entries":  s.cache.len(),
-		"cache_weight":   s.cache.totalWeight(),
-	}})
+	degradation := "normal"
+	if s.overloaded() {
+		degradation = "shedding_observability"
+	}
+	probation, protected, _ := s.cache.segments()
+	body := map[string]any{
+		"status":          status,
+		"uptime_ms":       time.Since(s.start).Milliseconds(),
+		"workers":         s.cfg.Workers,
+		"queue_depth":     s.metrics.QueueDepth.Load(),
+		"queue_capacity":  s.cfg.QueueDepth,
+		"cache_entries":   s.cache.len(),
+		"cache_weight":    s.cache.totalWeight(),
+		"cache_probation": probation,
+		"cache_protected": protected,
+		// Guardrail state (PR 5): the co-check sample rate, what it has
+		// caught, and how degraded the instance currently is.
+		"cocheck_sample":      s.cfg.CoCheckSample,
+		"cocheck_divergences": s.metrics.CoCheckDivergences.Load(),
+		"open_breakers":       s.guard.openBreakers(),
+		"watchdog_ms":         s.cfg.WatchdogMs,
+		"watchdog_stalls":     s.metrics.WatchdogStalls.Load(),
+		"degradation_mode":    degradation,
+		"incidents":           s.guard.incidents.Snapshot(),
+	}
+	if reg := fault.Installed(); reg != nil {
+		body["chaos"] = reg.Snapshot()
+	}
+	s.writeResponse(w, &response{status: http.StatusOK, body: body})
 }
 
 // wantsPrometheus decides the /metrics representation: the Prometheus text

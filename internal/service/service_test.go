@@ -16,14 +16,10 @@ import (
 
 	"psgc"
 	"psgc/internal/obs"
+	"psgc/internal/workload"
 )
 
-const allocHeavy = `
-fun build (n : int) : int =
-  if0 n then 0
-  else let p = (n, (n, n)) in fst p + build (n - 1)
-do build 30
-`
+var allocHeavy = workload.AllocHeavySrc(30)
 
 // postJSON drives one endpoint of a real httptest server.
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -148,9 +144,8 @@ func TestQueueFull429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Errorf("429 without Retry-After header")
-	}
+	retryAfter(t, resp) // parseable, positive
+
 	if got := s.metrics.Rejected.Load(); got != 1 {
 		t.Errorf("rejected counter = %d, want 1", got)
 	}

@@ -146,6 +146,19 @@ type CollectOnce struct {
 	MutatorRegions int
 }
 
+// AllocHeavySrc is the E1 allocation-heavy surface program shared by the
+// benchmark harness, the service tests, and the chaos suite: each
+// recursive call allocates a nested pair, so the live set grows with n
+// and a small fixed-capacity heap forces a collection at every entry.
+func AllocHeavySrc(n int) string {
+	return fmt.Sprintf(`
+fun build (n : int) : int =
+  if0 n then 0
+  else let p = (n, (n, n)) in fst p + build (n - 1)
+do build %d
+`, n)
+}
+
 // BuildCollectOnce assembles a driver program: allocate the shape in the
 // mutator region(s), invoke the collector once on the root, and halt in
 // the finish continuation.

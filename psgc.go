@@ -27,6 +27,7 @@ import (
 	"psgc/internal/closconv"
 	"psgc/internal/collector"
 	"psgc/internal/cps"
+	"psgc/internal/fault"
 	"psgc/internal/gclang"
 	"psgc/internal/obs"
 	"psgc/internal/regions"
@@ -136,6 +137,9 @@ func CompileProgramTraced(p source.Program, col Collector) (*Compiled, []obs.Pha
 }
 
 func compileProgram(p source.Program, col Collector, pl *obs.Pipeline) (*Compiled, error) {
+	if fault.Should(fault.CompileParse) {
+		return nil, fmt.Errorf("psgc: %w in compile pipeline", fault.ErrInjected)
+	}
 	if col < Basic || col > Generational {
 		return nil, fmt.Errorf("psgc: unknown collector %v", col)
 	}
@@ -319,6 +323,17 @@ type RunOptions struct {
 	// Engine selects the abstract machine (default EngineEnv). Ghost and
 	// CheckEveryStep force EngineSubst regardless.
 	Engine Engine
+	// CoCheck steps the environment machine in lockstep with the
+	// substitution oracle, comparing pending collector calls, step counts,
+	// memory counters every step, and the final value plus the full heap at
+	// halt. On a disagreement OnDivergence fires and the run falls back to
+	// the oracle alone; the returned Result is always the oracle's, so a
+	// co-checked run is never wrong — only slower. Ignored when the run is
+	// already on the substitution machine (EngineSubst/Ghost/CheckEveryStep).
+	CoCheck bool
+	// OnDivergence, if non-nil, is invoked at most once per co-checked run
+	// with the first observed divergence.
+	OnDivergence func(Divergence)
 }
 
 // Progress is a point-in-time execution snapshot delivered to
@@ -396,6 +411,9 @@ func (c *Compiled) Recorder() *obs.Recorder {
 func (c *Compiled) Run(opts RunOptions) (Result, error) {
 	if opts.Engine == EngineSubst || opts.Ghost || opts.CheckEveryStep {
 		return c.runSubst(opts)
+	}
+	if opts.CoCheck {
+		return c.runCoChecked(opts)
 	}
 	return c.runEnv(opts)
 }
