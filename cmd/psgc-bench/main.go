@@ -6,11 +6,23 @@
 // Additional modes:
 //
 //	-engine env|subst     execution engine for in-process experiments (default env)
-//	-remote URL           also drive the E1 workload through a running psgc-served
-//	                      instance and report latency percentiles next to the
-//	                      in-process numbers
+//	-remote URL           drive the experiment suite (E1–E9) through a running
+//	                      psgc-served instance: per-collector / per-engine
+//	                      p50/p90/p99 request latencies next to the behavioural
+//	                      statistics the servers report. Experiments whose
+//	                      instrumentation lives inside the abstract machine
+//	                      (e2, e4, e8) print their local tables with a note.
+//	-gate URL             base URL of a psgc-gate fleet front. Alone it is a
+//	                      remote target like -remote; combined with -remote it
+//	                      adds a direct-vs-gate latency comparison plus the
+//	                      gate's routing counters (retries, rebalances, peer
+//	                      cache tier).
 //	-snapshot PATH        write a JSON snapshot of the E1 workload under both
 //	                      engines (the CI BENCH_4.json artifact) and exit
+//	-snapshot-fleet PATH  write a fleet-mode JSON snapshot (E1 latency
+//	                      percentiles through -gate or -remote, plus the gate's
+//	                      metrics when the target is a gate — the CI
+//	                      BENCH_6.json artifact) and exit
 package main
 
 import (
@@ -61,9 +73,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("psgc-bench: ")
 	engineName := flag.String("engine", "env", "execution engine for in-process experiments: env or subst")
-	remoteURL := flag.String("remote", "", "base URL of a running psgc-served; adds remote latency percentiles to the E1 workload")
+	remoteURL := flag.String("remote", "", "base URL of a running psgc-served; drives the experiment suite over HTTP with latency percentiles")
+	gateURL := flag.String("gate", "", "base URL of a psgc-gate fleet front; a remote target on its own, a direct-vs-gate comparison with -remote")
 	flag.IntVar(&remoteRetries, "retries", 4, "retry budget per remote request on 429/503/transport errors (jittered backoff, honors Retry-After)")
 	snapshot := flag.String("snapshot", "", "write a JSON snapshot of the E1 workload under both engines to this path and exit")
+	fleetSnapshot := flag.String("snapshot-fleet", "", "write a fleet-mode JSON snapshot (latency percentiles through -gate or -remote) to this path and exit")
 	flag.Parse()
 	var err error
 	if runEngine, err = psgc.ParseEngine(*engineName); err != nil {
@@ -75,13 +89,33 @@ func main() {
 		}
 		return
 	}
-	if *remoteURL != "" {
-		remoteBench(*remoteURL)
-		return
-	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[a] = true
+	}
+	if *fleetSnapshot != "" {
+		target := *gateURL
+		if target == "" {
+			target = *remoteURL
+		}
+		if target == "" {
+			log.Fatal("-snapshot-fleet needs a target: pass -gate or -remote")
+		}
+		if err := writeFleetSnapshot(target, *gateURL, *fleetSnapshot); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *remoteURL != "" || *gateURL != "" {
+		base := *remoteURL
+		if base == "" {
+			base = *gateURL
+		}
+		remoteBench(base, want)
+		if *remoteURL != "" && *gateURL != "" {
+			remoteVsGate(*remoteURL, *gateURL)
+		}
+		return
 	}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
@@ -103,6 +137,31 @@ func runDriver(c workload.CollectOnce, fuel int) (workload.RunStats, error) {
 }
 
 var allocHeavy = workload.AllocHeavySrc(60)
+
+// churnSrc is the E5 generational workload: a long-lived tower survives a
+// churn loop of short-lived junk allocations.
+func churnSrc(churn int) string {
+	return fmt.Sprintf(`
+fun tower (n : int) : int * (int * (int * int)) =
+  (n, (n + 1, (n + 2, n + 3)))
+fun churn (state : int * (int * (int * (int * int)))) : int =
+  let n = fst state in
+  let keep = snd state in
+  if0 n then fst keep + fst (snd (snd keep))
+  else let junk = (n, (n, n)) in churn (n - 1, keep)
+do churn (%d, tower 10)
+`, churn)
+}
+
+// e9Progs are the Fig. 3 mutator-overhead programs, also driven remotely.
+var e9Progs = []struct {
+	name string
+	src  string
+}{
+	{"arith", "fun f (n : int) : int = if0 n then 0 else n + f (n - 1)\ndo f 40"},
+	{"pairs", allocHeavy},
+	{"closures", "fun twice (f : int -> int) : int -> int = fn (x : int) => f (f x)\ndo (twice (fn (y : int) => y + 3)) 10"},
+}
 
 // e1: the basic collector keeps an allocation-heavy program's result
 // intact while collecting, across capacities.
@@ -189,16 +248,7 @@ func e4() {
 func e5() {
 	fmt.Println("churn | collector    | collections | total puts | reclaimed")
 	for _, churn := range []int{40, 80, 160} {
-		src := fmt.Sprintf(`
-fun tower (n : int) : int * (int * (int * int)) =
-  (n, (n + 1, (n + 2, n + 3)))
-fun churn (state : int * (int * (int * (int * int)))) : int =
-  let n = fst state in
-  let keep = snd state in
-  if0 n then fst keep + fst (snd (snd keep))
-  else let junk = (n, (n, n)) in churn (n - 1, keep)
-do churn (%d, tower 10)
-`, churn)
+		src := churnSrc(churn)
 		for _, col := range []psgc.Collector{psgc.Basic, psgc.Generational} {
 			c, err := psgc.Compile(src, col)
 			if err != nil {
@@ -302,16 +352,8 @@ func e8() {
 // compiled λGC program (without any collection) versus the λCLOS
 // reference machine.
 func e9() {
-	progs := []struct {
-		name string
-		src  string
-	}{
-		{"arith", "fun f (n : int) : int = if0 n then 0 else n + f (n - 1)\ndo f 40"},
-		{"pairs", allocHeavy},
-		{"closures", "fun twice (f : int -> int) : int -> int = fn (x : int) => f (f x)\ndo (twice (fn (y : int) => y + 3)) 10"},
-	}
 	fmt.Println("program  | λGC steps | puts | gets")
-	for _, p := range progs {
+	for _, p := range e9Progs {
 		c, err := psgc.Compile(p.src, psgc.Basic)
 		if err != nil {
 			log.Fatal(err)
@@ -336,13 +378,37 @@ type remoteRunRequest struct {
 	Collector string `json:"collector"`
 	Engine    string `json:"engine"`
 	Capacity  *int   `json:"capacity,omitempty"`
+	CoCheck   bool   `json:"cocheck,omitempty"`
+}
+
+type remoteRunStats struct {
+	Steps          int `json:"steps"`
+	Collections    int `json:"collections"`
+	Puts           int `json:"puts"`
+	CellsReclaimed int `json:"cells_reclaimed"`
+	MaxLiveCells   int `json:"max_live_cells"`
 }
 
 type remoteRunResponse struct {
-	Value  int     `json:"value"`
-	Engine string  `json:"engine"`
-	Cached bool    `json:"cached"`
-	RunMs  float64 `json:"run_ms"`
+	Value     int            `json:"value"`
+	Engine    string         `json:"engine"`
+	Cached    bool           `json:"cached"`
+	RunMs     float64        `json:"run_ms"`
+	CoChecked bool           `json:"cochecked"`
+	Diverged  bool           `json:"diverged"`
+	Stats     remoteRunStats `json:"stats"`
+}
+
+type remoteCompileRequest struct {
+	Source    string `json:"source"`
+	Collector string `json:"collector"`
+}
+
+type remoteCompileResponse struct {
+	SourceHash string  `json:"source_hash"`
+	Cached     bool    `json:"cached"`
+	CodeBlocks int     `json:"code_blocks"`
+	CompileMs  float64 `json:"compile_ms"`
 }
 
 // remoteRetries is the -retries budget for postWithRetry.
@@ -400,11 +466,151 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
-// remoteBench drives the E1 allocation-heavy workload through a running
-// psgc-served instance: for each collector × engine it measures end-to-end
-// request latency percentiles and prints them next to the in-process run
-// time of the same program.
-func remoteBench(base string) {
+// remoteTarget wraps one HTTP surface — a psgc-served backend or a
+// psgc-gate fleet front — for latency sampling. Both speak the same
+// /run, /compile, and /batch protocol, so every remote experiment works
+// against either.
+type remoteTarget struct {
+	base   string
+	client *http.Client
+	rng    *rand.Rand
+}
+
+func newRemoteTarget(base string) *remoteTarget {
+	return &remoteTarget{
+		base:   base,
+		client: &http.Client{Timeout: 60 * time.Second},
+		rng:    rand.New(rand.NewSource(1)),
+	}
+}
+
+// runOnce posts one /run request, returning the decoded response, the
+// HTTP status, and the end-to-end request latency in milliseconds
+// (including any retries postWithRetry performed).
+func (t *remoteTarget) runOnce(req remoteRunRequest) (remoteRunResponse, int, float64, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return remoteRunResponse{}, 0, 0, err
+	}
+	t0 := time.Now()
+	resp, err := postWithRetry(t.client, t.base+"/run", body, t.rng)
+	if err != nil {
+		return remoteRunResponse{}, 0, 0, err
+	}
+	defer resp.Body.Close()
+	ms := float64(time.Since(t0)) / float64(time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return remoteRunResponse{}, resp.StatusCode, ms, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	var rr remoteRunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return remoteRunResponse{}, resp.StatusCode, ms, err
+	}
+	return rr, resp.StatusCode, ms, nil
+}
+
+// compileOnce posts one /compile request.
+func (t *remoteTarget) compileOnce(req remoteCompileRequest) (remoteCompileResponse, float64, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return remoteCompileResponse{}, 0, err
+	}
+	t0 := time.Now()
+	resp, err := postWithRetry(t.client, t.base+"/compile", body, t.rng)
+	if err != nil {
+		return remoteCompileResponse{}, 0, err
+	}
+	defer resp.Body.Close()
+	ms := float64(time.Since(t0)) / float64(time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return remoteCompileResponse{}, ms, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	var cr remoteCompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return remoteCompileResponse{}, ms, err
+	}
+	return cr, ms, nil
+}
+
+// sample measures warmup+n /run requests, passing every decoded response
+// through check (when non-nil), and returns the sorted post-warmup
+// latencies alongside the last response.
+func (t *remoteTarget) sample(req remoteRunRequest, warmup, n int, check func(remoteRunResponse) error) ([]float64, remoteRunResponse, error) {
+	lat := make([]float64, 0, n)
+	var last remoteRunResponse
+	for i := 0; i < warmup+n; i++ {
+		rr, status, ms, err := t.runOnce(req)
+		if err != nil {
+			return nil, last, fmt.Errorf("request %d (status %d): %w", i, status, err)
+		}
+		if check != nil {
+			if err := check(rr); err != nil {
+				return nil, last, fmt.Errorf("request %d: %w", i, err)
+			}
+		}
+		last = rr
+		if i >= warmup {
+			lat = append(lat, ms)
+		}
+	}
+	sort.Float64s(lat)
+	return lat, last, nil
+}
+
+// pcts reports the p50/p90/p99 of sorted latency samples.
+func pcts(sorted []float64) (p50, p90, p99 float64) {
+	return percentile(sorted, 0.50), percentile(sorted, 0.90), percentile(sorted, 0.99)
+}
+
+// remoteExperiments mirrors the experiments table over the HTTP surface.
+// Experiments whose instrumentation lives inside the abstract machine
+// (continuation-region peaks, forwarding-slot accounting, specialization
+// counts) print their local tables behind an explanatory note instead.
+var remoteExperiments = []struct {
+	id   string
+	name string
+	run  func(*remoteTarget)
+}{
+	{"e1", "basic collection across capacities", remoteE1},
+	{"e2", "continuation-region bound (§6.1)", remoteLocalOnly("the continuation-region peak instruments the abstract machine directly", e2)},
+	{"e3", "sharing: basic vs forwarding (§7)", remoteE3},
+	{"e4", "forwarding space overhead (§7 fn.1)", remoteLocalOnly("a static model, nothing to execute remotely", e4)},
+	{"e5", "generational minor collections (§8)", remoteE5},
+	{"e6", "decidability: compile & typecheck cost (§6.5.1)", remoteE6},
+	{"e7", "empirical soundness via the oracle co-check", remoteE7},
+	{"e8", "code size: ITA library vs monomorphization (§2.1)", remoteLocalOnly("specialization counting inspects compiled code in process", e8)},
+	{"e9", "mutator overhead of the region discipline (Fig. 3)", remoteE9},
+}
+
+// remoteBench drives the experiment suite through a running psgc-served
+// instance (or a psgc-gate front): behavioural statistics from the
+// server's responses next to end-to-end latency percentiles.
+func remoteBench(base string, want map[string]bool) {
+	t := newRemoteTarget(base)
+	fmt.Printf("remote target %s\n\n", base)
+	for _, e := range remoteExperiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s (remote): %s ==\n", e.id, e.name)
+		e.run(t)
+		fmt.Println()
+	}
+}
+
+// remoteLocalOnly wraps an in-process experiment for the remote table list.
+func remoteLocalOnly(reason string, run func()) func(*remoteTarget) {
+	return func(*remoteTarget) {
+		fmt.Printf("(in-process only: %s; local table follows)\n", reason)
+		run()
+	}
+}
+
+// remoteE1: the allocation-heavy workload per collector × engine, with the
+// in-process run time of the same program as a reference point.
+func remoteE1(t *remoteTarget) {
 	const (
 		warmup   = 3
 		requests = 30
@@ -414,9 +620,7 @@ func remoteBench(base string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	client := &http.Client{Timeout: 60 * time.Second}
-	fmt.Printf("remote %s: %d requests per row after %d warmups, capacity %d\n",
-		base, requests, warmup, capacity)
+	fmt.Printf("%d requests per row after %d warmups, capacity %d\n", requests, warmup, capacity)
 	fmt.Println("collector    | engine | in-proc ms | remote p50 | p90 | p99 | ok")
 	for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
 		for _, eng := range []string{"env", "subst"} {
@@ -435,41 +639,280 @@ func remoteBench(base string) {
 			ok := res.Value == want
 
 			cp := capacity
-			body, err := json.Marshal(remoteRunRequest{
+			lat, _, err := t.sample(remoteRunRequest{
 				Source: allocHeavy, Collector: col.String(), Engine: eng, Capacity: &cp,
+			}, warmup, requests, func(rr remoteRunResponse) error {
+				if rr.Value != want || rr.Engine != eng {
+					ok = false
+				}
+				return nil
 			})
 			if err != nil {
-				log.Fatal(err)
+				log.Fatalf("remote e1: %v", err)
 			}
-			rng := rand.New(rand.NewSource(1))
-			lat := make([]float64, 0, requests)
-			for i := 0; i < warmup+requests; i++ {
-				t0 := time.Now()
-				resp, err := postWithRetry(client, base+"/run", body, rng)
-				if err != nil {
-					log.Fatalf("remote run: %v", err)
-				}
-				var rr remoteRunResponse
-				decErr := json.NewDecoder(resp.Body).Decode(&rr)
-				resp.Body.Close()
-				if decErr != nil {
-					log.Fatalf("remote run: decode: %v", decErr)
-				}
-				if resp.StatusCode != http.StatusOK {
-					log.Fatalf("remote run: status %d", resp.StatusCode)
-				}
-				if i < warmup {
-					continue
-				}
-				lat = append(lat, float64(time.Since(t0))/float64(time.Millisecond))
-				ok = ok && rr.Value == want && rr.Engine == eng
-			}
-			sort.Float64s(lat)
+			p50, p90, p99 := pcts(lat)
 			fmt.Printf("%-12s | %-6s | %10.3f | %10.3f | %7.3f | %7.3f | %v\n",
-				col, eng, inProcMs,
-				percentile(lat, 0.50), percentile(lat, 0.90), percentile(lat, 0.99), ok)
+				col, eng, inProcMs, p50, p90, p99, ok)
 		}
 	}
+}
+
+// remoteE3: the §7 sharing claim over the wire. workload.SharedDAGSrc
+// rebuilds a four-pointer fan-in to one shared tower; at a capacity where
+// both collectors perform the same single collection, the basic collector
+// copies the tower once per path and so allocates strictly more.
+func remoteE3(t *remoteTarget) {
+	const (
+		warmup   = 1
+		requests = 8
+	)
+	fmt.Println("churn | capacity | collector  | collections | puts | max live | p50 | p90 | p99 | ok")
+	for _, cfg := range []struct{ churn, capacity int }{{200, 2048}, {400, 4096}} {
+		src := workload.SharedDAGSrc(cfg.churn)
+		want, err := psgc.Interpret(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var puts [2]int
+		for i, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding} {
+			cp := cfg.capacity
+			okAll := true
+			lat, last, err := t.sample(remoteRunRequest{
+				Source: src, Collector: col.String(), Engine: "env", Capacity: &cp,
+			}, warmup, requests, func(rr remoteRunResponse) error {
+				okAll = okAll && rr.Value == want
+				return nil
+			})
+			if err != nil {
+				log.Fatalf("remote e3: %v", err)
+			}
+			puts[i] = last.Stats.Puts
+			p50, p90, p99 := pcts(lat)
+			fmt.Printf("%5d | %8d | %-10s | %11d | %4d | %8d | %7.3f | %7.3f | %7.3f | %v\n",
+				cfg.churn, cfg.capacity, col, last.Stats.Collections, last.Stats.Puts,
+				last.Stats.MaxLiveCells, p50, p90, p99, okAll)
+		}
+		fmt.Printf("      -> basic allocated %d more cells than forwarding (sharing lost: the shared tower is copied once per path)\n",
+			puts[0]-puts[1])
+	}
+}
+
+// remoteE5: the generational workload per collector, with latency.
+func remoteE5(t *remoteTarget) {
+	const (
+		warmup   = 1
+		requests = 8
+	)
+	fmt.Println("churn | collector    | collections | puts | reclaimed | p50 | p90 | p99")
+	for _, churn := range []int{40, 160} {
+		src := churnSrc(churn)
+		for _, col := range []psgc.Collector{psgc.Basic, psgc.Generational} {
+			cp := 48
+			lat, last, err := t.sample(remoteRunRequest{
+				Source: src, Collector: col.String(), Engine: "env", Capacity: &cp,
+			}, warmup, requests, nil)
+			if err != nil {
+				log.Fatalf("remote e5: %v", err)
+			}
+			p50, p90, p99 := pcts(lat)
+			fmt.Printf("%5d | %-12s | %11d | %4d | %9d | %7.3f | %7.3f | %7.3f\n",
+				churn, col, last.Stats.Collections, last.Stats.Puts,
+				last.Stats.CellsReclaimed, p50, p90, p99)
+		}
+	}
+}
+
+// remoteE6: compile-and-typecheck cost over the wire. Fresh random
+// programs pay the full pipeline (the server reports its own compile
+// span); repeating the last program shows the compiled-program cache.
+func remoteE6(t *remoteTarget) {
+	r := rand.New(rand.NewSource(42))
+	fmt.Println("max depth | avg program size | fresh | cached | server compile ms p50 | p99 | cached repeat wall ms")
+	for _, cfg := range []gen.Config{
+		{MaxDepth: 3, MaxFuns: 2, Recursion: 3},
+		{MaxDepth: 5, MaxFuns: 3, Recursion: 3},
+		{MaxDepth: 7, MaxFuns: 4, Recursion: 3},
+	} {
+		const programs = 6
+		sizes, cachedHits := 0, 0
+		comp := make([]float64, 0, programs)
+		var lastSrc string
+		for i := 0; i < programs; i++ {
+			p := gen.Program(r, cfg)
+			sizes += source.ProgramSize(p)
+			lastSrc = p.String()
+			cr, _, err := t.compileOnce(remoteCompileRequest{Source: lastSrc, Collector: "basic"})
+			if err != nil {
+				log.Fatalf("remote e6: %v", err)
+			}
+			if cr.Cached {
+				cachedHits++
+				continue
+			}
+			comp = append(comp, cr.CompileMs)
+		}
+		cr, repeatMs, err := t.compileOnce(remoteCompileRequest{Source: lastSrc, Collector: "basic"})
+		if err != nil {
+			log.Fatalf("remote e6 repeat: %v", err)
+		}
+		if !cr.Cached {
+			log.Fatalf("remote e6: repeated compile of an identical program was not served from cache")
+		}
+		sort.Float64s(comp)
+		fmt.Printf("%9d | %16d | %5d | %6d | %21.3f | %8.3f | %.3f\n",
+			cfg.MaxDepth, sizes/programs, len(comp), cachedHits,
+			percentile(comp, 0.50), percentile(comp, 0.99), repeatMs)
+	}
+}
+
+// remoteE7: empirical soundness over the wire — random programs run with
+// the oracle co-check forced (?cocheck equivalent); the local reference
+// evaluator's value must agree with the remote answer, and the server
+// must report zero divergences between its engines.
+func remoteE7(t *remoteTarget) {
+	r := rand.New(rand.NewSource(7))
+	cfg := gen.Config{MaxDepth: 4, MaxFuns: 2, Recursion: 3}
+	programs, states, agree, cochecked, diverged := 0, 0, 0, 0, 0
+	for i := 0; programs < 6 && i < 80; i++ {
+		p := gen.Program(r, cfg)
+		ev := source.Evaluator{Fuel: 30_000}
+		want, err := ev.RunInt(p)
+		if err != nil {
+			continue
+		}
+		cp := 16
+		rr, status, _, err := t.runOnce(remoteRunRequest{
+			Source: p.String(), Collector: "basic", Engine: "env", Capacity: &cp, CoCheck: true,
+		})
+		if err != nil {
+			log.Fatalf("remote e7 (status %d): %v", status, err)
+		}
+		programs++
+		states += rr.Stats.Steps
+		if rr.Value == want {
+			agree++
+		}
+		if rr.CoChecked {
+			cochecked++
+		}
+		if rr.Diverged {
+			diverged++
+		}
+	}
+	fmt.Printf("programs %d | machine states %d | oracle value agreements %d | cochecked %d | divergences %d\n",
+		programs, states, agree, cochecked, diverged)
+}
+
+// remoteE9: the Fig. 3 mutator-overhead programs per engine, collection
+// disabled (capacity 0), with steps and allocation from the server's
+// statistics.
+func remoteE9(t *remoteTarget) {
+	const (
+		warmup   = 2
+		requests = 12
+	)
+	fmt.Println("program  | engine | λGC steps | puts | p50 | p90 | p99")
+	for _, p := range e9Progs {
+		for _, eng := range []string{"env", "subst"} {
+			cp := 0 // disables collection, as in the local table
+			lat, last, err := t.sample(remoteRunRequest{
+				Source: p.src, Collector: "basic", Engine: eng, Capacity: &cp,
+			}, warmup, requests, nil)
+			if err != nil {
+				log.Fatalf("remote e9: %v", err)
+			}
+			p50, p90, p99 := pcts(lat)
+			fmt.Printf("%-8s | %-6s | %9d | %4d | %7.3f | %7.3f | %7.3f\n",
+				p.name, eng, last.Stats.Steps, last.Stats.Puts, p50, p90, p99)
+		}
+	}
+}
+
+// remoteVsGate measures the E1 workload against one backend directly and
+// through the gate, then prints the gate's own routing counters. The gate
+// overhead column is the p50 difference: consistent-hash lookup plus one
+// proxied hop.
+func remoteVsGate(directURL, gateURL string) {
+	const (
+		warmup   = 2
+		requests = 20
+		capacity = 32
+	)
+	want, err := psgc.Interpret(allocHeavy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, via := newRemoteTarget(directURL), newRemoteTarget(gateURL)
+	fmt.Printf("== remote vs gate: E1 workload, %d requests per row ==\n", requests)
+	fmt.Printf("direct %s | gate %s\n", directURL, gateURL)
+	fmt.Println("collector    | engine | direct p50 | p99 | gate p50 | p99 | gate overhead p50")
+	check := func(rr remoteRunResponse) error {
+		if rr.Value != want {
+			return fmt.Errorf("value %d, want %d", rr.Value, want)
+		}
+		return nil
+	}
+	for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+		for _, eng := range []string{"env", "subst"} {
+			cp := capacity
+			req := remoteRunRequest{Source: allocHeavy, Collector: col.String(), Engine: eng, Capacity: &cp}
+			dl, _, err := direct.sample(req, warmup, requests, check)
+			if err != nil {
+				log.Fatalf("direct: %v", err)
+			}
+			gl, _, err := via.sample(req, warmup, requests, check)
+			if err != nil {
+				log.Fatalf("gate: %v", err)
+			}
+			d50, _, d99 := pcts(dl)
+			g50, _, g99 := pcts(gl)
+			fmt.Printf("%-12s | %-6s | %10.3f | %7.3f | %8.3f | %7.3f | %+.3f\n",
+				col, eng, d50, d99, g50, g99, g50-d50)
+		}
+	}
+	snap, err := gateMetricsJSON(gateURL)
+	if err != nil {
+		log.Printf("gate metrics unavailable: %v", err)
+		return
+	}
+	var m struct {
+		Retries   int64 `json:"retries"`
+		Rebal     int64 `json:"ring_rebalances"`
+		PeerCache struct {
+			Hits     int64   `json:"hits"`
+			Misses   int64   `json:"misses"`
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"peer_cache"`
+		BackendRequests map[string]int64 `json:"backend_requests"`
+	}
+	if err := json.Unmarshal(snap, &m); err != nil {
+		log.Printf("gate metrics: %v", err)
+		return
+	}
+	fmt.Printf("gate counters: retries %d | ring rebalances %d | peer cache %d/%d (hit ratio %.2f)\n",
+		m.Retries, m.Rebal, m.PeerCache.Hits, m.PeerCache.Hits+m.PeerCache.Misses, m.PeerCache.HitRatio)
+	keys := make([]string, 0, len(m.BackendRequests))
+	for k := range m.BackendRequests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  backend %s: %d requests\n", k, m.BackendRequests[k])
+	}
+}
+
+// gateMetricsJSON fetches a gate's /metrics snapshot as raw JSON.
+func gateMetricsJSON(gateURL string) (json.RawMessage, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(gateURL + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 }
 
 // snapshotRow is one E1 configuration measured under one engine.
@@ -553,5 +996,93 @@ func writeSnapshot(path string) error {
 		return err
 	}
 	fmt.Printf("wrote %s: %d rows, env speedup (geomean) %.2fx\n", path, len(snap.Rows), snap.EnvSpeedupGeomean)
+	return nil
+}
+
+// fleetRow is one collector × engine configuration of the fleet snapshot:
+// end-to-end latency percentiles through the fleet front.
+type fleetRow struct {
+	Collector string  `json:"collector"`
+	Engine    string  `json:"engine"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	ResultOK  bool    `json:"result_ok"`
+}
+
+type fleetSnapshotFile struct {
+	Experiment string     `json:"experiment"`
+	Target     string     `json:"target"`
+	Workload   string     `json:"workload"`
+	Requests   int        `json:"requests_per_row"`
+	Rows       []fleetRow `json:"rows"`
+	// GateMetrics embeds the gate's /metrics snapshot (routing counters,
+	// peer cache tier) when the snapshot target is a psgc-gate front.
+	GateMetrics json.RawMessage `json:"gate_metrics,omitempty"`
+}
+
+// writeFleetSnapshot drives the E1 workload through target (a psgc-gate
+// front or a bare backend) and writes the BENCH_6.json artifact: latency
+// percentiles per collector × engine, plus the gate's own counters when
+// gateURL is set.
+func writeFleetSnapshot(target, gateURL, path string) error {
+	const (
+		warmup   = 2
+		requests = 20
+		capacity = 32
+	)
+	want, err := psgc.Interpret(allocHeavy)
+	if err != nil {
+		return err
+	}
+	t := newRemoteTarget(target)
+	snap := fleetSnapshotFile{
+		Experiment: "e1-fleet",
+		Target:     target,
+		Workload:   "allocHeavy (build 60)",
+		Requests:   requests,
+	}
+	for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+		for _, eng := range []string{"env", "subst"} {
+			cp := capacity
+			ok := true
+			lat, _, err := t.sample(remoteRunRequest{
+				Source: allocHeavy, Collector: col.String(), Engine: eng, Capacity: &cp,
+			}, warmup, requests, func(rr remoteRunResponse) error {
+				ok = ok && rr.Value == want && rr.Engine == eng
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("fleet snapshot %s/%s: %w", col, eng, err)
+			}
+			p50, p90, p99 := pcts(lat)
+			snap.Rows = append(snap.Rows, fleetRow{
+				Collector: col.String(), Engine: eng,
+				P50Ms: p50, P90Ms: p90, P99Ms: p99, ResultOK: ok,
+			})
+		}
+	}
+	if gateURL != "" {
+		gm, err := gateMetricsJSON(gateURL)
+		if err != nil {
+			return fmt.Errorf("gate metrics: %w", err)
+		}
+		snap.GateMetrics = gm
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	worst := 0.0
+	for _, row := range snap.Rows {
+		if row.P99Ms > worst {
+			worst = row.P99Ms
+		}
+	}
+	fmt.Printf("wrote %s: %d rows through %s, worst p99 %.3f ms\n", path, len(snap.Rows), target, worst)
 	return nil
 }

@@ -1,0 +1,104 @@
+// Command psgc-gate fronts a fleet of psgc-served backends: consistent-hash
+// routing by (source hash, collector) so each backend's compiled-program
+// cache warms for its own shard, health-checked ring membership with
+// failover retries, a shared peer cache tier (/peer/fetch backing the
+// backends' -peer flag), and /batch fan-out. See internal/gate and the
+// "Fleet" section of DESIGN.md.
+//
+// Usage:
+//
+//	psgc-gate -backends http://127.0.0.1:8372,http://127.0.0.1:8373 [flags]
+//
+// Flags:
+//
+//	-addr :8371           listen address
+//	-backends a,b,c       comma-separated psgc-served base URLs (required)
+//	-seed N               ring placement + retry jitter seed (default 1)
+//	-vnodes N             virtual nodes per backend (default 64)
+//	-health-every D       health-check cadence (default 1s)
+//	-health-timeout D     health probe timeout (default 2s)
+//	-retries N            attempts per request across replicas (default 3)
+//	-retry-base-ms N      failover backoff base in milliseconds (default 25)
+//	-peer-timeout D       per-backend peer-export fetch timeout (default 2s)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"psgc/internal/gate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psgc-gate: ")
+
+	var (
+		addr          = flag.String("addr", ":8371", "listen address")
+		backends      = flag.String("backends", "", "comma-separated psgc-served base URLs (required)")
+		seed          = flag.Uint64("seed", 1, "ring placement and retry jitter seed")
+		vnodes        = flag.Int("vnodes", 64, "virtual nodes per backend")
+		healthEvery   = flag.Duration("health-every", time.Second, "health-check cadence")
+		healthTimeout = flag.Duration("health-timeout", 2*time.Second, "health probe timeout")
+		retries       = flag.Int("retries", 3, "attempts per request across distinct replicas")
+		retryBaseMs   = flag.Int("retry-base-ms", 25, "failover backoff base in milliseconds")
+		peerTimeout   = flag.Duration("peer-timeout", 2*time.Second, "per-backend peer-export fetch timeout")
+		drainWindow   = flag.Duration("drain", 30*time.Second, "graceful shutdown window")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(strings.TrimSuffix(b, "/")); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	g, err := gate.New(gate.Config{
+		Backends:      urls,
+		Seed:          *seed,
+		VNodes:        *vnodes,
+		HealthEvery:   *healthEvery,
+		HealthTimeout: *healthTimeout,
+		RetryMax:      *retries,
+		RetryBaseMs:   *retryBaseMs,
+		PeerTimeout:   *peerTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           g,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	log.Printf("listening on %s, fronting %d backends (seed=%d vnodes=%d)", *addr, len(urls), *seed, *vnodes)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (%s drain window)", *drainWindow)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+}

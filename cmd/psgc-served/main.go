@@ -24,6 +24,10 @@
 //	-shed-threshold F     queue fraction at which trace/stream requests are shed (default 0.75, negative disables)
 //	-chaos spec           install fault injection, e.g. "worker.latency=0.1:5ms,machine.corrupt=0.01"
 //	-chaos-seed N         deterministic seed for the chaos registry (default 1)
+//	-engine name          default /run execution engine: "env" or "subst" (default env)
+//	-peer url             gate peer-fetch endpoint for the fleet cache tier (off by default)
+//	-self url             this node's advertised base URL, excluded from its own peer fetches
+//	-batch-max N          max items per /batch request (default 256)
 package main
 
 import (
@@ -64,6 +68,11 @@ func main() {
 		shedThreshold = flag.Float64("shed-threshold", 0, "queue fraction at which trace/stream requests are shed (0 = default 0.75, negative disables)")
 		chaosSpec     = flag.String("chaos", "", `fault-injection spec, "point=prob[:delay],..." (e.g. "worker.latency=0.1:5ms,machine.corrupt=0.01")`)
 		chaosSeed     = flag.Int64("chaos-seed", 1, "deterministic seed for the chaos registry")
+
+		engine   = flag.String("engine", "env", `default execution engine for /run: "env" or "subst"`)
+		peerURL  = flag.String("peer", "", "gate peer-fetch endpoint for the fleet cache tier (e.g. http://gate:8371/peer/fetch; empty disables)")
+		peerSelf = flag.String("self", "", "this node's advertised base URL, so the gate skips it on peer fetches")
+		batchMax = flag.Int("batch-max", 0, "max items per /batch request (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -105,6 +114,10 @@ func main() {
 		CoCheckSample: *cocheckSample,
 		WatchdogMs:    *watchdogMs,
 		ShedThreshold: *shedThreshold,
+		DefaultEngine: *engine,
+		PeerFetchURL:  *peerURL,
+		PeerSelf:      *peerSelf,
+		MaxBatchItems: *batchMax,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

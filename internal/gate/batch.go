@@ -1,0 +1,172 @@
+package gate
+
+// POST /batch on the gate: split a batch across the fleet by the same
+// cache affinity as single runs, dispatch the per-backend sub-batches
+// concurrently, and merge the item results back into input order. A
+// backend that dies mid-batch fails only its own sub-batch (after the
+// usual failover attempts); the surviving items are unaffected, so the
+// merged response is always well-formed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// gateBatchRequest keeps items as raw JSON so the gate neither depends on
+// nor restricts the backend's item schema; it peeks only at the affinity
+// fields.
+type gateBatchRequest struct {
+	Items []json.RawMessage `json:"items"`
+}
+
+type gateBatchResponse struct {
+	Items     []json.RawMessage `json:"items"`
+	Completed int               `json:"completed"`
+	Failed    int               `json:"failed"`
+}
+
+func (g *Gate) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		g.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		g.writeError(w, http.StatusRequestEntityTooLarge, "request body: "+err.Error())
+		return
+	}
+	var req gateBatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		g.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Items) == 0 {
+		g.writeError(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	g.metrics.BatchRequests.Add(1)
+	g.metrics.BatchItems.Add(int64(len(req.Items)))
+
+	// Group item indices by the ring owner of each item's affinity key.
+	groups := map[string][]int{}
+	keys := make([]string, len(req.Items))
+	for i, raw := range req.Items {
+		var aff struct {
+			Source    string `json:"source"`
+			Collector string `json:"collector"`
+		}
+		if err := json.Unmarshal(raw, &aff); err != nil {
+			aff.Source = string(raw)
+		}
+		keys[i] = affinityKey(aff.Source, aff.Collector)
+		g.mu.RLock()
+		owner := g.ring.Lookup(keys[i])
+		g.mu.RUnlock()
+		groups[owner] = append(groups[owner], i)
+	}
+	if _, empty := groups[""]; empty {
+		w.Header().Set("Retry-After", "1")
+		g.writeError(w, http.StatusServiceUnavailable, "no healthy backends")
+		return
+	}
+
+	results := make([]json.RawMessage, len(req.Items))
+	var wg sync.WaitGroup
+	for owner, idxs := range groups {
+		wg.Add(1)
+		go func(owner string, idxs []int) {
+			defer wg.Done()
+			g.dispatchGroup(r, req.Items, keys, idxs, results)
+		}(owner, idxs)
+	}
+	wg.Wait()
+
+	out := gateBatchResponse{Items: results}
+	for i, raw := range results {
+		var item struct {
+			Error json.RawMessage `json:"error"`
+		}
+		if raw == nil {
+			results[i] = batchErrorItem(http.StatusInternalServerError, "gate produced no result for this item")
+			out.Failed++
+			continue
+		}
+		if json.Unmarshal(raw, &item) == nil && len(item.Error) > 0 && string(item.Error) != "null" {
+			out.Failed++
+		} else {
+			out.Completed++
+		}
+	}
+	g.writeJSON(w, http.StatusOK, out)
+}
+
+// dispatchGroup posts one backend's share of the batch, with the same
+// failover chain a single request gets (keyed by the group's first item),
+// and scatters the returned items back into results by original index.
+func (g *Gate) dispatchGroup(r *http.Request, items []json.RawMessage, keys []string, idxs []int, results []json.RawMessage) {
+	sub := gateBatchRequest{Items: make([]json.RawMessage, len(idxs))}
+	for i, idx := range idxs {
+		sub.Items[i] = items[idx]
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		g.failGroup(results, idxs, http.StatusInternalServerError, "marshal sub-batch: "+err.Error())
+		return
+	}
+	candidates := g.candidates(keys[idxs[0]])
+	if len(candidates) == 0 {
+		g.failGroup(results, idxs, http.StatusServiceUnavailable, "no healthy backends")
+		return
+	}
+	req := r.Clone(r.Context())
+	req.Method = http.MethodPost
+	req.Header.Set("Content-Type", "application/json")
+	resp, backend, err := g.forward(req, "/batch", body, candidates)
+	if err != nil {
+		g.failGroup(results, idxs, http.StatusServiceUnavailable, "all backends failed: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		g.failGroup(results, idxs, resp.StatusCode,
+			fmt.Sprintf("backend %s: %s", backend, bytes.TrimSpace(msg)))
+		return
+	}
+	var subResp gateBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&subResp); err != nil {
+		g.failGroup(results, idxs, http.StatusBadGateway, "backend "+backend+": undecodable batch response: "+err.Error())
+		return
+	}
+	if len(subResp.Items) != len(idxs) {
+		g.failGroup(results, idxs, http.StatusBadGateway,
+			fmt.Sprintf("backend %s returned %d items for %d", backend, len(subResp.Items), len(idxs)))
+		return
+	}
+	g.metrics.BatchSplits.Add(backend, int64(len(idxs)))
+	for i, idx := range idxs {
+		results[idx] = subResp.Items[i]
+	}
+}
+
+// failGroup fills every index of a failed sub-batch with an error item in
+// the backend's item shape, so clients see one uniform schema.
+func (g *Gate) failGroup(results []json.RawMessage, idxs []int, status int, msg string) {
+	item := batchErrorItem(status, msg)
+	for _, idx := range idxs {
+		results[idx] = item
+	}
+}
+
+func batchErrorItem(status int, msg string) json.RawMessage {
+	raw, _ := json.Marshal(map[string]any{
+		"status": status,
+		"error":  map[string]string{"error": msg},
+	})
+	return raw
+}

@@ -1,0 +1,212 @@
+package gate
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"psgc/internal/obs"
+)
+
+// Metrics is the gate's registry: where requests went, how often the ring
+// moved, and how well the fleet's peer cache tier is doing.
+type Metrics struct {
+	// BackendRequests counts proxied requests per backend (including
+	// sub-batches and peer-export fetches), the shard-balance signal.
+	BackendRequests obs.LabeledCounter
+	// Retries counts failover attempts past the first candidate.
+	Retries atomic.Int64
+	// Rebalances counts ring membership changes (degrade or return).
+	Rebalances atomic.Int64
+
+	// PeerHits and PeerMisses count /peer/fetch outcomes: a hit means some
+	// backend's compile was reused across the fleet.
+	PeerHits   atomic.Int64
+	PeerMisses atomic.Int64
+
+	// BatchRequests and BatchItems count /batch traffic; BatchSplits
+	// counts items per backend after the affinity split.
+	BatchRequests atomic.Int64
+	BatchItems    atomic.Int64
+	BatchSplits   obs.LabeledCounter
+
+	// Outcome classes of gate responses.
+	OK           atomic.Int64
+	ClientErrors atomic.Int64
+	ServerErrors atomic.Int64
+}
+
+func (m *Metrics) countOutcome(status int) {
+	switch {
+	case status < 400:
+		m.OK.Add(1)
+	case status < 500:
+		m.ClientErrors.Add(1)
+	default:
+		m.ServerErrors.Add(1)
+	}
+}
+
+// PeerHitRatio reports hits/(hits+misses), 0 when idle.
+func (m *Metrics) PeerHitRatio() float64 {
+	h, mi := m.PeerHits.Load(), m.PeerMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// Snapshot renders the registry as JSON-encodable state.
+func (m *Metrics) Snapshot() map[string]any {
+	return map[string]any{
+		"backend_requests": m.BackendRequests.Snapshot(),
+		"retries":          m.Retries.Load(),
+		"ring_rebalances":  m.Rebalances.Load(),
+		"peer_cache": map[string]any{
+			"hits":      m.PeerHits.Load(),
+			"misses":    m.PeerMisses.Load(),
+			"hit_ratio": m.PeerHitRatio(),
+		},
+		"batch": map[string]any{
+			"requests": m.BatchRequests.Load(),
+			"items":    m.BatchItems.Load(),
+			"splits":   m.BatchSplits.Snapshot(),
+		},
+		"outcomes": map[string]int64{
+			"ok":            m.OK.Load(),
+			"client_errors": m.ClientErrors.Load(),
+			"server_errors": m.ServerErrors.Load(),
+		},
+	}
+}
+
+// WritePrometheus renders the registry in the text exposition format.
+func (m *Metrics) WritePrometheus(w *obs.PromWriter, backendStates map[string]string) {
+	w.Counter("psgc_gate_backend_requests_total",
+		"Requests the gate proxied, by backend.",
+		m.BackendRequests.Samples("backend")...)
+	w.Counter("psgc_gate_retries_total",
+		"Failover attempts past the first ring candidate.",
+		obs.Sample{Value: float64(m.Retries.Load())})
+	w.Counter("psgc_gate_ring_rebalances_total",
+		"Consistent-hash ring membership changes.",
+		obs.Sample{Value: float64(m.Rebalances.Load())})
+	w.Counter("psgc_gate_peer_fetch_total",
+		"Peer cache tier fetches through the gate, by outcome.",
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "hit"}}, Value: float64(m.PeerHits.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "miss"}}, Value: float64(m.PeerMisses.Load())})
+	w.Gauge("psgc_gate_peer_hit_ratio",
+		"Fraction of peer fetches that found a compiled entry.",
+		obs.Sample{Value: m.PeerHitRatio()})
+	w.Counter("psgc_gate_batch_requests_total",
+		"Batch requests accepted by the gate.",
+		obs.Sample{Value: float64(m.BatchRequests.Load())})
+	w.Counter("psgc_gate_batch_items_total",
+		"Batch items split across the fleet.",
+		obs.Sample{Value: float64(m.BatchItems.Load())})
+	w.Counter("psgc_gate_requests_total",
+		"Gate responses by outcome class.",
+		obs.Sample{Labels: []obs.Label{{Name: "code", Value: "ok"}}, Value: float64(m.OK.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "code", Value: "client_error"}}, Value: float64(m.ClientErrors.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "code", Value: "server_error"}}, Value: float64(m.ServerErrors.Load())})
+	states := make([]obs.Sample, 0, len(backendStates))
+	for _, b := range sortedKeys(backendStates) {
+		v := 0.0
+		if backendStates[b] == "up" {
+			v = 1
+		}
+		states = append(states, obs.Sample{Labels: []obs.Label{{Name: "backend", Value: b}, {Name: "state", Value: backendStates[b]}}, Value: v})
+	}
+	w.Gauge("psgc_gate_backend_up",
+		"1 for backends currently in the ring as healthy, 0 otherwise.", states...)
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Small fleets; insertion sort keeps the import list short.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// backendStates snapshots the health map.
+func (g *Gate) backendStates() map[string]string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]string, len(g.backends))
+	for url, st := range g.backends {
+		out[url] = st.state
+	}
+	return out
+}
+
+// handleHealthz reports the gate's own view of the fleet.
+func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.mu.RLock()
+	ringNodes := g.ring.Nodes()
+	backends := make(map[string]any, len(g.backends))
+	for url, st := range g.backends {
+		b := map[string]any{"state": st.state, "checks": st.checks}
+		if st.lastErr != "" {
+			b["last_error"] = st.lastErr
+		}
+		backends[url] = b
+	}
+	g.mu.RUnlock()
+	status := "ok"
+	if len(ringNodes) == 0 {
+		status = "no_backends"
+	}
+	body := map[string]any{
+		"status":          status,
+		"uptime_ms":       time.Since(g.start).Milliseconds(),
+		"seed":            g.cfg.Seed,
+		"vnodes":          g.cfg.VNodes,
+		"ring":            ringNodes,
+		"ring_rebalances": g.metrics.Rebalances.Load(),
+		"backends":        backends,
+		"peer_hit_ratio":  g.metrics.PeerHitRatio(),
+	}
+	code := http.StatusOK
+	if status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	g.writeJSON(w, code, body)
+}
+
+func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	accept := r.Header.Get("Accept")
+	prom := strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom":
+		prom = true
+	case "json":
+		prom = false
+	}
+	if prom {
+		g.metrics.countOutcome(http.StatusOK)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		pw := obs.NewPromWriter(w)
+		g.metrics.WritePrometheus(pw, g.backendStates())
+		return
+	}
+	g.writeJSON(w, http.StatusOK, g.metrics.Snapshot())
+}
+
+func (g *Gate) writeJSON(w http.ResponseWriter, status int, body any) {
+	g.metrics.countOutcome(status)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

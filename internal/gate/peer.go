@@ -1,0 +1,82 @@
+package gate
+
+// GET /peer/fetch?hash=<hex sha256>&collector=<name>&exclude=<self>
+//
+// The gate side of the fleet's shared compiled-program cache tier. A
+// backend that misses its local cache asks here before compiling; the gate
+// walks the other backends' /cache/export endpoints in ring order from the
+// key's owner — the node most likely to hold the entry after a rebalance —
+// and streams back the first hit. A fleet-wide miss is a 404, and the
+// backend compiles as it would have anyway: this tier can only save work,
+// never add failure modes (the importing backend re-certifies whatever it
+// receives).
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+func (g *Gate) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		g.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	hash, colName, exclude := q.Get("hash"), q.Get("collector"), q.Get("exclude")
+	if hash == "" {
+		g.writeError(w, http.StatusBadRequest, "missing hash")
+		return
+	}
+
+	// Ask every ring member except the requester, owner-first. The
+	// candidate list is the full ring here (not RetryMax): a peer fetch is
+	// one cheap GET per node, and any hit beats a compile.
+	g.mu.RLock()
+	candidates := g.ring.Successors(hash+"|"+colName, g.ring.Len())
+	g.mu.RUnlock()
+
+	exportQ := url.Values{}
+	exportQ.Set("hash", hash)
+	exportQ.Set("collector", colName)
+	for _, base := range candidates {
+		if base == exclude {
+			continue
+		}
+		if g.servePeerExport(w, r.Context(), base, exportQ.Encode()) {
+			g.metrics.PeerHits.Add(1)
+			return
+		}
+	}
+	g.metrics.PeerMisses.Add(1)
+	g.writeError(w, http.StatusNotFound, "no peer holds that entry")
+}
+
+// servePeerExport fetches one backend's /cache/export and, on a hit,
+// streams it to the requester. Reports whether the response was served.
+func (g *Gate) servePeerExport(w http.ResponseWriter, ctx context.Context, base, query string) bool {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/cache/export?"+query, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	g.metrics.BackendRequests.Add(base, 1)
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	g.metrics.countOutcome(http.StatusOK)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Psgc-Peer", base)
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, resp.Body)
+	return true
+}

@@ -1,0 +1,148 @@
+package gate
+
+// Seeded consistent-hash ring with virtual nodes: the routing core of the
+// fleet front. Each backend contributes vnodes points on a 64-bit circle;
+// a key routes to the first point clockwise from its own hash. The seed
+// makes placement fully deterministic — two gates configured with the same
+// seed and backend set route identically, and tests can pin placements.
+//
+// Consistent hashing is what makes the fleet's compiled-program caches
+// compose: a given (source hash, collector) key always lands on the same
+// backend while membership is stable, so that backend's local cache warms
+// for exactly its share of the keyspace. When a node leaves, only the keys
+// it owned move (about 1/N of the keyspace, bounded under 2/N in the ring
+// tests); everyone else's cache stays warm. When it returns, its old keys
+// come back to it — the points it contributes depend only on (seed, name),
+// so affinity survives a bounce.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+type ringPoint struct {
+	h    uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring; build one with NewRing and
+// replace it wholesale to change membership (the gate swaps rings under
+// its own lock, so lookups never see a half-built ring).
+type Ring struct {
+	seed   uint64
+	vnodes int
+	points []ringPoint // sorted by h
+	nodes  []string    // sorted member names
+}
+
+// NewRing builds a ring over nodes with vnodes points per node. Placement
+// depends only on (seed, node names), never on the order nodes are given.
+func NewRing(seed uint64, vnodes int, nodes []string) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{seed: seed, vnodes: vnodes}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{h: r.hash(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		// Identical hashes (vanishingly rare) tie-break by name so the
+		// ring is still a pure function of (seed, membership).
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// hash is FNV-64a over the seed bytes followed by the key.
+func (r *Ring) hash(key string) uint64 {
+	h := fnv.New64a()
+	var seedBytes [8]byte
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(r.seed >> (8 * i))
+	}
+	h.Write(seedBytes[:])
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Nodes returns the sorted member names.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len reports the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Lookup returns the node owning key, or "" for an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.at(key)].node
+}
+
+// Successors returns up to n distinct nodes in ring order starting at the
+// key's owner: the owner first, then the nodes a failover would walk to.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i, start := 0, r.at(key); i < len(r.points) && len(out) < n; i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// at finds the index of the first point clockwise from the key's hash.
+func (r *Ring) at(key string) int {
+	kh := r.hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= kh })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// sameNodes reports whether the ring's membership equals nodes (order and
+// duplicates ignored) — the gate's cheap "would a rebuild change anything"
+// test.
+func (r *Ring) sameNodes(nodes []string) bool {
+	seen := map[string]bool{}
+	uniq := 0
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		uniq++
+	}
+	if uniq != len(r.nodes) {
+		return false
+	}
+	for _, n := range r.nodes {
+		if !seen[n] {
+			return false
+		}
+	}
+	return true
+}

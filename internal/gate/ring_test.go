@@ -1,0 +1,149 @@
+package gate
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d|basic", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement: placement is a pure function of (seed,
+// membership) — node order must not matter, and a different seed must
+// shuffle the keyspace.
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	reversed := []string{"http://c", "http://b", "http://a"}
+	r1 := NewRing(42, 64, nodes)
+	r2 := NewRing(42, 64, reversed)
+	r3 := NewRing(43, 64, nodes)
+
+	sameAs42, moved43 := 0, 0
+	for _, k := range ringKeys(2000) {
+		if r1.Lookup(k) == "" {
+			t.Fatalf("empty lookup for %q", k)
+		}
+		if r1.Lookup(k) == r2.Lookup(k) {
+			sameAs42++
+		}
+		if r1.Lookup(k) != r3.Lookup(k) {
+			moved43++
+		}
+	}
+	if sameAs42 != 2000 {
+		t.Errorf("same seed, same nodes: only %d/2000 keys agree", sameAs42)
+	}
+	if moved43 == 0 {
+		t.Errorf("changing the seed moved no keys; placement ignores the seed")
+	}
+}
+
+// TestRingBoundedMovement: removing (or adding) one node moves only the
+// keys that node owned — strictly fewer than 2/N of the keyspace with
+// virtual nodes at default scale — and every moved key moves for a reason.
+func TestRingBoundedMovement(t *testing.T) {
+	const n, keys = 5, 5000
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node-%d", i)
+	}
+	full := NewRing(7, 128, nodes)
+	removed := nodes[2]
+	without := NewRing(7, 128, append(append([]string{}, nodes[:2]...), nodes[3:]...))
+
+	moved := 0
+	for _, k := range ringKeys(keys) {
+		before, after := full.Lookup(k), without.Lookup(k)
+		if before != after {
+			moved++
+			if before != removed {
+				t.Fatalf("key %q moved from surviving node %s to %s", k, before, after)
+			}
+		}
+	}
+	if bound := 2 * keys / n; moved >= bound {
+		t.Errorf("removal moved %d/%d keys, want < %d (2/N)", moved, keys, bound)
+	}
+	if moved == 0 {
+		t.Errorf("removal moved no keys; the removed node owned nothing")
+	}
+
+	// Adding a node: only keys that land on the newcomer move.
+	grown := NewRing(7, 128, append(append([]string{}, nodes...), "http://node-new"))
+	movedIn := 0
+	for _, k := range ringKeys(keys) {
+		before, after := full.Lookup(k), grown.Lookup(k)
+		if before != after {
+			movedIn++
+			if after != "http://node-new" {
+				t.Fatalf("key %q moved to old node %s on grow", k, after)
+			}
+		}
+	}
+	if bound := 2 * keys / (n + 1); movedIn >= bound {
+		t.Errorf("addition moved %d/%d keys, want < %d (2/(N+1))", movedIn, keys, bound)
+	}
+}
+
+// TestRingAffinityAcrossRebalance: a node that leaves and returns gets its
+// exact keyspace back, so its compiled-program cache is warm again the
+// moment it rejoins.
+func TestRingAffinityAcrossRebalance(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	before := NewRing(11, 64, nodes)
+	// b bounces: the rebuilt ring is constructed from the same seed and the
+	// restored membership.
+	after := NewRing(11, 64, []string{"http://d", "http://a", "http://c", "http://b"})
+	for _, k := range ringKeys(3000) {
+		if b, a := before.Lookup(k), after.Lookup(k); b != a {
+			t.Fatalf("key %q owned by %s before the bounce, %s after", k, b, a)
+		}
+	}
+}
+
+// TestRingSuccessors: the failover chain starts at the owner and walks
+// distinct nodes.
+func TestRingSuccessors(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(5, 64, nodes)
+	for _, k := range ringKeys(100) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("successors(%q) = %v, want 3 distinct nodes", k, succ)
+		}
+		if succ[0] != r.Lookup(k) {
+			t.Fatalf("successors(%q)[0] = %s, owner is %s", k, succ[0], r.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("successors(%q) repeats %s: %v", k, s, succ)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Successors("k", 10); len(got) != 3 {
+		t.Errorf("successors capped at node count: got %v", got)
+	}
+	empty := NewRing(5, 64, nil)
+	if empty.Lookup("k") != "" || empty.Successors("k", 2) != nil {
+		t.Errorf("empty ring must return no owners")
+	}
+}
+
+// TestRingSameNodes covers the membership-equality fast path the gate uses
+// to decide whether a health pass changed anything.
+func TestRingSameNodes(t *testing.T) {
+	r := NewRing(1, 16, []string{"a", "b"})
+	if !r.sameNodes([]string{"b", "a"}) || !r.sameNodes([]string{"a", "b", "a", ""}) {
+		t.Errorf("sameNodes must ignore order, duplicates, and empties")
+	}
+	if r.sameNodes([]string{"a"}) || r.sameNodes([]string{"a", "b", "c"}) || r.sameNodes(nil) {
+		t.Errorf("sameNodes must detect membership changes")
+	}
+}

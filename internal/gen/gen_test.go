@@ -37,6 +37,9 @@ func TestGeneratedProgramsRoundTripThroughParser(t *testing.T) {
 		if err != nil {
 			t.Fatalf("program %d failed to reparse: %v\n%s", i, err, p)
 		}
+		if _, err := source.CheckProgram(p2); err != nil {
+			t.Fatalf("program %d fails to typecheck after reparse: %v\n%s", i, err, p)
+		}
 		ev1 := source.Evaluator{Fuel: 20_000_000}
 		n1, err := ev1.RunInt(p)
 		if err != nil {

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// LabeledCounter is a monotonically increasing counter family keyed by one
+// label value — per-backend request counts, per-collector totals, and the
+// like — for registries whose label sets are not known at build time (the
+// gate learns its backends from flags). Zero value is ready to use.
+type LabeledCounter struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Add increments the counter for the label value.
+func (c *LabeledCounter) Add(label string, delta int64) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]int64{}
+	}
+	c.m[label] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the counter for the label value.
+func (c *LabeledCounter) Get(label string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[label]
+}
+
+// Total sums the family.
+func (c *LabeledCounter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, v := range c.m {
+		t += v
+	}
+	return t
+}
+
+// Snapshot returns a copy of the family.
+func (c *LabeledCounter) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Samples renders the family as Prometheus samples under labelName, sorted
+// by label value so expositions are byte-stable.
+func (c *LabeledCounter) Samples(labelName string) []Sample {
+	snap := c.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Sample, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Sample{Labels: []Label{{labelName, k}}, Value: float64(snap[k])})
+	}
+	return out
+}

@@ -121,6 +121,19 @@ func (c *compiledCache) get(k cacheKey) (*psgc.Compiled, []obs.PhaseSpan, bool) 
 	return e.compiled, e.pipeline, true
 }
 
+// peek returns the cached program for the key without touching recency or
+// segment state, so fleet peer-export traffic cannot promote entries into
+// the protected segment (or keep one-shot programs alive past their turn).
+func (c *compiledCache) peek(k cacheKey) (*psgc.Compiled, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).compiled, true
+}
+
 // demoteOverflow moves protected LRU entries back to probation (MRU side)
 // while the protected segment is over its share of the caps. A lone
 // protected entry is never demoted: with nothing to make room for, the

@@ -50,6 +50,15 @@ type Metrics struct {
 	Shed               atomic.Int64 // trace/stream requests shed under overload
 	Canceled           atomic.Int64 // runs canceled by client disconnect
 
+	// Fleet counters (PR 6): the peer compiled-program cache tier and the
+	// batch endpoint.
+	PeerHits         atomic.Int64 // local cache misses satisfied by a peer's entry
+	PeerMisses       atomic.Int64 // peer fetches that found nothing and fell back to compiling
+	PeerImportErrors atomic.Int64 // peer payloads rejected by the certifying import
+	PeerExports      atomic.Int64 // compiled entries served to peers via /cache/export
+	BatchRequests    atomic.Int64 // /batch requests
+	BatchItems       atomic.Int64 // run items carried by /batch requests
+
 	// Latency histograms.
 	CompileLatency   Histogram
 	RunLatency       Histogram
@@ -166,6 +175,16 @@ func (m *Metrics) Snapshot() map[string]any {
 			"shed":                m.Shed.Load(),
 			"canceled":            m.Canceled.Load(),
 		},
+		"peer_cache": map[string]int64{
+			"hits":          m.PeerHits.Load(),
+			"misses":        m.PeerMisses.Load(),
+			"import_errors": m.PeerImportErrors.Load(),
+			"exports":       m.PeerExports.Load(),
+		},
+		"batch": map[string]int64{
+			"requests": m.BatchRequests.Load(),
+			"items":    m.BatchItems.Load(),
+		},
 		"per_collector":        perCollector,
 		"compile_latency_ms":   m.CompileLatency.snapshot(),
 		"run_latency_ms":       m.RunLatency.snapshot(),
@@ -238,6 +257,16 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		obs.Sample{Value: float64(m.Shed.Load())})
 	p.Counter("psgc_canceled_total", "Runs canceled by client disconnect.",
 		obs.Sample{Value: float64(m.Canceled.Load())})
+	p.Counter("psgc_peer_cache_total", "Peer compiled-program cache tier events.",
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "hit"}}, Value: float64(m.PeerHits.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "miss"}}, Value: float64(m.PeerMisses.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "import_error"}}, Value: float64(m.PeerImportErrors.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "export"}}, Value: float64(m.PeerExports.Load())},
+	)
+	p.Counter("psgc_batch_requests_total", "Batch requests received.",
+		obs.Sample{Value: float64(m.BatchRequests.Load())})
+	p.Counter("psgc_batch_items_total", "Run items carried by batch requests.",
+		obs.Sample{Value: float64(m.BatchItems.Load())})
 	m.CompileLatency.writeProm(p, "psgc_compile_latency_ms", "Compile latency in milliseconds.")
 	m.RunLatency.writeProm(p, "psgc_run_latency_ms", "Run latency in milliseconds.")
 	m.InterpretLatency.writeProm(p, "psgc_interpret_latency_ms", "Interpret latency in milliseconds.")

@@ -89,6 +89,25 @@ type Config struct {
 	// with 429 before plain runs are. 0 selects the default of 0.75;
 	// negative disables shedding.
 	ShedThreshold float64
+	// DefaultEngine is the engine /run uses when the request names none:
+	// "env" (the default) or "subst". Surfaced in /healthz so operators can
+	// tell what a node is defaulting to.
+	DefaultEngine string
+	// PeerFetchURL, when non-empty, is the fleet gate's peer-fetch endpoint
+	// (e.g. http://gate:8373/peer/compiled). On a local compiled-cache miss
+	// the server asks it for another node's compiled entry before paying the
+	// compile; the import is re-certified by the λGC typechecker.
+	PeerFetchURL string
+	// PeerSelf identifies this node to the peer-fetch endpoint so the gate
+	// never asks the requester for its own miss. Typically the node's
+	// advertised base URL.
+	PeerSelf string
+	// PeerTimeoutMs bounds one peer fetch (default 2000). A slow or dead
+	// gate must never cost more than a fraction of the compile it avoids.
+	PeerTimeoutMs int
+	// MaxBatchItems caps the run items one /batch request may carry
+	// (default 256).
+	MaxBatchItems int
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +142,15 @@ func (c Config) withDefaults() Config {
 	} else if c.ShedThreshold < 0 {
 		c.ShedThreshold = 0
 	}
+	if _, err := psgc.ParseEngine(c.DefaultEngine); err != nil {
+		c.DefaultEngine = psgc.EngineEnv.String()
+	}
+	if c.PeerTimeoutMs <= 0 {
+		c.PeerTimeoutMs = 2000
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
 	return c
 }
 
@@ -136,6 +164,11 @@ type Server struct {
 	metrics *Metrics
 	guard   *guardrails
 	start   time.Time
+	build   map[string]any
+
+	// peer is the fleet peer-fetch client, swappable at runtime (the gate's
+	// address may only be known after the backend starts).
+	peer atomic.Pointer[peerClient]
 
 	// mu guards jobs against Shutdown closing the channel while a
 	// request goroutine is submitting.
@@ -172,11 +205,17 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		jobs:    make(chan *job, cfg.QueueDepth),
 	}
+	s.build = buildInfo()
 	s.mux.HandleFunc("/compile", s.handleCompile)
 	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/interpret", s.handleInterpret)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/cache/export", s.handleCacheExport)
+	if cfg.PeerFetchURL != "" {
+		s.SetPeerFetch(cfg.PeerFetchURL, cfg.PeerSelf)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -241,34 +280,56 @@ func (s *Server) runJob(j *job) (resp *response) {
 	return j.do()
 }
 
+// enqueueOutcome classifies a tryEnqueue attempt.
+type enqueueOutcome int
+
+const (
+	enqueueOK enqueueOutcome = iota
+	enqueueShutdown
+	enqueueFull
+)
+
+// tryEnqueue places a job on the worker pool without touching any HTTP
+// state, so both the per-request and the batch paths share one admission
+// policy.
+func (s *Server) tryEnqueue(j *job) enqueueOutcome {
+	s.mu.RLock()
+	if s.shutdown {
+		s.mu.RUnlock()
+		return enqueueShutdown
+	}
+	s.metrics.EnterQueue()
+	select {
+	case s.jobs <- j:
+		s.mu.RUnlock()
+		return enqueueOK
+	default:
+		s.mu.RUnlock()
+		s.metrics.LeaveQueue()
+		s.metrics.Rejected.Add(1)
+		return enqueueFull
+	}
+}
+
 // enqueue places a job on the worker pool, writing a 503 during shutdown
 // or a 429 when the queue is full. It reports whether the job was
 // accepted.
 func (s *Server) enqueue(w http.ResponseWriter, j *job) bool {
-	s.mu.RLock()
-	if s.shutdown {
-		s.mu.RUnlock()
+	switch s.tryEnqueue(j) {
+	case enqueueShutdown:
 		// A draining instance will not come back; tell clients when a
 		// replacement is worth trying.
 		w.Header().Set("Retry-After", "5")
 		s.writeResponse(w, &response{status: http.StatusServiceUnavailable,
 			body: errorBody{Error: "server is shutting down", TraceID: j.traceID}})
 		return false
-	}
-	s.metrics.EnterQueue()
-	select {
-	case s.jobs <- j:
-		s.mu.RUnlock()
-		return true
-	default:
-		s.mu.RUnlock()
-		s.metrics.LeaveQueue()
-		s.metrics.Rejected.Add(1)
+	case enqueueFull:
 		w.Header().Set("Retry-After", "1")
 		s.writeResponse(w, &response{status: http.StatusTooManyRequests,
 			body: errorBody{Error: "queue full, retry later", TraceID: j.traceID}})
 		return false
 	}
+	return true
 }
 
 // submit enqueues do on the worker pool and writes its response, shedding
@@ -492,6 +553,15 @@ func (s *Server) compiled(src string, col psgc.Collector) (*psgc.Compiled, []obs
 	}
 	c, spans, err, coalesced := s.flights.do(k, func() (*psgc.Compiled, []obs.PhaseSpan, error) {
 		s.metrics.CacheMisses.Add(1)
+		// Fleet peer cache tier: before paying the compile, ask the gate
+		// whether another node already holds this entry. The singleflight
+		// wrapper means N concurrent misses cost at most one peer round trip.
+		if c, ok := s.peerFetch(SourceHash(src), col); ok {
+			if n := s.cache.add(k, c, nil); n > 0 {
+				s.metrics.CacheEvicted.Add(int64(n))
+			}
+			return c, nil, nil
+		}
 		c, spans, err := psgc.CompileTraced(src, col)
 		if err != nil {
 			return nil, spans, err
@@ -586,6 +656,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if v := r.URL.Query().Get("engine"); v != "" {
 		req.Engine = v
+	}
+	if req.Engine == "" {
+		req.Engine = s.cfg.DefaultEngine
 	}
 	if _, err := psgc.ParseEngine(req.Engine); err != nil {
 		s.writeResponse(w, &response{status: http.StatusBadRequest,
@@ -885,7 +958,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	probation, protected, _ := s.cache.segments()
 	body := map[string]any{
-		"status":          status,
+		"status": status,
+		// What this node is running and defaulting to (PR 6): when a
+		// co-check incident pins a hash to subst, operators need to see at a
+		// glance what engine everything else still defaults to, and which
+		// build is serving.
+		"default_engine":  s.cfg.DefaultEngine,
+		"build":           s.build,
 		"uptime_ms":       time.Since(s.start).Milliseconds(),
 		"workers":         s.cfg.Workers,
 		"queue_depth":     s.metrics.QueueDepth.Load(),
@@ -903,6 +982,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"watchdog_stalls":     s.metrics.WatchdogStalls.Load(),
 		"degradation_mode":    degradation,
 		"incidents":           s.guard.incidents.Snapshot(),
+	}
+	if pc := s.peer.Load(); pc != nil {
+		body["peer_fetch"] = map[string]any{
+			"url":    pc.url,
+			"self":   pc.self,
+			"hits":   s.metrics.PeerHits.Load(),
+			"misses": s.metrics.PeerMisses.Load(),
+		}
 	}
 	if reg := fault.Installed(); reg != nil {
 		body["chaos"] = reg.Snapshot()

@@ -41,7 +41,19 @@ func (FnT) isType()   {}
 
 func (IntT) String() string { return "int" }
 
-func (t ProdT) String() string { return fmt.Sprintf("(%s * %s)", t.L, t.R) }
+func (t ProdT) String() string {
+	// A function component must keep its own parentheses: ((int -> int) * int)
+	// reparses as written, while (int -> int * int) reparses as the arrow
+	// type int -> (int * int) because * binds tighter than ->.
+	l, r := t.L.String(), t.R.String()
+	if _, ok := t.L.(FnT); ok {
+		l = "(" + l + ")"
+	}
+	if _, ok := t.R.(FnT); ok {
+		r = "(" + r + ")"
+	}
+	return fmt.Sprintf("(%s * %s)", l, r)
+}
 
 func (t FnT) String() string {
 	dom := t.Dom.String()

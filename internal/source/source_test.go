@@ -216,3 +216,20 @@ func TestProgramSize(t *testing.T) {
 		t.Errorf("String() = %q", p.String())
 	}
 }
+
+func TestProdTypePrintingKeepsFunctionParens(t *testing.T) {
+	ty := ProdT{L: FnT{Dom: IntT{}, Cod: IntT{}}, R: IntT{}}
+	if got := ty.String(); got != "((int -> int) * int)" {
+		t.Errorf("ProdT.String() = %q, want ((int -> int) * int)", got)
+	}
+	// The annotation must survive a parse: (int -> int * int) would come
+	// back as the arrow type int -> (int * int) and fail to typecheck.
+	src := "fun f (x : " + ty.String() + ") : int = snd x\ndo f ((fn (y : int) => y), 1)"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := CheckProgram(p); err != nil {
+		t.Fatalf("reparsed annotation fails to typecheck: %v", err)
+	}
+}

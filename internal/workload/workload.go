@@ -159,6 +159,31 @@ do build %d
 `, n)
 }
 
+// SharedDAGSrc is a textual sharing workload for driving the §7 claim
+// over the HTTP surface: the live set is a four-pointer fan-in to one
+// shared pair tower, rebuilt every iteration. A collector that loses
+// sharing (basic) copies the tower once per path, so its survivor set —
+// and hence allocation and max-live — is strictly larger than the
+// forwarding collector's, which copies it once. n is the churn count;
+// the result is always 4.
+func SharedDAGSrc(n int) string {
+	const tower = "int * (int * (int * (int * int)))"
+	return fmt.Sprintf(`
+fun churn (state : (%[1]s) * ((%[1]s) * ((%[1]s) * ((%[1]s) * int)))) : int =
+  let a = fst state in
+  let r1 = snd state in
+  let b = fst r1 in
+  let r2 = snd r1 in
+  let c = fst r2 in
+  let r3 = snd r2 in
+  let d = fst r3 in
+  let k = snd r3 in
+  if0 k then fst a + fst b + fst c + fst d
+  else churn (a, (a, (a, (a, k - 1))))
+do let p = (1, (2, (3, (4, 5)))) in churn (p, (p, (p, (p, %[2]d))))
+`, tower, n)
+}
+
 // BuildCollectOnce assembles a driver program: allocate the shape in the
 // mutator region(s), invoke the collector once on the root, and halt in
 // the finish continuation.

@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"psgc"
 	"psgc/internal/gclang"
 )
 
@@ -68,6 +69,52 @@ func TestContinuationRegionBound(t *testing.T) {
 		if st.MaxCont > 2*st.Copied+1 {
 			t.Errorf("list %d: %d continuations for %d copies — bound violated",
 				n, st.MaxCont, st.Copied)
+		}
+	}
+}
+
+func TestSharedDAGSrcPreservesSharing(t *testing.T) {
+	// The textual sharing workload drives the §7 claim end to end: under a
+	// capacity where both collectors perform the same single collection,
+	// the basic collector copies the shared tower once per path (four
+	// times), the forwarding collector once — so basic allocates strictly
+	// more and holds a strictly larger survivor set.
+	for _, cfg := range []struct{ churn, capacity int }{{200, 2048}, {400, 4096}} {
+		src := SharedDAGSrc(cfg.churn)
+		want, err := psgc.Interpret(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != 4 {
+			t.Fatalf("interpret = %d, want 4", want)
+		}
+		var res [2]psgc.Result
+		for i, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding} {
+			c, err := psgc.Compile(src, col)
+			if err != nil {
+				t.Fatalf("%v: %v", col, err)
+			}
+			r, err := c.Run(psgc.RunOptions{Capacity: cfg.capacity})
+			if err != nil {
+				t.Fatalf("%v: %v", col, err)
+			}
+			if r.Value != want {
+				t.Errorf("%v: value %d, want %d", col, r.Value, want)
+			}
+			if r.Collections != 1 {
+				t.Fatalf("%v churn=%d capacity=%d: %d collections, want exactly 1",
+					col, cfg.churn, cfg.capacity, r.Collections)
+			}
+			res[i] = r
+		}
+		basic, forw := res[0], res[1]
+		if basic.Stats.Puts <= forw.Stats.Puts {
+			t.Errorf("churn=%d: basic allocated %d cells <= forwarding's %d; sharing not exercised",
+				cfg.churn, basic.Stats.Puts, forw.Stats.Puts)
+		}
+		if basic.Stats.MaxLiveCells <= forw.Stats.MaxLiveCells {
+			t.Errorf("churn=%d: basic max-live %d <= forwarding's %d",
+				cfg.churn, basic.Stats.MaxLiveCells, forw.Stats.MaxLiveCells)
 		}
 	}
 }

@@ -1,0 +1,115 @@
+package psgc
+
+import (
+	"strings"
+	"testing"
+
+	"psgc/internal/workload"
+)
+
+// TestWireRoundTrip exports a compiled entry, imports it, and checks the
+// import runs identically to the original on every collector.
+func TestWireRoundTrip(t *testing.T) {
+	src := workload.AllocHeavySrc(25)
+	for _, col := range []Collector{Basic, Forwarding, Generational} {
+		c, err := Compile(src, col)
+		if err != nil {
+			t.Fatalf("%v: compile: %v", col, err)
+		}
+		data, err := c.Export()
+		if err != nil {
+			t.Fatalf("%v: export: %v", col, err)
+		}
+		imp, err := ImportCompiled(data)
+		if err != nil {
+			t.Fatalf("%v: import: %v", col, err)
+		}
+		if imp.Collector != col {
+			t.Fatalf("imported collector %v, want %v", imp.Collector, col)
+		}
+		opts := RunOptions{Capacity: 24}
+		want, err := c.Run(opts)
+		if err != nil {
+			t.Fatalf("%v: run original: %v", col, err)
+		}
+		got, err := imp.Run(opts)
+		if err != nil {
+			t.Fatalf("%v: run import: %v", col, err)
+		}
+		if got != want {
+			t.Errorf("%v: imported run %+v, original %+v", col, got, want)
+		}
+		// Both engines must agree on the imported program too.
+		gotSubst, err := imp.Run(RunOptions{Capacity: 24, Engine: EngineSubst})
+		if err != nil {
+			t.Fatalf("%v: run import on subst: %v", col, err)
+		}
+		if gotSubst.Value != want.Value {
+			t.Errorf("%v: imported subst value %d, want %d", col, gotSubst.Value, want.Value)
+		}
+	}
+}
+
+// TestWireImportRecorder checks an imported entry still wires up the
+// GC-event recorder (entry points and the certified prefix are
+// reconstructed locally, not shipped).
+func TestWireImportRecorder(t *testing.T) {
+	c, err := Compile(workload.AllocHeavySrc(25), Generational)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := ImportCompiled(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := imp.Recorder()
+	res, err := imp.Run(RunOptions{Capacity: 16, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := rec.Timeline()
+	if res.Collections == 0 {
+		t.Fatal("workload did not collect; widen the capacity pressure")
+	}
+	if len(tl.Collections) != res.Collections {
+		t.Errorf("timeline has %d collection spans, machine counted %d", len(tl.Collections), res.Collections)
+	}
+}
+
+// TestWireImportRejectsGarbage checks malformed payloads fail cleanly.
+func TestWireImportRejectsGarbage(t *testing.T) {
+	if _, err := ImportCompiled([]byte("not a gob payload")); err == nil {
+		t.Error("import of garbage succeeded")
+	}
+	if _, err := ImportCompiled(nil); err == nil {
+		t.Error("import of an empty payload succeeded")
+	}
+}
+
+// TestWireImportRejectsTamperedPrefix checks that a payload whose collector
+// prefix differs from the locally certified collector is refused: peers are
+// never part of the trusted computing base.
+func TestWireImportRejectsTamperedPrefix(t *testing.T) {
+	c, err := Compile(workload.AllocHeavySrc(25), Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with a renamed first collector block.
+	progCopy := c.Prog
+	progCopy.Code = append(progCopy.Code[:0:0], c.Prog.Code...)
+	progCopy.Code[0].Name = progCopy.Code[0].Name + "_evil"
+	tamperedC := &Compiled{Collector: Basic, Prog: progCopy}
+	data, err := tamperedC.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImportCompiled(data); err == nil {
+		t.Error("import accepted a tampered collector prefix")
+	} else if !strings.Contains(err.Error(), "locally certified collector") {
+		t.Errorf("unexpected rejection reason: %v", err)
+	}
+}
