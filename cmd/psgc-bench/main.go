@@ -6,6 +6,7 @@
 // Additional modes:
 //
 //	-engine env|subst     execution engine for in-process experiments (default env)
+//	-backend map|arena    memory substrate for in-process experiments (default map)
 //	-remote URL           drive the experiment suite (E1–E9) through a running
 //	                      psgc-served instance: per-collector / per-engine
 //	                      p50/p90/p99 request latencies next to the behavioural
@@ -19,6 +20,11 @@
 //	                      cache tier).
 //	-snapshot PATH        write a JSON snapshot of the E1 workload under both
 //	                      engines (the CI BENCH_4.json artifact) and exit
+//	-snapshot-backend PATH  write a JSON snapshot comparing the map and arena
+//	                      memory backends on the E1 workload — whole-run rows
+//	                      with bit-for-bit counter identities, a co-check
+//	                      verification, and the substrate-isolated op-trace
+//	                      replay (the CI BENCH_7.json artifact) — and exit
 //	-snapshot-fleet PATH  write a fleet-mode JSON snapshot (E1 latency
 //	                      percentiles through -gate or -remote, plus the gate's
 //	                      metrics when the target is a gate — the CI
@@ -45,6 +51,7 @@ import (
 	"psgc/internal/baseline"
 	"psgc/internal/gclang"
 	"psgc/internal/gen"
+	"psgc/internal/regions"
 	"psgc/internal/source"
 	"psgc/internal/tags"
 	"psgc/internal/workload"
@@ -69,22 +76,37 @@ var experiments = []struct {
 // runEngine is the engine every in-process experiment runs on, from -engine.
 var runEngine psgc.Engine
 
+// runBackend is the memory substrate every in-process experiment runs on,
+// from -backend.
+var runBackend regions.Backend
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("psgc-bench: ")
 	engineName := flag.String("engine", "env", "execution engine for in-process experiments: env or subst")
+	backendName := flag.String("backend", "map", "memory substrate for in-process experiments: map or arena")
 	remoteURL := flag.String("remote", "", "base URL of a running psgc-served; drives the experiment suite over HTTP with latency percentiles")
 	gateURL := flag.String("gate", "", "base URL of a psgc-gate fleet front; a remote target on its own, a direct-vs-gate comparison with -remote")
 	flag.IntVar(&remoteRetries, "retries", 4, "retry budget per remote request on 429/503/transport errors (jittered backoff, honors Retry-After)")
 	snapshot := flag.String("snapshot", "", "write a JSON snapshot of the E1 workload under both engines to this path and exit")
+	backendSnapshot := flag.String("snapshot-backend", "", "write a JSON snapshot comparing the map and arena backends on the E1 workload to this path and exit")
 	fleetSnapshot := flag.String("snapshot-fleet", "", "write a fleet-mode JSON snapshot (latency percentiles through -gate or -remote) to this path and exit")
 	flag.Parse()
 	var err error
 	if runEngine, err = psgc.ParseEngine(*engineName); err != nil {
 		log.Fatal(err)
 	}
+	if runBackend, err = regions.ParseBackend(*backendName); err != nil {
+		log.Fatal(err)
+	}
 	if *snapshot != "" {
 		if err := writeSnapshot(*snapshot); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *backendSnapshot != "" {
+		if err := writeBackendSnapshot(*backendSnapshot); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -177,7 +199,7 @@ func e1() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := c.Run(psgc.RunOptions{Capacity: capacity, Engine: runEngine})
+			res, err := c.Run(psgc.RunOptions{Capacity: capacity, Engine: runEngine, Backend: runBackend})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -254,7 +276,7 @@ func e5() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := c.Run(psgc.RunOptions{Capacity: 48, Engine: runEngine})
+			res, err := c.Run(psgc.RunOptions{Capacity: 48, Engine: runEngine, Backend: runBackend})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -316,7 +338,7 @@ func e7() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := c.Run(psgc.RunOptions{Capacity: 16, CheckEveryStep: true, Fuel: 2_000_000})
+			res, err := c.Run(psgc.RunOptions{Capacity: 16, CheckEveryStep: true, Fuel: 2_000_000, Backend: runBackend})
 			if err != nil {
 				log.Fatalf("%v: soundness violation: %v", col, err)
 			}
@@ -358,7 +380,7 @@ func e9() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := c.Run(psgc.RunOptions{Capacity: 0, Engine: runEngine}) // no collections
+		res, err := c.Run(psgc.RunOptions{Capacity: 0, Engine: runEngine, Backend: runBackend}) // no collections
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -631,7 +653,7 @@ func remoteE1(t *remoteTarget) {
 			}
 			e, _ := psgc.ParseEngine(eng)
 			t0 := time.Now()
-			res, err := c.Run(psgc.RunOptions{Capacity: capacity, Engine: e})
+			res, err := c.Run(psgc.RunOptions{Capacity: capacity, Engine: e, Backend: runBackend})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -1084,5 +1106,246 @@ func writeFleetSnapshot(target, gateURL, path string) error {
 		}
 	}
 	fmt.Printf("wrote %s: %d rows through %s, worst p99 %.3f ms\n", path, len(snap.Rows), target, worst)
+	return nil
+}
+
+// backendRow is one E1 configuration measured on one memory backend
+// (environment engine, best of three).
+type backendRow struct {
+	Capacity    int     `json:"capacity"`
+	Collector   string  `json:"collector"`
+	Backend     string  `json:"backend"`
+	Value       int     `json:"value"`
+	ResultOK    bool    `json:"result_ok"`
+	Steps       int     `json:"steps"`
+	Collections int     `json:"collections"`
+	Puts        int     `json:"puts"`
+	Reclaimed   int     `json:"reclaimed"`
+	MaxLive     int     `json:"max_live"`
+	RunMs       float64 `json:"run_ms"`
+}
+
+// replayRow is the substrate-isolated comparison for one collector: the
+// E1 run's exact op sequence, recorded once, replayed on a fresh store of
+// each substrate. Replay time is pure store cost — no machine
+// interpretation — so this is where the substrate difference shows up
+// undiluted. Three substrates run: the seed's string-keyed store
+// (legacy-string, the baseline this PR's perf claim is measured against),
+// the uint32-interned map backend, and the flat arena.
+type replayRow struct {
+	Collector     string  `json:"collector"`
+	Ops           int     `json:"ops"`
+	LegacyP50Ms   float64 `json:"legacy_p50_ms"`
+	MapP50Ms      float64 `json:"map_p50_ms"`
+	ArenaP50Ms    float64 `json:"arena_p50_ms"`
+	ArenaVsLegacy float64 `json:"arena_vs_legacy"`
+	ArenaVsMap    float64 `json:"arena_vs_map"`
+}
+
+type backendSnapshotFile struct {
+	Experiment string `json:"experiment"`
+	Workload   string `json:"workload"`
+	// IdentitiesOK reports that every whole-run row pair agrees bit for
+	// bit across backends: value, steps, collections, and the full Stats
+	// counters.
+	IdentitiesOK bool `json:"identities_ok"`
+	// CoCheckOK reports that one co-checked arena run per collector
+	// finished without diverging from the map-substrate oracle.
+	CoCheckOK bool `json:"cocheck_ok"`
+	// ArenaOpSpeedupGeomean is the headline: the geometric mean over
+	// collectors of legacy-p50 / arena-p50 on the replayed op trace, i.e.
+	// the arena against the substrate this repository seeded with
+	// (string-keyed map, O(live-regions) scan per Put) — the baseline this
+	// PR's performance claim is made against.
+	ArenaOpSpeedupGeomean float64 `json:"arena_op_speedup_geomean"`
+	// ArenaVsMapOpGeomean compares the arena against the uint32-interned
+	// map backend, which this PR also introduced: interning region names
+	// to dense ids removed the string hash from the map's hot path too, so
+	// the two refactored backends land close together and this hovers
+	// near 1. The win over the seed substrate is shared, not arena-only.
+	ArenaVsMapOpGeomean float64 `json:"arena_vs_map_op_speedup_geomean"`
+	// ArenaRunSpeedupGeomean is the whole-run arena/map ratio for
+	// honesty's sake: store ops are a small fraction of end-to-end machine
+	// time (value resolution and host allocation dominate), so this
+	// hovers near 1.
+	ArenaRunSpeedupGeomean float64      `json:"arena_run_speedup_geomean"`
+	Rows                   []backendRow `json:"rows"`
+	Replay                 []replayRow  `json:"replay"`
+}
+
+// writeBackendSnapshot runs the E1 workload on both memory backends and
+// writes the BENCH_7.json artifact: whole-run rows with counter
+// identities, a co-check verification of the arena, and the op-trace
+// replay that measures the substrate in isolation.
+func writeBackendSnapshot(path string) error {
+	want, err := psgc.Interpret(allocHeavy)
+	if err != nil {
+		return err
+	}
+	snap := backendSnapshotFile{
+		Experiment:   "e1-backend",
+		Workload:     "allocHeavy (build 60)",
+		IdentitiesOK: true,
+		CoCheckOK:    true,
+	}
+	backends := []regions.Backend{regions.BackendMap, regions.BackendArena}
+
+	// Whole-run rows: best-of-3 per capacity x collector x backend on the
+	// env engine, asserting the counter identities along the way.
+	runLogSum, runLogN := 0.0, 0
+	for _, capacity := range []int{16, 32, 64, 128} {
+		for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+			c, err := psgc.Compile(allocHeavy, col)
+			if err != nil {
+				return err
+			}
+			var pair [2]float64 // best-of-3 ms, indexed by backend
+			var results [2]psgc.Result
+			for _, be := range backends {
+				best := math.Inf(1)
+				var res psgc.Result
+				for rep := 0; rep < 3; rep++ {
+					t0 := time.Now()
+					res, err = c.Run(psgc.RunOptions{Capacity: capacity, Backend: be})
+					if err != nil {
+						return err
+					}
+					if ms := float64(time.Since(t0)) / float64(time.Millisecond); ms < best {
+						best = ms
+					}
+				}
+				pair[be], results[be] = best, res
+				snap.Rows = append(snap.Rows, backendRow{
+					Capacity: capacity, Collector: col.String(), Backend: be.String(),
+					Value: res.Value, ResultOK: res.Value == want,
+					Steps: res.Steps, Collections: res.Collections,
+					Puts: res.Stats.Puts, Reclaimed: res.Stats.CellsReclaimed,
+					MaxLive: res.Stats.MaxLiveCells, RunMs: best,
+				})
+			}
+			if results[regions.BackendMap] != results[regions.BackendArena] {
+				snap.IdentitiesOK = false
+				fmt.Printf("IDENTITY VIOLATION at capacity %d, %s:\n  map   %+v\n  arena %+v\n",
+					capacity, col, results[regions.BackendMap], results[regions.BackendArena])
+			}
+			if pair[regions.BackendArena] > 0 {
+				runLogSum += math.Log(pair[regions.BackendMap] / pair[regions.BackendArena])
+				runLogN++
+			}
+		}
+	}
+	if runLogN > 0 {
+		snap.ArenaRunSpeedupGeomean = math.Exp(runLogSum / float64(runLogN))
+	}
+
+	// Substrate-isolated replay plus the co-check verification, per
+	// collector: record the op trace from one arena run under the map
+	// oracle, then replay the identical sequence on fresh stores.
+	const replayCapacity, replayReps = 32, 25
+	legacyLogSum, mapLogSum, opLogN := 0.0, 0.0, 0
+	for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+		c, err := psgc.Compile(allocHeavy, col)
+		if err != nil {
+			return err
+		}
+		var tr *regions.Trace[gclang.Value]
+		diverged := false
+		_, err = c.Run(psgc.RunOptions{
+			Capacity:     replayCapacity,
+			Backend:      regions.BackendArena,
+			CoCheck:      true,
+			OnDivergence: func(psgc.Divergence) { diverged = true },
+			WrapStore: func(s regions.Store[gclang.Value]) regions.Store[gclang.Value] {
+				tr = regions.NewTrace(s)
+				return tr
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("co-checked trace run (%s): %w", col, err)
+		}
+		if diverged {
+			snap.CoCheckOK = false
+			fmt.Printf("CO-CHECK DIVERGENCE on the arena backend (%s)\n", col)
+		}
+		// The machine loads its code into cd during construction, before
+		// the trace wrapper attaches, so the recorded ops assume a
+		// populated cd. Re-seed it (untimed) before each replay.
+		cdSize := tr.Inner.Size(regions.CD)
+		seedCD := func(s regions.Store[gclang.Value]) {
+			for off := 0; off < cdSize; off++ {
+				if v, ok := tr.Inner.Peek(regions.Addr{Region: regions.CD, Off: off}); ok {
+					s.Put(regions.CD, v)
+				}
+			}
+		}
+		oneReplay := func(be regions.Backend) (float64, error) {
+			var s regions.Store[gclang.Value]
+			if be == regions.BackendLegacyString {
+				s = regions.NewLegacyString[gclang.Value](replayCapacity)
+			} else {
+				s = regions.NewStore[gclang.Value](be, replayCapacity)
+			}
+			s.SetAutoGrow(true)
+			seedCD(s)
+			t0 := time.Now()
+			if err := regions.Replay(tr.Ops, s); err != nil {
+				return 0, fmt.Errorf("replay on %s (%s): %w", be, col, err)
+			}
+			return float64(time.Since(t0)) / float64(time.Millisecond), nil
+		}
+		// The reps interleave the substrates so host-GC drift over the
+		// measurement window biases no side; the first (warmup) round is
+		// discarded and the p50 is taken per substrate.
+		replayBackends := []regions.Backend{
+			regions.BackendLegacyString, regions.BackendMap, regions.BackendArena,
+		}
+		times := map[regions.Backend][]float64{}
+		for rep := 0; rep < replayReps+1; rep++ {
+			for _, be := range replayBackends {
+				ms, err := oneReplay(be)
+				if err != nil {
+					return err
+				}
+				if rep > 0 {
+					times[be] = append(times[be], ms)
+				}
+			}
+		}
+		p50 := func(be regions.Backend) float64 {
+			ts := times[be]
+			sort.Float64s(ts)
+			return ts[len(ts)/2]
+		}
+		legacyMs := p50(regions.BackendLegacyString)
+		mapMs, arenaMs := p50(regions.BackendMap), p50(regions.BackendArena)
+		vsLegacy, vsMap := 0.0, 0.0
+		if arenaMs > 0 {
+			vsLegacy, vsMap = legacyMs/arenaMs, mapMs/arenaMs
+			legacyLogSum += math.Log(vsLegacy)
+			mapLogSum += math.Log(vsMap)
+			opLogN++
+		}
+		snap.Replay = append(snap.Replay, replayRow{
+			Collector: col.String(), Ops: len(tr.Ops),
+			LegacyP50Ms: legacyMs, MapP50Ms: mapMs, ArenaP50Ms: arenaMs,
+			ArenaVsLegacy: vsLegacy, ArenaVsMap: vsMap,
+		})
+	}
+	if opLogN > 0 {
+		snap.ArenaOpSpeedupGeomean = math.Exp(legacyLogSum / float64(opLogN))
+		snap.ArenaVsMapOpGeomean = math.Exp(mapLogSum / float64(opLogN))
+	}
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d rows, identities %v, cocheck %v, arena op speedup vs seed substrate (geomean) %.2fx, vs map backend %.2fx, whole-run %.2fx\n",
+		path, len(snap.Rows), snap.IdentitiesOK, snap.CoCheckOK,
+		snap.ArenaOpSpeedupGeomean, snap.ArenaVsMapOpGeomean, snap.ArenaRunSpeedupGeomean)
 	return nil
 }

@@ -11,6 +11,7 @@
 //
 //	-gc basic|forwarding|generational    collector (default basic)
 //	-engine env|subst                    execution engine (default env)
+//	-backend map|arena                   memory substrate (default map)
 //	-capacity N                          region capacity triggering GC (default 64; 0 = never collect)
 //	-fixed                               disable heap growth
 //	-check                               re-check machine-state well-formedness every step
@@ -36,6 +37,7 @@ import (
 	"psgc/internal/cps"
 	"psgc/internal/fault"
 	"psgc/internal/obs"
+	"psgc/internal/regions"
 	"psgc/internal/source"
 )
 
@@ -51,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		gcName    = fs.String("gc", "basic", "collector: basic, forwarding, or generational")
 		engine    = fs.String("engine", "env", "execution engine: env (environment machine) or subst (substitution oracle; -check implies subst)")
+		backend   = fs.String("backend", "map", "memory substrate: map (hash-map regions) or arena (contiguous slabs, Cheney scavenge)")
 		capacity  = fs.Int("capacity", 64, "region capacity at which ifgc triggers a collection (0 disables)")
 		fixed     = fs.Bool("fixed", false, "disable the survivor-driven heap growth policy")
 		check     = fs.Bool("check", false, "re-check machine-state well-formedness after every step (slow)")
@@ -136,11 +139,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	be, err := regions.ParseBackend(*backend)
+	if err != nil {
+		return fail(err)
+	}
 	opts := psgc.RunOptions{
 		Capacity:       *capacity,
 		FixedCapacity:  *fixed,
 		CheckEveryStep: *check,
 		Engine:         eng,
+		Backend:        be,
 	}
 	var divergence *psgc.Divergence
 	if *cocheck {

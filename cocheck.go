@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"psgc/internal/gclang"
+	"psgc/internal/regions"
 )
 
 // Divergence describes one observed disagreement between the environment
@@ -33,7 +34,14 @@ func (d Divergence) String() string {
 // oracle's. The Recorder, Progress callbacks, and collection counting all
 // observe the oracle, so a diverging shadow cannot pollute the timeline.
 func (c *Compiled) runCoChecked(opts RunOptions) (Result, error) {
-	oracle := c.NewMachine(opts)
+	// The oracle always runs on the map backend — the reference substrate —
+	// while the shadow honors opts.Backend. A co-checked arena run is
+	// therefore also a cell-by-cell differential test of the arena against
+	// the reference implementation.
+	oracleOpts := opts
+	oracleOpts.Backend = regions.BackendMap
+	oracleOpts.WrapStore = nil // a trace recorder watches the shadow, not the oracle
+	oracle := c.NewMachine(oracleOpts)
 	shadow := c.NewEnvMachine(opts)
 	if opts.Recorder != nil {
 		opts.Recorder.Attach(oracle)
@@ -71,8 +79,8 @@ func (c *Compiled) runCoChecked(opts RunOptions) (Result, error) {
 			} else if shadow.Steps != oracle.Steps || shadow.Halted != oracle.Halted {
 				diverge(oracle.Steps, "step/halt: oracle (%d,%v) env (%d,%v)",
 					oracle.Steps, oracle.Halted, shadow.Steps, shadow.Halted)
-			} else if shadow.Mem.Stats != oracle.Mem.Stats {
-				diverge(oracle.Steps, "memory counters: oracle %+v env %+v", oracle.Mem.Stats, shadow.Mem.Stats)
+			} else if shadow.Mem.Stats() != oracle.Mem.Stats() {
+				diverge(oracle.Steps, "memory counters: oracle %+v env %+v", oracle.Mem.Stats(), shadow.Mem.Stats())
 			}
 		}
 		if opts.Progress != nil && (collected || oracle.Steps%every == 0) {

@@ -142,14 +142,14 @@ func TestEnvMachineInjectedStepLeavesStateUnchanged(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	steps, stats := m.Steps, m.Mem.Stats
+	steps, stats := m.Steps, m.Mem.Stats()
 	fault.Install(fault.NewRegistry(1).Enable(fault.MachineStep, 1))
 	errInjected := m.Step()
 	fault.Install(nil)
 	if !errors.Is(errInjected, fault.ErrInjected) {
 		t.Fatalf("step under injection: %v", errInjected)
 	}
-	if m.Steps != steps || m.Mem.Stats != stats {
+	if m.Steps != steps || m.Mem.Stats() != stats {
 		t.Error("injected step error mutated machine state")
 	}
 	if err := m.Step(); err != nil {

@@ -26,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 	m := compiled.NewMachine(psgc.RunOptions{Capacity: 16, Ghost: true})
-	m.Mem.AutoGrow = true
+	m.Mem.SetAutoGrow(true)
 
 	checked := 0
 	for !m.Halted {
@@ -51,5 +51,5 @@ func main() {
 // describe summarizes the memory shape (region count and live cells).
 func describe(m *gclang.Machine) string {
 	return fmt.Sprintf("%d regions, %d live cells, %d collections-worth reclaimed",
-		len(m.Mem.Regions()), m.Mem.LiveCells(), m.Mem.Stats.RegionsReclaimed)
+		len(m.Mem.Regions()), m.Mem.LiveCells(), m.Mem.Stats().RegionsReclaimed)
 }

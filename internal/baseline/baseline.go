@@ -33,7 +33,7 @@ type Stats struct {
 // it keeps a host-side forwarding table (the luxury the type-safe
 // collector of Fig. 9 has to build inside the heap); without it, shared
 // structure is duplicated exactly like Fig. 4's copy.
-func CopyRoot(mem *regions.Memory[gclang.Value], tag tags.Tag, root gclang.Value, forwarding bool) (gclang.Value, regions.Name, Stats, error) {
+func CopyRoot(mem regions.Store[gclang.Value], tag tags.Tag, root gclang.Value, forwarding bool) (gclang.Value, regions.Name, Stats, error) {
 	to := mem.NewRegion()
 	c := &copier{mem: mem, to: to}
 	if forwarding {
@@ -41,13 +41,13 @@ func CopyRoot(mem *regions.Memory[gclang.Value], tag tags.Tag, root gclang.Value
 	}
 	out, err := c.copy(tag, root)
 	if err != nil {
-		return nil, "", Stats{}, err
+		return nil, 0, Stats{}, err
 	}
 	return out, to, c.stats, nil
 }
 
 type copier struct {
-	mem   *regions.Memory[gclang.Value]
+	mem   regions.Store[gclang.Value]
 	to    regions.Name
 	fwd   map[regions.Addr]gclang.Value
 	stats Stats

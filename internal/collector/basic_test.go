@@ -110,8 +110,8 @@ func TestBasicCollectorCopiesPair(t *testing.T) {
 	if got := len(m.Mem.Regions()); got != 2 {
 		t.Errorf("live regions after collection = %d (%v), want 2", got, m.Mem.Regions())
 	}
-	if m.Mem.Stats.RegionsReclaimed < 2 {
-		t.Errorf("stats = %+v, want ≥2 regions reclaimed", m.Mem.Stats)
+	if m.Mem.Stats().RegionsReclaimed < 2 {
+		t.Errorf("stats = %+v, want ≥2 regions reclaimed", m.Mem.Stats())
 	}
 }
 

@@ -35,7 +35,7 @@ func TestForwCollectorCopiesPair(t *testing.T) {
 	if got := len(m.Mem.Regions()); got != 2 {
 		t.Errorf("live regions after collection = %d (%v), want 2", got, m.Mem.Regions())
 	}
-	if m.Mem.Stats.Sets == 0 {
+	if m.Mem.Stats().Sets == 0 {
 		t.Errorf("no forwarding pointer was installed")
 	}
 }

@@ -123,7 +123,7 @@ func TestGenMajorCollectsBothGenerations(t *testing.T) {
 		t.Errorf("live regions = %d (%v), want 3", got, m.Mem.Regions())
 	}
 	// Both old regions were reclaimed; the surviving copy lives in rn.
-	if m.Mem.Stats.RegionsReclaimed < 3 {
-		t.Errorf("stats = %+v, want ≥3 regions reclaimed", m.Mem.Stats)
+	if m.Mem.Stats().RegionsReclaimed < 3 {
+		t.Errorf("stats = %+v, want ≥3 regions reclaimed", m.Mem.Stats())
 	}
 }

@@ -43,7 +43,7 @@ import (
 // remains the semantic oracle.
 type EnvMachine struct {
 	Dialect Dialect
-	Mem     *regions.Memory[Value]
+	Mem     regions.Store[Value]
 
 	// Ctrl is the current control term: a subterm of the loaded program (or
 	// of a code block), interpreted relative to the environment.
@@ -85,13 +85,18 @@ type EnvMachine struct {
 	scratchNames []regions.Name
 }
 
-// NewEnvMachine loads a program into a fresh memory with the given region
-// capacity, installing code blocks in the cd region at offsets matching
-// their indices exactly as NewMachine does.
+// NewEnvMachine loads a program into a fresh map-backed memory with the
+// given region capacity, installing code blocks in the cd region at
+// offsets matching their indices exactly as NewMachine does.
 func NewEnvMachine(d Dialect, p Program, capacity int) *EnvMachine {
+	return NewEnvMachineOn(regions.BackendMap, d, p, capacity)
+}
+
+// NewEnvMachineOn is NewEnvMachine over the selected memory backend.
+func NewEnvMachineOn(b regions.Backend, d Dialect, p Program, capacity int) *EnvMachine {
 	m := &EnvMachine{
 		Dialect: d,
-		Mem:     regions.New[Value](capacity),
+		Mem:     regions.NewStore[Value](b, capacity),
 		Ctrl:    p.Main,
 		envVals: map[names.Name]Value{},
 		envTags: map[names.Name]tags.Tag{},

@@ -80,8 +80,8 @@ func coStep(t *testing.T, sm *gclang.Machine, em *gclang.EnvMachine, fuel int) {
 			t.Fatalf("diverged: subst step %d halted %v, env step %d halted %v",
 				sm.Steps, sm.Halted, em.Steps, em.Halted)
 		}
-		if sm.Mem.Stats != em.Mem.Stats {
-			t.Fatalf("step %d: stats: subst %+v env %+v", sm.Steps, sm.Mem.Stats, em.Mem.Stats)
+		if sm.Mem.Stats() != em.Mem.Stats() {
+			t.Fatalf("step %d: stats: subst %+v env %+v", sm.Steps, sm.Mem.Stats(), em.Mem.Stats())
 		}
 		if sd, ed := headDesc(sBefore), headDesc(eBefore); sd != ed {
 			t.Fatalf("step %d: traced head:\n  subst: %s\n  env:   %s", sm.Steps, sd, ed)
@@ -111,9 +111,9 @@ func coStep(t *testing.T, sm *gclang.Machine, em *gclang.EnvMachine, fuel int) {
 
 func newEnginePair(d gclang.Dialect, p gclang.Program, capacity int) (*gclang.Machine, *gclang.EnvMachine) {
 	sm := gclang.NewMachine(d, p, capacity)
-	sm.Mem.AutoGrow = true
+	sm.Mem.SetAutoGrow(true)
 	em := gclang.NewEnvMachine(d, p, capacity)
-	em.Mem.AutoGrow = true
+	em.Mem.SetAutoGrow(true)
 	return sm, em
 }
 

@@ -31,8 +31,8 @@ func compareEngines(t *testing.T, d Dialect, p Program, capacity, fuel int) Valu
 			t.Fatalf("machines diverged: subst step %d halted %v, env step %d halted %v",
 				sm.Steps, sm.Halted, em.Steps, em.Halted)
 		}
-		if sm.Mem.Stats != em.Mem.Stats {
-			t.Fatalf("step %d: stats diverged: subst %+v env %+v", sm.Steps, sm.Mem.Stats, em.Mem.Stats)
+		if sm.Mem.Stats() != em.Mem.Stats() {
+			t.Fatalf("step %d: stats diverged: subst %+v env %+v", sm.Steps, sm.Mem.Stats(), em.Mem.Stats())
 		}
 	}
 	if !em.Halted {
@@ -208,8 +208,8 @@ func TestEnvMachineOnlyReclaims(t *testing.T) {
 	if _, err := em.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	if em.Mem.Stats.RegionsReclaimed != 1 || em.Mem.Stats.CellsReclaimed != 1 {
-		t.Errorf("stats = %+v", em.Mem.Stats)
+	if em.Mem.Stats().RegionsReclaimed != 1 || em.Mem.Stats().CellsReclaimed != 1 {
+		t.Errorf("stats = %+v", em.Mem.Stats())
 	}
 }
 
@@ -271,14 +271,14 @@ func TestGhostPutErrorLeavesStateConsistent(t *testing.T) {
 	}
 	termBefore := m.Term
 	stepsBefore := m.Steps
-	putsBefore := m.Mem.Stats.Puts
+	putsBefore := m.Mem.Stats().Puts
 	err := m.Step() // the unannotated put must fail...
 	if err == nil || !strings.Contains(err.Error(), "annotation") {
 		t.Fatalf("expected missing-annotation error, got %v", err)
 	}
 	// ...without any partial effect.
-	if m.Mem.Stats.Puts != putsBefore {
-		t.Errorf("puts = %d, want %d (effect applied on error path)", m.Mem.Stats.Puts, putsBefore)
+	if m.Mem.Stats().Puts != putsBefore {
+		t.Errorf("puts = %d, want %d (effect applied on error path)", m.Mem.Stats().Puts, putsBefore)
 	}
 	if m.Steps != stepsBefore {
 		t.Errorf("steps advanced to %d on a failed step", m.Steps)

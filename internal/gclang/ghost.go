@@ -115,12 +115,13 @@ func (m *Machine) widenGhost(from, to regions.Name) error {
 			// view along with Ψ (§7.1: the cast systematically converts
 			// the whole heap). This rewrite only touches type annotations,
 			// never the runtime data, so widen stays a no-op operationally.
-			if cell, err := m.Mem.Get(addr); err == nil {
-				if err := m.Mem.Set(addr, widenValue(cell, fromR, toR)); err != nil {
-					return err
+			// Peek/Corrupt rather than Get/Set: this rewrite is ghost
+			// bookkeeping, not program memory traffic, and must not move
+			// the counters the co-checker compares.
+			if cell, ok := m.Mem.Peek(addr); ok {
+				if !m.Mem.Corrupt(addr, widenValue(cell, fromR, toR)) {
+					return fmt.Errorf("gclang: widen ghost: lost cell %s", addr)
 				}
-				m.Mem.Stats.Gets--
-				m.Mem.Stats.Sets--
 			}
 			// Sanity: the original type must really be the M payload.
 			same, err := TypeEqual(Forw, AtT{Body: t, R: fromR}, MT{Rs: []Region{fromR}, Tag: tag})

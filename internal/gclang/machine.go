@@ -20,7 +20,7 @@ import (
 // preservation proofs; see DESIGN.md.
 type Machine struct {
 	Dialect Dialect
-	Mem     *regions.Memory[Value]
+	Mem     regions.Store[Value]
 	Term    Term
 
 	// Ghost enables Ψ maintenance. Programs must have been elaborated by
@@ -50,14 +50,19 @@ var ErrStuck = errors.New("gclang: machine stuck")
 // ErrFuel is returned by Run when the step budget is exhausted.
 var ErrFuel = errors.New("gclang: out of fuel")
 
-// NewMachine loads a program into a fresh memory with the given region
-// capacity (the ifgc fullness threshold). Code blocks are installed in the
-// cd region at offsets matching their indices, as the paper's translation
-// assumes.
+// NewMachine loads a program into a fresh map-backed memory with the given
+// region capacity (the ifgc fullness threshold). Code blocks are installed
+// in the cd region at offsets matching their indices, as the paper's
+// translation assumes.
 func NewMachine(d Dialect, p Program, capacity int) *Machine {
+	return NewMachineOn(regions.BackendMap, d, p, capacity)
+}
+
+// NewMachineOn is NewMachine over the selected memory backend.
+func NewMachineOn(b regions.Backend, d Dialect, p Program, capacity int) *Machine {
 	m := &Machine{
 		Dialect: d,
-		Mem:     regions.New[Value](capacity),
+		Mem:     regions.NewStore[Value](b, capacity),
 		Term:    p.Main,
 		Psi:     MemType{},
 	}

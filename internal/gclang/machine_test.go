@@ -58,8 +58,8 @@ func TestMachinePairAllocation(t *testing.T) {
 	if n, ok := v.(Num); !ok || n.N != 3 {
 		t.Fatalf("result = %s, want 3", v)
 	}
-	if m.Mem.Stats.Puts != 1 {
-		t.Errorf("puts = %d, want 1", m.Mem.Stats.Puts)
+	if m.Mem.Stats().Puts != 1 {
+		t.Errorf("puts = %d, want 1", m.Mem.Stats().Puts)
 	}
 }
 
@@ -177,8 +177,8 @@ func TestMachineOnlyReclaims(t *testing.T) {
 			Body: OnlyT{Delta: []Region{RVar{Name: "r2"}}, Body: HaltT{V: Num{N: 0}}}}}}}
 	m := checkAndLoad(t, Base, prog, 0)
 	runChecked(t, m, 100)
-	if m.Mem.Stats.RegionsReclaimed != 1 || m.Mem.Stats.CellsReclaimed != 1 {
-		t.Errorf("stats = %+v", m.Mem.Stats)
+	if m.Mem.Stats().RegionsReclaimed != 1 || m.Mem.Stats().CellsReclaimed != 1 {
+		t.Errorf("stats = %+v", m.Mem.Stats())
 	}
 }
 

@@ -201,7 +201,7 @@ func TestTypeSubstitutionCaptureAvoidance(t *testing.T) {
 
 func TestRegionSubstitutionInType(t *testing.T) {
 	ty := MT{Rs: []Region{rv}, Tag: tags.Var{Name: "t"}}
-	nu := Region(RName{Name: "ν1"})
+	nu := Region(RName{Name: 1})
 	got := Subst1Reg("r", nu).Type(ty)
 	mustEq(t, Base, got, MT{Rs: []Region{nu}, Tag: tags.Var{Name: "t"}})
 }

@@ -35,8 +35,8 @@ func randomClosedTag(r *rand.Rand, depth int) tags.Tag {
 // randomMType builds a random type built from M applications over closed
 // tags, products, and at-forms — the types the mutator traffics in.
 func randomMType(r *rand.Rand, d Dialect, depth int) Type {
-	rho := Region(RName{Name: "ν1"})
-	rho2 := Region(RName{Name: "ν2"})
+	rho := Region(RName{Name: 1})
+	rho2 := Region(RName{Name: 2})
 	var mt Type
 	if d == Gen {
 		mt = MT{Rs: []Region{rho, rho2}, Tag: randomClosedTag(r, depth)}
@@ -122,8 +122,8 @@ func TestMNormalFormsWellFormed(t *testing.T) {
 				t.Fatal(err)
 			}
 			env := NewEnv(nil)
-			env.Delta[Region(RName{Name: "ν1"})] = true
-			env.Delta[Region(RName{Name: "ν2"})] = true
+			env.Delta[Region(RName{Name: 1})] = true
+			env.Delta[Region(RName{Name: 2})] = true
 			if err := c.CheckTypeWF(env, nf); err != nil {
 				t.Fatalf("%v: normal form ill-formed: %v\n%s", d, err, nf)
 			}
@@ -137,13 +137,13 @@ func TestMNormalFormsWellFormed(t *testing.T) {
 func TestSubstIdentityAndClosedAgreement(t *testing.T) {
 	// Use the basic collector's copy block as a large, binder-rich term.
 	copyBody := buildCopyLikeTerm()
-	idSub := &Subst{Regs: map[names.Name]Region{"zz-not-free": RName{Name: "ν9"}}}
+	idSub := &Subst{Regs: map[names.Name]Region{"zz-not-free": RName{Name: 9}}}
 	if got := idSub.Term(copyBody); got.String() != copyBody.String() {
 		t.Fatalf("substitution for non-free variable changed the term")
 	}
 	// Closed and safe paths agree for a closed region payload.
-	safe := &Subst{Regs: map[names.Name]Region{"r1": RName{Name: "ν1"}}}
-	fast := &Subst{Regs: map[names.Name]Region{"r1": RName{Name: "ν1"}}, Closed: true}
+	safe := &Subst{Regs: map[names.Name]Region{"r1": RName{Name: 1}}}
+	fast := &Subst{Regs: map[names.Name]Region{"r1": RName{Name: 1}}, Closed: true}
 	if safe.Term(copyBody).String() != fast.Term(copyBody).String() {
 		t.Fatalf("closed substitution diverges from safe substitution")
 	}
@@ -180,7 +180,7 @@ func TestFreeNamesClosedAfterSubstitution(t *testing.T) {
 		sub.Vals[v] = Num{N: 7}
 	}
 	for r := range regs {
-		sub.Regs[r] = RName{Name: "ν1"}
+		sub.Regs[r] = RName{Name: 1}
 	}
 	out := sub.Term(term)
 	vals2, _, regs2, _ := FreeNames(out)
@@ -195,10 +195,10 @@ func TestFreeNamesClosedAfterSubstitution(t *testing.T) {
 func TestTypeSubstCapture(t *testing.T) {
 	// ∃u:Ω. M_ν1(u × t)  with t := u  must not capture.
 	ty := ExistT{Bound: "u", Kind: kinds.Omega{},
-		Body: MT{Rs: []Region{RName{Name: "ν1"}}, Tag: tags.Prod{L: tags.Var{Name: "u"}, R: tags.Var{Name: "t"}}}}
+		Body: MT{Rs: []Region{RName{Name: 1}}, Tag: tags.Prod{L: tags.Var{Name: "u"}, R: tags.Var{Name: "t"}}}}
 	got := Subst1Tag("t", tags.Var{Name: "u"}).Type(ty)
 	want := ExistT{Bound: "w", Kind: kinds.Omega{},
-		Body: MT{Rs: []Region{RName{Name: "ν1"}}, Tag: tags.Prod{L: tags.Var{Name: "w"}, R: tags.Var{Name: "u"}}}}
+		Body: MT{Rs: []Region{RName{Name: 1}}, Tag: tags.Prod{L: tags.Var{Name: "w"}, R: tags.Var{Name: "u"}}}}
 	ok, err := TypeEqual(Base, got, want)
 	if err != nil || !ok {
 		t.Fatalf("capture-avoidance failed: got %s", got)

@@ -35,7 +35,7 @@ func (RVar) isRegion()  {}
 func (RName) isRegion() {}
 
 func (r RVar) String() string  { return r.Name.String() }
-func (r RName) String() string { return string(r.Name) }
+func (r RName) String() string { return r.Name.String() }
 
 // CDRegion is the distinguished code region cd.
 var CDRegion = RName{Name: regions.CD}

@@ -309,7 +309,7 @@ func (r *Recorder) closeSpan(end int) {
 // just reduced `before`, and mem is the memory with the step's effects
 // already applied. It is engine-agnostic — Attach and AttachEnv both feed
 // it — and exported so co-stepping tests can drive it directly.
-func (r *Recorder) Observe(step int, mem *regions.Memory[gclang.Value], before gclang.Term) {
+func (r *Recorder) Observe(step int, mem regions.Store[gclang.Value], before gclang.Term) {
 	r.lastStep = step
 	switch t := before.(type) {
 	case gclang.AppT:
@@ -346,7 +346,7 @@ func (r *Recorder) Observe(step int, mem *regions.Memory[gclang.Value], before g
 			rc.cells++
 			rc.bytes += b
 			ev := Event{
-				Step: step, Kind: KindAlloc, Region: string(rn.Name),
+				Step: step, Kind: KindAlloc, Region: rn.Name.String(),
 				Addr:  regions.Addr{Region: rn.Name, Off: rc.cells - 1}.String(),
 				Cells: 1, Bytes: b,
 			}
@@ -372,14 +372,14 @@ func (r *Recorder) Observe(step int, mem *regions.Memory[gclang.Value], before g
 			sp.Scans++
 			r.tl.Scans++
 			r.emit(Event{
-				Step: step, Kind: KindScan, Region: string(a.Addr.Region),
+				Step: step, Kind: KindScan, Region: a.Addr.Region.String(),
 				Addr: a.Addr.String(), Collection: sp.Index,
 			})
 		}
 	case gclang.SetT:
 		ev := Event{Step: step, Kind: KindForward}
 		if a, ok := t.Dst.(gclang.AddrV); ok {
-			ev.Region = string(a.Addr.Region)
+			ev.Region = a.Addr.Region.String()
 			ev.Addr = a.Addr.String()
 		}
 		r.tl.Forwards++
@@ -411,7 +411,7 @@ func (r *Recorder) Observe(step int, mem *regions.Memory[gclang.Value], before g
 			r.tl.CellsFreed += rc.cells
 			r.tl.BytesFreed += rc.bytes
 			ev := Event{
-				Step: step, Kind: KindRegionFree, Region: string(n),
+				Step: step, Kind: KindRegionFree, Region: n.String(),
 				Cells: rc.cells, Bytes: rc.bytes,
 			}
 			if r.curIdx >= 0 {

@@ -1,0 +1,337 @@
+package regions
+
+import "fmt"
+
+// Arena is the flat store: every non-code cell lives in one bump-allocated
+// slab (the from-space), and reclamation runs as a Cheney two-finger
+// scavenge into a second slab (the to-space), after which the spaces flip
+// — the gc2/MPS protocol of SNIPPETS.md, at region granularity.
+//
+// Addressing: a region's cells occupy a window of the slab. Right after a
+// scavenge every region is contiguous, so the window is (base, count) and
+// a cell lookup is one slice index. Interleaved allocation into several
+// regions breaks contiguity; the first non-adjacent put materializes a
+// per-region slot table (off → slab index) and lookups pay one extra
+// int32 load until the next scavenge restores contiguity.
+//
+// λGC addresses are logical pairs ν.ℓ, not slab indices, so evacuation
+// never rewrites cell contents: the scan-finger fix redirects each
+// surviving region's window to its to-space position instead of patching
+// pointers cell by cell. Region liveness is flat membership in the keep
+// set ∆ (the type system already proved what only ∆ retains), so the
+// evacuation loop copies whole kept regions rather than tracing.
+//
+// The code region cd is immortal (§4.3) and kept in its own slab so
+// scavenges never pay for program code.
+type Arena[V any] struct {
+	capacity int
+	autoGrow bool
+	stats    Stats
+
+	cd    []V // code region cells, never scavenged
+	space []V // from-space: every live non-code cell
+	spare []V // to-space, retained across flips
+
+	metas   []arenaMeta // indexed by Name; metas[CD] is a live marker only
+	order   []Name      // live regions in creation order
+	live    int         // live non-code cells, maintained incrementally
+	garbage int         // dead cells still occupying from-space slots
+	counter uint32
+
+	scratch []Name // reusable survivor buffer for Only
+}
+
+// arenaMeta locates one region's cells inside the slab.
+type arenaMeta struct {
+	live    bool
+	base    int32   // slab index of cell 0 while contiguous (slots == nil)
+	count   int32   // cells allocated in the region
+	newBase int32   // relocated base, valid between the scavenge's two fingers
+	slots   []int32 // off → slab index; nil while the region is contiguous
+}
+
+// NewArena returns a flat arena store containing only the code region cd.
+func NewArena[V any](capacity int) *Arena[V] {
+	return &Arena[V]{
+		capacity: capacity,
+		metas:    []arenaMeta{{live: true}},
+		order:    []Name{CD},
+	}
+}
+
+// Backend identifies the implementation.
+func (ar *Arena[V]) Backend() Backend { return BackendArena }
+
+// Stats returns the cumulative traffic counters.
+func (ar *Arena[V]) Stats() Stats { return ar.stats }
+
+// Capacity returns the per-region fullness threshold (see Store).
+func (ar *Arena[V]) Capacity() int { return ar.capacity }
+
+// SetAutoGrow enables the survivor-driven heap-growth policy (see Store).
+func (ar *Arena[V]) SetAutoGrow(on bool) { ar.autoGrow = on }
+
+// NewRegion interns a fresh dense id and returns it.
+func (ar *Arena[V]) NewRegion() Name {
+	ar.counter++
+	n := Name(ar.counter)
+	ar.metas = append(ar.metas, arenaMeta{live: true})
+	ar.order = append(ar.order, n)
+	ar.stats.RegionsCreated++
+	return n
+}
+
+// Has reports whether region n is live.
+func (ar *Arena[V]) Has(n Name) bool {
+	return int(n) < len(ar.metas) && ar.metas[n].live
+}
+
+// Put bump-allocates v at the end of the slab and records it in region n.
+func (ar *Arena[V]) Put(n Name, v V) (Addr, error) {
+	if n == CD {
+		ar.cd = append(ar.cd, v)
+		ar.stats.Puts++
+		return Addr{Region: CD, Off: len(ar.cd) - 1}, nil
+	}
+	if !ar.Has(n) {
+		return Addr{}, fmt.Errorf("regions: put into dead region %s", n)
+	}
+	meta := &ar.metas[n]
+	idx := len(ar.space)
+	ar.space = append(ar.space, v)
+	switch {
+	case meta.count == 0:
+		meta.base = int32(idx)
+	case meta.slots == nil && idx != int(meta.base)+int(meta.count):
+		// Another region allocated since this one's last put: contiguity
+		// is broken until the next scavenge, switch to explicit slots.
+		meta.slots = make([]int32, meta.count, meta.count+1)
+		for i := range meta.slots {
+			meta.slots[i] = meta.base + int32(i)
+		}
+	}
+	if meta.slots != nil {
+		meta.slots = append(meta.slots, int32(idx))
+	}
+	off := int(meta.count)
+	meta.count++
+	ar.stats.Puts++
+	ar.live++
+	if ar.live > ar.stats.MaxLiveCells {
+		ar.stats.MaxLiveCells = ar.live
+	}
+	return Addr{Region: n, Off: off}, nil
+}
+
+// cell resolves a to a slab pointer, or nil if a is not a live cell.
+func (ar *Arena[V]) cell(a Addr) *V {
+	if a.Region == CD {
+		if a.Off < 0 || a.Off >= len(ar.cd) {
+			return nil
+		}
+		return &ar.cd[a.Off]
+	}
+	if !ar.Has(a.Region) {
+		return nil
+	}
+	meta := &ar.metas[a.Region]
+	if a.Off < 0 || a.Off >= int(meta.count) {
+		return nil
+	}
+	if meta.slots == nil {
+		return &ar.space[int(meta.base)+a.Off]
+	}
+	return &ar.space[meta.slots[a.Off]]
+}
+
+// Get dereferences a.
+func (ar *Arena[V]) Get(a Addr) (V, error) {
+	if p := ar.cell(a); p != nil {
+		ar.stats.Gets++
+		return *p, nil
+	}
+	var zero V
+	if !ar.Has(a.Region) {
+		return zero, fmt.Errorf("regions: get from dead region %s", a.Region)
+	}
+	return zero, fmt.Errorf("regions: get from unallocated address %s", a)
+}
+
+// Set overwrites the cell at a (the forwarding-pointer install of §7).
+func (ar *Arena[V]) Set(a Addr, v V) error {
+	if p := ar.cell(a); p != nil {
+		*p = v
+		ar.stats.Sets++
+		return nil
+	}
+	if !ar.Has(a.Region) {
+		return fmt.Errorf("regions: set in dead region %s", a.Region)
+	}
+	return fmt.Errorf("regions: set at unallocated address %s", a)
+}
+
+// Peek reads the cell at a without counting a Get (see Store).
+func (ar *Arena[V]) Peek(a Addr) (V, bool) {
+	if p := ar.cell(a); p != nil {
+		return *p, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Corrupt silently overwrites the cell at a, bypassing statistics (see
+// Store).
+func (ar *Arena[V]) Corrupt(a Addr, v V) bool {
+	if p := ar.cell(a); p != nil {
+		*p = v
+		return true
+	}
+	return false
+}
+
+// Only reclaims every region not listed in keep. Reclamation is logical
+// and O(condemned cells): each condemned region is marked dead where it
+// stands and its slab slots become garbage. The physical Cheney scavenge
+// that compacts the slab is deferred until garbage has grown to match the
+// live set — every scavenge then halves the from-space, so its copy cost
+// amortizes to O(1) per reclaimed cell, and the frequent collections whose
+// survivors vastly outnumber their condemned set (the generational minor
+// cycle) cost no more here than a map deletion would.
+func (ar *Arena[V]) Only(keep []Name) error {
+	for _, n := range keep {
+		if !ar.Has(n) {
+			return fmt.Errorf("regions: only keeps dead region %s", n)
+		}
+	}
+
+	var zero V
+	remaining := ar.scratch[:0]
+	for _, n := range ar.order {
+		if n == CD || keepsName(keep, n) {
+			remaining = append(remaining, n)
+			continue
+		}
+		meta := &ar.metas[n]
+		dead := int(meta.count)
+		// Zero the dead window so the host GC can free the values now;
+		// the slots themselves are reclaimed at the next scavenge.
+		if meta.slots == nil {
+			for i := meta.base; i < meta.base+meta.count; i++ {
+				ar.space[i] = zero
+			}
+		} else {
+			for _, idx := range meta.slots {
+				ar.space[idx] = zero
+			}
+		}
+		ar.stats.RegionsReclaimed++
+		ar.stats.CellsReclaimed += dead
+		ar.live -= dead
+		ar.garbage += dead
+		*meta = arenaMeta{}
+	}
+	ar.scratch = ar.order[:0]
+	ar.order = remaining
+
+	if ar.garbage > 0 && ar.garbage >= ar.live {
+		ar.scavenge()
+	}
+
+	if ar.autoGrow && ar.capacity > 0 && ar.live > ar.capacity/2 {
+		ar.capacity = 2 * ar.live
+	}
+	return nil
+}
+
+// scavenge compacts the from-space with the Cheney two-finger protocol:
+// every live region is evacuated to the to-space behind an allocation
+// finger, then a scan finger walks the to-space fixing addressing until
+// the fingers meet, and the spaces flip.
+func (ar *Arena[V]) scavenge() {
+	// Evacuation: copy each live region's cells into to-space in creation
+	// order, advancing the allocation finger past each.
+	to := ar.spare[:0]
+	for _, n := range ar.order {
+		if n == CD {
+			continue
+		}
+		meta := &ar.metas[n]
+		meta.newBase = int32(len(to))
+		if meta.slots == nil {
+			to = append(to, ar.space[meta.base:meta.base+meta.count]...)
+		} else {
+			for _, idx := range meta.slots {
+				to = append(to, ar.space[idx])
+			}
+		}
+	}
+	alloc := len(to) // the allocation finger after the last evacuation
+
+	// Scan: advance the scan finger over the evacuated cells until it
+	// meets the allocation finger. λGC cell contents hold logical ν.ℓ
+	// addresses that survive relocation unchanged, so the per-cell fix
+	// reduces to redirecting each region's window to its to-space
+	// position; evacuation made every survivor contiguous, so slot
+	// tables are dropped.
+	scan := 0
+	for _, n := range ar.order {
+		if n == CD {
+			continue
+		}
+		meta := &ar.metas[n]
+		if scan != int(meta.newBase) {
+			panic(fmt.Sprintf("regions: scavenge fingers out of sync at %s: scan %d, base %d", n, scan, meta.newBase))
+		}
+		meta.base = meta.newBase
+		meta.slots = nil
+		scan += int(meta.count)
+	}
+	if scan != alloc {
+		panic(fmt.Sprintf("regions: scavenge fingers never met: scan %d, alloc %d", scan, alloc))
+	}
+
+	// Flip: the old from-space becomes the next to-space. Clearing it
+	// drops the dead cells' references for the host GC.
+	clear(ar.space)
+	ar.spare = ar.space[:0]
+	ar.space = to
+	ar.garbage = 0
+}
+
+// Full reports whether region n has reached the fullness threshold.
+func (ar *Arena[V]) Full(n Name) bool {
+	if ar.capacity <= 0 {
+		return false
+	}
+	return ar.Size(n) >= ar.capacity
+}
+
+// Size returns the number of cells allocated in region n (0 if dead).
+func (ar *Arena[V]) Size(n Name) int {
+	if n == CD {
+		return len(ar.cd)
+	}
+	if !ar.Has(n) {
+		return 0
+	}
+	return int(ar.metas[n].count)
+}
+
+// LiveCells returns the number of live cells outside the code region.
+func (ar *Arena[V]) LiveCells() int { return ar.live }
+
+// Regions returns the live region names in creation order.
+func (ar *Arena[V]) Regions() []Name {
+	return append([]Name(nil), ar.order...)
+}
+
+// Cells returns the addresses of every live cell, in deterministic order.
+func (ar *Arena[V]) Cells() []Addr {
+	var out []Addr
+	for _, n := range ar.order {
+		for off := 0; off < ar.Size(n); off++ {
+			out = append(out, Addr{Region: n, Off: off})
+		}
+	}
+	return out
+}

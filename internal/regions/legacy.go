@@ -1,0 +1,234 @@
+package regions
+
+import "fmt"
+
+// BackendLegacyString identifies the seed's string-keyed substrate,
+// retained as the benchmark baseline this package's flat backends are
+// measured against. It is deliberately not selectable through ParseBackend
+// and not listed by Backends: NewLegacyString is the only constructor, and
+// the only client is the psgc-bench replay comparison.
+const BackendLegacyString Backend = -1
+
+const legacyCD = "cd"
+
+// LegacyString reproduces the original substrate this repository seeded
+// with, before region names were interned to dense uint32 ids: region
+// names were strings ("ν17"), the store was a Go map keyed by those
+// strings, and every Put re-derived the live-cell count with a full scan
+// over the map to maintain the high-water mark. Each operation therefore
+// hashes a string on the hottest path and Put is O(live regions).
+//
+// The Store interface now traffics in dense uint32 Names, so this store
+// interns id → string once at NewRegion (exactly where the seed paid its
+// fmt.Sprintf) and every subsequent operation performs the seed's string
+// hash and map probe. Counter identities match the other backends
+// bit-for-bit, so replayed traces are directly comparable.
+type LegacyString[V any] struct {
+	capacity int
+	autoGrow bool
+	stats    Stats
+
+	regions map[string]*legacyRegion[V]
+	names   []string // Name → string key, interned at creation
+	order   []Name   // creation order, for deterministic iteration
+	counter uint32
+}
+
+// A legacyRegion is a growable array of cells, as in the seed.
+type legacyRegion[V any] struct {
+	cells []V
+}
+
+// NewLegacyString returns a seed-substrate store containing only the code
+// region cd.
+func NewLegacyString[V any](capacity int) *LegacyString[V] {
+	m := &LegacyString[V]{
+		capacity: capacity,
+		regions:  map[string]*legacyRegion[V]{legacyCD: {}},
+		names:    []string{legacyCD},
+		order:    []Name{CD},
+	}
+	return m
+}
+
+// Backend identifies the implementation.
+func (m *LegacyString[V]) Backend() Backend { return BackendLegacyString }
+
+// Stats returns the cumulative traffic counters.
+func (m *LegacyString[V]) Stats() Stats { return m.stats }
+
+// Capacity returns the per-region fullness threshold (see Store).
+func (m *LegacyString[V]) Capacity() int { return m.capacity }
+
+// SetAutoGrow enables the survivor-driven heap-growth policy (see Store).
+func (m *LegacyString[V]) SetAutoGrow(on bool) { m.autoGrow = on }
+
+// region resolves n to its string key and probes the map, paying the
+// seed's per-operation string hash.
+func (m *LegacyString[V]) region(n Name) (*legacyRegion[V], bool) {
+	if int(n) >= len(m.names) {
+		return nil, false
+	}
+	r, ok := m.regions[m.names[n]]
+	return r, ok
+}
+
+// NewRegion allocates a fresh empty region and returns its name. The
+// string key is minted here with the seed's fmt.Sprintf.
+func (m *LegacyString[V]) NewRegion() Name {
+	m.counter++
+	n := Name(m.counter)
+	key := fmt.Sprintf("ν%d", m.counter)
+	m.regions[key] = &legacyRegion[V]{}
+	m.names = append(m.names, key)
+	m.order = append(m.order, n)
+	m.stats.RegionsCreated++
+	return n
+}
+
+// Has reports whether region n is live.
+func (m *LegacyString[V]) Has(n Name) bool {
+	_, ok := m.region(n)
+	return ok
+}
+
+// Put allocates v in region n and returns its address. As in the seed, the
+// high-water mark is re-derived with a full LiveCells scan on every put.
+func (m *LegacyString[V]) Put(n Name, v V) (Addr, error) {
+	r, ok := m.region(n)
+	if !ok {
+		return Addr{}, fmt.Errorf("regions: put into dead region %s", n)
+	}
+	r.cells = append(r.cells, v)
+	m.stats.Puts++
+	if live := m.LiveCells(); live > m.stats.MaxLiveCells {
+		m.stats.MaxLiveCells = live
+	}
+	return Addr{Region: n, Off: len(r.cells) - 1}, nil
+}
+
+// Get dereferences a.
+func (m *LegacyString[V]) Get(a Addr) (V, error) {
+	var zero V
+	r, ok := m.region(a.Region)
+	if !ok {
+		return zero, fmt.Errorf("regions: get from dead region %s", a.Region)
+	}
+	if a.Off < 0 || a.Off >= len(r.cells) {
+		return zero, fmt.Errorf("regions: get from unallocated address %s", a)
+	}
+	m.stats.Gets++
+	return r.cells[a.Off], nil
+}
+
+// Set overwrites the cell at a (the forwarding-pointer install of §7).
+func (m *LegacyString[V]) Set(a Addr, v V) error {
+	r, ok := m.region(a.Region)
+	if !ok {
+		return fmt.Errorf("regions: set in dead region %s", a.Region)
+	}
+	if a.Off < 0 || a.Off >= len(r.cells) {
+		return fmt.Errorf("regions: set at unallocated address %s", a)
+	}
+	r.cells[a.Off] = v
+	m.stats.Sets++
+	return nil
+}
+
+// Peek reads the cell at a without counting a Get (see Store).
+func (m *LegacyString[V]) Peek(a Addr) (V, bool) {
+	r, ok := m.region(a.Region)
+	if !ok || a.Off < 0 || a.Off >= len(r.cells) {
+		var zero V
+		return zero, false
+	}
+	return r.cells[a.Off], true
+}
+
+// Corrupt silently overwrites the cell at a, bypassing statistics (see
+// Store).
+func (m *LegacyString[V]) Corrupt(a Addr, v V) bool {
+	r, ok := m.region(a.Region)
+	if !ok || a.Off < 0 || a.Off >= len(r.cells) {
+		return false
+	}
+	r.cells[a.Off] = v
+	return true
+}
+
+// Only reclaims every region not listed in keep, allocating the seed's
+// per-call keep set.
+func (m *LegacyString[V]) Only(keep []Name) error {
+	keepSet := map[Name]bool{CD: true}
+	for _, n := range keep {
+		if !m.Has(n) {
+			return fmt.Errorf("regions: only keeps dead region %s", n)
+		}
+		keepSet[n] = true
+	}
+	var remaining []Name
+	for _, n := range m.order {
+		if keepSet[n] {
+			remaining = append(remaining, n)
+			continue
+		}
+		key := m.names[n]
+		m.stats.RegionsReclaimed++
+		m.stats.CellsReclaimed += len(m.regions[key].cells)
+		delete(m.regions, key)
+	}
+	m.order = remaining
+	if m.autoGrow && m.capacity > 0 {
+		if live := m.LiveCells(); live > m.capacity/2 {
+			m.capacity = 2 * live
+		}
+	}
+	return nil
+}
+
+// Full reports whether region n has reached the fullness threshold.
+func (m *LegacyString[V]) Full(n Name) bool {
+	if m.capacity <= 0 {
+		return false
+	}
+	r, ok := m.region(n)
+	return ok && len(r.cells) >= m.capacity
+}
+
+// Size returns the number of cells allocated in region n (0 if dead).
+func (m *LegacyString[V]) Size(n Name) int {
+	r, ok := m.region(n)
+	if !ok {
+		return 0
+	}
+	return len(r.cells)
+}
+
+// LiveCells returns the number of live cells outside the code region,
+// re-derived by a full map scan as in the seed.
+func (m *LegacyString[V]) LiveCells() int {
+	total := 0
+	for key, r := range m.regions {
+		if key == legacyCD {
+			continue
+		}
+		total += len(r.cells)
+	}
+	return total
+}
+
+// Regions returns the live region names in creation order.
+func (m *LegacyString[V]) Regions() []Name {
+	return append([]Name(nil), m.order...)
+}
+
+// Cells returns the addresses of every live cell, in deterministic order.
+func (m *LegacyString[V]) Cells() []Addr {
+	var out []Addr
+	for _, n := range m.order {
+		for off := 0; off < m.Size(n); off++ {
+			out = append(out, Addr{Region: n, Off: off})
+		}
+	}
+	return out
+}

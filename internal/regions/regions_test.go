@@ -63,8 +63,8 @@ func TestOnlyReclaims(t *testing.T) {
 	if v, err := m.Get(a2); err != nil || v != 2 {
 		t.Errorf("read from kept region: %v, %v", v, err)
 	}
-	if m.Stats.RegionsReclaimed != 1 || m.Stats.CellsReclaimed != 1 {
-		t.Errorf("stats: %+v", m.Stats)
+	if m.Stats().RegionsReclaimed != 1 || m.Stats().CellsReclaimed != 1 {
+		t.Errorf("stats: %+v", m.Stats())
 	}
 }
 
@@ -172,7 +172,7 @@ func TestStatsCounts(t *testing.T) {
 	m.Put(r, 2)
 	m.Get(a)
 	m.Set(a, 3)
-	s := m.Stats
+	s := m.Stats()
 	if s.Puts != 2 || s.Gets != 1 || s.Sets != 1 || s.RegionsCreated != 1 {
 		t.Errorf("stats: %+v", s)
 	}
@@ -228,8 +228,8 @@ func TestLiveCellsExcludesCD(t *testing.T) {
 }
 
 func TestSortedNames(t *testing.T) {
-	got := SortedNames([]Name{"b", "a", "c"})
-	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+	got := SortedNames([]Name{2, 1, 3})
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Errorf("SortedNames = %v", got)
 	}
 }

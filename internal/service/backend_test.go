@@ -1,0 +1,96 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"psgc/internal/workload"
+)
+
+// TestBackendSelection covers the request-level substrate switch: the
+// configured default applies when a request names none, the body field
+// selects per request, and the ?backend= query parameter wins over both.
+func TestBackendSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	src := workload.AllocHeavySrc(10)
+
+	resp, body := postJSON(t, ts.URL+"/run", RunRequest{
+		CompileRequest: CompileRequest{Source: src},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+	rr := decode[RunResponse](t, body)
+	if rr.Backend != "map" {
+		t.Errorf("backend %q, want the map default", rr.Backend)
+	}
+	want := rr.Value
+
+	resp, body = postJSON(t, ts.URL+"/run", RunRequest{
+		CompileRequest: CompileRequest{Source: src},
+		Backend:        "arena",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("arena run: status %d: %s", resp.StatusCode, body)
+	}
+	rr = decode[RunResponse](t, body)
+	if rr.Backend != "arena" {
+		t.Errorf("backend %q, want the requested arena", rr.Backend)
+	}
+	if rr.Value != want {
+		t.Errorf("arena value %d, map value %d — substrates must agree", rr.Value, want)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/run?backend=map", RunRequest{
+		CompileRequest: CompileRequest{Source: src},
+		Backend:        "arena",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("override run: status %d: %s", resp.StatusCode, body)
+	}
+	if rr = decode[RunResponse](t, body); rr.Backend != "map" {
+		t.Errorf("backend %q, want the map query override", rr.Backend)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/run", RunRequest{
+		CompileRequest: CompileRequest{Source: src},
+		Backend:        "quantum",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus backend: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestDefaultBackendAppliesToRuns checks a node configured to default to
+// the arena serves it, reports it in /healthz, and co-checked arena runs
+// still answer correctly (the oracle stays on the map substrate).
+func TestDefaultBackendAppliesToRuns(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, DefaultBackend: "arena"})
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	h := decode[map[string]any](t, body)
+	if h["default_backend"] != "arena" {
+		t.Errorf("default_backend = %v, want arena", h["default_backend"])
+	}
+	bs, ok := h["backends"].([]any)
+	if !ok || len(bs) != 2 || bs[0] != "map" || bs[1] != "arena" {
+		t.Errorf("backends = %v, want [map arena]", h["backends"])
+	}
+
+	resp, body = postJSON(t, ts.URL+"/run?cocheck=1", RunRequest{
+		CompileRequest: CompileRequest{Source: workload.AllocHeavySrc(10)},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+	rr := decode[RunResponse](t, body)
+	if rr.Backend != "arena" || !rr.CoChecked || rr.Diverged {
+		t.Errorf("backend %q cochecked %v diverged %v, want arena/true/false",
+			rr.Backend, rr.CoChecked, rr.Diverged)
+	}
+	if rr.Value != 55 {
+		t.Errorf("value %d, want 55", rr.Value)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"psgc"
 	"psgc/internal/obs"
+	"psgc/internal/regions"
 )
 
 // BatchRequest is the POST /batch payload: an ordered list of run items.
@@ -84,6 +85,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			item.Engine = s.cfg.DefaultEngine
 		}
 		if _, err := psgc.ParseEngine(item.Engine); err != nil {
+			results[i] = batchItemError(http.StatusBadRequest,
+				errorBody{Error: err.Error(), TraceID: itemID})
+			continue
+		}
+		if item.Backend == "" {
+			item.Backend = s.cfg.DefaultBackend
+		}
+		if _, err := regions.ParseBackend(item.Backend); err != nil {
 			results[i] = batchItemError(http.StatusBadRequest,
 				errorBody{Error: err.Error(), TraceID: itemID})
 			continue

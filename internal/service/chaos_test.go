@@ -49,8 +49,15 @@ var chaosPoints = []struct {
 
 var chaosCollectors = []string{"basic", "forwarding", "generational"}
 
-// TestChaosMatrix hammers every fault point with concurrent mixed-collector
-// traffic and asserts the service never leaves its well-formed envelope.
+// chaosBackends alternates the memory substrate across the matrix so every
+// fault point fires against the arena as well as the map backend —
+// machine.corrupt in particular must land on arena slabs and still be
+// caught by the map-substrate oracle.
+var chaosBackends = []string{"map", "arena"}
+
+// TestChaosMatrix hammers every fault point with concurrent mixed-collector,
+// mixed-backend traffic and asserts the service never leaves its
+// well-formed envelope.
 func TestChaosMatrix(t *testing.T) {
 	for _, p := range chaosPoints {
 		t.Run(p.name, func(t *testing.T) {
@@ -72,6 +79,7 @@ func TestChaosMatrix(t *testing.T) {
 							CompileRequest: CompileRequest{Source: workload.AllocHeavySrc(n), Collector: col},
 							Capacity:       intp(40),
 							CoCheck:        p.cocheck,
+							Backend:        chaosBackends[(g+i)%len(chaosBackends)],
 						})
 						if !p.allowed[status] {
 							errs <- string(body)

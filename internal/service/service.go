@@ -45,6 +45,7 @@ import (
 	"psgc"
 	"psgc/internal/fault"
 	"psgc/internal/obs"
+	"psgc/internal/regions"
 )
 
 // Config sizes the service. Zero values select the documented defaults.
@@ -93,6 +94,10 @@ type Config struct {
 	// "env" (the default) or "subst". Surfaced in /healthz so operators can
 	// tell what a node is defaulting to.
 	DefaultEngine string
+	// DefaultBackend is the memory substrate /run uses when the request
+	// names none: "map" (the default) or "arena" (contiguous slabs with
+	// Cheney two-finger scavenging). Surfaced in /healthz.
+	DefaultBackend string
 	// PeerFetchURL, when non-empty, is the fleet gate's peer-fetch endpoint
 	// (e.g. http://gate:8373/peer/compiled). On a local compiled-cache miss
 	// the server asks it for another node's compiled entry before paying the
@@ -145,6 +150,11 @@ func (c Config) withDefaults() Config {
 	if _, err := psgc.ParseEngine(c.DefaultEngine); err != nil {
 		c.DefaultEngine = psgc.EngineEnv.String()
 	}
+	b, err := regions.ParseBackend(c.DefaultBackend)
+	if err != nil {
+		b = regions.BackendMap
+	}
+	c.DefaultBackend = b.String()
 	if c.PeerTimeoutMs <= 0 {
 		c.PeerTimeoutMs = 2000
 	}
@@ -410,6 +420,11 @@ type RunRequest struct {
 	// the env engine; slower, but a divergence can never produce a wrong
 	// answer — the oracle's result is always the one returned.
 	CoCheck bool `json:"cocheck"`
+	// Backend selects the memory substrate: "map" (the default) or
+	// "arena". Equivalent to the ?backend= query parameter, which takes
+	// precedence. Co-checked runs always keep the oracle on the map
+	// backend, so a co-checked arena run is a cross-substrate differential.
+	Backend string `json:"backend"`
 }
 
 // RunStats is the observable execution statistics, present in both
@@ -448,6 +463,7 @@ type RunResponse struct {
 	Value      int     `json:"value"`
 	Collector  string  `json:"collector"`
 	Engine     string  `json:"engine"`
+	Backend    string  `json:"backend"`
 	SourceHash string  `json:"source_hash"`
 	Cached     bool    `json:"cached"`
 	Fuel       int     `json:"fuel"`
@@ -665,6 +681,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			body: errorBody{Error: err.Error(), TraceID: traceID}})
 		return
 	}
+	if v := r.URL.Query().Get("backend"); v != "" {
+		req.Backend = v
+	}
+	if req.Backend == "" {
+		req.Backend = s.cfg.DefaultBackend
+	}
+	if _, err := regions.ParseBackend(req.Backend); err != nil {
+		s.writeResponse(w, &response{status: http.StatusBadRequest,
+			body: errorBody{Error: err.Error(), TraceID: traceID}})
+		return
+	}
 	req.CoCheck = flagged(r, "cocheck", req.CoCheck)
 	trace := flagged(r, "trace", req.Trace)
 	stream := flagged(r, "stream", req.Stream)
@@ -711,6 +738,11 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 	if err != nil {
 		return &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error(), TraceID: traceID}}
 	}
+	backend, err := regions.ParseBackend(req.Backend)
+	if err != nil {
+		return &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error(), TraceID: traceID}}
+	}
+	opts.Backend = backend
 	hash := SourceHash(req.Source)
 	diverged := false
 	if engine == psgc.EngineEnv {
@@ -813,6 +845,7 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 		Value:      res.Value,
 		Collector:  col.String(),
 		Engine:     engine.String(),
+		Backend:    backend.String(),
 		SourceHash: hash,
 		Cached:     hit,
 		Fuel:       opts.Fuel,
@@ -945,6 +978,17 @@ func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// backendNames lists the memory substrates this build can serve, for the
+// healthz inventory.
+func backendNames() []string {
+	bs := regions.Backends()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.String()
+	}
+	return names
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	status := "ok"
@@ -963,7 +1007,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// co-check incident pins a hash to subst, operators need to see at a
 		// glance what engine everything else still defaults to, and which
 		// build is serving.
-		"default_engine":  s.cfg.DefaultEngine,
+		"default_engine": s.cfg.DefaultEngine,
+		// The memory substrate this node defaults to, and the ones it can
+		// serve (PR 7): ?backend= selects per request.
+		"default_backend": s.cfg.DefaultBackend,
+		"backends":        backendNames(),
 		"build":           s.build,
 		"uptime_ms":       time.Since(s.start).Milliseconds(),
 		"workers":         s.cfg.Workers,

@@ -275,7 +275,7 @@ func (c CollectOnce) run(fuel int, env bool) (RunStats, error) {
 	// Regions in creation order: cd, mutator region(s), then the
 	// collector's (to-space and) continuation region — the last one.
 	maxCont := 0
-	sample := func(mem *regions.Memory[gclang.Value]) {
+	sample := func(mem regions.Store[gclang.Value]) {
 		rs := mem.Regions()
 		if len(rs) >= 1+c.MutatorRegions+1 {
 			cont := rs[len(rs)-1]
@@ -285,7 +285,7 @@ func (c CollectOnce) run(fuel int, env bool) (RunStats, error) {
 		}
 	}
 	var (
-		mem   *regions.Memory[gclang.Value]
+		mem   regions.Store[gclang.Value]
 		steps int
 		err   error
 	)
@@ -308,7 +308,7 @@ func (c CollectOnce) run(fuel int, env bool) (RunStats, error) {
 		Steps:      steps,
 		Copied:     live,
 		MaxCont:    maxCont,
-		MemStats:   mem.Stats,
+		MemStats:   mem.Stats(),
 		LiveAfter:  live,
 		AllRegions: len(mem.Regions()),
 	}, nil

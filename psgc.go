@@ -334,6 +334,17 @@ type RunOptions struct {
 	// OnDivergence, if non-nil, is invoked at most once per co-checked run
 	// with the first observed divergence.
 	OnDivergence func(Divergence)
+	// Backend selects the memory substrate (default regions.BackendMap).
+	// The co-checker's substitution oracle always runs on the map backend
+	// regardless, so a co-checked arena run validates the arena cell by
+	// cell against the reference implementation.
+	Backend regions.Backend
+	// WrapStore, if non-nil, replaces the machine's memory substrate with
+	// its return value just after construction. The benchmark harness uses
+	// it to interpose regions.NewTrace and record the run's exact op
+	// sequence; the wrapper must preserve observable store behavior. The
+	// co-checker's oracle is never wrapped.
+	WrapStore func(regions.Store[gclang.Value]) regions.Store[gclang.Value]
 }
 
 // Progress is a point-in-time execution snapshot delivered to
@@ -380,8 +391,11 @@ var ErrCanceled = errors.New("psgc: run canceled")
 // NewMachine loads the compiled program into a fresh machine. Most
 // callers want Run; NewMachine is for stepping or inspecting states.
 func (c *Compiled) NewMachine(opts RunOptions) *gclang.Machine {
-	m := gclang.NewMachine(c.Collector.Dialect(), c.Prog, opts.Capacity)
-	m.Mem.AutoGrow = !opts.FixedCapacity
+	m := gclang.NewMachineOn(opts.Backend, c.Collector.Dialect(), c.Prog, opts.Capacity)
+	m.Mem.SetAutoGrow(!opts.FixedCapacity)
+	if opts.WrapStore != nil {
+		m.Mem = opts.WrapStore(m.Mem)
+	}
 	m.Ghost = opts.Ghost || opts.CheckEveryStep
 	return m
 }
@@ -390,8 +404,11 @@ func (c *Compiled) NewMachine(opts RunOptions) *gclang.Machine {
 // machine (the default Run engine). Ghost mode is not available on it; use
 // NewMachine for stepping with Ψ.
 func (c *Compiled) NewEnvMachine(opts RunOptions) *gclang.EnvMachine {
-	m := gclang.NewEnvMachine(c.Collector.Dialect(), c.Prog, opts.Capacity)
-	m.Mem.AutoGrow = !opts.FixedCapacity
+	m := gclang.NewEnvMachineOn(opts.Backend, c.Collector.Dialect(), c.Prog, opts.Capacity)
+	m.Mem.SetAutoGrow(!opts.FixedCapacity)
+	if opts.WrapStore != nil {
+		m.Mem = opts.WrapStore(m.Mem)
+	}
 	return m
 }
 
@@ -504,7 +521,7 @@ func (c *Compiled) runEnv(opts RunOptions) (Result, error) {
 	return finishResult(m.Result, m.Steps, collections, m.Mem)
 }
 
-func finishResult(v gclang.Value, steps, collections int, mem *regions.Memory[gclang.Value]) (Result, error) {
+func finishResult(v gclang.Value, steps, collections int, mem regions.Store[gclang.Value]) (Result, error) {
 	n, ok := v.(gclang.Num)
 	if !ok {
 		return Result{}, fmt.Errorf("psgc: program halted with non-integer %s", v)
@@ -515,11 +532,11 @@ func finishResult(v gclang.Value, steps, collections int, mem *regions.Memory[gc
 }
 
 // partialResult snapshots an execution's observable statistics.
-func partialResult(steps, collections int, mem *regions.Memory[gclang.Value]) Result {
+func partialResult(steps, collections int, mem regions.Store[gclang.Value]) Result {
 	return Result{
 		Steps:       steps,
 		Collections: collections,
-		Stats:       mem.Stats,
+		Stats:       mem.Stats(),
 		LiveCells:   mem.LiveCells(),
 	}
 }
