@@ -29,6 +29,10 @@
 //	                      percentiles through -gate or -remote, plus the gate's
 //	                      metrics when the target is a gate — the CI
 //	                      BENCH_6.json artifact) and exit
+//	-snapshot-policy PATH  write a JSON snapshot of the always-on profiling
+//	                      overhead on E1 and the adaptive policy measured
+//	                      against every static collector on the mixed
+//	                      workloads (the CI BENCH_8.json artifact) and exit
 package main
 
 import (
@@ -51,6 +55,8 @@ import (
 	"psgc/internal/baseline"
 	"psgc/internal/gclang"
 	"psgc/internal/gen"
+	"psgc/internal/obs"
+	"psgc/internal/policy"
 	"psgc/internal/regions"
 	"psgc/internal/source"
 	"psgc/internal/tags"
@@ -91,6 +97,7 @@ func main() {
 	snapshot := flag.String("snapshot", "", "write a JSON snapshot of the E1 workload under both engines to this path and exit")
 	backendSnapshot := flag.String("snapshot-backend", "", "write a JSON snapshot comparing the map and arena backends on the E1 workload to this path and exit")
 	fleetSnapshot := flag.String("snapshot-fleet", "", "write a fleet-mode JSON snapshot (latency percentiles through -gate or -remote) to this path and exit")
+	policySnapshot := flag.String("snapshot-policy", "", "write a JSON snapshot of profiling overhead and adaptive-vs-static policy to this path and exit")
 	flag.Parse()
 	var err error
 	if runEngine, err = psgc.ParseEngine(*engineName); err != nil {
@@ -107,6 +114,12 @@ func main() {
 	}
 	if *backendSnapshot != "" {
 		if err := writeBackendSnapshot(*backendSnapshot); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *policySnapshot != "" {
+		if err := writePolicySnapshot(*policySnapshot); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -399,6 +412,8 @@ type remoteRunRequest struct {
 	Source    string `json:"source"`
 	Collector string `json:"collector"`
 	Engine    string `json:"engine"`
+	Backend   string `json:"backend,omitempty"`
+	Policy    string `json:"policy,omitempty"`
 	Capacity  *int   `json:"capacity,omitempty"`
 	CoCheck   bool   `json:"cocheck,omitempty"`
 }
@@ -414,6 +429,7 @@ type remoteRunStats struct {
 type remoteRunResponse struct {
 	Value     int            `json:"value"`
 	Engine    string         `json:"engine"`
+	Backend   string         `json:"backend"`
 	Cached    bool           `json:"cached"`
 	RunMs     float64        `json:"run_ms"`
 	CoChecked bool           `json:"cochecked"`
@@ -1026,6 +1042,7 @@ func writeSnapshot(path string) error {
 type fleetRow struct {
 	Collector string  `json:"collector"`
 	Engine    string  `json:"engine"`
+	Backend   string  `json:"backend"`
 	P50Ms     float64 `json:"p50_ms"`
 	P90Ms     float64 `json:"p90_ms"`
 	P99Ms     float64 `json:"p99_ms"`
@@ -1064,14 +1081,20 @@ func writeFleetSnapshot(target, gateURL, path string) error {
 		Workload:   "allocHeavy (build 60)",
 		Requests:   requests,
 	}
+	// Rows alternate the memory backend so the fleet path exercises the
+	// arena substrate end to end, not just the map default.
+	fleetBackends := []string{"map", "arena"}
+	row := 0
 	for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
 		for _, eng := range []string{"env", "subst"} {
 			cp := capacity
+			be := fleetBackends[row%len(fleetBackends)]
+			row++
 			ok := true
 			lat, _, err := t.sample(remoteRunRequest{
-				Source: allocHeavy, Collector: col.String(), Engine: eng, Capacity: &cp,
+				Source: allocHeavy, Collector: col.String(), Engine: eng, Backend: be, Capacity: &cp,
 			}, warmup, requests, func(rr remoteRunResponse) error {
-				ok = ok && rr.Value == want && rr.Engine == eng
+				ok = ok && rr.Value == want && rr.Engine == eng && rr.Backend == be
 				return nil
 			})
 			if err != nil {
@@ -1079,7 +1102,7 @@ func writeFleetSnapshot(target, gateURL, path string) error {
 			}
 			p50, p90, p99 := pcts(lat)
 			snap.Rows = append(snap.Rows, fleetRow{
-				Collector: col.String(), Engine: eng,
+				Collector: col.String(), Engine: eng, Backend: be,
 				P50Ms: p50, P90Ms: p90, P99Ms: p99, ResultOK: ok,
 			})
 		}
@@ -1347,5 +1370,231 @@ func writeBackendSnapshot(path string) error {
 	fmt.Printf("wrote %s: %d rows, identities %v, cocheck %v, arena op speedup vs seed substrate (geomean) %.2fx, vs map backend %.2fx, whole-run %.2fx\n",
 		path, len(snap.Rows), snap.IdentitiesOK, snap.CoCheckOK,
 		snap.ArenaOpSpeedupGeomean, snap.ArenaVsMapOpGeomean, snap.ArenaRunSpeedupGeomean)
+	return nil
+}
+
+// policyRow is one (workload, variant) measurement for BENCH_8: the three
+// static collectors plus the adaptive policy, every run carrying the
+// always-on profiler the service attaches, timed over interleaved reps.
+type policyRow struct {
+	Workload    string  `json:"workload"`
+	Variant     string  `json:"variant"` // "basic"/"forwarding"/"generational"/"adaptive"
+	Collector   string  `json:"collector"`
+	Capacity    int     `json:"capacity"`
+	Value       int     `json:"value"`
+	ResultOK    bool    `json:"result_ok"`
+	Collections int     `json:"collections"`
+	P50Ms       float64 `json:"p50_ms"`
+	// Reason is the decision rationale, adaptive rows only.
+	Reason string `json:"reason,omitempty"`
+}
+
+type policySnapshotFile struct {
+	Experiment string `json:"experiment"`
+	// SamplingOverheadE1 is profiled-p50 / plain-p50 for the E1 workload
+	// under the basic collector: the cost of leaving the event hook and
+	// profiler on for every request. CI gates this at <= 1.02.
+	SamplingOverheadE1 float64 `json:"sampling_overhead_e1"`
+	PlainP50Ms         float64 `json:"plain_p50_ms"`
+	ProfiledP50Ms      float64 `json:"profiled_p50_ms"`
+	// AdaptiveVsBestStaticGeomean is the geometric mean over workloads of
+	// best-static-p50 / adaptive-p50. 1.0 means adaptive ties the best
+	// static choice per workload; CI gates this at >= 0.95. The adaptive
+	// rows use the decided collector AND capacity — capacity sizing is part
+	// of the policy's job — while statics run at the bench capacity.
+	AdaptiveVsBestStaticGeomean float64 `json:"adaptive_vs_best_static_geomean"`
+	// IdentitiesOK reports that per-run profile totals agree exactly with
+	// the machine counters on every profiled measurement run: steps,
+	// collections, allocs+copies vs puts-code, forwards vs sets, and
+	// cells freed vs reclaimed.
+	IdentitiesOK bool `json:"identities_ok"`
+	// CoCheckOK reports that one co-checked adaptive run per workload
+	// finished with the oracle's value and no divergence.
+	CoCheckOK bool        `json:"cocheck_ok"`
+	Rows      []policyRow `json:"rows"`
+}
+
+// profiledRun times one run with a fresh profiler attached and folds the
+// profile/counter identity check into the measurement.
+func profiledRun(c *psgc.Compiled, opts psgc.RunOptions, identitiesOK *bool) (psgc.Result, float64, error) {
+	prof := c.Profiler()
+	opts.Profiler = prof
+	t0 := time.Now()
+	res, err := c.Run(opts)
+	if err != nil {
+		return res, 0, err
+	}
+	ms := float64(time.Since(t0)) / float64(time.Millisecond)
+	rp := prof.Profile()
+	codePuts := len(c.Prog.Code)
+	if rp.Steps != res.Steps ||
+		rp.Collections != res.Collections ||
+		rp.Allocs+rp.Copies != res.Stats.Puts-codePuts ||
+		rp.Forwards != res.Stats.Sets ||
+		rp.CellsFreed != res.Stats.CellsReclaimed {
+		*identitiesOK = false
+		fmt.Printf("PROFILE IDENTITY VIOLATION: profile %+v vs stats %+v\n", rp, res.Stats)
+	}
+	return res, ms, nil
+}
+
+// writePolicySnapshot measures the two BENCH_8 claims in process: the
+// always-on profiler is cheap enough to leave on (interleaved profiled vs
+// plain E1 reps), and the adaptive policy's choice of collector and
+// capacity matches or beats every static collector per workload.
+func writePolicySnapshot(path string) error {
+	const benchCapacity = 32
+	snap := policySnapshotFile{
+		Experiment:   "e10-policy",
+		IdentitiesOK: true,
+		CoCheckOK:    true,
+	}
+
+	// Part 1: sampling overhead on E1. Plain and profiled runs interleave
+	// so host-GC drift biases neither side; first round is warmup.
+	c, err := psgc.Compile(allocHeavy, psgc.Basic)
+	if err != nil {
+		return err
+	}
+	const overheadReps = 30
+	var plain, profiled []float64
+	for rep := 0; rep < overheadReps+1; rep++ {
+		t0 := time.Now()
+		if _, err := c.Run(psgc.RunOptions{Capacity: benchCapacity}); err != nil {
+			return err
+		}
+		plainMs := float64(time.Since(t0)) / float64(time.Millisecond)
+		_, profMs, err := profiledRun(c, psgc.RunOptions{Capacity: benchCapacity}, &snap.IdentitiesOK)
+		if err != nil {
+			return err
+		}
+		if rep > 0 {
+			plain = append(plain, plainMs)
+			profiled = append(profiled, profMs)
+		}
+	}
+	p50 := func(ts []float64) float64 {
+		sort.Float64s(ts)
+		return ts[len(ts)/2]
+	}
+	snap.PlainP50Ms, snap.ProfiledP50Ms = p50(plain), p50(profiled)
+	if snap.PlainP50Ms > 0 {
+		snap.SamplingOverheadE1 = snap.ProfiledP50Ms / snap.PlainP50Ms
+	}
+
+	// Part 2: adaptive vs every static, per workload. The statics also
+	// serve as the profile warm-up the decision reads, mirroring a service
+	// node that has seen the program before.
+	workloads := []struct {
+		name string
+		src  string
+	}{
+		{"alloc-heavy (build 60)", allocHeavy},
+		{"shared-dag (churn 60)", workload.SharedDAGSrc(60)},
+	}
+	statics := []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational}
+	const policyReps = 11
+	logSum, logN := 0.0, 0
+	for _, wl := range workloads {
+		want, err := psgc.Interpret(wl.src)
+		if err != nil {
+			return err
+		}
+		eng := policy.NewEngine(obs.NewProfileStore(4))
+		compiled := map[string]*psgc.Compiled{}
+		for _, col := range statics {
+			cc, err := psgc.Compile(wl.src, col)
+			if err != nil {
+				return err
+			}
+			compiled[col.String()] = cc
+			// Warm the profile store (untimed).
+			prof := cc.Profiler()
+			if _, err := cc.Run(psgc.RunOptions{Capacity: benchCapacity, Profiler: prof}); err != nil {
+				return err
+			}
+			eng.Observe(wl.name, col.String(), prof.Profile())
+		}
+		d := eng.Decide(wl.name, psgc.Basic.String(), benchCapacity)
+		adaptive := compiled[d.Collector]
+		adaptiveOpts := psgc.RunOptions{
+			Capacity: d.Capacity, Policy: policy.Adaptive, Decision: &d,
+		}
+
+		// Co-check the adaptive configuration against the oracle once.
+		diverged := false
+		cocheckOpts := adaptiveOpts
+		cocheckOpts.CoCheck = true
+		cocheckOpts.OnDivergence = func(psgc.Divergence) { diverged = true }
+		res, err := adaptive.Run(cocheckOpts)
+		if err != nil || diverged || res.Value != want {
+			snap.CoCheckOK = false
+			fmt.Printf("CO-CHECK FAILURE under adaptive policy on %s: err=%v diverged=%v value=%d want=%d\n",
+				wl.name, err, diverged, res.Value, want)
+		}
+
+		// Timed reps, all variants interleaved, every run profiled.
+		times := map[string][]float64{}
+		values := map[string]psgc.Result{}
+		for rep := 0; rep < policyReps+1; rep++ {
+			for _, col := range statics {
+				res, ms, err := profiledRun(compiled[col.String()], psgc.RunOptions{Capacity: benchCapacity}, &snap.IdentitiesOK)
+				if err != nil {
+					return err
+				}
+				if rep > 0 {
+					times[col.String()] = append(times[col.String()], ms)
+				}
+				values[col.String()] = res
+			}
+			res, ms, err := profiledRun(adaptive, adaptiveOpts, &snap.IdentitiesOK)
+			if err != nil {
+				return err
+			}
+			if rep > 0 {
+				times["adaptive"] = append(times["adaptive"], ms)
+			}
+			values["adaptive"] = res
+		}
+		bestStatic := math.Inf(1)
+		for _, col := range statics {
+			ms := p50(times[col.String()])
+			if ms < bestStatic {
+				bestStatic = ms
+			}
+			res := values[col.String()]
+			snap.Rows = append(snap.Rows, policyRow{
+				Workload: wl.name, Variant: col.String(), Collector: col.String(),
+				Capacity: benchCapacity, Value: res.Value, ResultOK: res.Value == want,
+				Collections: res.Collections, P50Ms: ms,
+			})
+		}
+		adaptiveMs := p50(times["adaptive"])
+		resA := values["adaptive"]
+		snap.Rows = append(snap.Rows, policyRow{
+			Workload: wl.name, Variant: "adaptive", Collector: d.Collector,
+			Capacity: d.Capacity, Value: resA.Value, ResultOK: resA.Value == want,
+			Collections: resA.Collections, P50Ms: adaptiveMs, Reason: d.Reason,
+		})
+		if adaptiveMs > 0 {
+			logSum += math.Log(bestStatic / adaptiveMs)
+			logN++
+		}
+	}
+	if logN > 0 {
+		snap.AdaptiveVsBestStaticGeomean = math.Exp(logSum / float64(logN))
+	}
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d rows, sampling overhead %.3fx, adaptive vs best static (geomean) %.3fx, identities %v, cocheck %v\n",
+		path, len(snap.Rows), snap.SamplingOverheadE1, snap.AdaptiveVsBestStaticGeomean,
+		snap.IdentitiesOK, snap.CoCheckOK)
 	return nil
 }

@@ -26,6 +26,8 @@
 //	-chaos-seed N         deterministic seed for the chaos registry (default 1)
 //	-engine name          default /run execution engine: "env" or "subst" (default env)
 //	-backend name         default /run memory substrate: "map" or "arena" (default map)
+//	-policy name          default /run collector policy: "static" or "adaptive" (default static)
+//	-profile-cap N        program-profile store capacity in source hashes (default 1024)
 //	-peer url             gate peer-fetch endpoint for the fleet cache tier (off by default)
 //	-self url             this node's advertised base URL, excluded from its own peer fetches
 //	-batch-max N          max items per /batch request (default 256)
@@ -70,11 +72,13 @@ func main() {
 		chaosSpec     = flag.String("chaos", "", `fault-injection spec, "point=prob[:delay],..." (e.g. "worker.latency=0.1:5ms,machine.corrupt=0.01")`)
 		chaosSeed     = flag.Int64("chaos-seed", 1, "deterministic seed for the chaos registry")
 
-		engine   = flag.String("engine", "env", `default execution engine for /run: "env" or "subst"`)
-		backend  = flag.String("backend", "map", `default memory substrate for /run: "map" or "arena"`)
-		peerURL  = flag.String("peer", "", "gate peer-fetch endpoint for the fleet cache tier (e.g. http://gate:8371/peer/fetch; empty disables)")
-		peerSelf = flag.String("self", "", "this node's advertised base URL, so the gate skips it on peer fetches")
-		batchMax = flag.Int("batch-max", 0, "max items per /batch request (0 = default 256)")
+		engine     = flag.String("engine", "env", `default execution engine for /run: "env" or "subst"`)
+		backend    = flag.String("backend", "map", `default memory substrate for /run: "map" or "arena"`)
+		defPolicy  = flag.String("policy", "static", `default collector policy for /run: "static" or "adaptive"`)
+		profileCap = flag.Int("profile-cap", 0, "program-profile store capacity in source hashes (0 = default 1024)")
+		peerURL    = flag.String("peer", "", "gate peer-fetch endpoint for the fleet cache tier (e.g. http://gate:8371/peer/fetch; empty disables)")
+		peerSelf   = flag.String("self", "", "this node's advertised base URL, so the gate skips it on peer fetches")
+		batchMax   = flag.Int("batch-max", 0, "max items per /batch request (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -106,21 +110,23 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		CacheWeight:    *cacheWeight,
-		Capacity:       *capacity,
-		DefaultFuel:    *fuel,
-		StepsPerMilli:  *stepsPerMs,
-		CoCheckSample:  *cocheckSample,
-		WatchdogMs:     *watchdogMs,
-		ShedThreshold:  *shedThreshold,
-		DefaultEngine:  *engine,
-		DefaultBackend: *backend,
-		PeerFetchURL:   *peerURL,
-		PeerSelf:       *peerSelf,
-		MaxBatchItems:  *batchMax,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		CacheWeight:     *cacheWeight,
+		Capacity:        *capacity,
+		DefaultFuel:     *fuel,
+		StepsPerMilli:   *stepsPerMs,
+		CoCheckSample:   *cocheckSample,
+		WatchdogMs:      *watchdogMs,
+		ShedThreshold:   *shedThreshold,
+		DefaultEngine:   *engine,
+		DefaultBackend:  *backend,
+		DefaultPolicy:   *defPolicy,
+		ProfileCapacity: *profileCap,
+		PeerFetchURL:    *peerURL,
+		PeerSelf:        *peerSelf,
+		MaxBatchItems:   *batchMax,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

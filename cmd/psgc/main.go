@@ -10,6 +10,7 @@
 // Flags:
 //
 //	-gc basic|forwarding|generational    collector (default basic)
+//	-policy static|adaptive              static uses -gc; adaptive profiles a pilot run, then decides
 //	-engine env|subst                    execution engine (default env)
 //	-backend map|arena                   memory substrate (default map)
 //	-capacity N                          region capacity triggering GC (default 64; 0 = never collect)
@@ -37,9 +38,24 @@ import (
 	"psgc/internal/cps"
 	"psgc/internal/fault"
 	"psgc/internal/obs"
+	"psgc/internal/policy"
 	"psgc/internal/regions"
 	"psgc/internal/source"
 )
+
+// parseCollector maps a -gc flag value to a linkable collector.
+func parseCollector(name string) (psgc.Collector, error) {
+	switch name {
+	case "basic":
+		return psgc.Basic, nil
+	case "forwarding":
+		return psgc.Forwarding, nil
+	case "generational":
+		return psgc.Generational, nil
+	default:
+		return 0, fmt.Errorf("unknown collector %q (want basic, forwarding, or generational)", name)
+	}
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -52,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		gcName    = fs.String("gc", "basic", "collector: basic, forwarding, or generational")
+		polName   = fs.String("policy", "static", "collector policy: static (use -gc as given) or adaptive (profile a pilot run, then decide collector and capacity)")
 		engine    = fs.String("engine", "env", "execution engine: env (environment machine) or subst (substitution oracle; -check implies subst)")
 		backend   = fs.String("backend", "map", "memory substrate: map (hash-map regions) or arena (contiguous slabs, Cheney scavenge)")
 		capacity  = fs.Int("capacity", 64, "region capacity at which ifgc triggers a collection (0 disables)")
@@ -111,16 +128,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	var col psgc.Collector
-	switch *gcName {
-	case "basic":
-		col = psgc.Basic
-	case "forwarding":
-		col = psgc.Forwarding
-	case "generational":
-		col = psgc.Generational
-	default:
-		return fail(fmt.Errorf("unknown collector %q (want basic, forwarding, or generational)", *gcName))
+	col, err := parseCollector(*gcName)
+	if err != nil {
+		return fail(err)
+	}
+	pol, err := policy.Parse(*polName)
+	if err != nil {
+		return fail(err)
 	}
 
 	if *show != "" {
@@ -143,12 +157,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+
+	// -policy adaptive: run a profiled pilot with the fallback collector,
+	// feed its profile to the policy engine, and let the decision pick the
+	// collector and capacity for the run whose value we print. The CLI has
+	// no cross-invocation store, so the pilot run stands in for a warm one.
+	var decision *policy.Decision
+	runCapacity := *capacity
+	if pol == policy.Adaptive {
+		pe := policy.NewEngine(obs.NewProfileStore(4))
+		const hash = "cli"
+		prof := compiled.Profiler()
+		if _, err := compiled.Run(psgc.RunOptions{
+			Capacity: *capacity, FixedCapacity: *fixed, Backend: be, Profiler: prof,
+		}); err != nil {
+			return fail(fmt.Errorf("adaptive pilot run: %w", err))
+		}
+		pe.Observe(hash, col.String(), prof.Profile())
+		d := pe.Decide(hash, col.String(), *capacity)
+		decision = &d
+		runCapacity = d.Capacity
+		if d.Collector != col.String() {
+			if col, err = parseCollector(d.Collector); err != nil {
+				return fail(err)
+			}
+			if compiled, pipeline, err = psgc.CompileTraced(src, col); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
 	opts := psgc.RunOptions{
-		Capacity:       *capacity,
+		Capacity:       runCapacity,
 		FixedCapacity:  *fixed,
 		CheckEveryStep: *check,
 		Engine:         eng,
 		Backend:        be,
+		Policy:         pol,
+		Decision:       decision,
 	}
 	var divergence *psgc.Divergence
 	if *cocheck {
@@ -193,6 +239,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		fmt.Fprintf(stderr, "collector:   %s\n", col)
+		if decision != nil {
+			fmt.Fprintf(stderr, "policy:      adaptive -> %s at capacity %d (%s)\n",
+				decision.Collector, decision.Capacity, decision.Reason)
+		}
 		fmt.Fprintf(stderr, "steps:       %d\n", res.Steps)
 		fmt.Fprintf(stderr, "collections: %d\n", res.Collections)
 		fmt.Fprintf(stderr, "puts:        %d\n", res.Stats.Puts)

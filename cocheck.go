@@ -46,6 +46,9 @@ func (c *Compiled) runCoChecked(opts RunOptions) (Result, error) {
 	if opts.Recorder != nil {
 		opts.Recorder.Attach(oracle)
 	}
+	if opts.Profiler != nil {
+		opts.Profiler.Attach(oracle)
+	}
 	fuel, every := runBudgets(opts)
 	collections := 0
 	diverge := func(step int, format string, args ...any) {

@@ -51,11 +51,17 @@ const (
 	// CacheEvict triggers an eviction storm that flushes the probationary
 	// segment of the compiled-program cache.
 	CacheEvict Point = "cache.evict"
+	// PolicyFlip perturbs the adaptive policy engine's collector choice,
+	// rotating it to a different (still certified) collector. Because
+	// policy sits outside the TCB, a flipped decision may cost time but
+	// must never change a program's result or break timeline identities —
+	// the chaos suite asserts exactly that.
+	PolicyFlip Point = "policy.flip"
 )
 
 // Points returns every defined injection point, sorted by name.
 func Points() []Point {
-	ps := []Point{CompileParse, MachineStep, MachineStall, HeapCorrupt, WorkerPanic, WorkerLatency, CacheEvict}
+	ps := []Point{CompileParse, MachineStep, MachineStall, HeapCorrupt, WorkerPanic, WorkerLatency, CacheEvict, PolicyFlip}
 	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
 	return ps
 }

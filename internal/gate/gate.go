@@ -75,12 +75,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// backendPolicy is the adaptive-policy surface scraped from a backend's
+// /healthz on each health pass: what the node defaults to and how much its
+// profile store and decision engine have seen. The gate re-exports these
+// per backend, giving the fleet view of where adaptive decisions happen.
+type backendPolicy struct {
+	DefaultPolicy string  `json:"default_policy,omitempty"`
+	ProfiledRuns  float64 `json:"profiled_runs"`
+	Profiles      float64 `json:"profiles"`
+	Decisions     float64 `json:"decisions"`
+	Flips         float64 `json:"flips"`
+}
+
 // backendState is what the gate believes about one backend.
 type backendState struct {
 	// state is "up", "degraded" (reachable but shedding), or "down".
 	state   string
 	lastErr string
 	checks  int64
+	policy  backendPolicy
 }
 
 // Gate is the fleet front. Create with New, serve it as an http.Handler,
@@ -182,12 +195,13 @@ func (g *Gate) healthLoop() {
 func (g *Gate) checkAll() {
 	type verdict struct {
 		url, state, lastErr string
+		policy              backendPolicy
 	}
 	results := make(chan verdict, len(g.cfg.Backends))
 	for _, b := range g.cfg.Backends {
 		go func(b string) {
-			state, errMsg := g.checkBackend(b)
-			results <- verdict{b, state, errMsg}
+			state, errMsg, pol := g.checkBackend(b)
+			results <- verdict{b, state, errMsg, pol}
 		}(b)
 	}
 	g.mu.Lock()
@@ -197,6 +211,9 @@ func (g *Gate) checkAll() {
 		st.state = v.state
 		st.lastErr = v.lastErr
 		st.checks++
+		if v.state != "down" {
+			st.policy = v.policy
+		}
 	}
 	g.rebuildLocked()
 	g.mu.Unlock()
@@ -205,30 +222,48 @@ func (g *Gate) checkAll() {
 // checkBackend probes one /healthz. "up" needs a 200 with status "ok" and
 // no degradation; a shedding backend is "degraded" and leaves the ring
 // until it recovers, so plain traffic concentrates on healthy replicas.
-func (g *Gate) checkBackend(base string) (state, errMsg string) {
+// The same probe scrapes the backend's adaptive-policy surface, so the
+// gate's health pass doubles as the fleet's policy telemetry collector.
+func (g *Gate) checkBackend(base string) (state, errMsg string, pol backendPolicy) {
 	resp, err := g.probe.Get(base + "/healthz")
 	if err != nil {
-		return "down", err.Error()
+		return "down", err.Error(), pol
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return "down", fmt.Sprintf("healthz status %d", resp.StatusCode)
+		return "down", fmt.Sprintf("healthz status %d", resp.StatusCode), pol
 	}
 	var body struct {
-		Status      string `json:"status"`
-		Degradation string `json:"degradation_mode"`
+		Status        string `json:"status"`
+		Degradation   string `json:"degradation_mode"`
+		DefaultPolicy string `json:"default_policy"`
+		Policy        struct {
+			ProfiledRuns float64 `json:"profiled_runs"`
+			Profiles     float64 `json:"profiles"`
+			Counts       struct {
+				Decisions float64 `json:"decisions"`
+				Flips     float64 `json:"flips"`
+			} `json:"counts"`
+		} `json:"policy"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
-		return "down", "healthz: " + err.Error()
+		return "down", "healthz: " + err.Error(), pol
+	}
+	pol = backendPolicy{
+		DefaultPolicy: body.DefaultPolicy,
+		ProfiledRuns:  body.Policy.ProfiledRuns,
+		Profiles:      body.Policy.Profiles,
+		Decisions:     body.Policy.Counts.Decisions,
+		Flips:         body.Policy.Counts.Flips,
 	}
 	if body.Status != "ok" {
-		return "down", "healthz status " + body.Status
+		return "down", "healthz status " + body.Status, pol
 	}
 	if body.Degradation != "" && body.Degradation != "normal" {
-		return "degraded", "degradation " + body.Degradation
+		return "degraded", "degradation " + body.Degradation, pol
 	}
-	return "up", ""
+	return "up", "", pol
 }
 
 // markDown records a transport-level failure immediately, without waiting
@@ -320,6 +355,9 @@ func (g *Gate) forward(r *http.Request, path string, body []byte, candidates []s
 			g.metrics.Retries.Add(1)
 			g.backoff(i)
 		}
+		// The raw query string passes through untouched, so per-request
+		// knobs the backends own (?backend=, ?policy=, ?engine=, ?trace=,
+		// ?cocheck=) work identically through the gate.
 		url := base + path
 		if r.URL.RawQuery != "" {
 			url += "?" + r.URL.RawQuery

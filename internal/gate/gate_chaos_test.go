@@ -1,0 +1,75 @@
+//go:build chaos
+
+package gate_test
+
+// Chaos through the gate: the fault matrix fires inside in-process
+// backends while traffic arrives via the gate's routing layer, with the
+// memory backend and the policy alternating per request. The gate must
+// stay a transparent proxy: well-formed statuses, correct values on 200s,
+// and no gate-level error substituted for a backend's.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"psgc/internal/fault"
+	"psgc/internal/gate"
+	"psgc/internal/service"
+	"psgc/internal/workload"
+)
+
+// TestGateChaosAlternatingBackendsAndPolicies drives mixed traffic through
+// the gate under each fault point that must stay invisible at this layer,
+// alternating ?backend= between map and arena and ?policy= between static
+// and adaptive.
+func TestGateChaosAlternatingBackendsAndPolicies(t *testing.T) {
+	points := []struct {
+		name string
+		reg  *fault.Registry
+	}{
+		{"worker.latency", fault.NewRegistry(201).EnableDelay(fault.WorkerLatency, 1, time.Millisecond)},
+		{"machine.stall", fault.NewRegistry(202).EnableDelay(fault.MachineStall, 0.001, time.Millisecond)},
+		{"cache.evict", fault.NewRegistry(203).Enable(fault.CacheEvict, 0.8)},
+		{"policy.flip", fault.NewRegistry(204).Enable(fault.PolicyFlip, 1)},
+	}
+	backends := []string{"map", "arena"}
+	policies := []string{"static", "adaptive"}
+	collectors := []string{"basic", "forwarding", "generational"}
+
+	for _, p := range points {
+		t.Run(p.name, func(t *testing.T) {
+			fault.Install(p.reg)
+			t.Cleanup(func() { fault.Install(nil) })
+			f := startFleet(t, 2, gate.Config{Seed: 7}, service.Config{Workers: 2, QueueDepth: 16})
+
+			for i := 0; i < 12; i++ {
+				n := 10 + i%8
+				url := f.gateURL + "/run?backend=" + backends[i%2] + "&policy=" + policies[(i/2)%2]
+				resp, body := post(t, url, service.RunRequest{
+					CompileRequest: service.CompileRequest{
+						Source:    workload.AllocHeavySrc(n),
+						Collector: collectors[i%3],
+					},
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s i=%d: status %d: %s", p.name, i, resp.StatusCode, body)
+				}
+				var rr service.RunResponse
+				if err := json.Unmarshal(body, &rr); err != nil {
+					t.Fatalf("%s i=%d: unparseable 200: %s", p.name, i, body)
+				}
+				if rr.Value != wantValue(n) {
+					t.Errorf("%s i=%d: value %d, want %d", p.name, i, rr.Value, wantValue(n))
+				}
+				if rr.Backend != backends[i%2] {
+					t.Errorf("%s i=%d: backend %q, want %q through the gate", p.name, i, rr.Backend, backends[i%2])
+				}
+				if want := policies[(i/2)%2]; rr.Policy != want {
+					t.Errorf("%s i=%d: policy %q, want %q through the gate", p.name, i, rr.Policy, want)
+				}
+			}
+		})
+	}
+}

@@ -511,3 +511,103 @@ func TestGateMetricsExposition(t *testing.T) {
 		t.Errorf("exposition lacks per-backend labels: %s", body)
 	}
 }
+
+// TestGateForwardsBackendAndPolicyQuery: the gate passes ?backend= and
+// ?policy= through to the owning backend untouched, so fleet clients can
+// pick the memory backend and the adaptive policy per request.
+func TestGateForwardsBackendAndPolicyQuery(t *testing.T) {
+	f := startFleet(t, 2, gate.Config{Seed: 7}, service.Config{Workers: 2, QueueDepth: 8})
+
+	resp, body := post(t, f.gateURL+"/run?backend=arena&policy=adaptive", runReq(21, "basic"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run via gate: status %d: %s", resp.StatusCode, body)
+	}
+	got := decodeAs[service.RunResponse](t, body)
+	if got.Value != wantValue(21) {
+		t.Fatalf("value %d, want %d", got.Value, wantValue(21))
+	}
+	if got.Backend != "arena" {
+		t.Errorf("?backend=arena not forwarded: backend %q", got.Backend)
+	}
+	if got.Policy != "adaptive" || got.Decision == nil {
+		t.Errorf("?policy=adaptive not forwarded: policy %q decision %+v", got.Policy, got.Decision)
+	}
+
+	// Unknown values still come back as the backend's 400, not a gate error.
+	resp, body = post(t, f.gateURL+"/run?policy=bogus", runReq(21, "basic"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus policy via gate: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestGatePolicyTelemetry: the health loop scrapes each backend's policy
+// surface and re-exports it in the gate's /healthz and /metrics.
+func TestGatePolicyTelemetry(t *testing.T) {
+	f := startFleet(t, 2, gate.Config{Seed: 7, HealthEvery: 25 * time.Millisecond},
+		service.Config{Workers: 1, QueueDepth: 8, DefaultPolicy: "adaptive"})
+	resp, body := post(t, f.gateURL+"/run", runReq(15, "basic"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Wait for a health tick to scrape the now-nonzero backend counters.
+	deadline := time.Now().Add(5 * time.Second)
+	var seen bool
+	for time.Now().Before(deadline) && !seen {
+		hresp, err := http.Get(f.gateURL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hbody, _ := io.ReadAll(hresp.Body)
+		hresp.Body.Close()
+		h := decodeAs[map[string]any](t, hbody)
+		backends, _ := h["backends"].(map[string]any)
+		for _, v := range backends {
+			b, _ := v.(map[string]any)
+			pol, ok := b["policy"].(map[string]any)
+			if !ok {
+				continue
+			}
+			if pol["default_policy"] != "adaptive" {
+				t.Fatalf("scraped default_policy %v, want adaptive", pol["default_policy"])
+			}
+			if runs, _ := pol["profiled_runs"].(float64); runs >= 1 {
+				seen = true
+			}
+		}
+		if !seen {
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	if !seen {
+		t.Fatalf("gate healthz never surfaced a backend with profiled_runs >= 1")
+	}
+
+	mresp, err := http.Get(f.gateURL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	for _, fam := range []string{
+		"psgc_gate_backend_profiled_runs",
+		"psgc_gate_backend_profiles",
+		"psgc_gate_backend_policy_decisions",
+		"psgc_gate_backend_policy_flips",
+	} {
+		if !bytes.Contains(mbody, []byte(fam)) {
+			t.Errorf("exposition lacks %s", fam)
+		}
+	}
+
+	jresp, err := http.Get(f.gateURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	jbody, _ := io.ReadAll(jresp.Body)
+	j := decodeAs[map[string]any](t, jbody)
+	if _, ok := j["backend_policy"].(map[string]any); !ok {
+		t.Errorf("json metrics lack backend_policy: %s", jbody)
+	}
+}

@@ -123,6 +123,36 @@ func (m *Metrics) WritePrometheus(w *obs.PromWriter, backendStates map[string]st
 		"1 for backends currently in the ring as healthy, 0 otherwise.", states...)
 }
 
+// writeBackendPolicy renders the per-backend adaptive-policy gauges the
+// health loop scraped. Values are the backends' own counters re-exported
+// by the gate (gauges here: the gate samples, it does not accumulate).
+func writeBackendPolicy(w *obs.PromWriter, policies map[string]backendPolicy) {
+	keys := make(map[string]string, len(policies))
+	for b, p := range policies {
+		keys[b] = p.DefaultPolicy
+	}
+	runs := make([]obs.Sample, 0, len(policies))
+	profiles := make([]obs.Sample, 0, len(policies))
+	decisions := make([]obs.Sample, 0, len(policies))
+	flips := make([]obs.Sample, 0, len(policies))
+	for _, b := range sortedKeys(keys) {
+		p := policies[b]
+		label := []obs.Label{{Name: "backend", Value: b}}
+		runs = append(runs, obs.Sample{Labels: label, Value: p.ProfiledRuns})
+		profiles = append(profiles, obs.Sample{Labels: label, Value: p.Profiles})
+		decisions = append(decisions, obs.Sample{Labels: label, Value: p.Decisions})
+		flips = append(flips, obs.Sample{Labels: label, Value: p.Flips})
+	}
+	w.Gauge("psgc_gate_backend_profiled_runs",
+		"Completed runs each backend has folded into its profile store (scraped).", runs...)
+	w.Gauge("psgc_gate_backend_profiles",
+		"Program hashes each backend's profile store holds (scraped).", profiles...)
+	w.Gauge("psgc_gate_backend_policy_decisions",
+		"Adaptive policy decisions each backend has made (scraped).", decisions...)
+	w.Gauge("psgc_gate_backend_policy_flips",
+		"Decisions perturbed by the policy.flip fault, per backend (scraped).", flips...)
+}
+
 func sortedKeys(m map[string]string) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
@@ -148,6 +178,17 @@ func (g *Gate) backendStates() map[string]string {
 	return out
 }
 
+// backendPolicies snapshots the scraped per-backend policy surfaces.
+func (g *Gate) backendPolicies() map[string]backendPolicy {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]backendPolicy, len(g.backends))
+	for url, st := range g.backends {
+		out[url] = st.policy
+	}
+	return out
+}
+
 // handleHealthz reports the gate's own view of the fleet.
 func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g.mu.RLock()
@@ -157,6 +198,9 @@ func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		b := map[string]any{"state": st.state, "checks": st.checks}
 		if st.lastErr != "" {
 			b["last_error"] = st.lastErr
+		}
+		if st.policy.DefaultPolicy != "" {
+			b["policy"] = st.policy
 		}
 		backends[url] = b
 	}
@@ -197,9 +241,12 @@ func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		pw := obs.NewPromWriter(w)
 		g.metrics.WritePrometheus(pw, g.backendStates())
+		writeBackendPolicy(pw, g.backendPolicies())
 		return
 	}
-	g.writeJSON(w, http.StatusOK, g.metrics.Snapshot())
+	snap := g.metrics.Snapshot()
+	snap["backend_policy"] = g.backendPolicies()
+	g.writeJSON(w, http.StatusOK, snap)
 }
 
 func (g *Gate) writeJSON(w http.ResponseWriter, status int, body any) {

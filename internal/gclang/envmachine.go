@@ -56,13 +56,16 @@ type EnvMachine struct {
 	Halted bool
 	Result Value
 
-	// Trace, if non-nil, is called after every step with the pre-step term,
-	// mirroring Machine.Trace. For the term heads that internal/obs
-	// classifies (calls, lets, sets, halts, onlys) the machine synthesizes a
-	// head with its scrutinised fields resolved, so consumers see exactly
-	// what the substitution machine would have shown; other heads are passed
-	// through unresolved (their shape, not their content, is what matters).
-	Trace func(m *EnvMachine, before Term)
+	// Event, if non-nil, is called after every classified step with a
+	// fixed-size StepEvent, exactly as Machine.Event is (see events.go).
+	// This replaces the old Trace hook, which synthesized a resolved
+	// pre-step term per step — an allocation cost that made tracing
+	// opt-in. Emitting a StepEvent allocates nothing, so the hook stays
+	// installed on every request.
+	Event func(StepEvent)
+
+	// ev is the scratch event the step rules fill when Event is set.
+	ev StepEvent
 
 	// The four binder namespaces. Overwrite-on-shadow is sound because CPS
 	// control never returns to an outer scope (see the type comment).
@@ -171,153 +174,152 @@ func (m *EnvMachine) Step() error {
 			return err
 		}
 	}
-	next, before, err := m.step(m.Ctrl, m.Trace != nil)
+	if m.Event != nil {
+		m.ev.Kind = StepNone
+	}
+	next, err := m.step(m.Ctrl)
 	if err != nil {
 		return err
 	}
 	m.Ctrl = next
 	m.Steps++
-	if m.Trace != nil {
-		m.Trace(m, before)
+	if m.Event != nil && m.ev.Kind != StepNone {
+		m.ev.Step = m.Steps
+		m.Event(m.ev)
 	}
 	return nil
 }
 
-// step returns the next control term and, when tracing, the pre-step term
-// with its classified head fields resolved.
-func (m *EnvMachine) step(e Term, tracing bool) (Term, Term, error) {
+// step returns the next control term.
+func (m *EnvMachine) step(e Term) (Term, error) {
 	switch e := e.(type) {
 	case HaltT:
 		v := m.resolveValue(e.V)
 		m.Halted = true
 		m.Result = v
-		var before Term = e
-		if tracing {
-			before = HaltT{V: v}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepHalt}
 		}
-		return e, before, nil
+		return e, nil
 	case AppT:
-		return m.stepApp(e, tracing)
+		return m.stepApp(e)
 	case LetT:
-		v, rop, err := m.stepOp(e.Op, tracing)
+		v, err := m.stepOp(e.Op)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%w: in %s", err, e.Op)
+			return nil, fmt.Errorf("%w: in %s", err, e.Op)
 		}
 		m.envVals[e.X] = v
-		var before Term = e
-		if tracing {
-			before = LetT{X: e.X, Op: rop, Body: e.Body}
-		}
-		return e.Body, before, nil
+		return e.Body, nil
 	case IfGCT:
 		rn, ok := m.resolveRegion(e.R).(RName)
 		if !ok {
-			return nil, nil, stuck(e, "ifgc on region variable %s", e.R)
+			return nil, stuck(e, "ifgc on region variable %s", e.R)
 		}
 		if m.Mem.Full(rn.Name) {
-			return e.Full, e, nil
+			return e.Full, nil
 		}
-		return e.Else, e, nil
+		return e.Else, nil
 	case OpenTagT:
 		pk, ok := m.resolveValue(e.V).(PackTag)
 		if !ok {
-			return nil, nil, stuck(e, "open of non-package %s", e.V)
+			return nil, stuck(e, "open of non-package %s", e.V)
 		}
 		m.envTags[e.T] = pk.Tag
 		m.envVals[e.X] = pk.Val
-		return e.Body, e, nil
+		return e.Body, nil
 	case OpenAlphaT:
 		pk, ok := m.resolveValue(e.V).(PackAlpha)
 		if !ok {
-			return nil, nil, stuck(e, "open of non-package %s", e.V)
+			return nil, stuck(e, "open of non-package %s", e.V)
 		}
 		m.envTyps[e.A] = pk.Hidden
 		m.envVals[e.X] = pk.Val
-		return e.Body, e, nil
+		return e.Body, nil
 	case LetRegionT:
 		nu := m.Mem.NewRegion()
 		m.envRegs[e.R] = RName{Name: nu}
-		return e.Body, e, nil
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepNewRegion, Addr: regions.Addr{Region: nu}}
+		}
+		return e.Body, nil
 	case OnlyT:
 		delta, _ := m.regionSlice(e.Delta)
 		keep := m.scratchNames[:0]
 		for _, r := range delta {
 			rn, ok := r.(RName)
 			if !ok {
-				return nil, nil, stuck(e, "only with region variable %s", r)
+				return nil, stuck(e, "only with region variable %s", r)
 			}
 			keep = append(keep, rn.Name)
 		}
 		m.scratchNames = keep
 		if err := m.Mem.Only(keep); err != nil {
-			return nil, nil, stuck(e, "%v", err)
+			return nil, stuck(e, "%v", err)
 		}
-		var before Term = e
-		if tracing {
-			before = OnlyT{Delta: delta, Body: e.Body}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepOnly}
 		}
-		return e.Body, before, nil
+		return e.Body, nil
 	case TypecaseT:
 		return m.stepTypecase(e)
 	case IfLeftT:
 		switch v := m.resolveValue(e.V).(type) {
 		case InlV:
 			m.envVals[e.X] = v
-			return e.L, e, nil
+			return e.L, nil
 		case InrV:
 			m.envVals[e.X] = v
-			return e.R, e, nil
+			return e.R, nil
 		default:
-			return nil, nil, stuck(e, "ifleft on untagged value %s", e.V)
+			return nil, stuck(e, "ifleft on untagged value %s", e.V)
 		}
 	case SetT:
 		dst, ok := m.resolveValue(e.Dst).(AddrV)
 		if !ok {
-			return nil, nil, stuck(e, "set destination %s is not an address", e.Dst)
+			return nil, stuck(e, "set destination %s is not an address", e.Dst)
 		}
 		src := m.resolveValue(e.Src)
 		if err := m.Mem.Set(dst.Addr, src); err != nil {
-			return nil, nil, stuck(e, "%v", err)
+			return nil, stuck(e, "%v", err)
 		}
-		var before Term = e
-		if tracing {
-			before = SetT{Dst: dst, Src: src, Body: e.Body}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepSet, Addr: dst.Addr}
 		}
-		return e.Body, before, nil
+		return e.Body, nil
 	case WidenT:
 		// Operationally a no-op (§7.1): the cast re-views memory. Ghost Ψ
 		// maintenance lives in the substitution machine only.
 		m.envVals[e.X] = m.resolveValue(e.V)
-		return e.Body, e, nil
+		return e.Body, nil
 	case OpenRegionT:
 		pk, ok := m.resolveValue(e.V).(PackRegion)
 		if !ok {
-			return nil, nil, stuck(e, "open of non-region-package %s", e.V)
+			return nil, stuck(e, "open of non-region-package %s", e.V)
 		}
 		m.envRegs[e.R] = pk.R
 		m.envVals[e.X] = pk.Val
-		return e.Body, e, nil
+		return e.Body, nil
 	case IfRegT:
 		n1, ok1 := m.resolveRegion(e.R1).(RName)
 		n2, ok2 := m.resolveRegion(e.R2).(RName)
 		if !ok1 || !ok2 {
-			return nil, nil, stuck(e, "ifreg on region variables")
+			return nil, stuck(e, "ifreg on region variables")
 		}
 		if n1 == n2 {
-			return e.Then, e, nil
+			return e.Then, nil
 		}
-		return e.Else, e, nil
+		return e.Else, nil
 	case If0T:
 		n, ok := m.resolveValue(e.V).(Num)
 		if !ok {
-			return nil, nil, stuck(e, "if0 on non-integer %s", e.V)
+			return nil, stuck(e, "if0 on non-integer %s", e.V)
 		}
 		if n.N == 0 {
-			return e.Then, e, nil
+			return e.Then, nil
 		}
-		return e.Else, e, nil
+		return e.Else, nil
 	default:
-		return nil, nil, stuck(e, "no rule for %T", e)
+		return nil, stuck(e, "no rule for %T", e)
 	}
 }
 
@@ -327,36 +329,34 @@ func (m *EnvMachine) step(e Term, tracing bool) (Term, Term, error) {
 // operand against the current environment first, then clears the
 // environment and binds the parameters — code blocks are closed, so nothing
 // else can be referenced from the body.
-func (m *EnvMachine) stepApp(e AppT, tracing bool) (Term, Term, error) {
+func (m *EnvMachine) stepApp(e AppT) (Term, error) {
 	fn := m.resolveValue(e.Fn)
 	if ta, ok := fn.(TAppV); ok {
 		if len(e.Tags) != 0 || len(e.Rs) != 0 {
-			return nil, nil, stuck(e, "translucent call with extra tags or regions")
+			return nil, stuck(e, "translucent call with extra tags or regions")
 		}
 		// The rewritten call is fully resolved, so re-resolving it on the
 		// next step is the identity (and allocation-free).
 		args, _ := m.valueSlice(e.Args)
-		next := AppT{Fn: ta.Val, Tags: ta.Tags, Rs: ta.Rs, Args: args}
-		var before Term = e
-		if tracing {
-			before = AppT{Fn: fn, Args: args}
-		}
-		return next, before, nil
+		return AppT{Fn: ta.Val, Tags: ta.Tags, Rs: ta.Rs, Args: args}, nil
 	}
 	addr, ok := fn.(AddrV)
 	if !ok {
-		return nil, nil, stuck(e, "call of non-address %s", fn)
+		return nil, stuck(e, "call of non-address %s", fn)
 	}
 	cell, err := m.Mem.Get(addr.Addr)
 	if err != nil {
-		return nil, nil, stuck(e, "%v", err)
+		return nil, stuck(e, "%v", err)
 	}
 	lam, ok := cell.(LamV)
 	if !ok {
-		return nil, nil, stuck(e, "call of non-code cell %s", addr.Addr)
+		return nil, stuck(e, "call of non-code cell %s", addr.Addr)
 	}
 	if len(e.Tags) != len(lam.TParams) || len(e.Rs) != len(lam.RParams) || len(e.Args) != len(lam.Params) {
-		return nil, nil, stuck(e, "arity mismatch calling %s", addr.Addr)
+		return nil, stuck(e, "arity mismatch calling %s", addr.Addr)
+	}
+	if m.Event != nil {
+		m.ev = StepEvent{Kind: StepCall, Addr: addr.Addr}
 	}
 	callTags := m.scratchTags[:0]
 	for _, t := range e.Tags {
@@ -374,15 +374,6 @@ func (m *EnvMachine) stepApp(e AppT, tracing bool) (Term, Term, error) {
 		callArgs = append(callArgs, rv)
 	}
 	m.scratchTags, m.scratchRegs, m.scratchVals = callTags, callRegs, callArgs
-	var before Term = e
-	if tracing {
-		before = AppT{
-			Fn:   fn,
-			Tags: append([]tags.Tag(nil), callTags...),
-			Rs:   append([]Region(nil), callRegs...),
-			Args: append([]Value(nil), callArgs...),
-		}
-	}
 	clear(m.envVals)
 	clear(m.envTags)
 	clear(m.envRegs)
@@ -396,77 +387,61 @@ func (m *EnvMachine) stepApp(e AppT, tracing bool) (Term, Term, error) {
 	for i, p := range lam.Params {
 		m.envVals[p.Name] = callArgs[i]
 	}
-	return lam.Body, before, nil
+	return lam.Body, nil
 }
 
-// stepOp evaluates a let-bound operation, returning the bound value and,
-// when tracing, the operation with its scrutinised fields resolved.
-func (m *EnvMachine) stepOp(op Op, tracing bool) (Value, Op, error) {
+// stepOp evaluates a let-bound operation, returning the bound value.
+func (m *EnvMachine) stepOp(op Op) (Value, error) {
 	switch op := op.(type) {
 	case ValOp:
 		v, _ := m.value(op.V)
-		var rop Op = op
-		if tracing {
-			rop = ValOp{V: v}
-		}
-		return v, rop, nil
+		return v, nil
 	case ProjOp:
 		v, _ := m.value(op.V)
 		p, ok := v.(PairV)
 		if !ok {
-			return nil, nil, fmt.Errorf("%w: projection from non-pair %s", ErrStuck, v)
-		}
-		var rop Op = op
-		if tracing {
-			rop = ProjOp{I: op.I, V: v}
+			return nil, fmt.Errorf("%w: projection from non-pair %s", ErrStuck, v)
 		}
 		if op.I == 1 {
-			return p.L, rop, nil
+			return p.L, nil
 		}
-		return p.R, rop, nil
+		return p.R, nil
 	case PutOp:
 		rn, ok := m.resolveRegion(op.R).(RName)
 		if !ok {
-			return nil, nil, fmt.Errorf("%w: put into region variable %s", ErrStuck, op.R)
+			return nil, fmt.Errorf("%w: put into region variable %s", ErrStuck, op.R)
 		}
 		v, _ := m.value(op.V)
 		addr, err := m.Mem.Put(rn.Name, v)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%w: %v", ErrStuck, err)
+			return nil, fmt.Errorf("%w: %v", ErrStuck, err)
 		}
-		var rop Op = op
-		if tracing {
-			rop = PutOp{R: rn, V: v, Anno: op.Anno}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepPut, Addr: addr, Words: ValueWords(v)}
 		}
-		return AddrV{Addr: addr}, rop, nil
+		return AddrV{Addr: addr}, nil
 	case GetOp:
 		v, _ := m.value(op.V)
 		a, ok := v.(AddrV)
 		if !ok {
-			return nil, nil, fmt.Errorf("%w: get from non-address %s", ErrStuck, v)
+			return nil, fmt.Errorf("%w: get from non-address %s", ErrStuck, v)
 		}
 		cell, err := m.Mem.Get(a.Addr)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		var rop Op = op
-		if tracing {
-			rop = GetOp{V: v}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepGet, Addr: a.Addr}
 		}
-		return cell, rop, nil
+		return cell, nil
 	case StripOp:
-		sv := m.resolveValue(op.V)
-		var rop Op = op
-		if tracing {
-			rop = StripOp{V: sv}
-		}
-		switch v := sv.(type) {
+		switch v := m.resolveValue(op.V).(type) {
 		case InlV:
-			return v.Val, rop, nil
+			return v.Val, nil
 		case InrV:
-			return v.Val, rop, nil
+			return v.Val, nil
 		default:
-			return nil, nil, fmt.Errorf("%w: strip of untagged value %s", ErrStuck, v)
+			return nil, fmt.Errorf("%w: strip of untagged value %s", ErrStuck, v)
 		}
 	case ArithOp:
 		lv, _ := m.value(op.L)
@@ -474,52 +449,48 @@ func (m *EnvMachine) stepOp(op Op, tracing bool) (Value, Op, error) {
 		l, lok := lv.(Num)
 		r, rok := rv.(Num)
 		if !lok || !rok {
-			return nil, nil, fmt.Errorf("%w: arithmetic on non-integers", ErrStuck)
-		}
-		var rop Op = op
-		if tracing {
-			rop = ArithOp{Kind: op.Kind, L: lv, R: rv}
+			return nil, fmt.Errorf("%w: arithmetic on non-integers", ErrStuck)
 		}
 		switch op.Kind {
 		case Add:
-			return Num{N: l.N + r.N}, rop, nil
+			return Num{N: l.N + r.N}, nil
 		case Sub:
-			return Num{N: l.N - r.N}, rop, nil
+			return Num{N: l.N - r.N}, nil
 		case Mul:
-			return Num{N: l.N * r.N}, rop, nil
+			return Num{N: l.N * r.N}, nil
 		default:
-			return nil, nil, fmt.Errorf("%w: unknown operator", ErrStuck)
+			return nil, fmt.Errorf("%w: unknown operator", ErrStuck)
 		}
 	default:
-		return nil, nil, fmt.Errorf("%w: unknown op %T", ErrStuck, op)
+		return nil, fmt.Errorf("%w: unknown op %T", ErrStuck, op)
 	}
 }
 
 // stepTypecase dispatches on the β-normal form of the resolved scrutinee,
 // exactly as Machine.stepTypecase does on the substituted one.
-func (m *EnvMachine) stepTypecase(e TypecaseT) (Term, Term, error) {
+func (m *EnvMachine) stepTypecase(e TypecaseT) (Term, error) {
 	nf, err := tags.Normalize(m.resolveTag(e.Tag))
 	if err != nil {
-		return nil, nil, stuck(e, "%v", err)
+		return nil, stuck(e, "%v", err)
 	}
 	switch t := nf.(type) {
 	case tags.Int:
-		return e.IntArm, e, nil
+		return e.IntArm, nil
 	case tags.Code:
 		if len(t.Args) != 1 {
-			return nil, nil, stuck(e, "typecase on %d-ary code tag %s", len(t.Args), nf)
+			return nil, stuck(e, "typecase on %d-ary code tag %s", len(t.Args), nf)
 		}
 		m.envTags[e.TL] = t.Args[0]
-		return e.LamArm, e, nil
+		return e.LamArm, nil
 	case tags.Prod:
 		m.envTags[e.T1] = t.L
 		m.envTags[e.T2] = t.R
-		return e.ProdArm, e, nil
+		return e.ProdArm, nil
 	case tags.Exist:
 		m.envTags[e.Te] = tags.Lam{Param: t.Bound, Body: t.Body}
-		return e.ExistArm, e, nil
+		return e.ExistArm, nil
 	default:
-		return nil, nil, stuck(e, "typecase on open tag %s", nf)
+		return nil, stuck(e, "typecase on open tag %s", nf)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
-	"strings"
 	"testing"
 
 	"psgc"
@@ -14,50 +13,26 @@ import (
 	"psgc/internal/workload"
 )
 
-// headDesc renders the head of a pre-step term for cross-engine comparison.
-// For the heads the observability layer classifies (calls, lets, sets, only,
-// halt) the env machine synthesizes resolved fields, so the full rendering
-// must match the subst machine's substituted term exactly. Other heads carry
-// binder structure the env machine deliberately leaves unresolved, so only
-// the dynamic type is compared.
-func headDesc(e gclang.Term) string {
-	switch e := e.(type) {
-	case gclang.AppT:
-		return e.String()
-	case gclang.LetT:
-		return fmt.Sprintf("let %s = %s", e.X, e.Op)
-	case gclang.HaltT:
-		return e.String()
-	case gclang.SetT:
-		return fmt.Sprintf("set %s <- %s", e.Dst, e.Src)
-	case gclang.OnlyT:
-		parts := make([]string, len(e.Delta))
-		for i, r := range e.Delta {
-			parts[i] = r.String()
-		}
-		return "only {" + strings.Join(parts, ", ") + "}"
-	default:
-		return fmt.Sprintf("%T", e)
-	}
-}
-
 // coStep drives both machines in lockstep, comparing the pending call,
-// step count, memory counters, and traced pre-step head at every step, and
-// the final result plus the entire memory contents at halt.
+// step count, memory counters, and emitted step event at every step, and
+// the final result plus the entire memory contents at halt. StepEvents are
+// fixed-size comparable structs, so the comparison is exact: both engines
+// must classify every transition identically (same kind, same address,
+// same word count, same step number — or no event at all).
 func coStep(t *testing.T, sm *gclang.Machine, em *gclang.EnvMachine, fuel int) {
 	t.Helper()
-	var sBefore, eBefore gclang.Term
-	sPrev, ePrev := sm.Trace, em.Trace
-	sm.Trace = func(m *gclang.Machine, before gclang.Term) {
-		sBefore = before
+	var sEv, eEv gclang.StepEvent
+	sPrev, ePrev := sm.Event, em.Event
+	sm.Event = func(ev gclang.StepEvent) {
+		sEv = ev
 		if sPrev != nil {
-			sPrev(m, before)
+			sPrev(ev)
 		}
 	}
-	em.Trace = func(m *gclang.EnvMachine, before gclang.Term) {
-		eBefore = before
+	em.Event = func(ev gclang.StepEvent) {
+		eEv = ev
 		if ePrev != nil {
-			ePrev(m, before)
+			ePrev(ev)
 		}
 	}
 	for !sm.Halted {
@@ -70,6 +45,7 @@ func coStep(t *testing.T, sm *gclang.Machine, em *gclang.EnvMachine, fuel int) {
 		if sok != eok || sa != ea {
 			t.Fatalf("step %d: PendingCall: subst %v,%v env %v,%v", sm.Steps, sa, sok, ea, eok)
 		}
+		sEv, eEv = gclang.StepEvent{}, gclang.StepEvent{}
 		if err := sm.Step(); err != nil {
 			t.Fatalf("subst step %d: %v", sm.Steps, err)
 		}
@@ -83,8 +59,8 @@ func coStep(t *testing.T, sm *gclang.Machine, em *gclang.EnvMachine, fuel int) {
 		if sm.Mem.Stats() != em.Mem.Stats() {
 			t.Fatalf("step %d: stats: subst %+v env %+v", sm.Steps, sm.Mem.Stats(), em.Mem.Stats())
 		}
-		if sd, ed := headDesc(sBefore), headDesc(eBefore); sd != ed {
-			t.Fatalf("step %d: traced head:\n  subst: %s\n  env:   %s", sm.Steps, sd, ed)
+		if sEv != eEv {
+			t.Fatalf("step %d: step event:\n  subst: %+v\n  env:   %+v", sm.Steps, sEv, eEv)
 		}
 	}
 	if !em.Halted {

@@ -1,0 +1,74 @@
+package gclang
+
+import "psgc/internal/regions"
+
+// StepKind classifies the machine transitions that observers care about:
+// the ones with a memory effect or a control transfer into code. All other
+// transitions (conditionals, opens, projections, arithmetic, the
+// translucent-call rewrite) carry no observable GC behaviour and emit no
+// event — both machines agree on that classification step for step.
+type StepKind uint8
+
+const (
+	// StepNone marks an unclassified transition; no event is emitted.
+	StepNone StepKind = iota
+	// StepCall is a call whose head resolved to a code address (Addr is
+	// the code cell invoked). The translucent rewrite step preceding a
+	// resolved call is not a StepCall.
+	StepCall
+	// StepPut is an allocation: Addr is the new cell, Words its size
+	// under the 64-bit-word model (ValueWords).
+	StepPut
+	// StepGet is a let-bound read (Addr is the cell read). The code fetch
+	// inside a call is part of StepCall, not a StepGet, mirroring the
+	// timeline classification.
+	StepGet
+	// StepSet is a cell overwrite — the forwarding-pointer install of §7.
+	// Addr is the overwritten cell.
+	StepSet
+	// StepNewRegion is a "let region" execution; Addr.Region is the fresh
+	// region's name.
+	StepNewRegion
+	// StepOnly is an "only ∆" reclamation. The event does not enumerate
+	// the freed regions (that would allocate); observers diff the live
+	// set against the store, which the hook hands them.
+	StepOnly
+	// StepHalt is the halt transition.
+	StepHalt
+)
+
+// StepEvent is one classified machine transition. It is a fixed-size value
+// — no pointers, no strings — so emitting one allocates nothing and the
+// hook is cheap enough to leave installed on every request. Step is the
+// 1-based machine step that performed the transition.
+type StepEvent struct {
+	Step  int
+	Kind  StepKind
+	Addr  regions.Addr
+	Words int
+}
+
+// ValueWords returns the number of machine words value v occupies in a
+// cell under the 64-bit-word model of the E4 space-overhead experiment.
+// Sum and existential wrappers are tag bits and erased forms, costing no
+// words.
+func ValueWords(v Value) int {
+	switch v := v.(type) {
+	case PairV:
+		return ValueWords(v.L) + ValueWords(v.R)
+	case InlV:
+		return ValueWords(v.Val)
+	case InrV:
+		return ValueWords(v.Val)
+	case PackTag:
+		return ValueWords(v.Val)
+	case PackAlpha:
+		return ValueWords(v.Val)
+	case PackRegion:
+		return ValueWords(v.Val)
+	case TAppV:
+		return ValueWords(v.Val)
+	default: // Num, AddrV, LamV, Var
+		return 1
+	}
+}

@@ -37,10 +37,19 @@ type Machine struct {
 
 	// Trace, if non-nil, is called after every step with the term that was
 	// just reduced (the machine's effects — puts, sets, region frees — are
-	// already applied, and m.Term is the next term). Consumers that
-	// classify steps into GC events (internal/obs) need the pre-step term:
-	// it names the operation; the machine state shows its result.
+	// already applied, and m.Term is the next term). On the substitution
+	// machine the pre-step term exists anyway, so the hook is free; event
+	// consumers should prefer Event, which both machines share.
 	Trace func(m *Machine, before Term)
+
+	// Event, if non-nil, is called after every classified step with a
+	// fixed-size StepEvent (see events.go). Emitting one allocates
+	// nothing, so the hook is cheap enough to stay installed on every
+	// run — it is how internal/obs builds timelines and profiles.
+	Event func(StepEvent)
+
+	// ev is the scratch event the step rules fill when Event is set.
+	ev StepEvent
 }
 
 // ErrStuck is returned when no reduction applies — a progress violation
@@ -133,6 +142,9 @@ func (m *Machine) Step() error {
 		return errors.New("gclang: step after halt")
 	}
 	before := m.Term
+	if m.Event != nil {
+		m.ev.Kind = StepNone
+	}
 	next, err := m.step(m.Term)
 	if err != nil {
 		return err
@@ -142,6 +154,10 @@ func (m *Machine) Step() error {
 	if m.Trace != nil {
 		m.Trace(m, before)
 	}
+	if m.Event != nil && m.ev.Kind != StepNone {
+		m.ev.Step = m.Steps
+		m.Event(m.ev)
+	}
 	return nil
 }
 
@@ -150,6 +166,9 @@ func (m *Machine) step(e Term) (Term, error) {
 	case HaltT:
 		m.Halted = true
 		m.Result = e.V
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepHalt}
+		}
 		return e, nil
 	case AppT:
 		return m.stepApp(e)
@@ -192,6 +211,9 @@ func (m *Machine) step(e Term) (Term, error) {
 		return s.Term(e.Body), nil
 	case LetRegionT:
 		nu := m.Mem.NewRegion()
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepNewRegion, Addr: regions.Addr{Region: nu}}
+		}
 		return (&Subst{Regs: map[names.Name]Region{e.R: RName{Name: nu}}, Closed: true}).Term(e.Body), nil
 	case OnlyT:
 		keep := make([]regions.Name, 0, len(e.Delta))
@@ -209,6 +231,9 @@ func (m *Machine) step(e Term) (Term, error) {
 		}
 		if m.Ghost {
 			m.Psi = m.Psi.Restrict(keepSet)
+		}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepOnly}
 		}
 		return e.Body, nil
 	case TypecaseT:
@@ -231,6 +256,9 @@ func (m *Machine) step(e Term) (Term, error) {
 		}
 		if err := m.Mem.Set(dst.Addr, e.Src); err != nil {
 			return nil, stuck(e, "%v", err)
+		}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepSet, Addr: dst.Addr}
 		}
 		return e.Body, nil
 	case WidenT:
@@ -306,6 +334,9 @@ func (m *Machine) stepApp(e AppT) (Term, error) {
 	if len(e.Tags) != len(lam.TParams) || len(e.Rs) != len(lam.RParams) || len(e.Args) != len(lam.Params) {
 		return nil, stuck(e, "arity mismatch calling %s", addr.Addr)
 	}
+	if m.Event != nil {
+		m.ev = StepEvent{Kind: StepCall, Addr: addr.Addr}
+	}
 	s := &Subst{
 		Tags:   map[names.Name]tags.Tag{},
 		Regs:   map[names.Name]Region{},
@@ -355,13 +386,23 @@ func (m *Machine) stepOp(op Op) (Value, error) {
 		if m.Ghost {
 			m.Psi[addr] = op.Anno
 		}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepPut, Addr: addr, Words: ValueWords(op.V)}
+		}
 		return AddrV{Addr: addr}, nil
 	case GetOp:
 		a, ok := op.V.(AddrV)
 		if !ok {
 			return nil, fmt.Errorf("%w: get from non-address %s", ErrStuck, op.V)
 		}
-		return m.Mem.Get(a.Addr)
+		cell, err := m.Mem.Get(a.Addr)
+		if err != nil {
+			return nil, err
+		}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepGet, Addr: a.Addr}
+		}
+		return cell, nil
 	case StripOp:
 		switch v := op.V.(type) {
 		case InlV:

@@ -1,7 +1,8 @@
 // Package obs is the observability layer of the reproduction: structured
-// GC-event timelines recorded off the λGC machine's Trace hook, wall-clock
-// spans for the compile pipeline's phases, request trace IDs, and a
-// dependency-free Prometheus text-exposition writer/parser.
+// GC-event timelines and allocation-free run profiles recorded off the
+// λGC machines' StepEvent hook, wall-clock spans for the compile
+// pipeline's phases, request trace IDs, and a dependency-free Prometheus
+// text-exposition writer/parser.
 //
 // The paper's point is that the collector is an ordinary, inspectable
 // term; this package makes its behaviour observable event by event. A
@@ -117,27 +118,9 @@ const (
 const WordBytes = 8
 
 // Words returns the number of machine words value v occupies in a cell
-// under the 64-bit-word model.
-func Words(v gclang.Value) int {
-	switch v := v.(type) {
-	case gclang.PairV:
-		return Words(v.L) + Words(v.R)
-	case gclang.InlV:
-		return Words(v.Val)
-	case gclang.InrV:
-		return Words(v.Val)
-	case gclang.PackTag:
-		return Words(v.Val)
-	case gclang.PackAlpha:
-		return Words(v.Val)
-	case gclang.PackRegion:
-		return Words(v.Val)
-	case gclang.TAppV:
-		return Words(v.Val)
-	default: // Num, AddrV, LamV, Var
-		return 1
-	}
-}
+// under the 64-bit-word model. It delegates to gclang.ValueWords, the
+// count the machines' event hooks report.
+func Words(v gclang.Value) int { return gclang.ValueWords(v) }
 
 // Event is one classified machine transition. Step is the 1-based machine
 // step that performed it; Collection is the 1-based index of the
@@ -199,7 +182,7 @@ type regCount struct {
 	bytes int
 }
 
-// Recorder builds a Timeline from a machine's Trace hook. Create one per
+// Recorder builds a Timeline from a machine's Event hook. Create one per
 // run with NewRecorder (or psgc.(*Compiled).Recorder), Attach it before
 // the first step, and read Timeline after the run. A Recorder is
 // single-run and not safe for concurrent use.
@@ -213,6 +196,7 @@ type Recorder struct {
 	tl       Timeline
 	curIdx   int // open span index into tl.Collections, -1 if none
 	lastStep int
+	steps    func() int // true machine step count (events skip unclassified steps)
 	regs     map[regions.Name]*regCount
 	dropped  int
 }
@@ -236,40 +220,48 @@ func NewRecorder(entries map[regions.Addr]string, collectorFuns int) *Recorder {
 	}
 }
 
-// Attach wires the recorder into the substitution machine's Trace hook,
+// Attach wires the recorder into the substitution machine's Event hook,
 // chaining any hook already installed.
 func (r *Recorder) Attach(m *gclang.Machine) {
-	prev := m.Trace
-	m.Trace = func(m *gclang.Machine, before gclang.Term) {
-		r.Observe(m.Steps, m.Mem, before)
+	prev := m.Event
+	r.steps = func() int { return m.Steps }
+	m.Event = func(ev gclang.StepEvent) {
+		r.ObserveEvent(m.Mem, ev)
 		if prev != nil {
-			prev(m, before)
+			prev(ev)
 		}
 	}
 }
 
-// AttachEnv wires the recorder into the environment machine's Trace hook,
-// chaining any hook already installed. The env machine synthesizes pre-step
-// terms with the classified head fields resolved, so classification is
-// identical to the substitution machine's.
+// AttachEnv wires the recorder into the environment machine's Event hook,
+// chaining any hook already installed. Both machines emit identical event
+// streams, so classification is engine-independent.
 func (r *Recorder) AttachEnv(m *gclang.EnvMachine) {
-	prev := m.Trace
-	m.Trace = func(m *gclang.EnvMachine, before gclang.Term) {
-		r.Observe(m.Steps, m.Mem, before)
+	prev := m.Event
+	r.steps = func() int { return m.Steps }
+	m.Event = func(ev gclang.StepEvent) {
+		r.ObserveEvent(m.Mem, ev)
 		if prev != nil {
-			prev(m, before)
+			prev(ev)
 		}
 	}
 }
 
 // Timeline finalizes and returns the recording. A still-open collection
 // span (fuel exhausted mid-collection) keeps Open=true with EndStep at the
-// last observed step.
+// last observed step. Steps is the machine's true step count: events skip
+// unclassified transitions, so the attached machine is consulted directly.
 func (r *Recorder) Timeline() *Timeline {
-	if r.curIdx >= 0 {
-		r.tl.Collections[r.curIdx].EndStep = r.lastStep
+	last := r.lastStep
+	if r.steps != nil {
+		if s := r.steps(); s > last {
+			last = s
+		}
 	}
-	r.tl.Steps = r.lastStep
+	if r.curIdx >= 0 {
+		r.tl.Collections[r.curIdx].EndStep = last
+	}
+	r.tl.Steps = last
 	r.tl.DroppedEvents = r.dropped
 	return &r.tl
 }
@@ -305,19 +297,21 @@ func (r *Recorder) closeSpan(end int) {
 	r.curIdx = -1
 }
 
-// Observe classifies one machine transition: step is the 1-based step that
-// just reduced `before`, and mem is the memory with the step's effects
-// already applied. It is engine-agnostic — Attach and AttachEnv both feed
-// it — and exported so co-stepping tests can drive it directly.
-func (r *Recorder) Observe(step int, mem regions.Store[gclang.Value], before gclang.Term) {
-	r.lastStep = step
-	switch t := before.(type) {
-	case gclang.AppT:
-		a, ok := t.Fn.(gclang.AddrV)
-		if !ok {
-			return // translucent head; the rewritten call is the next step
-		}
-		if name, isEntry := r.entries[a.Addr]; isEntry {
+// ObserveEvent classifies one machine step event. mem is the memory with
+// the step's effects already applied (the region-free diff at only needs
+// it). It is engine-agnostic — Attach and AttachEnv both feed it — and
+// exported so co-stepping tests can drive it directly. Unlike the event
+// hook itself, the Recorder may allocate (event log, region table): full
+// timelines are the opt-in deep view; always-on profiling uses the
+// allocation-free Profiler instead.
+func (r *Recorder) ObserveEvent(mem regions.Store[gclang.Value], sev gclang.StepEvent) {
+	step := sev.Step
+	if step > r.lastStep {
+		r.lastStep = step
+	}
+	switch sev.Kind {
+	case gclang.StepCall:
+		if name, isEntry := r.entries[sev.Addr]; isEntry {
 			// A new collection begins; a direct entry→entry tail call
 			// (minor falling through to major) closes the previous span.
 			r.closeSpan(step - 1)
@@ -329,58 +323,45 @@ func (r *Recorder) Observe(step int, mem regions.Store[gclang.Value], before gcl
 			r.emit(Event{Step: step, Kind: KindCollectStart, Entry: name, Collection: idx})
 			return
 		}
-		if r.curIdx >= 0 && a.Addr.Region == regions.CD && a.Addr.Off >= r.collectorFuns {
+		if r.curIdx >= 0 && sev.Addr.Region == regions.CD && sev.Addr.Off >= r.collectorFuns {
 			idx := r.tl.Collections[r.curIdx].Index
 			r.closeSpan(step)
 			r.emit(Event{Step: step, Kind: KindCollectEnd, Collection: idx})
 		}
-	case gclang.LetT:
-		switch op := t.Op.(type) {
-		case gclang.PutOp:
-			rn, ok := op.R.(gclang.RName)
-			if !ok {
-				return
-			}
-			b := Words(op.V) * WordBytes
-			rc := r.reg(rn.Name)
-			rc.cells++
-			rc.bytes += b
-			ev := Event{
-				Step: step, Kind: KindAlloc, Region: rn.Name.String(),
-				Addr:  regions.Addr{Region: rn.Name, Off: rc.cells - 1}.String(),
-				Cells: 1, Bytes: b,
-			}
-			if r.curIdx >= 0 {
-				sp := &r.tl.Collections[r.curIdx]
-				sp.Copies++
-				r.tl.Copies++
-				ev.Kind = KindCopy
-				ev.Collection = sp.Index
-			} else {
-				r.tl.Allocs++
-			}
-			r.emit(ev)
-		case gclang.GetOp:
-			if r.curIdx < 0 {
-				return // mutator reads are traffic, not GC events
-			}
-			a, ok := op.V.(gclang.AddrV)
-			if !ok {
-				return
-			}
-			sp := &r.tl.Collections[r.curIdx]
-			sp.Scans++
-			r.tl.Scans++
-			r.emit(Event{
-				Step: step, Kind: KindScan, Region: a.Addr.Region.String(),
-				Addr: a.Addr.String(), Collection: sp.Index,
-			})
+	case gclang.StepPut:
+		b := sev.Words * WordBytes
+		rc := r.reg(sev.Addr.Region)
+		rc.cells++
+		rc.bytes += b
+		ev := Event{
+			Step: step, Kind: KindAlloc, Region: sev.Addr.Region.String(),
+			Addr: sev.Addr.String(), Cells: 1, Bytes: b,
 		}
-	case gclang.SetT:
-		ev := Event{Step: step, Kind: KindForward}
-		if a, ok := t.Dst.(gclang.AddrV); ok {
-			ev.Region = a.Addr.Region.String()
-			ev.Addr = a.Addr.String()
+		if r.curIdx >= 0 {
+			sp := &r.tl.Collections[r.curIdx]
+			sp.Copies++
+			r.tl.Copies++
+			ev.Kind = KindCopy
+			ev.Collection = sp.Index
+		} else {
+			r.tl.Allocs++
+		}
+		r.emit(ev)
+	case gclang.StepGet:
+		if r.curIdx < 0 {
+			return // mutator reads are traffic, not GC events
+		}
+		sp := &r.tl.Collections[r.curIdx]
+		sp.Scans++
+		r.tl.Scans++
+		r.emit(Event{
+			Step: step, Kind: KindScan, Region: sev.Addr.Region.String(),
+			Addr: sev.Addr.String(), Collection: sp.Index,
+		})
+	case gclang.StepSet:
+		ev := Event{
+			Step: step, Kind: KindForward,
+			Region: sev.Addr.Region.String(), Addr: sev.Addr.String(),
 		}
 		r.tl.Forwards++
 		if r.curIdx >= 0 {
@@ -389,14 +370,11 @@ func (r *Recorder) Observe(step int, mem regions.Store[gclang.Value], before gcl
 			ev.Collection = sp.Index
 		}
 		r.emit(ev)
-	case gclang.LetRegionT:
-		// The freshly created region is the youngest; start tracking it so
-		// a later only can report its size after it is gone.
-		rs := mem.Regions()
-		if len(rs) > 0 {
-			r.reg(rs[len(rs)-1])
-		}
-	case gclang.OnlyT:
+	case gclang.StepNewRegion:
+		// Start tracking the fresh region so a later only can report its
+		// size after it is gone.
+		r.reg(sev.Addr.Region)
+	case gclang.StepOnly:
 		// Regions we tracked that no longer exist were freed by this step.
 		var freed []regions.Name
 		for n := range r.regs {
@@ -423,7 +401,7 @@ func (r *Recorder) Observe(step int, mem regions.Store[gclang.Value], before gcl
 			}
 			r.emit(ev)
 		}
-	case gclang.HaltT:
+	case gclang.StepHalt:
 		r.closeSpan(step)
 	}
 }

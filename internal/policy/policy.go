@@ -1,0 +1,258 @@
+// Package policy closes the observability loop: it turns the per-program
+// profiles accumulated by obs.ProfileStore into a per-program choice of
+// collector and initial heap capacity. The paper leaves the "if ρ is full"
+// oracle abstract — any policy typechecks — so policy is the one degree of
+// freedom tunable from observation without touching the TCB: a wrong
+// decision can cost time, never correctness. The policy.flip fault point
+// and the chaos suite demonstrate exactly that.
+package policy
+
+import (
+	"fmt"
+	"sync"
+
+	"psgc/internal/fault"
+	"psgc/internal/obs"
+)
+
+// Policy names.
+const (
+	// Static is the default: the caller's explicit collector and capacity
+	// are used unchanged.
+	Static = "static"
+	// Adaptive consults the profile store and may override both.
+	Adaptive = "adaptive"
+)
+
+// Parse normalizes a policy name: "" and "static" mean Static, "adaptive"
+// means Adaptive, anything else is an error.
+func Parse(s string) (string, error) {
+	switch s {
+	case "", Static:
+		return Static, nil
+	case Adaptive:
+		return Adaptive, nil
+	default:
+		return "", fmt.Errorf("policy: unknown policy %q (want static or adaptive)", s)
+	}
+}
+
+// Collectors is the closed set of certified collectors a decision can
+// choose between, in flip-rotation order.
+var Collectors = []string{"basic", "forwarding", "generational"}
+
+// Decision is one resolved policy choice for one program hash.
+type Decision struct {
+	Policy    string `json:"policy"`            // "static" or "adaptive"
+	Collector string `json:"collector"`         // chosen collector
+	Capacity  int    `json:"capacity"`          // chosen initial region capacity
+	Reason    string `json:"reason"`            // human-readable rationale
+	Runs      int    `json:"runs"`              // profiled runs backing the choice
+	Flipped   bool   `json:"flipped,omitempty"` // policy.flip perturbed the collector
+}
+
+// Thresholds for the adaptive heuristics. They were tuned against the
+// bench workloads (E1 alloc-heavy, shared-DAG, E10 mix) but encode general
+// copying-collector tradeoffs, not workload fingerprints.
+const (
+	// lowSurvivalPct: below this per-collection survival ratio most cells
+	// die young, so the generational collector's cheap minor collections
+	// win over full scans.
+	lowSurvivalPct = 35.0
+	// copyAmplification: a basic-collector run whose copies per collection
+	// exceed this multiple of the live set is duplicating shared structure
+	// (basic copying re-copies every DAG path); forwarding pointers
+	// preserve sharing and cap copies at the live set.
+	copyAmplification = 1.2
+	// minCollections: heuristics need at least this many observed
+	// collections before overriding the fallback collector.
+	minCollections = 2
+	// MaxCapacity bounds the capacity a decision may request, so a
+	// profile spike cannot commit the service to huge regions.
+	MaxCapacity = 4096
+	// headroom: the decided capacity targets this multiple of the
+	// observed maximum live set, leaving the collector room to breathe.
+	headroom = 2
+)
+
+// Engine makes decisions from a shared profile store. Safe for concurrent
+// use.
+type Engine struct {
+	store *obs.ProfileStore
+
+	mu          sync.Mutex
+	decisions   int64
+	cold        int64
+	flips       int64
+	byCollector map[string]int64
+}
+
+// NewEngine wraps store (which may be shared with the component feeding
+// profiles in).
+func NewEngine(store *obs.ProfileStore) *Engine {
+	return &Engine{store: store, byCollector: make(map[string]int64)}
+}
+
+// Store returns the engine's underlying profile store.
+func (e *Engine) Store() *obs.ProfileStore { return e.store }
+
+// Observe folds a finished run's profile into the store under (hash,
+// collector).
+func (e *Engine) Observe(hash, collector string, rp obs.RunProfile) {
+	e.store.Update(hash, collector, rp)
+}
+
+// Counts is a snapshot of the engine's decision counters.
+type Counts struct {
+	Decisions   int64            `json:"decisions"`
+	Cold        int64            `json:"cold"`
+	Flips       int64            `json:"flips"`
+	ByCollector map[string]int64 `json:"by_collector"`
+}
+
+// Counts returns the decision counters accumulated so far.
+func (e *Engine) Counts() Counts {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	by := make(map[string]int64, len(e.byCollector))
+	for k, v := range e.byCollector {
+		by[k] = v
+	}
+	return Counts{Decisions: e.decisions, Cold: e.cold, Flips: e.flips, ByCollector: by}
+}
+
+// Decide chooses a collector and capacity for the program hash, falling
+// back to the caller's static choice when the store holds no usable
+// profile (a cold hash). The decision is recorded against the hash so
+// healthz can show it, and the counters are updated.
+func (e *Engine) Decide(hash, fallbackCollector string, fallbackCapacity int) Decision {
+	d := e.decide(hash, fallbackCollector, fallbackCapacity)
+	if fault.Should(fault.PolicyFlip) {
+		d.Collector = rotate(d.Collector)
+		d.Flipped = true
+		d.Reason += "; chaos: policy.flip rotated collector"
+	}
+	e.mu.Lock()
+	e.decisions++
+	if d.Runs == 0 {
+		e.cold++
+	}
+	if d.Flipped {
+		e.flips++
+	}
+	e.byCollector[d.Collector]++
+	e.mu.Unlock()
+	e.store.SetDecision(hash, d)
+	return d
+}
+
+func (e *Engine) decide(hash, fallbackCollector string, fallbackCapacity int) Decision {
+	d := Decision{
+		Policy:    Adaptive,
+		Collector: fallbackCollector,
+		Capacity:  fallbackCapacity,
+	}
+	sum, ok := e.store.Lookup(hash)
+	if !ok || sum.Runs == 0 {
+		d.Reason = "cold: no profile for hash"
+		return d
+	}
+	d.Runs = sum.Runs
+
+	// Fold the per-collector aggregates into the cross-collector totals
+	// the heuristics read. Survival and max-live are collector-independent
+	// properties of the program; copy amplification is read off the basic
+	// profile specifically, and observed forwards (only the forwarding and
+	// generational dialects emit set!) independently witness sharing.
+	var copies, freed, collections, forwards int64
+	maxLive := 0
+	var basic *obs.CollectorAgg
+	for i := range sum.Collectors {
+		a := &sum.Collectors[i]
+		copies += a.Copies
+		freed += a.CellsFreed
+		collections += a.Collections
+		forwards += a.Forwards
+		if a.MaxLive > maxLive {
+			maxLive = a.MaxLive
+		}
+		if a.Collector == "basic" {
+			basic = a
+		}
+	}
+
+	// Capacity: give the collector headroom× the observed live ceiling,
+	// rounded to a power of two, never below the caller's static choice
+	// (the decision must not be riskier than the default) and never above
+	// MaxCapacity.
+	if maxLive > 0 {
+		cap2 := pow2ceil(headroom * maxLive)
+		if cap2 > d.Capacity {
+			d.Capacity = cap2
+		}
+		if d.Capacity > MaxCapacity {
+			d.Capacity = MaxCapacity
+		}
+	}
+
+	if collections < minCollections {
+		d.Reason = fmt.Sprintf("profile: %d runs, <%d collections observed; keeping %s, capacity %d",
+			sum.Runs, minCollections, d.Collector, d.Capacity)
+		return d
+	}
+
+	survival := -1.0
+	if copies+freed > 0 {
+		survival = 100 * float64(copies) / float64(copies+freed)
+	}
+
+	// Copy amplification: a basic-collector profile whose per-collection
+	// copies exceed the live set is duplicating shared structure.
+	if basic != nil && basic.Collections > 0 && maxLive > 0 {
+		perCollection := float64(basic.Copies) / float64(basic.Collections)
+		if perCollection > copyAmplification*float64(maxLive) {
+			d.Collector = "forwarding"
+			d.Reason = fmt.Sprintf("profile: basic copies %.1f/collection exceed %.1f×live (%d); forwarding preserves sharing",
+				perCollection, copyAmplification, maxLive)
+			return d
+		}
+	}
+	// Forwards observed without a basic profile also witness sharing.
+	if basic == nil && forwards > 0 && collections > 0 {
+		d.Collector = "forwarding"
+		d.Reason = fmt.Sprintf("profile: %d forwards over %d collections witness shared structure; forwarding preserves sharing",
+			forwards, collections)
+		return d
+	}
+
+	if survival >= 0 && survival < lowSurvivalPct {
+		d.Collector = "generational"
+		d.Reason = fmt.Sprintf("profile: %.0f%% survival < %.0f%%; most cells die young, minor collections win",
+			survival, lowSurvivalPct)
+		return d
+	}
+
+	d.Collector = "basic"
+	d.Reason = fmt.Sprintf("profile: %.0f%% survival, no copy amplification; basic collector is cheapest", survival)
+	return d
+}
+
+// rotate returns the next collector in Collectors order (used by the
+// policy.flip fault point).
+func rotate(col string) string {
+	for i, c := range Collectors {
+		if c == col {
+			return Collectors[(i+1)%len(Collectors)]
+		}
+	}
+	return Collectors[0]
+}
+
+// pow2ceil returns the smallest power of two >= n.
+func pow2ceil(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

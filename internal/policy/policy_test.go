@@ -1,0 +1,170 @@
+package policy_test
+
+import (
+	"strings"
+	"testing"
+
+	"psgc/internal/fault"
+	"psgc/internal/obs"
+	"psgc/internal/policy"
+)
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{"", policy.Static, true},
+		{"static", policy.Static, true},
+		{"adaptive", policy.Adaptive, true},
+		{"bogus", "", false},
+	} {
+		got, err := policy.Parse(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("Parse(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func newEngine() *policy.Engine {
+	return policy.NewEngine(obs.NewProfileStore(16))
+}
+
+func TestDecideCold(t *testing.T) {
+	e := newEngine()
+	d := e.Decide("unknown", "forwarding", 64)
+	if d.Collector != "forwarding" || d.Capacity != 64 || d.Runs != 0 {
+		t.Fatalf("cold decision %+v, want fallback collector/capacity with 0 runs", d)
+	}
+	if !strings.Contains(d.Reason, "cold") {
+		t.Errorf("cold reason %q", d.Reason)
+	}
+	c := e.Counts()
+	if c.Decisions != 1 || c.Cold != 1 || c.ByCollector["forwarding"] != 1 {
+		t.Errorf("counts %+v", c)
+	}
+}
+
+func TestDecideCopyAmplification(t *testing.T) {
+	e := newEngine()
+	// A basic-collector profile that re-copies shared structure: 3
+	// collections, 300 copies against a live set of 40 (2.5×40 per
+	// collection > 1.2×40).
+	e.Observe("h", "basic", obs.RunProfile{
+		Steps: 1000, Allocs: 200, Copies: 300, CellsFreed: 100,
+		Collections: 3, MaxLive: 40,
+	})
+	d := e.Decide("h", "basic", 32)
+	if d.Collector != "forwarding" {
+		t.Fatalf("decision %+v, want forwarding for copy amplification", d)
+	}
+	if d.Runs != 1 {
+		t.Errorf("runs %d, want 1", d.Runs)
+	}
+}
+
+func TestDecideLowSurvival(t *testing.T) {
+	e := newEngine()
+	// 20 copies vs 180 freed = 10% survival over 4 collections.
+	e.Observe("h", "basic", obs.RunProfile{
+		Steps: 1000, Allocs: 200, Copies: 20, CellsFreed: 180,
+		Collections: 4, MaxLive: 30,
+	})
+	d := e.Decide("h", "basic", 32)
+	if d.Collector != "generational" {
+		t.Fatalf("decision %+v, want generational for 10%% survival", d)
+	}
+}
+
+func TestDecideHighSurvivalStaysBasic(t *testing.T) {
+	e := newEngine()
+	// 80% survival, copies per collection ≈ live set: nothing to win.
+	e.Observe("h", "forwarding", obs.RunProfile{
+		Steps: 1000, Allocs: 100, Copies: 160, CellsFreed: 40,
+		Collections: 4, MaxLive: 40,
+	})
+	d := e.Decide("h", "generational", 32)
+	if d.Collector != "basic" {
+		t.Fatalf("decision %+v, want basic when no signal favors the others", d)
+	}
+}
+
+func TestDecideForwardsWitnessSharing(t *testing.T) {
+	e := newEngine()
+	// No basic profile, but the forwarding run observed forwards and a
+	// healthy survival ratio: sharing is present.
+	e.Observe("h", "forwarding", obs.RunProfile{
+		Steps: 1000, Allocs: 100, Copies: 120, Forwards: 30, CellsFreed: 60,
+		Collections: 3, MaxLive: 40,
+	})
+	d := e.Decide("h", "basic", 32)
+	if d.Collector != "forwarding" {
+		t.Fatalf("decision %+v, want forwarding when forwards witness sharing", d)
+	}
+}
+
+func TestDecideCapacity(t *testing.T) {
+	e := newEngine()
+	e.Observe("h", "basic", obs.RunProfile{
+		Steps: 100, Allocs: 100, Copies: 90, CellsFreed: 20,
+		Collections: 2, MaxLive: 90,
+	})
+	d := e.Decide("h", "basic", 32)
+	// pow2ceil(2×90) = 256, above the fallback 32.
+	if d.Capacity != 256 {
+		t.Fatalf("capacity %d, want 256 (pow2ceil of 2×90)", d.Capacity)
+	}
+
+	// Never below the fallback...
+	e.Observe("tiny", "basic", obs.RunProfile{Steps: 10, Allocs: 4, Collections: 2, MaxLive: 3})
+	if d := e.Decide("tiny", "basic", 128); d.Capacity != 128 {
+		t.Fatalf("capacity %d, want fallback 128 kept", d.Capacity)
+	}
+	// ...and never above MaxCapacity.
+	e.Observe("huge", "basic", obs.RunProfile{Steps: 10, Allocs: 9000, Collections: 2, MaxLive: 9000})
+	if d := e.Decide("huge", "basic", 64); d.Capacity != policy.MaxCapacity {
+		t.Fatalf("capacity %d, want clamp to %d", d.Capacity, policy.MaxCapacity)
+	}
+}
+
+func TestDecideFewCollectionsKeepsFallback(t *testing.T) {
+	e := newEngine()
+	e.Observe("h", "basic", obs.RunProfile{Steps: 100, Allocs: 10, Collections: 1, Copies: 100, MaxLive: 5})
+	d := e.Decide("h", "generational", 32)
+	if d.Collector != "generational" {
+		t.Fatalf("decision %+v, want fallback kept under %d collections", d, 2)
+	}
+}
+
+func TestDecideRecordsDecisionInStore(t *testing.T) {
+	e := newEngine()
+	e.Observe("h", "basic", obs.RunProfile{Steps: 100, Allocs: 10, Collections: 2, MaxLive: 5})
+	d := e.Decide("h", "basic", 32)
+	sum, ok := e.Store().Lookup("h")
+	if !ok {
+		t.Fatal("hash missing after decide")
+	}
+	got, ok := sum.Decision.(policy.Decision)
+	if !ok || got != d {
+		t.Fatalf("stored decision %+v (ok=%v), want %+v", sum.Decision, ok, d)
+	}
+}
+
+func TestPolicyFlipFault(t *testing.T) {
+	fault.Install(fault.NewRegistry(1).Enable(fault.PolicyFlip, 1))
+	defer fault.Install(nil)
+	e := newEngine()
+	d := e.Decide("h", "basic", 32)
+	if !d.Flipped {
+		t.Fatal("policy.flip at probability 1 did not flip")
+	}
+	if d.Collector != "forwarding" {
+		t.Fatalf("flip rotated basic to %q, want forwarding", d.Collector)
+	}
+	if !strings.Contains(d.Reason, "policy.flip") {
+		t.Errorf("flip not visible in reason %q", d.Reason)
+	}
+	if c := e.Counts(); c.Flips != 1 {
+		t.Errorf("flip counter %d, want 1", c.Flips)
+	}
+}

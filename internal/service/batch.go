@@ -14,6 +14,7 @@ import (
 
 	"psgc"
 	"psgc/internal/obs"
+	"psgc/internal/policy"
 	"psgc/internal/regions"
 )
 
@@ -93,6 +94,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			item.Backend = s.cfg.DefaultBackend
 		}
 		if _, err := regions.ParseBackend(item.Backend); err != nil {
+			results[i] = batchItemError(http.StatusBadRequest,
+				errorBody{Error: err.Error(), TraceID: itemID})
+			continue
+		}
+		if item.Policy == "" {
+			item.Policy = s.cfg.DefaultPolicy
+		}
+		if _, err := policy.Parse(item.Policy); err != nil {
 			results[i] = batchItemError(http.StatusBadRequest,
 				errorBody{Error: err.Error(), TraceID: itemID})
 			continue

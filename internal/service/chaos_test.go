@@ -45,6 +45,8 @@ var chaosPoints = []struct {
 		map[int]bool{http.StatusOK: true}},
 	{"cache.evict", fault.NewRegistry(107).Enable(fault.CacheEvict, 0.8), false,
 		map[int]bool{http.StatusOK: true}},
+	{"policy.flip", fault.NewRegistry(108).Enable(fault.PolicyFlip, 1), true,
+		map[int]bool{http.StatusOK: true}},
 }
 
 var chaosCollectors = []string{"basic", "forwarding", "generational"}
@@ -54,6 +56,11 @@ var chaosCollectors = []string{"basic", "forwarding", "generational"}
 // machine.corrupt in particular must land on arena slabs and still be
 // caught by the map-substrate oracle.
 var chaosBackends = []string{"map", "arena"}
+
+// chaosPolicies alternates the decision path: static runs pin the request's
+// collector, adaptive runs route through the policy engine — which is the
+// surface the policy.flip fault perturbs.
+var chaosPolicies = []string{"static", "adaptive"}
 
 // TestChaosMatrix hammers every fault point with concurrent mixed-collector,
 // mixed-backend traffic and asserts the service never leaves its
@@ -80,6 +87,7 @@ func TestChaosMatrix(t *testing.T) {
 							Capacity:       intp(40),
 							CoCheck:        p.cocheck,
 							Backend:        chaosBackends[(g+i)%len(chaosBackends)],
+							Policy:         chaosPolicies[(g+2*i)%len(chaosPolicies)],
 						})
 						if !p.allowed[status] {
 							errs <- string(body)
@@ -286,5 +294,95 @@ func TestChaosStormCoherenceConcurrent(t *testing.T) {
 	}
 	if got := s.cache.len(); got > 6 {
 		t.Errorf("cache holds %d entries, cap is 6", got)
+	}
+}
+
+// TestChaosPolicyFlipNeutral is the policy ∉ TCB demonstration: with the
+// policy.flip fault certain, every warm adaptive decision is rotated to a
+// collector the profile did not pick — and the program's value, the oracle
+// co-check, and the PR-2 timeline identities must all be indifferent to it.
+func TestChaosPolicyFlipNeutral(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+
+	// Warm the profile for both workloads with clean static runs first.
+	srcs := []struct {
+		src  string
+		want int
+	}{{allocHeavy, 30 * 31 / 2}, {workload.SharedDAGSrc(6), 4}}
+	for _, tc := range srcs {
+		for _, col := range chaosCollectors {
+			status, body := postJSONNoFatal(ts.URL+"/run", RunRequest{
+				CompileRequest: CompileRequest{Source: tc.src, Collector: col},
+				Capacity:       intp(24),
+			})
+			if status != http.StatusOK {
+				t.Fatalf("warm-up %s: %d: %s", col, status, body)
+			}
+		}
+	}
+
+	fault.Install(fault.NewRegistry(23).Enable(fault.PolicyFlip, 1))
+	t.Cleanup(func() { fault.Install(nil) })
+
+	flipped := 0
+	for _, tc := range srcs {
+		status, body := postJSONNoFatal(ts.URL+"/run?trace=1&cocheck=1", RunRequest{
+			CompileRequest: CompileRequest{Source: tc.src, Collector: "basic"},
+			Capacity:       intp(24),
+			Policy:         "adaptive",
+		})
+		if status != http.StatusOK {
+			t.Fatalf("flipped adaptive run: %d: %s", status, body)
+		}
+		var rr RunResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Value != tc.want {
+			t.Errorf("flipped policy changed the value: %d, want %d", rr.Value, tc.want)
+		}
+		if !rr.CoChecked || rr.Diverged {
+			t.Errorf("flipped run cochecked=%v diverged=%v, want clean co-check", rr.CoChecked, rr.Diverged)
+		}
+		d := rr.Decision
+		if d == nil || !d.Flipped || !strings.Contains(d.Reason, "policy.flip") {
+			t.Fatalf("decision not flipped under certain fault: %+v", d)
+		}
+		if d.Collector != rr.Collector {
+			t.Errorf("run used %q but the (flipped) decision says %q", rr.Collector, d.Collector)
+		}
+		if flippedDecision := d.Flipped; flippedDecision {
+			flipped++
+		}
+
+		// Timeline identities survive the flip: the events the profile and
+		// timeline count come from the machine that actually ran.
+		status, cbody := postJSONNoFatal(ts.URL+"/compile", CompileRequest{Source: tc.src, Collector: rr.Collector})
+		if status != http.StatusOK {
+			t.Fatalf("compile %s: %d: %s", rr.Collector, status, cbody)
+		}
+		var cr CompileResponse
+		if err := json.Unmarshal(cbody, &cr); err != nil {
+			t.Fatal(err)
+		}
+		tl := rr.Trace.Timeline
+		if tl == nil {
+			t.Fatal("flipped traced run has no timeline")
+		}
+		if tl.Steps != rr.Stats.Steps {
+			t.Errorf("timeline steps %d vs stats %d under flip", tl.Steps, rr.Stats.Steps)
+		}
+		if len(tl.Collections) != rr.Stats.Collections {
+			t.Errorf("%d spans for %d collections under flip", len(tl.Collections), rr.Stats.Collections)
+		}
+		if got, want := tl.Allocs+tl.Copies, rr.Stats.Puts-cr.CodeBlocks; got != want {
+			t.Errorf("allocs+copies = %d, puts-code = %d under flip", got, want)
+		}
+	}
+	if flipped != len(srcs) {
+		t.Errorf("%d of %d adaptive decisions flipped under a certain fault", flipped, len(srcs))
+	}
+	if got := s.Metrics().PolicyFlips.Load(); int(got) != flipped {
+		t.Errorf("PolicyFlips metric %d, want %d", got, flipped)
 	}
 }

@@ -59,6 +59,14 @@ type Metrics struct {
 	BatchRequests    atomic.Int64 // /batch requests
 	BatchItems       atomic.Int64 // run items carried by /batch requests
 
+	// Adaptive-policy counters (PR 8). PolicyChosen is indexed by the
+	// decided psgc.Collector.
+	ProfiledRuns    atomic.Int64    // completed runs folded into the profile store
+	PolicyDecisions atomic.Int64    // adaptive decisions made
+	PolicyCold      atomic.Int64    // decisions that fell back (no profile yet)
+	PolicyFlips     atomic.Int64    // decisions perturbed by the policy.flip fault
+	PolicyChosen    [3]atomic.Int64 // decisions by chosen collector
+
 	// Latency histograms.
 	CompileLatency   Histogram
 	RunLatency       Histogram
@@ -185,6 +193,17 @@ func (m *Metrics) Snapshot() map[string]any {
 			"requests": m.BatchRequests.Load(),
 			"items":    m.BatchItems.Load(),
 		},
+		"policy": map[string]any{
+			"profiled_runs": m.ProfiledRuns.Load(),
+			"decisions":     m.PolicyDecisions.Load(),
+			"cold":          m.PolicyCold.Load(),
+			"flips":         m.PolicyFlips.Load(),
+			"chosen": map[string]int64{
+				"basic":        m.PolicyChosen[0].Load(),
+				"forwarding":   m.PolicyChosen[1].Load(),
+				"generational": m.PolicyChosen[2].Load(),
+			},
+		},
 		"per_collector":        perCollector,
 		"compile_latency_ms":   m.CompileLatency.snapshot(),
 		"run_latency_ms":       m.RunLatency.snapshot(),
@@ -267,6 +286,19 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		obs.Sample{Value: float64(m.BatchRequests.Load())})
 	p.Counter("psgc_batch_items_total", "Run items carried by batch requests.",
 		obs.Sample{Value: float64(m.BatchItems.Load())})
+	p.Counter("psgc_profiled_runs_total", "Completed runs folded into the profile store.",
+		obs.Sample{Value: float64(m.ProfiledRuns.Load())})
+	p.Counter("psgc_policy_decisions_total", "Adaptive policy decisions, by outcome.",
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "decided"}}, Value: float64(m.PolicyDecisions.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "cold"}}, Value: float64(m.PolicyCold.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "flipped"}}, Value: float64(m.PolicyFlips.Load())},
+	)
+	chosen := make([]obs.Sample, 0, len(collectorNames))
+	for i, name := range collectorNames {
+		chosen = append(chosen, obs.Sample{Labels: []obs.Label{{Name: "collector", Value: name}},
+			Value: float64(m.PolicyChosen[i].Load())})
+	}
+	p.Counter("psgc_policy_chosen_total", "Adaptive policy decisions, by chosen collector.", chosen...)
 	m.CompileLatency.writeProm(p, "psgc_compile_latency_ms", "Compile latency in milliseconds.")
 	m.RunLatency.writeProm(p, "psgc_run_latency_ms", "Run latency in milliseconds.")
 	m.InterpretLatency.writeProm(p, "psgc_interpret_latency_ms", "Interpret latency in milliseconds.")

@@ -45,6 +45,7 @@ import (
 	"psgc"
 	"psgc/internal/fault"
 	"psgc/internal/obs"
+	"psgc/internal/policy"
 	"psgc/internal/regions"
 )
 
@@ -113,6 +114,17 @@ type Config struct {
 	// MaxBatchItems caps the run items one /batch request may carry
 	// (default 256).
 	MaxBatchItems int
+	// DefaultPolicy is the run policy /run uses when the request names
+	// none: "static" (the default — the request's collector and capacity
+	// are used as given) or "adaptive" (the profile-driven engine picks
+	// the collector and initial capacity per program). Surfaced in
+	// /healthz.
+	DefaultPolicy string
+	// ProfileCapacity bounds the per-program profile store in program
+	// hashes (default obs.DefaultProfileCapacity). Profiles are recorded
+	// for every run regardless of policy; the store is what the adaptive
+	// policy reads.
+	ProfileCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +173,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 256
 	}
+	if p, err := policy.Parse(c.DefaultPolicy); err != nil {
+		c.DefaultPolicy = policy.Static
+	} else {
+		c.DefaultPolicy = p
+	}
+	if c.ProfileCapacity <= 0 {
+		c.ProfileCapacity = obs.DefaultProfileCapacity
+	}
 	return c
 }
 
@@ -175,6 +195,13 @@ type Server struct {
 	guard   *guardrails
 	start   time.Time
 	build   map[string]any
+
+	// profiles is the always-on per-program profile store; adaptive is
+	// the policy engine reading it. Every run feeds profiles regardless of
+	// its policy, so an operator can flip DefaultPolicy to adaptive on a
+	// warm node and get informed decisions immediately.
+	profiles *obs.ProfileStore
+	adaptive *policy.Engine
 
 	// peer is the fleet peer-fetch client, swappable at runtime (the gate's
 	// address may only be known after the backend starts).
@@ -215,6 +242,8 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		jobs:    make(chan *job, cfg.QueueDepth),
 	}
+	s.profiles = obs.NewProfileStore(cfg.ProfileCapacity)
+	s.adaptive = policy.NewEngine(s.profiles)
 	s.build = buildInfo()
 	s.mux.HandleFunc("/compile", s.handleCompile)
 	s.mux.HandleFunc("/run", s.handleRun)
@@ -235,6 +264,14 @@ func New(cfg Config) *Server {
 
 // Metrics exposes the registry (for embedding binaries and tests).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Profiles exposes the per-program profile store (for embedding binaries
+// and tests).
+func (s *Server) Profiles() *obs.ProfileStore { return s.profiles }
+
+// PolicyEngine exposes the adaptive policy engine (for embedding binaries
+// and tests).
+func (s *Server) PolicyEngine() *policy.Engine { return s.adaptive }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -425,6 +462,14 @@ type RunRequest struct {
 	// precedence. Co-checked runs always keep the oracle on the map
 	// backend, so a co-checked arena run is a cross-substrate differential.
 	Backend string `json:"backend"`
+	// Policy selects the run policy: "static" (the default — the
+	// request's collector and capacity are used as given) or "adaptive"
+	// (the profile-driven engine picks the collector and initial capacity
+	// from the program's accumulated profile, falling back to the
+	// request's choices for a cold hash). Equivalent to the ?policy=
+	// query parameter, which takes precedence. Policy is outside the TCB:
+	// it can cost time, never correctness.
+	Policy string `json:"policy"`
 }
 
 // RunStats is the observable execution statistics, present in both
@@ -473,10 +518,16 @@ type RunResponse struct {
 	CoChecked bool `json:"cochecked,omitempty"`
 	// Diverged marks co-checked runs where the engines disagreed; the
 	// value is the oracle's.
-	Diverged bool         `json:"diverged,omitempty"`
-	Stats    RunStats     `json:"stats"`
-	TraceID  string       `json:"trace_id,omitempty"`
-	Trace    *TraceReport `json:"trace,omitempty"`
+	Diverged bool `json:"diverged,omitempty"`
+	// Policy reports the run policy that configured this execution, and
+	// Decision the adaptive engine's resolved choice (nil for static runs).
+	// A decided collector overrides the request's, so Collector above
+	// always reports what actually ran.
+	Policy   string           `json:"policy,omitempty"`
+	Decision *policy.Decision `json:"decision,omitempty"`
+	Stats    RunStats         `json:"stats"`
+	TraceID  string           `json:"trace_id,omitempty"`
+	Trace    *TraceReport     `json:"trace,omitempty"`
 }
 
 // InterpretResponse reports a reference-evaluator run.
@@ -692,6 +743,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			body: errorBody{Error: err.Error(), TraceID: traceID}})
 		return
 	}
+	if v := r.URL.Query().Get("policy"); v != "" {
+		req.Policy = v
+	}
+	if req.Policy == "" {
+		req.Policy = s.cfg.DefaultPolicy
+	}
+	if _, err := policy.Parse(req.Policy); err != nil {
+		s.writeResponse(w, &response{status: http.StatusBadRequest,
+			body: errorBody{Error: err.Error(), TraceID: traceID}})
+		return
+	}
 	req.CoCheck = flagged(r, "cocheck", req.CoCheck)
 	trace := flagged(r, "trace", req.Trace)
 	stream := flagged(r, "stream", req.Stream)
@@ -728,11 +790,6 @@ func (s *Server) overloaded() bool {
 // metrics, and shape the response. progress, if non-nil, receives
 // execution snapshots and can cancel the run by returning false.
 func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID string, progress func(psgc.Progress) bool) *response {
-	c, spans, hit, err := s.compiled(req.Source, col)
-	if err != nil {
-		return &response{status: compileStatus(err), body: errorBody{Error: err.Error(), TraceID: traceID}}
-	}
-	opts := psgc.RunOptions{Capacity: s.cfg.Capacity, FixedCapacity: req.Fixed}
 	// Validated in handleRun; re-parsed here so doRun stands alone.
 	engine, err := psgc.ParseEngine(req.Engine)
 	if err != nil {
@@ -742,8 +799,47 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 	if err != nil {
 		return &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error(), TraceID: traceID}}
 	}
-	opts.Backend = backend
+	polName, err := policy.Parse(req.Policy)
+	if err != nil {
+		return &response{status: http.StatusBadRequest, body: errorBody{Error: err.Error(), TraceID: traceID}}
+	}
 	hash := SourceHash(req.Source)
+	// The collector is baked in at link time, so the adaptive decision
+	// must land before the compile: the engine turns the hash's
+	// accumulated profile into a collector and capacity, falling back to
+	// the request's choices for a cold hash.
+	capacity := s.cfg.Capacity
+	if req.Capacity != nil {
+		capacity = *req.Capacity
+	}
+	var decision *policy.Decision
+	if polName == policy.Adaptive {
+		d := s.adaptive.Decide(hash, col.String(), capacity)
+		s.metrics.PolicyDecisions.Add(1)
+		if d.Runs == 0 {
+			s.metrics.PolicyCold.Add(1)
+		}
+		if d.Flipped {
+			s.metrics.PolicyFlips.Add(1)
+		}
+		if dc, err := parseCollector(d.Collector); err == nil {
+			col = dc
+			s.metrics.PolicyChosen[dc].Add(1)
+		}
+		capacity = d.Capacity
+		decision = &d
+	}
+	c, spans, hit, err := s.compiled(req.Source, col)
+	if err != nil {
+		return &response{status: compileStatus(err), body: errorBody{Error: err.Error(), TraceID: traceID}}
+	}
+	opts := psgc.RunOptions{
+		Capacity:      capacity,
+		FixedCapacity: req.Fixed,
+		Backend:       backend,
+		Policy:        polName,
+		Decision:      decision,
+	}
 	diverged := false
 	if engine == psgc.EngineEnv {
 		if s.guard.breakerOpen(hash) {
@@ -764,10 +860,11 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 		}
 	}
 	opts.Engine = engine
-	if req.Capacity != nil {
-		opts.Capacity = *req.Capacity
-	}
 	opts.Fuel = s.fuelBudget(req.Fuel, req.DeadlineMs)
+	// Always-on profiling: every run carries the allocation-free profiler
+	// and feeds the per-program store the adaptive policy reads.
+	prof := c.Profiler()
+	opts.Profiler = prof
 	var rec *obs.Recorder
 	if trace {
 		rec = c.Recorder()
@@ -841,6 +938,17 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 		return &response{status: http.StatusInternalServerError,
 			body: errorBody{Error: err.Error(), TraceID: traceID}}
 	}
+	// Only completed runs feed the profile store: a partial profile from
+	// a fuel- or watchdog-killed run would skew the per-program aggregates
+	// the adaptive policy decides from.
+	s.adaptive.Observe(hash, col.String(), prof.Profile())
+	s.metrics.ProfiledRuns.Add(1)
+	if decision != nil {
+		// A cold decision was made before the hash had a profile entry to
+		// hang it on; now that the run has admitted the hash, re-record it
+		// so /healthz shows the decision alongside the fresh profile.
+		s.profiles.SetDecision(hash, *decision)
+	}
 	return &response{status: http.StatusOK, body: RunResponse{
 		Value:      res.Value,
 		Collector:  col.String(),
@@ -852,6 +960,8 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 		RunMs:      ms,
 		CoChecked:  opts.CoCheck,
 		Diverged:   diverged,
+		Policy:     polName,
+		Decision:   decision,
 		Stats:      statsOf(res),
 		TraceID:    traceID,
 		Trace:      report,
@@ -1012,6 +1122,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// serve (PR 7): ?backend= selects per request.
 		"default_backend": s.cfg.DefaultBackend,
 		"backends":        backendNames(),
+		// The run policy this node defaults to (PR 8): ?policy= selects per
+		// request; the adaptive engine's decisions and the profile store
+		// feeding it are detailed under "policy" below.
+		"default_policy":  s.cfg.DefaultPolicy,
+		"policies":        []string{policy.Static, policy.Adaptive},
 		"build":           s.build,
 		"uptime_ms":       time.Since(s.start).Milliseconds(),
 		"workers":         s.cfg.Workers,
@@ -1030,6 +1145,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"watchdog_stalls":     s.metrics.WatchdogStalls.Load(),
 		"degradation_mode":    degradation,
 		"incidents":           s.guard.incidents.Snapshot(),
+	}
+	pprob, pprot := s.profiles.Segments()
+	body["policy"] = map[string]any{
+		"counts":            s.adaptive.Counts(),
+		"profiled_runs":     s.metrics.ProfiledRuns.Load(),
+		"profiles":          s.profiles.Len(),
+		"profile_probation": pprob,
+		"profile_protected": pprot,
+		"profile_evictions": s.profiles.Evictions(),
+		// Per-hash profile summaries with the decision last made for each
+		// hash, most-recently-used first.
+		"programs": s.profiles.Snapshot(8),
 	}
 	if pc := s.peer.Load(); pc != nil {
 		body["peer_fetch"] = map[string]any{

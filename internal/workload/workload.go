@@ -289,14 +289,24 @@ func (c CollectOnce) run(fuel int, env bool) (RunStats, error) {
 		steps int
 		err   error
 	)
+	// Region sizes only grow on put steps, so sampling on StepPut events
+	// observes the same maximum the old per-step sampler did.
 	if env {
 		m := gclang.NewEnvMachine(c.Dialect, c.Prog, 0)
-		m.Trace = func(m *gclang.EnvMachine, _ gclang.Term) { sample(m.Mem) }
+		m.Event = func(ev gclang.StepEvent) {
+			if ev.Kind == gclang.StepPut {
+				sample(m.Mem)
+			}
+		}
 		_, err = m.Run(fuel)
 		mem, steps = m.Mem, m.Steps
 	} else {
 		m := gclang.NewMachine(c.Dialect, c.Prog, 0)
-		m.Trace = func(m *gclang.Machine, _ gclang.Term) { sample(m.Mem) }
+		m.Event = func(ev gclang.StepEvent) {
+			if ev.Kind == gclang.StepPut {
+				sample(m.Mem)
+			}
+		}
 		_, err = m.Run(fuel)
 		mem, steps = m.Mem, m.Steps
 	}

@@ -30,6 +30,7 @@ import (
 	"psgc/internal/fault"
 	"psgc/internal/gclang"
 	"psgc/internal/obs"
+	"psgc/internal/policy"
 	"psgc/internal/regions"
 	"psgc/internal/source"
 	"psgc/internal/translate"
@@ -313,6 +314,22 @@ type RunOptions struct {
 	// during the run (create one with Compiled.Recorder; read it with
 	// Recorder.Timeline afterwards). One Recorder serves one run.
 	Recorder *obs.Recorder
+	// Profiler, if non-nil, accumulates an allocation-free run profile
+	// (create one with Compiled.Profiler; read it with Profiler.Profile
+	// afterwards). Unlike the Recorder it is cheap enough to leave on for
+	// every run. One Profiler serves one run. Under CoCheck it observes
+	// the oracle, whose result is the one served.
+	Profiler *obs.Profiler
+	// Policy names the selection policy that configured this run: "" or
+	// policy.Static for an explicit collector and capacity, policy.Adaptive
+	// when the profile-driven engine chose them. With policy.Adaptive and a
+	// non-nil Decision, Run cross-checks the compiled-in collector against
+	// the decision (catching callers that decide one collector and compile
+	// another) and adopts the decision's capacity when Capacity is zero.
+	// Unknown names are an error.
+	Policy string
+	// Decision is the policy decision backing Policy == policy.Adaptive.
+	Decision *policy.Decision
 	// Progress, if non-nil, is called every ProgressEvery steps and at
 	// every collector entry. Returning false cancels the run: Run returns
 	// ErrCanceled with the partial Result.
@@ -419,6 +436,36 @@ func (c *Compiled) Recorder() *obs.Recorder {
 	return obs.NewRecorder(c.entryNames, c.collectorFuns)
 }
 
+// Profiler returns an allocation-free run profiler wired to this program's
+// collector entry points and certified code prefix. Pass it in
+// RunOptions.Profiler (one profiler per run) and read Profiler.Profile
+// after Run returns.
+func (c *Compiled) Profiler() *obs.Profiler {
+	return obs.NewProfiler(c.entryNames, c.collectorFuns)
+}
+
+// applyPolicy validates opts.Policy and, for an adaptive run backed by a
+// Decision, cross-checks the compiled collector and adopts the decided
+// capacity.
+func (c *Compiled) applyPolicy(opts *RunOptions) error {
+	name, err := policy.Parse(opts.Policy)
+	if err != nil {
+		return fmt.Errorf("psgc: %w", err)
+	}
+	if name != policy.Adaptive || opts.Decision == nil {
+		return nil
+	}
+	d := opts.Decision
+	if d.Collector != "" && d.Collector != c.Collector.String() {
+		return fmt.Errorf("psgc: adaptive decision chose collector %q but program is compiled with %q",
+			d.Collector, c.Collector)
+	}
+	if opts.Capacity == 0 && d.Capacity > 0 {
+		opts.Capacity = d.Capacity
+	}
+	return nil
+}
+
 // Run executes the compiled program. If the fuel budget runs out the
 // returned error wraps ErrOutOfFuel and the Result still carries the
 // partial execution's statistics.
@@ -426,6 +473,9 @@ func (c *Compiled) Recorder() *obs.Recorder {
 // The engine is opts.Engine (environment machine by default); Ghost and
 // CheckEveryStep force the substitution machine, which carries the ghost Ψ.
 func (c *Compiled) Run(opts RunOptions) (Result, error) {
+	if err := c.applyPolicy(&opts); err != nil {
+		return Result{}, err
+	}
 	if opts.Engine == EngineSubst || opts.Ghost || opts.CheckEveryStep {
 		return c.runSubst(opts)
 	}
@@ -451,6 +501,9 @@ func (c *Compiled) runSubst(opts RunOptions) (Result, error) {
 	m := c.NewMachine(opts)
 	if opts.Recorder != nil {
 		opts.Recorder.Attach(m)
+	}
+	if opts.Profiler != nil {
+		opts.Profiler.Attach(m)
 	}
 	fuel, every := runBudgets(opts)
 	collections := 0
@@ -491,6 +544,9 @@ func (c *Compiled) runEnv(opts RunOptions) (Result, error) {
 	m := c.NewEnvMachine(opts)
 	if opts.Recorder != nil {
 		opts.Recorder.AttachEnv(m)
+	}
+	if opts.Profiler != nil {
+		opts.Profiler.AttachEnv(m)
 	}
 	fuel, every := runBudgets(opts)
 	collections := 0
