@@ -33,6 +33,13 @@
 //	                      overhead on E1 and the adaptive policy measured
 //	                      against every static collector on the mixed
 //	                      workloads (the CI BENCH_8.json artifact) and exit
+//	-snapshot-cells PATH  write a JSON snapshot comparing the packed cell
+//	                      representation against the boxed baseline machine
+//	                      on the E1 workload — boxed-vs-packed rows per
+//	                      collector × capacity × backend, bit-for-bit
+//	                      counter identities, a co-check verification, and
+//	                      the zero-allocation gates (the CI BENCH_9.json
+//	                      artifact) — and exit
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"testing"
 
 	"time"
 
@@ -55,6 +63,7 @@ import (
 	"psgc/internal/baseline"
 	"psgc/internal/gclang"
 	"psgc/internal/gen"
+	"psgc/internal/names"
 	"psgc/internal/obs"
 	"psgc/internal/policy"
 	"psgc/internal/regions"
@@ -98,6 +107,7 @@ func main() {
 	backendSnapshot := flag.String("snapshot-backend", "", "write a JSON snapshot comparing the map and arena backends on the E1 workload to this path and exit")
 	fleetSnapshot := flag.String("snapshot-fleet", "", "write a fleet-mode JSON snapshot (latency percentiles through -gate or -remote) to this path and exit")
 	policySnapshot := flag.String("snapshot-policy", "", "write a JSON snapshot of profiling overhead and adaptive-vs-static policy to this path and exit")
+	cellsSnapshot := flag.String("snapshot-cells", "", "write a JSON snapshot comparing the packed cell representation against the boxed baseline to this path and exit")
 	flag.Parse()
 	var err error
 	if runEngine, err = psgc.ParseEngine(*engineName); err != nil {
@@ -120,6 +130,12 @@ func main() {
 	}
 	if *policySnapshot != "" {
 		if err := writePolicySnapshot(*policySnapshot); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *cellsSnapshot != "" {
+		if err := writeCellsSnapshot(*cellsSnapshot); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -1271,14 +1287,14 @@ func writeBackendSnapshot(path string) error {
 		if err != nil {
 			return err
 		}
-		var tr *regions.Trace[gclang.Value]
+		var tr *regions.Trace[gclang.Cell]
 		diverged := false
 		_, err = c.Run(psgc.RunOptions{
 			Capacity:     replayCapacity,
 			Backend:      regions.BackendArena,
 			CoCheck:      true,
 			OnDivergence: func(psgc.Divergence) { diverged = true },
-			WrapStore: func(s regions.Store[gclang.Value]) regions.Store[gclang.Value] {
+			WrapStore: func(s regions.Store[gclang.Cell]) regions.Store[gclang.Cell] {
 				tr = regions.NewTrace(s)
 				return tr
 			},
@@ -1294,7 +1310,7 @@ func writeBackendSnapshot(path string) error {
 		// the trace wrapper attaches, so the recorded ops assume a
 		// populated cd. Re-seed it (untimed) before each replay.
 		cdSize := tr.Inner.Size(regions.CD)
-		seedCD := func(s regions.Store[gclang.Value]) {
+		seedCD := func(s regions.Store[gclang.Cell]) {
 			for off := 0; off < cdSize; off++ {
 				if v, ok := tr.Inner.Peek(regions.Addr{Region: regions.CD, Off: off}); ok {
 					s.Put(regions.CD, v)
@@ -1302,11 +1318,11 @@ func writeBackendSnapshot(path string) error {
 			}
 		}
 		oneReplay := func(be regions.Backend) (float64, error) {
-			var s regions.Store[gclang.Value]
+			var s regions.Store[gclang.Cell]
 			if be == regions.BackendLegacyString {
-				s = regions.NewLegacyString[gclang.Value](replayCapacity)
+				s = regions.NewLegacyString[gclang.Cell](replayCapacity)
 			} else {
-				s = regions.NewStore[gclang.Value](be, replayCapacity)
+				s = regions.NewStore[gclang.Cell](be, replayCapacity)
 			}
 			s.SetAutoGrow(true)
 			seedCD(s)
@@ -1371,6 +1387,264 @@ func writeBackendSnapshot(path string) error {
 		path, len(snap.Rows), snap.IdentitiesOK, snap.CoCheckOK,
 		snap.ArenaOpSpeedupGeomean, snap.ArenaVsMapOpGeomean, snap.ArenaRunSpeedupGeomean)
 	return nil
+}
+
+// cellsRow is one E1 configuration measured under one cell representation
+// (environment engine, best of three). Repr is "boxed" for the baseline
+// machine over interface-boxed cells (gclang.Value heap) and "packed" for
+// the production machine over the flat three-word gclang.Cell.
+type cellsRow struct {
+	Capacity      int     `json:"capacity"`
+	Collector     string  `json:"collector"`
+	Backend       string  `json:"backend"`
+	Repr          string  `json:"repr"`
+	Value         int     `json:"value"`
+	ResultOK      bool    `json:"result_ok"`
+	Steps         int     `json:"steps"`
+	Collections   int     `json:"collections"`
+	Puts          int     `json:"puts"`
+	Reclaimed     int     `json:"reclaimed"`
+	MaxLive       int     `json:"max_live"`
+	RunMs         float64 `json:"run_ms"`
+	PackedVsBoxed float64 `json:"packed_vs_boxed,omitempty"` // packed rows only
+}
+
+type cellsSnapshotFile struct {
+	Experiment string `json:"experiment"`
+	Workload   string `json:"workload"`
+	// IdentitiesOK reports that for every configuration the boxed and
+	// packed runs agree bit for bit (value, steps, collections, the full
+	// Stats counters) and that the packed map and packed arena runs agree
+	// with each other — the packing is a representation change, not a
+	// semantic one.
+	IdentitiesOK bool `json:"identities_ok"`
+	// CoCheckOK reports that one co-checked packed-arena run per collector
+	// finished without diverging from the subst-machine oracle on the map
+	// substrate.
+	CoCheckOK bool `json:"cocheck_ok"`
+	// ArenaAllocsPerOp is testing.AllocsPerRun over a warm arena
+	// Put/Get/Set triple; StepAllocsPerOp is the same over five steps of a
+	// warm environment-machine mutator loop. Both must be exactly zero —
+	// the packed representation's contract is that the steady state
+	// touches the host allocator not at all.
+	ArenaAllocsPerOp float64 `json:"arena_allocs_per_op"`
+	StepAllocsPerOp  float64 `json:"step_allocs_per_op"`
+	AllocsOK         bool    `json:"allocs_ok"`
+	// PackedVsBoxedArenaGeomean is the headline: the geometric mean over
+	// collectors × capacities of boxed-ms / packed-ms on the arena
+	// backend. The gate requires ≥ 1.5: the flat []Cell slab plus
+	// zero-allocation stepping must beat the interface-boxed heap by half
+	// again, or the packing refactor isn't paying for itself.
+	PackedVsBoxedArenaGeomean float64 `json:"packed_vs_boxed_arena_geomean"`
+	// PackedVsBoxedMapGeomean is the same ratio on the map backend, for
+	// scale: the map substrate dilutes the win with hashing costs shared
+	// by both representations.
+	PackedVsBoxedMapGeomean float64    `json:"packed_vs_boxed_map_geomean"`
+	Rows                    []cellsRow `json:"rows"`
+}
+
+// writeCellsSnapshot runs the E1 workload under both cell representations
+// and writes the BENCH_9.json artifact: boxed-vs-packed rows per collector
+// × capacity × backend with counter identities, a co-check verification of
+// the packed arena, the zero-allocation gates, and the packed-vs-boxed
+// geomeans.
+func writeCellsSnapshot(path string) error {
+	want, err := psgc.Interpret(allocHeavy)
+	if err != nil {
+		return err
+	}
+	snap := cellsSnapshotFile{
+		Experiment:   "e1-cells",
+		Workload:     "allocHeavy (build 60)",
+		IdentitiesOK: true,
+		CoCheckOK:    true,
+	}
+	backends := []regions.Backend{regions.BackendMap, regions.BackendArena}
+
+	// Boxed-vs-packed rows: best-of-3 per capacity × collector × backend,
+	// interleaving the representations so host-GC drift biases neither.
+	var arenaLogSum, mapLogSum float64
+	var arenaLogN, mapLogN int
+	for _, capacity := range []int{16, 32, 64, 128} {
+		for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+			c, err := psgc.Compile(allocHeavy, col)
+			if err != nil {
+				return err
+			}
+			var packedRes [2]psgc.Result
+			for _, be := range backends {
+				opts := psgc.RunOptions{Capacity: capacity, Backend: be}
+				bestBoxed, bestPacked := math.Inf(1), math.Inf(1)
+				var boxedRes, packedOne psgc.Result
+				for rep := 0; rep < 3; rep++ {
+					t0 := time.Now()
+					if boxedRes, err = c.RunBoxed(opts); err != nil {
+						return err
+					}
+					if ms := float64(time.Since(t0)) / float64(time.Millisecond); ms < bestBoxed {
+						bestBoxed = ms
+					}
+					t0 = time.Now()
+					if packedOne, err = c.Run(opts); err != nil {
+						return err
+					}
+					if ms := float64(time.Since(t0)) / float64(time.Millisecond); ms < bestPacked {
+						bestPacked = ms
+					}
+				}
+				packedRes[be] = packedOne
+				if boxedRes != packedOne {
+					snap.IdentitiesOK = false
+					fmt.Printf("IDENTITY VIOLATION boxed vs packed at capacity %d, %s, %s:\n  boxed  %+v\n  packed %+v\n",
+						capacity, col, be, boxedRes, packedOne)
+				}
+				ratio := 0.0
+				if bestPacked > 0 {
+					ratio = bestBoxed / bestPacked
+					if be == regions.BackendArena {
+						arenaLogSum += math.Log(ratio)
+						arenaLogN++
+					} else {
+						mapLogSum += math.Log(ratio)
+						mapLogN++
+					}
+				}
+				row := cellsRow{
+					Capacity: capacity, Collector: col.String(), Backend: be.String(),
+					Steps: boxedRes.Steps, Collections: boxedRes.Collections,
+					Puts: boxedRes.Stats.Puts, Reclaimed: boxedRes.Stats.CellsReclaimed,
+					MaxLive: boxedRes.Stats.MaxLiveCells,
+				}
+				boxed, packed := row, row
+				boxed.Repr, boxed.Value, boxed.ResultOK, boxed.RunMs = "boxed", boxedRes.Value, boxedRes.Value == want, bestBoxed
+				packed.Repr, packed.Value, packed.ResultOK, packed.RunMs = "packed", packedOne.Value, packedOne.Value == want, bestPacked
+				packed.PackedVsBoxed = ratio
+				snap.Rows = append(snap.Rows, boxed, packed)
+			}
+			if packedRes[regions.BackendMap] != packedRes[regions.BackendArena] {
+				snap.IdentitiesOK = false
+				fmt.Printf("IDENTITY VIOLATION packed map vs arena at capacity %d, %s:\n  map   %+v\n  arena %+v\n",
+					capacity, col, packedRes[regions.BackendMap], packedRes[regions.BackendArena])
+			}
+		}
+	}
+	if arenaLogN > 0 {
+		snap.PackedVsBoxedArenaGeomean = math.Exp(arenaLogSum / float64(arenaLogN))
+	}
+	if mapLogN > 0 {
+		snap.PackedVsBoxedMapGeomean = math.Exp(mapLogSum / float64(mapLogN))
+	}
+
+	// One co-checked packed-arena run per collector: the subst machine on
+	// the map oracle steps in lockstep with the packed arena machine.
+	for _, col := range []psgc.Collector{psgc.Basic, psgc.Forwarding, psgc.Generational} {
+		c, err := psgc.Compile(allocHeavy, col)
+		if err != nil {
+			return err
+		}
+		diverged := false
+		if _, err := c.Run(psgc.RunOptions{
+			Capacity: 32, Backend: regions.BackendArena,
+			CoCheck:      true,
+			OnDivergence: func(psgc.Divergence) { diverged = true },
+		}); err != nil {
+			return fmt.Errorf("co-checked packed-arena run (%s): %w", col, err)
+		}
+		if diverged {
+			snap.CoCheckOK = false
+			fmt.Printf("CO-CHECK DIVERGENCE on the packed arena (%s)\n", col)
+		}
+	}
+
+	snap.ArenaAllocsPerOp = measureArenaAllocs()
+	snap.StepAllocsPerOp = measureStepAllocs()
+	snap.AllocsOK = snap.ArenaAllocsPerOp == 0 && snap.StepAllocsPerOp == 0
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d rows, identities %v, cocheck %v, allocs/op arena %.1f step %.1f, packed vs boxed geomean arena %.2fx map %.2fx\n",
+		path, len(snap.Rows), snap.IdentitiesOK, snap.CoCheckOK,
+		snap.ArenaAllocsPerOp, snap.StepAllocsPerOp,
+		snap.PackedVsBoxedArenaGeomean, snap.PackedVsBoxedMapGeomean)
+	return nil
+}
+
+// measureArenaAllocs is the CI twin of the gclang zero-alloc test: a warm
+// arena (both slabs sized by two junk-fill/scavenge flips) must serve a
+// Put/Get/Set triple with zero host allocations.
+func measureArenaAllocs() float64 {
+	ar := regions.NewArena[gclang.Cell](0)
+	keep := ar.NewRegion()
+	const warm = 4096
+	for i := 0; i < warm; i++ {
+		ar.Put(keep, gclang.NumCell(i))
+	}
+	for flip := 0; flip < 2; flip++ {
+		junk := ar.NewRegion()
+		for i := 0; i < warm; i++ {
+			ar.Put(junk, gclang.NumCell(i))
+		}
+		if err := ar.Only([]regions.Name{keep}); err != nil {
+			panic(err)
+		}
+	}
+	fresh := ar.NewRegion()
+	var sink gclang.Cell
+	allocs := testing.AllocsPerRun(100, func() {
+		a, err := ar.Put(fresh, gclang.NumCell(7))
+		if err != nil {
+			panic(err)
+		}
+		c, err := ar.Get(a)
+		if err != nil {
+			panic(err)
+		}
+		if err := ar.Set(a, c); err != nil {
+			panic(err)
+		}
+		sink = c
+	})
+	_ = sink
+	return allocs
+}
+
+// measureStepAllocs steps a warm environment machine through a mutator
+// loop (call, get, arith, set, branch) on the packed arena; the steady
+// state must not touch the host allocator.
+func measureStepAllocs() float64 {
+	loop := gclang.LamV{RParams: []names.Name{"r"},
+		Params: []gclang.Param{{Name: "x", Ty: gclang.IntT{}}, {Name: "a", Ty: gclang.IntT{}}},
+		Body: gclang.LetT{X: "v", Op: gclang.GetOp{V: gclang.Var{Name: "a"}},
+			Body: gclang.LetT{X: "y", Op: gclang.ArithOp{Kind: gclang.Sub, L: gclang.Var{Name: "x"}, R: gclang.Num{N: 1}},
+				Body: gclang.SetT{Dst: gclang.Var{Name: "a"}, Src: gclang.Var{Name: "y"},
+					Body: gclang.If0T{V: gclang.Var{Name: "y"},
+						Then: gclang.HaltT{V: gclang.Var{Name: "y"}},
+						Else: gclang.AppT{Fn: gclang.CodeAddr(0), Rs: []gclang.Region{gclang.RVar{Name: "r"}},
+							Args: []gclang.Value{gclang.Var{Name: "y"}, gclang.Var{Name: "a"}}}}}}}}
+	prog := gclang.Program{
+		Code: []gclang.NamedFun{{Name: "loop", Fun: loop}},
+		Main: gclang.LetRegionT{R: "r", Body: gclang.LetT{X: "a", Op: gclang.PutOp{R: gclang.RVar{Name: "r"}, V: gclang.Num{N: 0}},
+			Body: gclang.AppT{Fn: gclang.CodeAddr(0), Rs: []gclang.Region{gclang.RVar{Name: "r"}},
+				Args: []gclang.Value{gclang.Num{N: 1 << 30}, gclang.Var{Name: "a"}}}}}}
+	m := gclang.NewEnvMachineOn(regions.BackendArena, gclang.Base, prog, 0)
+	for i := 0; i < 200; i++ {
+		if err := m.Step(); err != nil {
+			panic(err)
+		}
+	}
+	return testing.AllocsPerRun(100, func() {
+		for i := 0; i < 5; i++ {
+			if err := m.Step(); err != nil {
+				panic(err)
+			}
+		}
+	})
 }
 
 // policyRow is one (workload, variant) measurement for BENCH_8: the three

@@ -129,8 +129,11 @@ func compareHalt(oracle *gclang.Machine, shadow *gclang.EnvMachine) string {
 		if err1 != nil || err2 != nil {
 			return fmt.Sprintf("heap read at %v: oracle err %v env err %v", a, err1, err2)
 		}
-		if ov.String() != sv.String() {
-			return fmt.Sprintf("heap cell %v: oracle %s env %s", a, ov, sv)
+		// Pool handles are machine-local, so packed cells are compared by
+		// decoding each side through its own pools — which makes this walk a
+		// differential test of the packing itself, not just of the backend.
+		if os, ss := oracle.Pool.Decode(ov).String(), shadow.Pool.Decode(sv).String(); os != ss {
+			return fmt.Sprintf("heap cell %v: oracle %s env %s", a, os, ss)
 		}
 	}
 	return ""

@@ -1,0 +1,574 @@
+package gclang
+
+import (
+	"errors"
+	"fmt"
+
+	"psgc/internal/names"
+	"psgc/internal/regions"
+	"psgc/internal/tags"
+)
+
+// BoxedEnvMachine is the pre-packing environment machine, preserved
+// verbatim over regions.Store[Value]: every heap cell is an
+// interface-boxed Value, so every Put allocates on the host Go heap and
+// the host collector scans the slab. It exists only as the measurement
+// baseline for the packed-cell representation (BENCH_9's boxed-vs-packed
+// rows), exactly as the legacy string-keyed store was kept as the PR 7
+// baseline — it is reachable through Compiled.RunBoxed, never through the
+// service, and the chaos fault points are not wired into it.
+//
+// Apart from the cell representation it is the same machine as EnvMachine
+// (same step rules, same events, same counters); see that type's comment
+// for the design. Keep the two in lockstep when touching step rules.
+type BoxedEnvMachine struct {
+	Dialect Dialect
+	Mem     regions.Store[Value]
+
+	// Ctrl is the current control term: a subterm of the loaded program (or
+	// of a code block), interpreted relative to the environment.
+	Ctrl Term
+
+	// Steps counts machine transitions taken so far.
+	Steps int
+
+	// Halted and Result are set once the program reaches halt v.
+	Halted bool
+	Result Value
+
+	// Event, if non-nil, is called after every classified step with a
+	// fixed-size StepEvent, exactly as Machine.Event is (see events.go).
+	Event func(StepEvent)
+
+	// ev is the scratch event the step rules fill when Event is set.
+	ev StepEvent
+
+	// envVals is the term-variable namespace; the three syntax namespaces
+	// and the shadow stacks live in the embedded resolver.
+	envVals map[names.Name]Value
+
+	resolver
+
+	// Scratch buffers reused across calls for pre-clear operand resolution.
+	scratchTags  []tags.Tag
+	scratchRegs  []Region
+	scratchVals  []Value
+	scratchNames []regions.Name
+}
+
+// NewBoxedEnvMachine loads a program into a fresh map-backed boxed memory
+// with the given region capacity.
+func NewBoxedEnvMachine(d Dialect, p Program, capacity int) *BoxedEnvMachine {
+	return NewBoxedEnvMachineOn(regions.BackendMap, d, p, capacity)
+}
+
+// NewBoxedEnvMachineOn is NewBoxedEnvMachine over the selected memory
+// backend.
+func NewBoxedEnvMachineOn(b regions.Backend, d Dialect, p Program, capacity int) *BoxedEnvMachine {
+	m := &BoxedEnvMachine{
+		Dialect: d,
+		Mem:     regions.NewStore[Value](b, capacity),
+		Ctrl:    p.Main,
+		envVals: map[names.Name]Value{},
+	}
+	m.initResolver()
+	for i, nf := range p.Code {
+		addr, err := m.Mem.Put(regions.CD, nf.Fun)
+		if err != nil || addr.Off != i {
+			panic(fmt.Sprintf("gclang: code install failed: %v", err))
+		}
+	}
+	return m
+}
+
+// Run steps the machine until halt, an error, or the fuel limit.
+func (m *BoxedEnvMachine) Run(fuel int) (Value, error) {
+	for !m.Halted {
+		if fuel <= 0 {
+			return nil, ErrFuel
+		}
+		fuel--
+		if err := m.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return m.Result, nil
+}
+
+// RunInt runs the machine and requires an integer result.
+func (m *BoxedEnvMachine) RunInt(fuel int) (int, error) {
+	v, err := m.Run(fuel)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(Num)
+	if !ok {
+		return 0, fmt.Errorf("gclang: halt with non-integer %s", v)
+	}
+	return n.N, nil
+}
+
+// PendingCall reports the code address about to be invoked when the control
+// term is a call whose head is (or is bound to) an address. It allocates
+// nothing; run loops use it to count collector entries.
+func (m *BoxedEnvMachine) PendingCall() (regions.Addr, bool) {
+	app, ok := m.Ctrl.(AppT)
+	if !ok {
+		return regions.Addr{}, false
+	}
+	fn := app.Fn
+	if v, ok := fn.(Var); ok {
+		if b, ok := m.envVals[v.Name]; ok {
+			fn = b
+		}
+	}
+	if a, ok := fn.(AddrV); ok {
+		return a.Addr, true
+	}
+	return regions.Addr{}, false
+}
+
+// Step performs one machine transition. Like Machine.Step, an error leaves
+// the machine state unchanged: rules validate their side conditions before
+// applying memory effects.
+func (m *BoxedEnvMachine) Step() error {
+	if m.Halted {
+		return errors.New("gclang: step after halt")
+	}
+	if m.Event != nil {
+		m.ev.Kind = StepNone
+	}
+	next, err := m.step(m.Ctrl)
+	if err != nil {
+		return err
+	}
+	m.Ctrl = next
+	m.Steps++
+	if m.Event != nil && m.ev.Kind != StepNone {
+		m.ev.Step = m.Steps
+		m.Event(m.ev)
+	}
+	return nil
+}
+
+// step returns the next control term.
+func (m *BoxedEnvMachine) step(e Term) (Term, error) {
+	switch e := e.(type) {
+	case HaltT:
+		v := m.resolveValue(e.V)
+		m.Halted = true
+		m.Result = v
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepHalt}
+		}
+		return e, nil
+	case AppT:
+		return m.stepApp(e)
+	case LetT:
+		v, err := m.stepOp(e.Op)
+		if err != nil {
+			return nil, fmt.Errorf("%w: in %s", err, e.Op)
+		}
+		m.envVals[e.X] = v
+		return e.Body, nil
+	case IfGCT:
+		rn, ok := m.resolveRegion(e.R).(RName)
+		if !ok {
+			return nil, stuck(e, "ifgc on region variable %s", e.R)
+		}
+		if m.Mem.Full(rn.Name) {
+			return e.Full, nil
+		}
+		return e.Else, nil
+	case OpenTagT:
+		pk, ok := m.resolveValue(e.V).(PackTag)
+		if !ok {
+			return nil, stuck(e, "open of non-package %s", e.V)
+		}
+		m.envTags[e.T] = pk.Tag
+		m.envVals[e.X] = pk.Val
+		return e.Body, nil
+	case OpenAlphaT:
+		pk, ok := m.resolveValue(e.V).(PackAlpha)
+		if !ok {
+			return nil, stuck(e, "open of non-package %s", e.V)
+		}
+		m.envTyps[e.A] = pk.Hidden
+		m.envVals[e.X] = pk.Val
+		return e.Body, nil
+	case LetRegionT:
+		nu := m.Mem.NewRegion()
+		m.envRegs[e.R] = RName{Name: nu}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepNewRegion, Addr: regions.Addr{Region: nu}}
+		}
+		return e.Body, nil
+	case OnlyT:
+		delta, _ := m.regionSlice(e.Delta)
+		keep := m.scratchNames[:0]
+		for _, r := range delta {
+			rn, ok := r.(RName)
+			if !ok {
+				return nil, stuck(e, "only with region variable %s", r)
+			}
+			keep = append(keep, rn.Name)
+		}
+		m.scratchNames = keep
+		if err := m.Mem.Only(keep); err != nil {
+			return nil, stuck(e, "%v", err)
+		}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepOnly}
+		}
+		return e.Body, nil
+	case TypecaseT:
+		return m.stepTypecase(e)
+	case IfLeftT:
+		switch v := m.resolveValue(e.V).(type) {
+		case InlV:
+			m.envVals[e.X] = v
+			return e.L, nil
+		case InrV:
+			m.envVals[e.X] = v
+			return e.R, nil
+		default:
+			return nil, stuck(e, "ifleft on untagged value %s", e.V)
+		}
+	case SetT:
+		dst, ok := m.resolveValue(e.Dst).(AddrV)
+		if !ok {
+			return nil, stuck(e, "set destination %s is not an address", e.Dst)
+		}
+		src := m.resolveValue(e.Src)
+		if err := m.Mem.Set(dst.Addr, src); err != nil {
+			return nil, stuck(e, "%v", err)
+		}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepSet, Addr: dst.Addr}
+		}
+		return e.Body, nil
+	case WidenT:
+		// Operationally a no-op (§7.1): the cast re-views memory. Ghost Ψ
+		// maintenance lives in the substitution machine only.
+		m.envVals[e.X] = m.resolveValue(e.V)
+		return e.Body, nil
+	case OpenRegionT:
+		pk, ok := m.resolveValue(e.V).(PackRegion)
+		if !ok {
+			return nil, stuck(e, "open of non-region-package %s", e.V)
+		}
+		m.envRegs[e.R] = pk.R
+		m.envVals[e.X] = pk.Val
+		return e.Body, nil
+	case IfRegT:
+		n1, ok1 := m.resolveRegion(e.R1).(RName)
+		n2, ok2 := m.resolveRegion(e.R2).(RName)
+		if !ok1 || !ok2 {
+			return nil, stuck(e, "ifreg on region variables")
+		}
+		if n1 == n2 {
+			return e.Then, nil
+		}
+		return e.Else, nil
+	case If0T:
+		n, ok := m.resolveValue(e.V).(Num)
+		if !ok {
+			return nil, stuck(e, "if0 on non-integer %s", e.V)
+		}
+		if n.N == 0 {
+			return e.Then, nil
+		}
+		return e.Else, nil
+	default:
+		return nil, stuck(e, "no rule for %T", e)
+	}
+}
+
+// stepApp mirrors Machine.stepApp: translucent heads first restore their
+// recorded tags in a step of their own, then the code block is fetched from
+// memory and its binders are instantiated. The call protocol resolves every
+// operand against the current environment first, then clears the
+// environment and binds the parameters — code blocks are closed, so nothing
+// else can be referenced from the body.
+func (m *BoxedEnvMachine) stepApp(e AppT) (Term, error) {
+	fn := m.resolveValue(e.Fn)
+	if ta, ok := fn.(TAppV); ok {
+		if len(e.Tags) != 0 || len(e.Rs) != 0 {
+			return nil, stuck(e, "translucent call with extra tags or regions")
+		}
+		// The rewritten call is fully resolved, so re-resolving it on the
+		// next step is the identity (and allocation-free).
+		args, _ := m.valueSlice(e.Args)
+		return AppT{Fn: ta.Val, Tags: ta.Tags, Rs: ta.Rs, Args: args}, nil
+	}
+	addr, ok := fn.(AddrV)
+	if !ok {
+		return nil, stuck(e, "call of non-address %s", fn)
+	}
+	cell, err := m.Mem.Get(addr.Addr)
+	if err != nil {
+		return nil, stuck(e, "%v", err)
+	}
+	lam, ok := cell.(LamV)
+	if !ok {
+		return nil, stuck(e, "call of non-code cell %s", addr.Addr)
+	}
+	if len(e.Tags) != len(lam.TParams) || len(e.Rs) != len(lam.RParams) || len(e.Args) != len(lam.Params) {
+		return nil, stuck(e, "arity mismatch calling %s", addr.Addr)
+	}
+	if m.Event != nil {
+		m.ev = StepEvent{Kind: StepCall, Addr: addr.Addr}
+	}
+	callTags := m.scratchTags[:0]
+	for _, t := range e.Tags {
+		rt, _ := m.tag(t)
+		callTags = append(callTags, rt)
+	}
+	callRegs := m.scratchRegs[:0]
+	for _, r := range e.Rs {
+		rr, _ := m.region(r)
+		callRegs = append(callRegs, rr)
+	}
+	callArgs := m.scratchVals[:0]
+	for _, a := range e.Args {
+		rv, _ := m.value(a)
+		callArgs = append(callArgs, rv)
+	}
+	m.scratchTags, m.scratchRegs, m.scratchVals = callTags, callRegs, callArgs
+	clear(m.envVals)
+	clear(m.envTags)
+	clear(m.envRegs)
+	clear(m.envTyps)
+	for i, tp := range lam.TParams {
+		m.envTags[tp.Name] = callTags[i]
+	}
+	for i, r := range lam.RParams {
+		m.envRegs[r] = callRegs[i]
+	}
+	for i, p := range lam.Params {
+		m.envVals[p.Name] = callArgs[i]
+	}
+	return lam.Body, nil
+}
+
+// stepOp evaluates a let-bound operation, returning the bound value.
+func (m *BoxedEnvMachine) stepOp(op Op) (Value, error) {
+	switch op := op.(type) {
+	case ValOp:
+		v, _ := m.value(op.V)
+		return v, nil
+	case ProjOp:
+		v, _ := m.value(op.V)
+		p, ok := v.(PairV)
+		if !ok {
+			return nil, fmt.Errorf("%w: projection from non-pair %s", ErrStuck, v)
+		}
+		if op.I == 1 {
+			return p.L, nil
+		}
+		return p.R, nil
+	case PutOp:
+		rn, ok := m.resolveRegion(op.R).(RName)
+		if !ok {
+			return nil, fmt.Errorf("%w: put into region variable %s", ErrStuck, op.R)
+		}
+		v, _ := m.value(op.V)
+		addr, err := m.Mem.Put(rn.Name, v)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStuck, err)
+		}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepPut, Addr: addr, Words: ValueWords(v)}
+		}
+		return AddrV{Addr: addr}, nil
+	case GetOp:
+		v, _ := m.value(op.V)
+		a, ok := v.(AddrV)
+		if !ok {
+			return nil, fmt.Errorf("%w: get from non-address %s", ErrStuck, v)
+		}
+		cell, err := m.Mem.Get(a.Addr)
+		if err != nil {
+			return nil, err
+		}
+		if m.Event != nil {
+			m.ev = StepEvent{Kind: StepGet, Addr: a.Addr}
+		}
+		return cell, nil
+	case StripOp:
+		switch v := m.resolveValue(op.V).(type) {
+		case InlV:
+			return v.Val, nil
+		case InrV:
+			return v.Val, nil
+		default:
+			return nil, fmt.Errorf("%w: strip of untagged value %s", ErrStuck, v)
+		}
+	case ArithOp:
+		lv, _ := m.value(op.L)
+		rv, _ := m.value(op.R)
+		l, lok := lv.(Num)
+		r, rok := rv.(Num)
+		if !lok || !rok {
+			return nil, fmt.Errorf("%w: arithmetic on non-integers", ErrStuck)
+		}
+		switch op.Kind {
+		case Add:
+			return Num{N: l.N + r.N}, nil
+		case Sub:
+			return Num{N: l.N - r.N}, nil
+		case Mul:
+			return Num{N: l.N * r.N}, nil
+		default:
+			return nil, fmt.Errorf("%w: unknown operator", ErrStuck)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown op %T", ErrStuck, op)
+	}
+}
+
+// stepTypecase dispatches on the β-normal form of the resolved scrutinee,
+// exactly as Machine.stepTypecase does on the substituted one.
+func (m *BoxedEnvMachine) stepTypecase(e TypecaseT) (Term, error) {
+	nf, err := tags.Normalize(m.resolveTag(e.Tag))
+	if err != nil {
+		return nil, stuck(e, "%v", err)
+	}
+	switch t := nf.(type) {
+	case tags.Int:
+		return e.IntArm, nil
+	case tags.Code:
+		if len(t.Args) != 1 {
+			return nil, stuck(e, "typecase on %d-ary code tag %s", len(t.Args), nf)
+		}
+		m.envTags[e.TL] = t.Args[0]
+		return e.LamArm, nil
+	case tags.Prod:
+		m.envTags[e.T1] = t.L
+		m.envTags[e.T2] = t.R
+		return e.ProdArm, nil
+	case tags.Exist:
+		m.envTags[e.Te] = tags.Lam{Param: t.Bound, Body: t.Body}
+		return e.ExistArm, nil
+	default:
+		return nil, stuck(e, "typecase on open tag %s", nf)
+	}
+}
+
+func (m *BoxedEnvMachine) resolveValue(v Value) Value {
+	out, _ := m.value(v)
+	return out
+}
+
+// value resolves a value against the environment, returning the resolved
+// form plus a changed flag; unchanged subtrees are returned as-is.
+func (m *BoxedEnvMachine) value(v Value) (Value, bool) {
+	switch v := v.(type) {
+	case Num:
+		return v, false
+	case AddrV:
+		return v, false
+	case Var:
+		// Term-variable binders never occur inside values (LamV resolves
+		// through substView), so no shadow stack exists for this namespace.
+		if r, ok := m.envVals[v.Name]; ok {
+			return r, true
+		}
+		return v, false
+	case PairV:
+		l, cl := m.value(v.L)
+		r, cr := m.value(v.R)
+		if !cl && !cr {
+			return v, false
+		}
+		return PairV{L: l, R: r}, true
+	case PackTag:
+		tg, ct := m.tag(v.Tag)
+		val, cv := m.value(v.Val)
+		m.shTags = append(m.shTags, v.Bound)
+		body, cb := m.typ(v.Body)
+		m.shTags = m.shTags[:len(m.shTags)-1]
+		if !ct && !cv && !cb {
+			return v, false
+		}
+		return PackTag{Bound: v.Bound, Kind: v.Kind, Tag: tg, Val: val, Body: body}, true
+	case PackAlpha:
+		delta, cd := m.regionSlice(v.Delta)
+		hidden, ch := m.typ(v.Hidden)
+		val, cv := m.value(v.Val)
+		m.shTyps = append(m.shTyps, v.Bound)
+		body, cb := m.typ(v.Body)
+		m.shTyps = m.shTyps[:len(m.shTyps)-1]
+		if !cd && !ch && !cv && !cb {
+			return v, false
+		}
+		return PackAlpha{Bound: v.Bound, Delta: delta, Hidden: hidden, Val: val, Body: body}, true
+	case PackRegion:
+		delta, cd := m.regionSlice(v.Delta)
+		r, cr := m.region(v.R)
+		val, cv := m.value(v.Val)
+		m.shRegs = append(m.shRegs, v.Bound)
+		body, cb := m.typ(v.Body)
+		m.shRegs = m.shRegs[:len(m.shRegs)-1]
+		if !cd && !cr && !cv && !cb {
+			return v, false
+		}
+		return PackRegion{Bound: v.Bound, Delta: delta, R: r, Val: val, Body: body}, true
+	case TAppV:
+		val, cv := m.value(v.Val)
+		ts, ct := m.tagSlice(v.Tags)
+		rs, cr := m.regionSlice(v.Rs)
+		if !cv && !ct && !cr {
+			return v, false
+		}
+		return TAppV{Val: val, Tags: ts, Rs: rs}, true
+	case LamV:
+		// Rare: code blocks live in cd and are closed; a literal block only
+		// flows through the environment when a program embeds one in a value
+		// position. Delegate its binder structure to the oracle substitution.
+		return m.substView().Value(v), true
+	case InlV:
+		val, cv := m.value(v.Val)
+		if !cv {
+			return v, false
+		}
+		return InlV{Val: val}, true
+	case InrV:
+		val, cv := m.value(v.Val)
+		if !cv {
+			return v, false
+		}
+		return InrV{Val: val}, true
+	default:
+		panic(fmt.Sprintf("gclang: unknown value %T", v))
+	}
+}
+
+// substView exposes the current environment as a closed simultaneous
+// substitution for the rare LamV case. Safe to share the maps: a closed
+// Subst never mutates them (drop copies).
+func (m *BoxedEnvMachine) substView() *Subst {
+	if len(m.shTags) != 0 || len(m.shRegs) != 0 || len(m.shTyps) != 0 {
+		// Values never occur inside types, so a LamV is never resolved under
+		// a shadowing binder; see the resolver ordering in value().
+		panic("gclang: lam resolution under binder")
+	}
+	return &Subst{Vals: m.envVals, Tags: m.envTags, Regs: m.envRegs, Types: m.envTyps, Closed: true}
+}
+
+func (m *BoxedEnvMachine) valueSlice(vs []Value) ([]Value, bool) {
+	var out []Value
+	for i, v := range vs {
+		rv, cv := m.value(v)
+		if cv && out == nil {
+			out = append([]Value(nil), vs...)
+		}
+		if out != nil {
+			out[i] = rv
+		}
+	}
+	if out == nil {
+		return vs, false
+	}
+	return out, true
+}

@@ -3,6 +3,7 @@ package gclang
 import (
 	"errors"
 	"fmt"
+	"unsafe"
 
 	"psgc/internal/fault"
 	"psgc/internal/names"
@@ -27,6 +28,14 @@ import (
 //     no free names, so sequential substitution coincides with environment
 //     lookup (innermost wins) and no capture is possible.
 //
+// Since PR 9 the machine is cell-native: memory is regions.Store[Cell] and
+// the term-variable environment binds packed cells, not boxed Values (see
+// cell.go). Values appear only at the term boundary — literals in the
+// control term are packed on first resolution, and the halt result is
+// unpacked once. This is what lets the flat arena's contiguity show
+// end-to-end: a steady-state step touches no host-GC-visible allocation at
+// all, where the boxed machine paid one interface box per Put.
+//
 // Bindings are resolved eagerly: every value, tag, region, or type entering
 // the environment is fully resolved against the current environment first,
 // so stored payloads are always closed. Only term bodies stay unresolved —
@@ -43,7 +52,12 @@ import (
 // remains the semantic oracle.
 type EnvMachine struct {
 	Dialect Dialect
-	Mem     regions.Store[Value]
+	Mem     regions.Store[Cell]
+
+	// Pool holds the typed side pools this machine's packed cells index
+	// into. Pool handles are machine-local: cells from one machine are
+	// meaningless under another machine's pools.
+	Pool *Pools
 
 	// Ctrl is the current control term: a subterm of the loaded program (or
 	// of a code block), interpreted relative to the environment.
@@ -52,7 +66,9 @@ type EnvMachine struct {
 	// Steps counts machine transitions taken so far.
 	Steps int
 
-	// Halted and Result are set once the program reaches halt v.
+	// Halted and Result are set once the program reaches halt v. Result is
+	// the decoded (boxed) value — the one place a finished run pays a
+	// decode.
 	Halted bool
 	Result Value
 
@@ -67,24 +83,24 @@ type EnvMachine struct {
 	// ev is the scratch event the step rules fill when Event is set.
 	ev StepEvent
 
-	// The four binder namespaces. Overwrite-on-shadow is sound because CPS
-	// control never returns to an outer scope (see the type comment).
-	envVals map[names.Name]Value
-	envTags map[names.Name]tags.Tag
-	envRegs map[names.Name]Region
-	envTyps map[names.Name]Type
+	// envCells is the term-variable namespace, binding packed cells. The
+	// syntax namespaces and shadow stacks live in the embedded resolver.
+	// Overwrite-on-shadow is sound because CPS control never returns to an
+	// outer scope (see the type comment).
+	envCells map[names.Name]Cell
 
-	// Shadow stacks for binders crossed while resolving inside tags, types,
-	// and pack bodies (resolution walks under binders without extending the
-	// environment).
-	shTags []names.Name
-	shRegs []names.Name
-	shTyps []names.Name
+	resolver
+
+	// packMemo caches resolved pack descriptors per pack literal in the
+	// program text (see packmemo.go): a collector loop re-packs under the
+	// same type-level environment thousands of times, and a hit skips
+	// both annotation resolution and pool growth.
+	packMemo map[unsafe.Pointer]*nodeMemo
 
 	// Scratch buffers reused across calls for pre-clear operand resolution.
 	scratchTags  []tags.Tag
 	scratchRegs  []Region
-	scratchVals  []Value
+	scratchCells []Cell
 	scratchNames []regions.Name
 }
 
@@ -98,16 +114,16 @@ func NewEnvMachine(d Dialect, p Program, capacity int) *EnvMachine {
 // NewEnvMachineOn is NewEnvMachine over the selected memory backend.
 func NewEnvMachineOn(b regions.Backend, d Dialect, p Program, capacity int) *EnvMachine {
 	m := &EnvMachine{
-		Dialect: d,
-		Mem:     regions.NewStore[Value](b, capacity),
-		Ctrl:    p.Main,
-		envVals: map[names.Name]Value{},
-		envTags: map[names.Name]tags.Tag{},
-		envRegs: map[names.Name]Region{},
-		envTyps: map[names.Name]Type{},
+		Dialect:  d,
+		Mem:      regions.NewStore[Cell](b, capacity),
+		Pool:     NewPools(),
+		Ctrl:     p.Main,
+		envCells: map[names.Name]Cell{},
+		packMemo: map[unsafe.Pointer]*nodeMemo{},
 	}
+	m.initResolver()
 	for i, nf := range p.Code {
-		addr, err := m.Mem.Put(regions.CD, nf.Fun)
+		addr, err := m.Mem.Put(regions.CD, m.Pool.LamCell(nf.Fun))
 		if err != nil || addr.Off != i {
 			panic(fmt.Sprintf("gclang: code install failed: %v", err))
 		}
@@ -150,14 +166,13 @@ func (m *EnvMachine) PendingCall() (regions.Addr, bool) {
 	if !ok {
 		return regions.Addr{}, false
 	}
-	fn := app.Fn
-	if v, ok := fn.(Var); ok {
-		if b, ok := m.envVals[v.Name]; ok {
-			fn = b
+	switch fn := app.Fn.(type) {
+	case Var:
+		if c, ok := m.envCells[fn.Name]; ok && c.Tag == CellAddr {
+			return c.Addr(), true
 		}
-	}
-	if a, ok := fn.(AddrV); ok {
-		return a.Addr, true
+	case AddrV:
+		return fn.Addr, true
 	}
 	return regions.Addr{}, false
 }
@@ -194,9 +209,9 @@ func (m *EnvMachine) Step() error {
 func (m *EnvMachine) step(e Term) (Term, error) {
 	switch e := e.(type) {
 	case HaltT:
-		v := m.resolveValue(e.V)
+		c := m.cellOf(e.V)
 		m.Halted = true
-		m.Result = v
+		m.Result = m.Pool.Decode(c)
 		if m.Event != nil {
 			m.ev = StepEvent{Kind: StepHalt}
 		}
@@ -204,11 +219,11 @@ func (m *EnvMachine) step(e Term) (Term, error) {
 	case AppT:
 		return m.stepApp(e)
 	case LetT:
-		v, err := m.stepOp(e.Op)
+		c, err := m.stepOp(e.Op)
 		if err != nil {
 			return nil, fmt.Errorf("%w: in %s", err, e.Op)
 		}
-		m.envVals[e.X] = v
+		m.envCells[e.X] = c
 		return e.Body, nil
 	case IfGCT:
 		rn, ok := m.resolveRegion(e.R).(RName)
@@ -220,20 +235,28 @@ func (m *EnvMachine) step(e Term) (Term, error) {
 		}
 		return e.Else, nil
 	case OpenTagT:
-		pk, ok := m.resolveValue(e.V).(PackTag)
+		c := m.cellOf(e.V)
+		pk, ok := PackTagDesc{}, false
+		if c.Tag == CellPackTag {
+			pk, ok = m.Pool.packTagAt(c.A)
+		}
 		if !ok {
 			return nil, stuck(e, "open of non-package %s", e.V)
 		}
 		m.envTags[e.T] = pk.Tag
-		m.envVals[e.X] = pk.Val
+		m.envCells[e.X] = m.Pool.cellOfWord(c.B)
 		return e.Body, nil
 	case OpenAlphaT:
-		pk, ok := m.resolveValue(e.V).(PackAlpha)
+		c := m.cellOf(e.V)
+		pk, ok := PackAlphaDesc{}, false
+		if c.Tag == CellPackAlpha {
+			pk, ok = m.Pool.packAlphaAt(c.A)
+		}
 		if !ok {
 			return nil, stuck(e, "open of non-package %s", e.V)
 		}
 		m.envTyps[e.A] = pk.Hidden
-		m.envVals[e.X] = pk.Val
+		m.envCells[e.X] = m.Pool.cellOfWord(c.B)
 		return e.Body, nil
 	case LetRegionT:
 		nu := m.Mem.NewRegion()
@@ -263,41 +286,46 @@ func (m *EnvMachine) step(e Term) (Term, error) {
 	case TypecaseT:
 		return m.stepTypecase(e)
 	case IfLeftT:
-		switch v := m.resolveValue(e.V).(type) {
-		case InlV:
-			m.envVals[e.X] = v
+		c := m.cellOf(e.V)
+		switch c.Tag {
+		case CellInl:
+			m.envCells[e.X] = c
 			return e.L, nil
-		case InrV:
-			m.envVals[e.X] = v
+		case CellInr:
+			m.envCells[e.X] = c
 			return e.R, nil
 		default:
 			return nil, stuck(e, "ifleft on untagged value %s", e.V)
 		}
 	case SetT:
-		dst, ok := m.resolveValue(e.Dst).(AddrV)
-		if !ok {
+		dst := m.cellOf(e.Dst)
+		if dst.Tag != CellAddr {
 			return nil, stuck(e, "set destination %s is not an address", e.Dst)
 		}
-		src := m.resolveValue(e.Src)
-		if err := m.Mem.Set(dst.Addr, src); err != nil {
+		src := m.cellOf(e.Src)
+		if err := m.Mem.Set(dst.Addr(), src); err != nil {
 			return nil, stuck(e, "%v", err)
 		}
 		if m.Event != nil {
-			m.ev = StepEvent{Kind: StepSet, Addr: dst.Addr}
+			m.ev = StepEvent{Kind: StepSet, Addr: dst.Addr()}
 		}
 		return e.Body, nil
 	case WidenT:
 		// Operationally a no-op (§7.1): the cast re-views memory. Ghost Ψ
 		// maintenance lives in the substitution machine only.
-		m.envVals[e.X] = m.resolveValue(e.V)
+		m.envCells[e.X] = m.cellOf(e.V)
 		return e.Body, nil
 	case OpenRegionT:
-		pk, ok := m.resolveValue(e.V).(PackRegion)
+		c := m.cellOf(e.V)
+		pk, ok := PackRegionDesc{}, false
+		if c.Tag == CellPackRegion {
+			pk, ok = m.Pool.packRegionAt(c.A)
+		}
 		if !ok {
 			return nil, stuck(e, "open of non-region-package %s", e.V)
 		}
 		m.envRegs[e.R] = pk.R
-		m.envVals[e.X] = pk.Val
+		m.envCells[e.X] = m.Pool.cellOfWord(c.B)
 		return e.Body, nil
 	case IfRegT:
 		n1, ok1 := m.resolveRegion(e.R1).(RName)
@@ -310,11 +338,11 @@ func (m *EnvMachine) step(e Term) (Term, error) {
 		}
 		return e.Else, nil
 	case If0T:
-		n, ok := m.resolveValue(e.V).(Num)
-		if !ok {
+		c := m.cellOf(e.V)
+		if c.Tag != CellNum {
 			return nil, stuck(e, "if0 on non-integer %s", e.V)
 		}
-		if n.N == 0 {
+		if c.Num() == 0 {
 			return e.Then, nil
 		}
 		return e.Else, nil
@@ -323,6 +351,10 @@ func (m *EnvMachine) step(e Term) (Term, error) {
 	}
 }
 
+// tappHeadName is the reserved binding a translucent-call rewrite parks
+// the unwrapped head cell under for the immediately following call step.
+const tappHeadName names.Name = "#tapp-head"
+
 // stepApp mirrors Machine.stepApp: translucent heads first restore their
 // recorded tags in a step of their own, then the code block is fetched from
 // memory and its binders are instantiated. The call protocol resolves every
@@ -330,33 +362,46 @@ func (m *EnvMachine) step(e Term) (Term, error) {
 // environment and binds the parameters — code blocks are closed, so nothing
 // else can be referenced from the body.
 func (m *EnvMachine) stepApp(e AppT) (Term, error) {
-	fn := m.resolveValue(e.Fn)
-	if ta, ok := fn.(TAppV); ok {
+	fc := m.cellOf(e.Fn)
+	if fc.Tag == CellTApp {
 		if len(e.Tags) != 0 || len(e.Rs) != 0 {
 			return nil, stuck(e, "translucent call with extra tags or regions")
 		}
-		// The rewritten call is fully resolved, so re-resolving it on the
-		// next step is the identity (and allocation-free).
-		args, _ := m.valueSlice(e.Args)
-		return AppT{Fn: ta.Val, Tags: ta.Tags, Rs: ta.Rs, Args: args}, nil
+		ta, ok := m.Pool.tappAt(fc.A)
+		if !ok {
+			return nil, stuck(e, "call through corrupted translucent handle")
+		}
+		// The pooled head is fully resolved; the arguments are left in the
+		// rewritten call for the next step to resolve — the environment
+		// cannot change between the rewrite and the call, so the lazy
+		// resolution coincides with the boxed machine's eager one. The head
+		// itself stays a cell, bound under a reserved name no program can
+		// shadow ('#' never survives the pipeline): decoding it to a Value
+		// would hand cellOf a dynamically built value, and the descriptor
+		// memo's identity keying relies on only seeing program-tree nodes.
+		m.envCells[tappHeadName] = m.Pool.cellOfWord(fc.B)
+		return AppT{Fn: Var{Name: tappHeadName}, Tags: ta.Tags, Rs: ta.Rs, Args: e.Args}, nil
 	}
-	addr, ok := fn.(AddrV)
-	if !ok {
-		return nil, stuck(e, "call of non-address %s", fn)
+	if fc.Tag != CellAddr {
+		return nil, stuck(e, "call of non-address %s", m.Pool.Decode(fc))
 	}
-	cell, err := m.Mem.Get(addr.Addr)
+	addr := fc.Addr()
+	cc, err := m.Mem.Get(addr)
 	if err != nil {
 		return nil, stuck(e, "%v", err)
 	}
-	lam, ok := cell.(LamV)
+	lam, ok := LamV{}, false
+	if cc.Tag == CellLam {
+		lam, ok = m.Pool.lamAt(cc.A)
+	}
 	if !ok {
-		return nil, stuck(e, "call of non-code cell %s", addr.Addr)
+		return nil, stuck(e, "call of non-code cell %s", addr)
 	}
 	if len(e.Tags) != len(lam.TParams) || len(e.Rs) != len(lam.RParams) || len(e.Args) != len(lam.Params) {
-		return nil, stuck(e, "arity mismatch calling %s", addr.Addr)
+		return nil, stuck(e, "arity mismatch calling %s", addr)
 	}
 	if m.Event != nil {
-		m.ev = StepEvent{Kind: StepCall, Addr: addr.Addr}
+		m.ev = StepEvent{Kind: StepCall, Addr: addr}
 	}
 	callTags := m.scratchTags[:0]
 	for _, t := range e.Tags {
@@ -368,13 +413,12 @@ func (m *EnvMachine) stepApp(e AppT) (Term, error) {
 		rr, _ := m.region(r)
 		callRegs = append(callRegs, rr)
 	}
-	callArgs := m.scratchVals[:0]
+	callCells := m.scratchCells[:0]
 	for _, a := range e.Args {
-		rv, _ := m.value(a)
-		callArgs = append(callArgs, rv)
+		callCells = append(callCells, m.cellOf(a))
 	}
-	m.scratchTags, m.scratchRegs, m.scratchVals = callTags, callRegs, callArgs
-	clear(m.envVals)
+	m.scratchTags, m.scratchRegs, m.scratchCells = callTags, callRegs, callCells
+	clear(m.envCells)
 	clear(m.envTags)
 	clear(m.envRegs)
 	clear(m.envTyps)
@@ -385,84 +429,79 @@ func (m *EnvMachine) stepApp(e AppT) (Term, error) {
 		m.envRegs[r] = callRegs[i]
 	}
 	for i, p := range lam.Params {
-		m.envVals[p.Name] = callArgs[i]
+		m.envCells[p.Name] = callCells[i]
 	}
 	return lam.Body, nil
 }
 
-// stepOp evaluates a let-bound operation, returning the bound value.
-func (m *EnvMachine) stepOp(op Op) (Value, error) {
+// stepOp evaluates a let-bound operation, returning the bound cell.
+func (m *EnvMachine) stepOp(op Op) (Cell, error) {
 	switch op := op.(type) {
 	case ValOp:
-		v, _ := m.value(op.V)
-		return v, nil
+		return m.cellOf(op.V), nil
 	case ProjOp:
-		v, _ := m.value(op.V)
-		p, ok := v.(PairV)
-		if !ok {
-			return nil, fmt.Errorf("%w: projection from non-pair %s", ErrStuck, v)
+		c := m.cellOf(op.V)
+		if c.Tag != CellPair {
+			return Cell{}, fmt.Errorf("%w: projection from non-pair %s", ErrStuck, m.Pool.Decode(c))
 		}
 		if op.I == 1 {
-			return p.L, nil
+			return m.Pool.cellOfWord(c.A), nil
 		}
-		return p.R, nil
+		return m.Pool.cellOfWord(c.B), nil
 	case PutOp:
 		rn, ok := m.resolveRegion(op.R).(RName)
 		if !ok {
-			return nil, fmt.Errorf("%w: put into region variable %s", ErrStuck, op.R)
+			return Cell{}, fmt.Errorf("%w: put into region variable %s", ErrStuck, op.R)
 		}
-		v, _ := m.value(op.V)
-		addr, err := m.Mem.Put(rn.Name, v)
+		c := m.cellOf(op.V)
+		addr, err := m.Mem.Put(rn.Name, c)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrStuck, err)
+			return Cell{}, fmt.Errorf("%w: %v", ErrStuck, err)
 		}
 		if m.Event != nil {
-			m.ev = StepEvent{Kind: StepPut, Addr: addr, Words: ValueWords(v)}
+			m.ev = StepEvent{Kind: StepPut, Addr: addr, Words: m.Pool.CellWords(c)}
 		}
-		return AddrV{Addr: addr}, nil
+		return AddrCell(addr), nil
 	case GetOp:
-		v, _ := m.value(op.V)
-		a, ok := v.(AddrV)
-		if !ok {
-			return nil, fmt.Errorf("%w: get from non-address %s", ErrStuck, v)
+		c := m.cellOf(op.V)
+		if c.Tag != CellAddr {
+			return Cell{}, fmt.Errorf("%w: get from non-address %s", ErrStuck, m.Pool.Decode(c))
 		}
-		cell, err := m.Mem.Get(a.Addr)
+		a := c.Addr()
+		cell, err := m.Mem.Get(a)
 		if err != nil {
-			return nil, err
+			return Cell{}, err
 		}
 		if m.Event != nil {
-			m.ev = StepEvent{Kind: StepGet, Addr: a.Addr}
+			m.ev = StepEvent{Kind: StepGet, Addr: a}
 		}
 		return cell, nil
 	case StripOp:
-		switch v := m.resolveValue(op.V).(type) {
-		case InlV:
-			return v.Val, nil
-		case InrV:
-			return v.Val, nil
+		c := m.cellOf(op.V)
+		switch c.Tag {
+		case CellInl, CellInr:
+			return m.Pool.cellOfWord(c.A), nil
 		default:
-			return nil, fmt.Errorf("%w: strip of untagged value %s", ErrStuck, v)
+			return Cell{}, fmt.Errorf("%w: strip of untagged value %s", ErrStuck, m.Pool.Decode(c))
 		}
 	case ArithOp:
-		lv, _ := m.value(op.L)
-		rv, _ := m.value(op.R)
-		l, lok := lv.(Num)
-		r, rok := rv.(Num)
-		if !lok || !rok {
-			return nil, fmt.Errorf("%w: arithmetic on non-integers", ErrStuck)
+		l := m.cellOf(op.L)
+		r := m.cellOf(op.R)
+		if l.Tag != CellNum || r.Tag != CellNum {
+			return Cell{}, fmt.Errorf("%w: arithmetic on non-integers", ErrStuck)
 		}
 		switch op.Kind {
 		case Add:
-			return Num{N: l.N + r.N}, nil
+			return NumCell(l.Num() + r.Num()), nil
 		case Sub:
-			return Num{N: l.N - r.N}, nil
+			return NumCell(l.Num() - r.Num()), nil
 		case Mul:
-			return Num{N: l.N * r.N}, nil
+			return NumCell(l.Num() * r.Num()), nil
 		default:
-			return nil, fmt.Errorf("%w: unknown operator", ErrStuck)
+			return Cell{}, fmt.Errorf("%w: unknown operator", ErrStuck)
 		}
 	default:
-		return nil, fmt.Errorf("%w: unknown op %T", ErrStuck, op)
+		return Cell{}, fmt.Errorf("%w: unknown op %T", ErrStuck, op)
 	}
 }
 
@@ -494,399 +533,125 @@ func (m *EnvMachine) stepTypecase(e TypecaseT) (Term, error) {
 	}
 }
 
-// ---------------------------------------------------------------------------
-// Resolution: environment lookup with shadow tracking. Every resolver
-// returns the resolved syntax plus a changed flag; unchanged subtrees are
-// returned as-is, so resolving closed syntax allocates nothing. Resolution
-// is the environment-based reading of the machine's closed substitutions:
-// innermost binding wins, binders under which we descend only shadow
-// (Subst with Closed set never renames).
-// ---------------------------------------------------------------------------
-
-func shadowed(stack []names.Name, n names.Name) bool {
-	for i := len(stack) - 1; i >= 0; i-- {
-		if stack[i] == n {
-			return true
-		}
-	}
-	return false
-}
-
-func (m *EnvMachine) resolveValue(v Value) Value {
-	out, _ := m.value(v)
-	return out
-}
-
-func (m *EnvMachine) resolveTag(t tags.Tag) tags.Tag {
-	out, _ := m.tag(t)
-	return out
-}
-
-func (m *EnvMachine) resolveRegion(r Region) Region {
-	out, _ := m.region(r)
-	return out
-}
-
-func (m *EnvMachine) value(v Value) (Value, bool) {
+// cellOf resolves a term-position value against the environment and packs
+// it. It is the packed counterpart of the boxed machine's value(): term
+// variables come straight out of envCells (already packed, already
+// closed), literals pack inline when they fit, and the syntax-bearing
+// forms resolve their tag/region/type components through the shared
+// resolver before pooling. Steady-state steps (variables, small literals)
+// allocate nothing.
+func (m *EnvMachine) cellOf(v Value) Cell {
+	// The interface data pointer identifies the syntax node v was read
+	// from; the pack cases key their descriptor memo on it.
+	key := ifaceData(v)
 	switch v := v.(type) {
 	case Num:
-		return v, false
+		return NumCell(v.N)
 	case AddrV:
-		return v, false
+		return AddrCell(v.Addr)
 	case Var:
 		// Term-variable binders never occur inside values (LamV resolves
 		// through substView), so no shadow stack exists for this namespace.
-		if r, ok := m.envVals[v.Name]; ok {
-			return r, true
+		if c, ok := m.envCells[v.Name]; ok {
+			return c
 		}
-		return v, false
+		return m.Pool.VarCell(v.Name)
 	case PairV:
-		l, cl := m.value(v.L)
-		r, cr := m.value(v.R)
-		if !cl && !cr {
-			return v, false
-		}
-		return PairV{L: l, R: r}, true
+		l := m.cellOf(v.L)
+		r := m.cellOf(v.R)
+		return Cell{Tag: CellPair, A: m.Pool.wordOf(l), B: m.Pool.wordOf(r)}
+	case InlV:
+		return Cell{Tag: CellInl, A: m.Pool.wordOf(m.cellOf(v.Val))}
+	case InrV:
+		return Cell{Tag: CellInr, A: m.Pool.wordOf(m.cellOf(v.Val))}
+	// In the pack cases the payload is packed first (it may spill into the
+	// cells pool) and the descriptor second, memoized per literal: on a
+	// hit the annotation is not re-resolved and the pool does not grow.
 	case PackTag:
-		tg, ct := m.tag(v.Tag)
-		val, cv := m.value(v.Val)
-		m.shTags = append(m.shTags, v.Bound)
-		body, cb := m.typ(v.Body)
-		m.shTags = m.shTags[:len(m.shTags)-1]
-		if !ct && !cv && !cb {
-			return v, false
+		val := m.cellOf(v.Val)
+		desc, nm, hit := m.memoLookup(key, CellPackTag, v.Bound)
+		if !hit {
+			tg, _ := m.tag(v.Tag)
+			m.shTags = append(m.shTags, v.Bound)
+			body, _ := m.typ(v.Body)
+			m.shTags = m.shTags[:len(m.shTags)-1]
+			desc = uint64(len(m.Pool.packTags))
+			m.Pool.packTags = append(m.Pool.packTags, PackTagDesc{
+				Bound: v.Bound, Kind: v.Kind, Tag: tg, Body: body,
+			})
+			m.memoStore(nm, desc, v)
 		}
-		return PackTag{Bound: v.Bound, Kind: v.Kind, Tag: tg, Val: val, Body: body}, true
+		return Cell{Tag: CellPackTag, A: desc, B: m.Pool.wordOf(val)}
 	case PackAlpha:
-		delta, cd := m.regionSlice(v.Delta)
-		hidden, ch := m.typ(v.Hidden)
-		val, cv := m.value(v.Val)
-		m.shTyps = append(m.shTyps, v.Bound)
-		body, cb := m.typ(v.Body)
-		m.shTyps = m.shTyps[:len(m.shTyps)-1]
-		if !cd && !ch && !cv && !cb {
-			return v, false
+		val := m.cellOf(v.Val)
+		desc, nm, hit := m.memoLookup(key, CellPackAlpha, v.Bound)
+		if !hit {
+			delta, _ := m.regionSlice(v.Delta)
+			hidden, _ := m.typ(v.Hidden)
+			m.shTyps = append(m.shTyps, v.Bound)
+			body, _ := m.typ(v.Body)
+			m.shTyps = m.shTyps[:len(m.shTyps)-1]
+			desc = uint64(len(m.Pool.packAlphas))
+			m.Pool.packAlphas = append(m.Pool.packAlphas, PackAlphaDesc{
+				Bound: v.Bound, Delta: delta, Hidden: hidden, Body: body,
+			})
+			m.memoStore(nm, desc, v)
 		}
-		return PackAlpha{Bound: v.Bound, Delta: delta, Hidden: hidden, Val: val, Body: body}, true
+		return Cell{Tag: CellPackAlpha, A: desc, B: m.Pool.wordOf(val)}
 	case PackRegion:
-		delta, cd := m.regionSlice(v.Delta)
-		r, cr := m.region(v.R)
-		val, cv := m.value(v.Val)
-		m.shRegs = append(m.shRegs, v.Bound)
-		body, cb := m.typ(v.Body)
-		m.shRegs = m.shRegs[:len(m.shRegs)-1]
-		if !cd && !cr && !cv && !cb {
-			return v, false
+		val := m.cellOf(v.Val)
+		desc, nm, hit := m.memoLookup(key, CellPackRegion, v.Bound)
+		if !hit {
+			delta, _ := m.regionSlice(v.Delta)
+			r, _ := m.region(v.R)
+			m.shRegs = append(m.shRegs, v.Bound)
+			body, _ := m.typ(v.Body)
+			m.shRegs = m.shRegs[:len(m.shRegs)-1]
+			desc = uint64(len(m.Pool.packRegions))
+			m.Pool.packRegions = append(m.Pool.packRegions, PackRegionDesc{
+				Bound: v.Bound, Delta: delta, R: r, Body: body,
+			})
+			m.memoStore(nm, desc, v)
 		}
-		return PackRegion{Bound: v.Bound, Delta: delta, R: r, Val: val, Body: body}, true
+		return Cell{Tag: CellPackRegion, A: desc, B: m.Pool.wordOf(val)}
 	case TAppV:
-		val, cv := m.value(v.Val)
-		ts, ct := m.tagSlice(v.Tags)
-		rs, cr := m.regionSlice(v.Rs)
-		if !cv && !ct && !cr {
-			return v, false
+		val := m.cellOf(v.Val)
+		desc, nm, hit := m.memoLookup(key, CellTApp, "")
+		if !hit {
+			ts, _ := m.tagSlice(v.Tags)
+			rs, _ := m.regionSlice(v.Rs)
+			desc = uint64(len(m.Pool.tapps))
+			m.Pool.tapps = append(m.Pool.tapps, TAppDesc{Tags: ts, Rs: rs})
+			m.memoStore(nm, desc, v)
 		}
-		return TAppV{Val: val, Tags: ts, Rs: rs}, true
+		return Cell{Tag: CellTApp, A: desc, B: m.Pool.wordOf(val)}
 	case LamV:
 		// Rare: code blocks live in cd and are closed; a literal block only
 		// flows through the environment when a program embeds one in a value
 		// position. Delegate its binder structure to the oracle substitution.
-		return m.substView().Value(v), true
-	case InlV:
-		val, cv := m.value(v.Val)
-		if !cv {
-			return v, false
+		resolved, ok := m.substView().Value(v).(LamV)
+		if !ok {
+			panic("gclang: lam resolution changed value form")
 		}
-		return InlV{Val: val}, true
-	case InrV:
-		val, cv := m.value(v.Val)
-		if !cv {
-			return v, false
-		}
-		return InrV{Val: val}, true
+		return m.Pool.LamCell(resolved)
 	default:
 		panic(fmt.Sprintf("gclang: unknown value %T", v))
 	}
 }
 
 // substView exposes the current environment as a closed simultaneous
-// substitution for the rare LamV case. Safe to share the maps: a closed
-// Subst never mutates them (drop copies).
+// substitution for the rare LamV case. The term-variable namespace is
+// decoded into a fresh map — an allocation the literal-code-block path can
+// afford (it never executes in pipeline-compiled programs).
 func (m *EnvMachine) substView() *Subst {
 	if len(m.shTags) != 0 || len(m.shRegs) != 0 || len(m.shTyps) != 0 {
 		// Values never occur inside types, so a LamV is never resolved under
-		// a shadowing binder; see the resolver ordering in value().
+		// a shadowing binder; see the resolver ordering in cellOf().
 		panic("gclang: lam resolution under binder")
 	}
-	return &Subst{Vals: m.envVals, Tags: m.envTags, Regs: m.envRegs, Types: m.envTyps, Closed: true}
-}
-
-func (m *EnvMachine) tag(t tags.Tag) (tags.Tag, bool) {
-	if len(m.envTags) == 0 {
-		return t, false
+	vals := make(map[names.Name]Value, len(m.envCells))
+	for n, c := range m.envCells {
+		vals[n] = m.Pool.Decode(c)
 	}
-	return m.tag1(t)
-}
-
-func (m *EnvMachine) tag1(t tags.Tag) (tags.Tag, bool) {
-	switch t := t.(type) {
-	case tags.Int:
-		return t, false
-	case tags.Var:
-		if shadowed(m.shTags, t.Name) {
-			return t, false
-		}
-		if r, ok := m.envTags[t.Name]; ok {
-			return r, true
-		}
-		return t, false
-	case tags.Prod:
-		l, cl := m.tag1(t.L)
-		r, cr := m.tag1(t.R)
-		if !cl && !cr {
-			return t, false
-		}
-		return tags.Prod{L: l, R: r}, true
-	case tags.Code:
-		args, ca := m.tagSlice1(t.Args)
-		if !ca {
-			return t, false
-		}
-		return tags.Code{Args: args}, true
-	case tags.Exist:
-		m.shTags = append(m.shTags, t.Bound)
-		body, cb := m.tag1(t.Body)
-		m.shTags = m.shTags[:len(m.shTags)-1]
-		if !cb {
-			return t, false
-		}
-		return tags.Exist{Bound: t.Bound, Body: body}, true
-	case tags.Lam:
-		m.shTags = append(m.shTags, t.Param)
-		body, cb := m.tag1(t.Body)
-		m.shTags = m.shTags[:len(m.shTags)-1]
-		if !cb {
-			return t, false
-		}
-		return tags.Lam{Param: t.Param, Body: body}, true
-	case tags.App:
-		fn, cf := m.tag1(t.Fn)
-		arg, ca := m.tag1(t.Arg)
-		if !cf && !ca {
-			return t, false
-		}
-		return tags.App{Fn: fn, Arg: arg}, true
-	default:
-		panic(fmt.Sprintf("gclang: unknown tag %T", t))
-	}
-}
-
-func (m *EnvMachine) region(r Region) (Region, bool) {
-	if rv, ok := r.(RVar); ok {
-		if shadowed(m.shRegs, rv.Name) {
-			return r, false
-		}
-		if repl, ok := m.envRegs[rv.Name]; ok {
-			return repl, true
-		}
-	}
-	return r, false
-}
-
-// typ resolves a type. Term variables cannot occur in types, so when the
-// environment binds only values the type is unchanged — the same
-// short-circuit Subst.Type relies on, and just as load-bearing here.
-func (m *EnvMachine) typ(t Type) (Type, bool) {
-	if len(m.envTags) == 0 && len(m.envRegs) == 0 && len(m.envTyps) == 0 {
-		return t, false
-	}
-	return m.typ1(t)
-}
-
-func (m *EnvMachine) typ1(t Type) (Type, bool) {
-	switch t := t.(type) {
-	case IntT:
-		return t, false
-	case ProdT:
-		l, cl := m.typ1(t.L)
-		r, cr := m.typ1(t.R)
-		if !cl && !cr {
-			return t, false
-		}
-		return ProdT{L: l, R: r}, true
-	case CodeT:
-		// The tag and region binders scope over Params.
-		for _, tp := range t.TParams {
-			m.shTags = append(m.shTags, tp.Name)
-		}
-		m.shRegs = append(m.shRegs, t.RParams...)
-		params, cp := m.typeSlice1(t.Params)
-		m.shRegs = m.shRegs[:len(m.shRegs)-len(t.RParams)]
-		m.shTags = m.shTags[:len(m.shTags)-len(t.TParams)]
-		if !cp {
-			return t, false
-		}
-		return CodeT{TParams: t.TParams, RParams: t.RParams, Params: params}, true
-	case ExistT:
-		m.shTags = append(m.shTags, t.Bound)
-		body, cb := m.typ1(t.Body)
-		m.shTags = m.shTags[:len(m.shTags)-1]
-		if !cb {
-			return t, false
-		}
-		return ExistT{Bound: t.Bound, Kind: t.Kind, Body: body}, true
-	case AtT:
-		body, cb := m.typ1(t.Body)
-		r, cr := m.region(t.R)
-		if !cb && !cr {
-			return t, false
-		}
-		return AtT{Body: body, R: r}, true
-	case MT:
-		rs, cr := m.regionSlice(t.Rs)
-		tg, ct := m.tag(t.Tag)
-		if !cr && !ct {
-			return t, false
-		}
-		return MT{Rs: rs, Tag: tg}, true
-	case CT:
-		from, cf := m.region(t.From)
-		to, ct := m.region(t.To)
-		tg, cg := m.tag(t.Tag)
-		if !cf && !ct && !cg {
-			return t, false
-		}
-		return CT{From: from, To: to, Tag: tg}, true
-	case AlphaT:
-		if shadowed(m.shTyps, t.Name) {
-			return t, false
-		}
-		if repl, ok := m.envTyps[t.Name]; ok {
-			return repl, true
-		}
-		return t, false
-	case ExistAlphaT:
-		delta, cd := m.regionSlice(t.Delta)
-		m.shTyps = append(m.shTyps, t.Bound)
-		body, cb := m.typ1(t.Body)
-		m.shTyps = m.shTyps[:len(m.shTyps)-1]
-		if !cd && !cb {
-			return t, false
-		}
-		return ExistAlphaT{Bound: t.Bound, Delta: delta, Body: body}, true
-	case TransT:
-		ts, ct := m.tagSlice(t.Tags)
-		rs, cr := m.regionSlice(t.Rs)
-		params, cp := m.typeSlice1(t.Params)
-		r, c0 := m.region(t.R)
-		if !ct && !cr && !cp && !c0 {
-			return t, false
-		}
-		return TransT{Tags: ts, Rs: rs, Params: params, R: r}, true
-	case LeftT:
-		body, cb := m.typ1(t.Body)
-		if !cb {
-			return t, false
-		}
-		return LeftT{Body: body}, true
-	case RightT:
-		body, cb := m.typ1(t.Body)
-		if !cb {
-			return t, false
-		}
-		return RightT{Body: body}, true
-	case SumT:
-		l, cl := m.typ1(t.L)
-		r, cr := m.typ1(t.R)
-		if !cl && !cr {
-			return t, false
-		}
-		return SumT{L: l, R: r}, true
-	case ExistRT:
-		delta, cd := m.regionSlice(t.Delta)
-		m.shRegs = append(m.shRegs, t.Bound)
-		body, cb := m.typ1(t.Body)
-		m.shRegs = m.shRegs[:len(m.shRegs)-1]
-		if !cd && !cb {
-			return t, false
-		}
-		return ExistRT{Bound: t.Bound, Delta: delta, Body: body}, true
-	default:
-		panic(fmt.Sprintf("gclang: unknown type %T", t))
-	}
-}
-
-func (m *EnvMachine) valueSlice(vs []Value) ([]Value, bool) {
-	var out []Value
-	for i, v := range vs {
-		rv, cv := m.value(v)
-		if cv && out == nil {
-			out = append([]Value(nil), vs...)
-		}
-		if out != nil {
-			out[i] = rv
-		}
-	}
-	if out == nil {
-		return vs, false
-	}
-	return out, true
-}
-
-func (m *EnvMachine) tagSlice(ts []tags.Tag) ([]tags.Tag, bool) {
-	if len(m.envTags) == 0 {
-		return ts, false
-	}
-	return m.tagSlice1(ts)
-}
-
-func (m *EnvMachine) tagSlice1(ts []tags.Tag) ([]tags.Tag, bool) {
-	var out []tags.Tag
-	for i, t := range ts {
-		rt, ct := m.tag1(t)
-		if ct && out == nil {
-			out = append([]tags.Tag(nil), ts...)
-		}
-		if out != nil {
-			out[i] = rt
-		}
-	}
-	if out == nil {
-		return ts, false
-	}
-	return out, true
-}
-
-func (m *EnvMachine) regionSlice(rs []Region) ([]Region, bool) {
-	var out []Region
-	for i, r := range rs {
-		rr, cr := m.region(r)
-		if cr && out == nil {
-			out = append([]Region(nil), rs...)
-		}
-		if out != nil {
-			out[i] = rr
-		}
-	}
-	if out == nil {
-		return rs, false
-	}
-	return out, true
-}
-
-func (m *EnvMachine) typeSlice1(ts []Type) ([]Type, bool) {
-	var out []Type
-	for i, t := range ts {
-		rt, ct := m.typ1(t)
-		if ct && out == nil {
-			out = append([]Type(nil), ts...)
-		}
-		if out != nil {
-			out[i] = rt
-		}
-	}
-	if out == nil {
-		return ts, false
-	}
-	return out, true
+	return &Subst{Vals: vals, Tags: m.envTags, Regs: m.envRegs, Types: m.envTyps, Closed: true}
 }

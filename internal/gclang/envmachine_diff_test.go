@@ -79,8 +79,10 @@ func coStep(t *testing.T, sm *gclang.Machine, em *gclang.EnvMachine, fuel int) {
 		}
 		sv, _ := sm.Mem.Get(sc[i])
 		ev, _ := em.Mem.Get(ec[i])
-		if sv.String() != ev.String() {
-			t.Fatalf("cell %s: subst %s env %s", sc[i], sv, ev)
+		// Pool handles are machine-local: compare through each machine's
+		// own pools.
+		if ss, es := sm.Pool.Decode(sv).String(), em.Pool.Decode(ev).String(); ss != es {
+			t.Fatalf("cell %s: subst %s env %s", sc[i], ss, es)
 		}
 	}
 }

@@ -25,15 +25,15 @@ func (m *EnvMachine) injectFaults(r *fault.Registry) error {
 	return nil
 }
 
-// corruptPoison is the value injected heap corruption writes: a number a
-// well-typed program never computes, so a later read either misbehaves
-// (wrong result, detectable by the oracle) or violates the tag discipline
-// and sticks the machine.
-var corruptPoison = Num{N: 0xBEEF}
-
-// corruptCell overwrites the most recently allocated data cell via
-// regions.Corrupt, which records no statistics — the damage is invisible
-// to the counter identities and only surfaces through behavior.
+// corruptCell flips the tag bits of the most recently allocated data cell
+// via regions.Peek/Corrupt, which record no statistics — the damage is
+// invisible to the counter identities and only surfaces through behavior.
+// This is the bit-flip the packed representation makes meaningful: XOR-ing
+// the low tag bits turns a number into a code handle, an address into a
+// sum injection, a pair into the other injection, a package into a poison
+// handle — so a later read either sticks the machine on a tag check or
+// produces a value the clean map oracle visibly disagrees with (at latest
+// at the co-checker's cell-by-cell halt compare).
 func (m *EnvMachine) corruptCell() {
 	order := m.Mem.Regions()
 	for i := len(order) - 1; i >= 0; i-- {
@@ -45,7 +45,11 @@ func (m *EnvMachine) corruptCell() {
 		if size == 0 {
 			continue
 		}
-		m.Mem.Corrupt(regions.Addr{Region: n, Off: size - 1}, corruptPoison)
+		a := regions.Addr{Region: n, Off: size - 1}
+		if c, ok := m.Mem.Peek(a); ok {
+			c.Tag ^= 0x7
+			m.Mem.Corrupt(a, c)
+		}
 		return
 	}
 }

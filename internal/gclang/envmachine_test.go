@@ -51,8 +51,10 @@ func compareEngines(t *testing.T, d Dialect, p Program, capacity, fuel int) Valu
 		}
 		sv, _ := sm.Mem.Get(sc[i])
 		ev, _ := em.Mem.Get(ec[i])
-		if sv.String() != ev.String() {
-			t.Fatalf("cell %s: subst %s env %s", sc[i], sv, ev)
+		// Pool handles are machine-local: compare through each machine's
+		// own pools.
+		if ss, es := sm.Pool.Decode(sv).String(), em.Pool.Decode(ev).String(); ss != es {
+			t.Fatalf("cell %s: subst %s env %s", sc[i], ss, es)
 		}
 	}
 	return em.Result

@@ -117,9 +117,13 @@ func (m *Machine) widenGhost(from, to regions.Name) error {
 			// never the runtime data, so widen stays a no-op operationally.
 			// Peek/Corrupt rather than Get/Set: this rewrite is ghost
 			// bookkeeping, not program memory traffic, and must not move
-			// the counters the co-checker compares.
+			// the counters the co-checker compares. The packed cell is
+			// decoded, re-annotated, and re-encoded — the one place the
+			// ghost machine round-trips a stored cell through the boxed
+			// form.
 			if cell, ok := m.Mem.Peek(addr); ok {
-				if !m.Mem.Corrupt(addr, widenValue(cell, fromR, toR)) {
+				widened := widenValue(m.Pool.Decode(cell), fromR, toR)
+				if !m.Mem.Corrupt(addr, m.Pool.Encode(widened)) {
 					return fmt.Errorf("gclang: widen ghost: lost cell %s", addr)
 				}
 			}

@@ -20,8 +20,14 @@ import (
 // preservation proofs; see DESIGN.md.
 type Machine struct {
 	Dialect Dialect
-	Mem     regions.Store[Value]
+	Mem     regions.Store[Cell]
 	Term    Term
+
+	// Pool holds the typed side pools backing the packed cells in Mem. The
+	// substitution machine rewrites terms over boxed Values internally —
+	// that is what makes it the readable oracle — and encodes/decodes at
+	// its memory boundary: Encode on Put/Set, Decode on Get.
+	Pool *Pools
 
 	// Ghost enables Ψ maintenance. Programs must have been elaborated by
 	// the checker (put annotations present) for ghost mode to work.
@@ -71,12 +77,13 @@ func NewMachine(d Dialect, p Program, capacity int) *Machine {
 func NewMachineOn(b regions.Backend, d Dialect, p Program, capacity int) *Machine {
 	m := &Machine{
 		Dialect: d,
-		Mem:     regions.NewStore[Value](b, capacity),
+		Mem:     regions.NewStore[Cell](b, capacity),
+		Pool:    NewPools(),
 		Term:    p.Main,
 		Psi:     MemType{},
 	}
 	for i, nf := range p.Code {
-		addr, err := m.Mem.Put(regions.CD, nf.Fun)
+		addr, err := m.Mem.Put(regions.CD, m.Pool.LamCell(nf.Fun))
 		if err != nil || addr.Off != i {
 			panic(fmt.Sprintf("gclang: code install failed: %v", err))
 		}
@@ -254,7 +261,7 @@ func (m *Machine) step(e Term) (Term, error) {
 		if !ok {
 			return nil, stuck(e, "set destination %s is not an address", e.Dst)
 		}
-		if err := m.Mem.Set(dst.Addr, e.Src); err != nil {
+		if err := m.Mem.Set(dst.Addr, m.Pool.Encode(e.Src)); err != nil {
 			return nil, stuck(e, "%v", err)
 		}
 		if m.Event != nil {
@@ -327,7 +334,10 @@ func (m *Machine) stepApp(e AppT) (Term, error) {
 	if err != nil {
 		return nil, stuck(e, "%v", err)
 	}
-	lam, ok := cell.(LamV)
+	lam, ok := LamV{}, false
+	if cell.Tag == CellLam {
+		lam, ok = m.Pool.lamAt(cell.A)
+	}
 	if !ok {
 		return nil, stuck(e, "call of non-code cell %s", addr.Addr)
 	}
@@ -379,7 +389,7 @@ func (m *Machine) stepOp(op Op) (Value, error) {
 			// never fires, so m.Term and the counters must stay untouched).
 			return nil, fmt.Errorf("gclang: ghost mode requires elaborated puts (missing annotation)")
 		}
-		addr, err := m.Mem.Put(rn.Name, op.V)
+		addr, err := m.Mem.Put(rn.Name, m.Pool.Encode(op.V))
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrStuck, err)
 		}
@@ -402,7 +412,7 @@ func (m *Machine) stepOp(op Op) (Value, error) {
 		if m.Event != nil {
 			m.ev = StepEvent{Kind: StepGet, Addr: a.Addr}
 		}
-		return cell, nil
+		return m.Pool.Decode(cell), nil
 	case StripOp:
 		switch v := op.V.(type) {
 		case InlV:

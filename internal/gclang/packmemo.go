@@ -1,0 +1,504 @@
+package gclang
+
+import (
+	"fmt"
+	"unsafe"
+
+	"psgc/internal/names"
+	"psgc/internal/tags"
+)
+
+// Descriptor memoization for the packed machine's hot path.
+//
+// A collector loop mints thousands of packages per collection, and each
+// one used to re-resolve its type annotation (witness tag, existential
+// body) against the environment and append a fresh pool entry — profiles
+// showed that resolution, not mutator work, dominating whole-run time on
+// the packed machine. But a descriptor (see cell.go) depends on exactly
+// two things: the pack literal in the program text and the type-level
+// environment it resolves under. Both recur: the literal is a fixed tree
+// node, and a copy loop re-enters its code block with the same handful of
+// region and tag bindings for every cell it copies. So the machine keeps,
+// per pack literal, a small cache of (type-level environment → descriptor
+// index); a hit skips resolution and pool growth entirely, which is what
+// lets a collection's packages share one descriptor.
+//
+// The cache key is the identity of the pack literal: the data pointer of
+// its Value interface. Program syntax is built once and retained by the
+// machine for its lifetime, so tree-node pointers are stable and never
+// reused. The machine only ever packs literals from the program tree —
+// decoded values re-enter control flow solely as translucent call heads,
+// which are code values, not packages — so dynamically built values do
+// not reach this cache. Hits additionally verify the recorded bindings
+// value-by-value (below), so a colliding key costs a miss, never a wrong
+// descriptor... provided the colliding node resolves identically under
+// identical environments, which is exactly what the per-binding check
+// cannot distinguish; the binder-name guard in lookup narrows that
+// further.
+//
+// Validity is checked by value, not by generation: a snapshot records
+// the bindings of the annotation's free variables — computed once per
+// literal by a syntax walk that mirrors the resolver's shadow discipline
+// — and a hit requires those bindings (including absences) to match the
+// current environment. Resolution only ever consults the free variables
+// of what it resolves, so comparing exactly those names is as sound as
+// comparing the whole environment and far cheaper: a pack annotation
+// typically mentions one or two region variables and a witness tag,
+// while the environment carries every binding the program has built up.
+// Equality is structural identity (stricter than α-equivalence) — a
+// false negative costs one redundant resolution, never correctness. The
+// term-variable environment is irrelevant: term variables cannot occur
+// in types, the same fact resolver.typ's short-circuit rests on.
+
+// memoCap bounds the environments remembered per pack literal. A copy
+// loop cycles through one environment per (from, to, tag) combination —
+// a handful — while each new collection's fresh to-region retires the
+// previous collection's entries; replace-oldest keeps the window tight.
+const memoCap = 16
+
+// A binding records what the environment said about one free variable of
+// the annotation when the descriptor was resolved; ok distinguishes "bound
+// to this" from "unbound" (an unbound variable resolves to itself, so it
+// must still be unbound for the entry to apply).
+type regBinding struct {
+	n  names.Name
+	r  Region
+	ok bool
+}
+
+type tagBinding struct {
+	n  names.Name
+	t  tags.Tag
+	ok bool
+}
+
+type typBinding struct {
+	n  names.Name
+	t  Type
+	ok bool
+}
+
+// memoEntry is one resolved descriptor together with the bindings of the
+// annotation's free variables it was resolved under.
+type memoEntry struct {
+	regs []regBinding
+	tags []tagBinding
+	typs []typBinding
+	desc uint64
+}
+
+// freeVars holds the free variables of a pack literal's annotation, split
+// by namespace. Computed once per literal (the annotation is fixed
+// syntax) and deduplicated; order is irrelevant.
+type freeVars struct {
+	tags []names.Name
+	regs []names.Name
+	typs []names.Name
+}
+
+// nodeMemo is the per-literal cache: which pack form the literal is (a
+// guard against key collisions), the annotation's free variables, and a
+// replace-oldest ring of entries.
+type nodeMemo struct {
+	kind    CellTag
+	bound   names.Name
+	fv      freeVars
+	fvSet   bool
+	entries []memoEntry
+	next    int
+}
+
+// ifaceData returns the data pointer of a Value interface — the identity
+// of the syntax node it was read from. Safe because gclang syntax nodes
+// are multi-word structs: the interface data word is always a pointer to
+// the boxed copy made when the tree was built.
+func ifaceData(v Value) unsafe.Pointer {
+	return (*[2]unsafe.Pointer)(unsafe.Pointer(&v))[1]
+}
+
+// memoLookup finds a descriptor for the pack literal identified by key,
+// valid under the current type-level environment. On a miss it returns
+// the nodeMemo to record the freshly resolved descriptor into (nil when
+// memoization does not apply, e.g. under shadowing binders).
+func (m *EnvMachine) memoLookup(key unsafe.Pointer, kind CellTag, bound names.Name) (uint64, *nodeMemo, bool) {
+	if len(m.shTags)+len(m.shRegs)+len(m.shTyps) != 0 {
+		// Resolving under a shadow stack (a pack nested inside another
+		// annotation): rare, and the stack state would have to join the
+		// key. Resolve unmemoized.
+		return 0, nil, false
+	}
+	nm := m.packMemo[key]
+	if nm == nil {
+		nm = &nodeMemo{kind: kind, bound: bound}
+		m.packMemo[key] = nm
+	} else if nm.kind != kind || nm.bound != bound {
+		// The key identifies a different literal than it used to (only
+		// possible for a non-tree value, which the machine never packs);
+		// reset rather than trust any recorded entry.
+		*nm = nodeMemo{kind: kind, bound: bound}
+	}
+	for i := range nm.entries {
+		if m.memoValid(&nm.entries[i]) {
+			return nm.entries[i].desc, nm, true
+		}
+	}
+	return 0, nm, false
+}
+
+// memoStore records a freshly resolved descriptor under a snapshot of the
+// annotation's free-variable bindings. The literal is passed so the free
+// variables can be computed on the node's first store.
+func (m *EnvMachine) memoStore(nm *nodeMemo, desc uint64, v Value) {
+	if nm == nil {
+		return
+	}
+	if !nm.fvSet {
+		nm.fv = packFreeVars(v)
+		nm.fvSet = true
+	}
+	e := memoEntry{desc: desc}
+	if n := len(nm.fv.regs); n > 0 {
+		e.regs = make([]regBinding, n)
+		for i, name := range nm.fv.regs {
+			r, ok := m.envRegs[name]
+			e.regs[i] = regBinding{n: name, r: r, ok: ok}
+		}
+	}
+	if n := len(nm.fv.tags); n > 0 {
+		e.tags = make([]tagBinding, n)
+		for i, name := range nm.fv.tags {
+			t, ok := m.envTags[name]
+			e.tags[i] = tagBinding{n: name, t: t, ok: ok}
+		}
+	}
+	if n := len(nm.fv.typs); n > 0 {
+		e.typs = make([]typBinding, n)
+		for i, name := range nm.fv.typs {
+			t, ok := m.envTyps[name]
+			e.typs[i] = typBinding{n: name, t: t, ok: ok}
+		}
+	}
+	if len(nm.entries) < memoCap {
+		nm.entries = append(nm.entries, e)
+		return
+	}
+	nm.entries[nm.next] = e
+	nm.next = (nm.next + 1) % memoCap
+}
+
+// memoValid reports whether the entry's free-variable bindings match the
+// current environment — bound names must carry structurally identical
+// values, unbound names must still be unbound.
+func (m *EnvMachine) memoValid(e *memoEntry) bool {
+	for i := range e.regs {
+		b := &e.regs[i]
+		if r, ok := m.envRegs[b.n]; ok != b.ok || (ok && r != b.r) {
+			return false
+		}
+	}
+	for i := range e.tags {
+		b := &e.tags[i]
+		if t, ok := m.envTags[b.n]; ok != b.ok || (ok && !tagIdentical(t, b.t)) {
+			return false
+		}
+	}
+	for i := range e.typs {
+		b := &e.typs[i]
+		if t, ok := m.envTyps[b.n]; ok != b.ok || (ok && !typeIdentical(t, b.t)) {
+			return false
+		}
+	}
+	return true
+}
+
+// fvWalker accumulates the free variables of annotation syntax under the
+// same shadow discipline the resolver uses (see tag1/typ1 in
+// resolver.go): a name is free exactly when the resolver would consult
+// the environment for it. Unknown syntax forms panic, as they do in the
+// resolver — silently skipping one would under-approximate the free set
+// and let a stale descriptor validate.
+type fvWalker struct {
+	fv     freeVars
+	shTags []names.Name
+	shRegs []names.Name
+	shTyps []names.Name
+}
+
+func appendName(ns []names.Name, n names.Name) []names.Name {
+	for _, have := range ns {
+		if have == n {
+			return ns
+		}
+	}
+	return append(ns, n)
+}
+
+func (w *fvWalker) tag(t tags.Tag) {
+	switch t := t.(type) {
+	case tags.Int:
+	case tags.Var:
+		if !shadowed(w.shTags, t.Name) {
+			w.fv.tags = appendName(w.fv.tags, t.Name)
+		}
+	case tags.Prod:
+		w.tag(t.L)
+		w.tag(t.R)
+	case tags.Code:
+		for _, a := range t.Args {
+			w.tag(a)
+		}
+	case tags.Exist:
+		w.shTags = append(w.shTags, t.Bound)
+		w.tag(t.Body)
+		w.shTags = w.shTags[:len(w.shTags)-1]
+	case tags.Lam:
+		w.shTags = append(w.shTags, t.Param)
+		w.tag(t.Body)
+		w.shTags = w.shTags[:len(w.shTags)-1]
+	case tags.App:
+		w.tag(t.Fn)
+		w.tag(t.Arg)
+	default:
+		panic(fmt.Sprintf("gclang: unknown tag %T", t))
+	}
+}
+
+func (w *fvWalker) region(r Region) {
+	if rv, ok := r.(RVar); ok && !shadowed(w.shRegs, rv.Name) {
+		w.fv.regs = appendName(w.fv.regs, rv.Name)
+	}
+}
+
+func (w *fvWalker) regions(rs []Region) {
+	for _, r := range rs {
+		w.region(r)
+	}
+}
+
+func (w *fvWalker) typ(t Type) {
+	switch t := t.(type) {
+	case IntT:
+	case ProdT:
+		w.typ(t.L)
+		w.typ(t.R)
+	case CodeT:
+		for _, tp := range t.TParams {
+			w.shTags = append(w.shTags, tp.Name)
+		}
+		w.shRegs = append(w.shRegs, t.RParams...)
+		for _, p := range t.Params {
+			w.typ(p)
+		}
+		w.shRegs = w.shRegs[:len(w.shRegs)-len(t.RParams)]
+		w.shTags = w.shTags[:len(w.shTags)-len(t.TParams)]
+	case ExistT:
+		w.shTags = append(w.shTags, t.Bound)
+		w.typ(t.Body)
+		w.shTags = w.shTags[:len(w.shTags)-1]
+	case AtT:
+		w.typ(t.Body)
+		w.region(t.R)
+	case MT:
+		w.regions(t.Rs)
+		w.tag(t.Tag)
+	case CT:
+		w.region(t.From)
+		w.region(t.To)
+		w.tag(t.Tag)
+	case AlphaT:
+		if !shadowed(w.shTyps, t.Name) {
+			w.fv.typs = appendName(w.fv.typs, t.Name)
+		}
+	case ExistAlphaT:
+		w.regions(t.Delta)
+		w.shTyps = append(w.shTyps, t.Bound)
+		w.typ(t.Body)
+		w.shTyps = w.shTyps[:len(w.shTyps)-1]
+	case TransT:
+		for _, tg := range t.Tags {
+			w.tag(tg)
+		}
+		w.regions(t.Rs)
+		for _, p := range t.Params {
+			w.typ(p)
+		}
+		w.region(t.R)
+	case LeftT:
+		w.typ(t.Body)
+	case RightT:
+		w.typ(t.Body)
+	case SumT:
+		w.typ(t.L)
+		w.typ(t.R)
+	case ExistRT:
+		w.regions(t.Delta)
+		w.shRegs = append(w.shRegs, t.Bound)
+		w.typ(t.Body)
+		w.shRegs = w.shRegs[:len(w.shRegs)-1]
+	default:
+		panic(fmt.Sprintf("gclang: unknown type %T", t))
+	}
+}
+
+// packFreeVars computes the free variables of a pack literal's annotation
+// — exactly the names cellOf's miss path can ask the environment for,
+// with the pack's own binder shadowed over the part it scopes (mirroring
+// the shadow pushes in cellOf).
+func packFreeVars(v Value) freeVars {
+	var w fvWalker
+	switch v := v.(type) {
+	case PackTag:
+		w.tag(v.Tag)
+		w.shTags = append(w.shTags, v.Bound)
+		w.typ(v.Body)
+	case PackAlpha:
+		w.regions(v.Delta)
+		w.typ(v.Hidden)
+		w.shTyps = append(w.shTyps, v.Bound)
+		w.typ(v.Body)
+	case PackRegion:
+		w.regions(v.Delta)
+		w.region(v.R)
+		w.shRegs = append(w.shRegs, v.Bound)
+		w.typ(v.Body)
+	case TAppV:
+		for _, t := range v.Tags {
+			w.tag(t)
+		}
+		w.regions(v.Rs)
+	default:
+		panic(fmt.Sprintf("gclang: free variables of non-pack value %T", v))
+	}
+	return w.fv
+}
+
+// tagIdentical is allocation-free structural identity on tags — stricter
+// than tags.Equal's α-equivalence, which is fine for cache validity:
+// mistaking identical for different costs a re-resolution, nothing more.
+func tagIdentical(a, b tags.Tag) bool {
+	switch a := a.(type) {
+	case tags.Int:
+		_, ok := b.(tags.Int)
+		return ok
+	case tags.Var:
+		bb, ok := b.(tags.Var)
+		return ok && a.Name == bb.Name
+	case tags.Prod:
+		bb, ok := b.(tags.Prod)
+		return ok && tagIdentical(a.L, bb.L) && tagIdentical(a.R, bb.R)
+	case tags.Code:
+		bb, ok := b.(tags.Code)
+		return ok && tagsIdentical(a.Args, bb.Args)
+	case tags.Exist:
+		bb, ok := b.(tags.Exist)
+		return ok && a.Bound == bb.Bound && tagIdentical(a.Body, bb.Body)
+	case tags.Lam:
+		bb, ok := b.(tags.Lam)
+		return ok && a.Param == bb.Param && tagIdentical(a.Body, bb.Body)
+	case tags.App:
+		bb, ok := b.(tags.App)
+		return ok && tagIdentical(a.Fn, bb.Fn) && tagIdentical(a.Arg, bb.Arg)
+	default:
+		return false
+	}
+}
+
+func tagsIdentical(a, b []tags.Tag) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !tagIdentical(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func regionsIdentical(a, b []Region) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func typesIdentical(a, b []Type) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !typeIdentical(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// typeIdentical is allocation-free structural identity on types.
+func typeIdentical(a, b Type) bool {
+	switch a := a.(type) {
+	case IntT:
+		_, ok := b.(IntT)
+		return ok
+	case ProdT:
+		bb, ok := b.(ProdT)
+		return ok && typeIdentical(a.L, bb.L) && typeIdentical(a.R, bb.R)
+	case CodeT:
+		bb, ok := b.(CodeT)
+		if !ok || len(a.TParams) != len(bb.TParams) || len(a.RParams) != len(bb.RParams) {
+			return false
+		}
+		for i := range a.TParams {
+			if a.TParams[i].Name != bb.TParams[i].Name || !a.TParams[i].Kind.Equal(bb.TParams[i].Kind) {
+				return false
+			}
+		}
+		for i := range a.RParams {
+			if a.RParams[i] != bb.RParams[i] {
+				return false
+			}
+		}
+		return typesIdentical(a.Params, bb.Params)
+	case ExistT:
+		bb, ok := b.(ExistT)
+		return ok && a.Bound == bb.Bound && a.Kind.Equal(bb.Kind) && typeIdentical(a.Body, bb.Body)
+	case AtT:
+		bb, ok := b.(AtT)
+		return ok && a.R == bb.R && typeIdentical(a.Body, bb.Body)
+	case MT:
+		bb, ok := b.(MT)
+		return ok && regionsIdentical(a.Rs, bb.Rs) && tagIdentical(a.Tag, bb.Tag)
+	case CT:
+		bb, ok := b.(CT)
+		return ok && a.From == bb.From && a.To == bb.To && tagIdentical(a.Tag, bb.Tag)
+	case AlphaT:
+		bb, ok := b.(AlphaT)
+		return ok && a.Name == bb.Name
+	case ExistAlphaT:
+		bb, ok := b.(ExistAlphaT)
+		return ok && a.Bound == bb.Bound && regionsIdentical(a.Delta, bb.Delta) && typeIdentical(a.Body, bb.Body)
+	case TransT:
+		bb, ok := b.(TransT)
+		return ok && a.R == bb.R && tagsIdentical(a.Tags, bb.Tags) &&
+			regionsIdentical(a.Rs, bb.Rs) && typesIdentical(a.Params, bb.Params)
+	case LeftT:
+		bb, ok := b.(LeftT)
+		return ok && typeIdentical(a.Body, bb.Body)
+	case RightT:
+		bb, ok := b.(RightT)
+		return ok && typeIdentical(a.Body, bb.Body)
+	case SumT:
+		bb, ok := b.(SumT)
+		return ok && typeIdentical(a.L, bb.L) && typeIdentical(a.R, bb.R)
+	case ExistRT:
+		bb, ok := b.(ExistRT)
+		return ok && a.Bound == bb.Bound && regionsIdentical(a.Delta, bb.Delta) && typeIdentical(a.Body, bb.Body)
+	default:
+		return false
+	}
+}

@@ -56,7 +56,7 @@ func TestMachineDanglingAddress(t *testing.T) {
 	// Reading a reclaimed cell must error, not return stale data.
 	m := NewMachine(Base, Program{Main: HaltT{V: Num{N: 0}}}, 0)
 	r := m.Mem.NewRegion()
-	a, _ := m.Mem.Put(r, Num{N: 7})
+	a, _ := m.Mem.Put(r, m.Pool.Encode(Num{N: 7}))
 	m.Mem.Only(nil)
 	m.Term = LetT{X: "x", Op: GetOp{V: AddrV{Addr: a}}, Body: HaltT{V: Num{N: 0}}}
 	if err := m.Step(); err == nil {
@@ -109,9 +109,9 @@ func TestCheckStateRequiresGhost(t *testing.T) {
 func TestReachabilityThroughCells(t *testing.T) {
 	m := NewMachine(Base, Program{Main: HaltT{V: Num{N: 0}}}, 0)
 	r := m.Mem.NewRegion()
-	inner, _ := m.Mem.Put(r, Num{N: 1})
-	outer, _ := m.Mem.Put(r, PairV{L: AddrV{Addr: inner}, R: Num{N: 2}})
-	unrelated, _ := m.Mem.Put(r, Num{N: 9})
+	inner, _ := m.Mem.Put(r, m.Pool.Encode(Num{N: 1}))
+	outer, _ := m.Mem.Put(r, m.Pool.Encode(PairV{L: AddrV{Addr: inner}, R: Num{N: 2}}))
+	unrelated, _ := m.Mem.Put(r, m.Pool.Encode(Num{N: 9}))
 	m.Term = HaltT{V: AddrV{Addr: outer}}
 	reach := m.Reachable()
 	if !reach[outer] || !reach[inner] {

@@ -147,7 +147,7 @@ func (m *Machine) Reachable() map[regions.Addr]bool {
 			}
 			found := map[regions.Addr]bool{}
 			w := addrWalker{out: found}
-			w.value(cell)
+			w.value(m.Pool.Decode(cell))
 			for f := range found {
 				if !seen[f] {
 					next[f] = true
@@ -210,7 +210,7 @@ func (m *Machine) CheckState() error {
 		if err != nil {
 			return &StateError{Step: m.Steps, Msg: fmt.Sprintf("reachable cell %s is dangling: %v", a, err)}
 		}
-		if err := c.CheckValue(env, cell, t); err != nil {
+		if err := c.CheckValue(env, m.Pool.Decode(cell), t); err != nil {
 			return &StateError{Step: m.Steps, Msg: fmt.Sprintf("cell %s does not check against Ψ type %s: %v", a, t, err)}
 		}
 	}

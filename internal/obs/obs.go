@@ -117,6 +117,18 @@ const (
 // existential wrappers are tag bits and erased forms, costing no words.
 const WordBytes = 8
 
+// MemView is the read-only slice of a machine memory the observability
+// layer needs: region existence for the free diff at only, the cumulative
+// counters, and the live-cell total. Both regions.Store[gclang.Cell] (the
+// machines' packed heaps) and regions.Store[gclang.Value] (the boxed
+// baseline) satisfy it, so observers are independent of the cell
+// representation.
+type MemView interface {
+	Has(n regions.Name) bool
+	Stats() regions.Stats
+	LiveCells() int
+}
+
 // Words returns the number of machine words value v occupies in a cell
 // under the 64-bit-word model. It delegates to gclang.ValueWords, the
 // count the machines' event hooks report.
@@ -304,7 +316,7 @@ func (r *Recorder) closeSpan(end int) {
 // hook itself, the Recorder may allocate (event log, region table): full
 // timelines are the opt-in deep view; always-on profiling uses the
 // allocation-free Profiler instead.
-func (r *Recorder) ObserveEvent(mem regions.Store[gclang.Value], sev gclang.StepEvent) {
+func (r *Recorder) ObserveEvent(mem MemView, sev gclang.StepEvent) {
 	step := sev.Step
 	if step > r.lastStep {
 		r.lastStep = step

@@ -71,6 +71,14 @@ type RunProfile struct {
 	RegionLifeSteps int `json:"region_life_steps"`
 	RegionLifeMax   int `json:"region_life_max"`
 
+	// RegionLifeHist is a decile histogram of region lifetimes relative to
+	// the step at which each region died: bucket 0 holds regions that lived
+	// under 10% of the run observed so far, bucket 9 those that lived 90%+.
+	// A left-skewed histogram (mass in the first deciles) is the short-lived
+	// -region signal the adaptive policy biases toward generational
+	// collection on.
+	RegionLifeHist [10]int `json:"region_life_hist"`
+
 	Samples []CollectionSample `json:"samples,omitempty"`
 }
 
@@ -100,7 +108,7 @@ type Profiler struct {
 	entries       map[regions.Addr]string
 	collectorFuns int
 	steps         func() int
-	memf          func() regions.Store[gclang.Value]
+	memf          func() MemView
 
 	rp RunProfile
 
@@ -136,7 +144,7 @@ func NewProfiler(entries map[regions.Addr]string, collectorFuns int) *Profiler {
 func (p *Profiler) Attach(m *gclang.Machine) {
 	prev := m.Event
 	p.steps = func() int { return m.Steps }
-	p.memf = func() regions.Store[gclang.Value] { return m.Mem }
+	p.memf = func() MemView { return m.Mem }
 	m.Event = func(ev gclang.StepEvent) {
 		p.ObserveEvent(m.Mem, ev)
 		if prev != nil {
@@ -150,7 +158,7 @@ func (p *Profiler) Attach(m *gclang.Machine) {
 func (p *Profiler) AttachEnv(m *gclang.EnvMachine) {
 	prev := m.Event
 	p.steps = func() int { return m.Steps }
-	p.memf = func() regions.Store[gclang.Value] { return m.Mem }
+	p.memf = func() MemView { return m.Mem }
 	m.Event = func(ev gclang.StepEvent) {
 		p.ObserveEvent(m.Mem, ev)
 		if prev != nil {
@@ -161,7 +169,7 @@ func (p *Profiler) AttachEnv(m *gclang.EnvMachine) {
 
 // ObserveEvent folds one machine step event into the profile. It allocates
 // nothing: the identity tests assert zero allocations per event.
-func (p *Profiler) ObserveEvent(mem regions.Store[gclang.Value], ev gclang.StepEvent) {
+func (p *Profiler) ObserveEvent(mem MemView, ev gclang.StepEvent) {
 	switch ev.Kind {
 	case gclang.StepCall:
 		if name, isEntry := p.entries[ev.Addr]; isEntry {
@@ -217,6 +225,13 @@ func (p *Profiler) ObserveEvent(mem regions.Store[gclang.Value], ev gclang.StepE
 				if life > p.rp.RegionLifeMax {
 					p.rp.RegionLifeMax = life
 				}
+				// Lifetime decile relative to the run so far (ev.Step >= 1
+				// whenever an only fires, so the division is safe).
+				bucket := 10 * life / ev.Step
+				if bucket > 9 {
+					bucket = 9
+				}
+				p.rp.RegionLifeHist[bucket]++
 			}
 		}
 	case gclang.StepHalt:
@@ -227,7 +242,7 @@ func (p *Profiler) ObserveEvent(mem regions.Store[gclang.Value], ev gclang.StepE
 }
 
 // closeSpan finishes the open collection span and reservoir-samples it.
-func (p *Profiler) closeSpan(mem regions.Store[gclang.Value], end int) {
+func (p *Profiler) closeSpan(mem MemView, end int) {
 	p.inSpan = false
 	live := mem.LiveCells()
 	s := CollectionSample{
@@ -311,7 +326,8 @@ type CollectorAgg struct {
 	RegionLifeSteps int64 `json:"region_life_steps"`
 	RegionLifeMax   int   `json:"region_life_max"`
 
-	SurvivalHist [10]int64 `json:"survival_hist"`
+	SurvivalHist   [10]int64 `json:"survival_hist"`
+	RegionLifeHist [10]int64 `json:"region_life_hist"`
 }
 
 // add folds one run profile into the aggregate.
@@ -335,6 +351,9 @@ func (a *CollectorAgg) add(rp RunProfile) {
 	a.RegionLifeSteps += int64(rp.RegionLifeSteps)
 	if rp.RegionLifeMax > a.RegionLifeMax {
 		a.RegionLifeMax = rp.RegionLifeMax
+	}
+	for i, n := range rp.RegionLifeHist {
+		a.RegionLifeHist[i] += int64(n)
 	}
 	for _, s := range rp.Samples {
 		denom := s.Copies + s.CellsFreed

@@ -67,6 +67,14 @@ const (
 	// minCollections: heuristics need at least this many observed
 	// collections before overriding the fallback collector.
 	minCollections = 2
+	// minRegionLives: the region-lifetime histogram needs at least this
+	// many observed region deaths before it carries signal.
+	minRegionLives = 8
+	// shortLivedPct: when at least this percentage of observed region
+	// lifetimes fall in the first two deciles of the run, the program
+	// allocates into regions it abandons almost immediately — the
+	// infant-mortality profile the generational minor cycle is built for.
+	shortLivedPct = 60.0
 	// MaxCapacity bounds the capacity a decision may request, so a
 	// profile spike cannot commit the service to huge regions.
 	MaxCapacity = 4096
@@ -164,7 +172,7 @@ func (e *Engine) decide(hash, fallbackCollector string, fallbackCapacity int) De
 	// properties of the program; copy amplification is read off the basic
 	// profile specifically, and observed forwards (only the forwarding and
 	// generational dialects emit set!) independently witness sharing.
-	var copies, freed, collections, forwards int64
+	var copies, freed, collections, forwards, regionLives, shortLives int64
 	maxLive := 0
 	var basic *obs.CollectorAgg
 	for i := range sum.Collectors {
@@ -173,6 +181,12 @@ func (e *Engine) decide(hash, fallbackCollector string, fallbackCapacity int) De
 		freed += a.CellsFreed
 		collections += a.Collections
 		forwards += a.Forwards
+		for b, n := range a.RegionLifeHist {
+			regionLives += n
+			if b < 2 {
+				shortLives += n
+			}
+		}
 		if a.MaxLive > maxLive {
 			maxLive = a.MaxLive
 		}
@@ -230,6 +244,19 @@ func (e *Engine) decide(hash, fallbackCollector string, fallbackCapacity int) De
 		d.Reason = fmt.Sprintf("profile: %.0f%% survival < %.0f%%; most cells die young, minor collections win",
 			survival, lowSurvivalPct)
 		return d
+	}
+
+	// Region-lifetime skew: even at moderate cell survival, a run whose
+	// region lifetimes bunch in the first deciles (regions born and freed
+	// within 20% of the run) is churning through short-lived regions, and
+	// the generational minor cycle reclaims those without full scans.
+	if regionLives >= minRegionLives {
+		if pct := 100 * float64(shortLives) / float64(regionLives); pct >= shortLivedPct {
+			d.Collector = "generational"
+			d.Reason = fmt.Sprintf("profile: %.0f%% of %d region lifetimes in the first two deciles; short-lived regions favor minor collections",
+				pct, regionLives)
+			return d
+		}
 	}
 
 	d.Collector = "basic"

@@ -103,6 +103,59 @@ func TestDecideForwardsWitnessSharing(t *testing.T) {
 	}
 }
 
+func TestDecideShortLivedRegionsGoGenerational(t *testing.T) {
+	e := newEngine()
+	// Healthy 80% cell survival and no copy amplification — the earlier
+	// heuristics all pass — but 8 of 10 observed region lifetimes fall in
+	// the first two deciles: the program churns through short-lived
+	// regions, which the minor cycle reclaims cheaply.
+	e.Observe("h", "basic", obs.RunProfile{
+		Steps: 1000, Allocs: 100, Copies: 160, CellsFreed: 40,
+		Collections: 4, MaxLive: 40,
+		RegionLives:    10,
+		RegionLifeHist: [10]int{6, 2, 0, 0, 0, 0, 0, 1, 1, 0},
+	})
+	d := e.Decide("h", "basic", 32)
+	if d.Collector != "generational" {
+		t.Fatalf("decision %+v, want generational for short-lived-region skew", d)
+	}
+	if !strings.Contains(d.Reason, "deciles") {
+		t.Errorf("reason %q does not cite the lifetime histogram", d.Reason)
+	}
+}
+
+func TestDecideLongLivedRegionsStayBasic(t *testing.T) {
+	e := newEngine()
+	// Same totals but the lifetimes bunch at the long end: no skew signal,
+	// the basic default stands.
+	e.Observe("h", "basic", obs.RunProfile{
+		Steps: 1000, Allocs: 100, Copies: 160, CellsFreed: 40,
+		Collections: 4, MaxLive: 40,
+		RegionLives:    10,
+		RegionLifeHist: [10]int{1, 1, 0, 0, 0, 0, 0, 2, 3, 3},
+	})
+	d := e.Decide("h", "basic", 32)
+	if d.Collector != "basic" {
+		t.Fatalf("decision %+v, want basic when region lifetimes are long", d)
+	}
+}
+
+func TestDecideFewRegionLivesNoSignal(t *testing.T) {
+	e := newEngine()
+	// Only 4 observed region deaths — below minRegionLives — so even a
+	// fully left-skewed histogram must not flip the collector.
+	e.Observe("h", "basic", obs.RunProfile{
+		Steps: 1000, Allocs: 100, Copies: 160, CellsFreed: 40,
+		Collections: 4, MaxLive: 40,
+		RegionLives:    4,
+		RegionLifeHist: [10]int{4, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	})
+	d := e.Decide("h", "basic", 32)
+	if d.Collector != "basic" {
+		t.Fatalf("decision %+v, want basic below the region-lives floor", d)
+	}
+}
+
 func TestDecideCapacity(t *testing.T) {
 	e := newEngine()
 	e.Observe("h", "basic", obs.RunProfile{

@@ -7,19 +7,24 @@ import "fmt"
 // scavenge into a second slab (the to-space), after which the spaces flip
 // — the gc2/MPS protocol of SNIPPETS.md, at region granularity.
 //
-// Addressing: a region's cells occupy a window of the slab. Right after a
-// scavenge every region is contiguous, so the window is (base, count) and
-// a cell lookup is one slice index. Interleaved allocation into several
-// regions breaks contiguity; the first non-adjacent put materializes a
-// per-region slot table (off → slab index) and lookups pay one extra
-// int32 load until the next scavenge restores contiguity.
+// Addressing uses §8's bit-pattern region encoding: a region's whole
+// window descriptor is one uint64 pattern word — a live bit, a
+// broken-contiguity bit, a 32-bit slab base, and a 30-bit cell count —
+// so resolving a logical address ν.ℓ on the contiguous fast path is one
+// word load, two shifts, and a slice index, with no per-region meta
+// struct to chase. Right after a scavenge every region is contiguous.
+// Interleaved allocation into several regions breaks contiguity; the
+// first non-adjacent put sets the broken bit and materializes a
+// per-region slot table (off → slab index) on the side, and lookups pay
+// one extra int32 load until the next scavenge restores contiguity and
+// drops every slot table wholesale.
 //
 // λGC addresses are logical pairs ν.ℓ, not slab indices, so evacuation
 // never rewrites cell contents: the scan-finger fix redirects each
-// surviving region's window to its to-space position instead of patching
-// pointers cell by cell. Region liveness is flat membership in the keep
-// set ∆ (the type system already proved what only ∆ retains), so the
-// evacuation loop copies whole kept regions rather than tracing.
+// surviving region's pattern word to its to-space position instead of
+// patching pointers cell by cell. Region liveness is flat membership in
+// the keep set ∆ (the type system already proved what only ∆ retains), so
+// the evacuation loop copies whole kept regions rather than tracing.
 //
 // The code region cd is immortal (§4.3) and kept in its own slab so
 // scavenges never pay for program code.
@@ -32,29 +37,38 @@ type Arena[V any] struct {
 	space []V // from-space: every live non-code cell
 	spare []V // to-space, retained across flips
 
-	metas   []arenaMeta // indexed by Name; metas[CD] is a live marker only
-	order   []Name      // live regions in creation order
-	live    int         // live non-code cells, maintained incrementally
-	garbage int         // dead cells still occupying from-space slots
+	pat     []uint64         // indexed by Name: packed window descriptors
+	slots   map[Name][]int32 // off → slab index, only for broken regions
+	order   []Name           // live regions in creation order
+	live    int              // live non-code cells, maintained incrementally
+	garbage int              // dead cells still occupying from-space slots
 	counter uint32
 
-	scratch []Name // reusable survivor buffer for Only
+	scratch  []Name  // reusable survivor buffer for Only
+	newBases []int32 // scavenge scratch: relocated base per order position
 }
 
-// arenaMeta locates one region's cells inside the slab.
-type arenaMeta struct {
-	live    bool
-	base    int32   // slab index of cell 0 while contiguous (slots == nil)
-	count   int32   // cells allocated in the region
-	newBase int32   // relocated base, valid between the scavenge's two fingers
-	slots   []int32 // off → slab index; nil while the region is contiguous
-}
+// The §8 pattern word: liveness and contiguity are single bits, the slab
+// window is (base, count) packed above them. pat[CD] is a live marker
+// only — the code region has its own slab.
+const (
+	patLive       uint64 = 1 << 0
+	patBroken     uint64 = 1 << 1
+	patBaseShift         = 2
+	patCountShift        = 34
+	patBaseMask   uint64 = 1<<32 - 1 // 32-bit slab base
+	patCountMax   uint64 = 1<<30 - 1 // 30-bit cell count
+)
+
+func patBase(w uint64) int  { return int((w >> patBaseShift) & patBaseMask) }
+func patCount(w uint64) int { return int(w >> patCountShift) }
 
 // NewArena returns a flat arena store containing only the code region cd.
 func NewArena[V any](capacity int) *Arena[V] {
 	return &Arena[V]{
 		capacity: capacity,
-		metas:    []arenaMeta{{live: true}},
+		pat:      []uint64{patLive},
+		slots:    map[Name][]int32{},
 		order:    []Name{CD},
 	}
 }
@@ -75,7 +89,7 @@ func (ar *Arena[V]) SetAutoGrow(on bool) { ar.autoGrow = on }
 func (ar *Arena[V]) NewRegion() Name {
 	ar.counter++
 	n := Name(ar.counter)
-	ar.metas = append(ar.metas, arenaMeta{live: true})
+	ar.pat = append(ar.pat, patLive)
 	ar.order = append(ar.order, n)
 	ar.stats.RegionsCreated++
 	return n
@@ -83,7 +97,7 @@ func (ar *Arena[V]) NewRegion() Name {
 
 // Has reports whether region n is live.
 func (ar *Arena[V]) Has(n Name) bool {
-	return int(n) < len(ar.metas) && ar.metas[n].live
+	return int(n) < len(ar.pat) && ar.pat[n]&patLive != 0
 }
 
 // Put bump-allocates v at the end of the slab and records it in region n.
@@ -96,34 +110,47 @@ func (ar *Arena[V]) Put(n Name, v V) (Addr, error) {
 	if !ar.Has(n) {
 		return Addr{}, fmt.Errorf("regions: put into dead region %s", n)
 	}
-	meta := &ar.metas[n]
+	w := ar.pat[n]
+	count := patCount(w)
 	idx := len(ar.space)
 	ar.space = append(ar.space, v)
 	switch {
-	case meta.count == 0:
-		meta.base = int32(idx)
-	case meta.slots == nil && idx != int(meta.base)+int(meta.count):
+	case count == 0:
+		if uint64(idx) > patBaseMask {
+			panic(fmt.Sprintf("regions: arena slab exceeds the pattern word's base range at %d cells", idx))
+		}
+		w = w&^(patBaseMask<<patBaseShift) | uint64(idx)<<patBaseShift
+	case w&patBroken == 0 && idx != patBase(w)+count:
 		// Another region allocated since this one's last put: contiguity
 		// is broken until the next scavenge, switch to explicit slots.
-		meta.slots = make([]int32, meta.count, meta.count+1)
-		for i := range meta.slots {
-			meta.slots[i] = meta.base + int32(i)
+		sl := make([]int32, count, count+1)
+		base := patBase(w)
+		for i := range sl {
+			sl[i] = int32(base + i)
 		}
+		ar.slots[n] = sl
+		w |= patBroken
 	}
-	if meta.slots != nil {
-		meta.slots = append(meta.slots, int32(idx))
+	if w&patBroken != 0 {
+		ar.slots[n] = append(ar.slots[n], int32(idx))
 	}
-	off := int(meta.count)
-	meta.count++
+	if uint64(count) >= patCountMax {
+		panic(fmt.Sprintf("regions: region %s exceeds the pattern word's count range", n))
+	}
+	w += 1 << patCountShift
+	ar.pat[n] = w
 	ar.stats.Puts++
 	ar.live++
 	if ar.live > ar.stats.MaxLiveCells {
 		ar.stats.MaxLiveCells = ar.live
 	}
-	return Addr{Region: n, Off: off}, nil
+	return Addr{Region: n, Off: count}, nil
 }
 
-// cell resolves a to a slab pointer, or nil if a is not a live cell.
+// cell resolves a to a slab pointer, or nil if a is not a live cell. The
+// contiguous fast path is the point of the §8 encoding: one pattern-word
+// load validates liveness and bounds and yields the slab index, with the
+// unsigned Off compare also rejecting negative offsets.
 func (ar *Arena[V]) cell(a Addr) *V {
 	if a.Region == CD {
 		if a.Off < 0 || a.Off >= len(ar.cd) {
@@ -131,17 +158,17 @@ func (ar *Arena[V]) cell(a Addr) *V {
 		}
 		return &ar.cd[a.Off]
 	}
-	if !ar.Has(a.Region) {
+	if int(a.Region) >= len(ar.pat) {
 		return nil
 	}
-	meta := &ar.metas[a.Region]
-	if a.Off < 0 || a.Off >= int(meta.count) {
+	w := ar.pat[a.Region]
+	if w&patLive == 0 || uint64(a.Off) >= w>>patCountShift {
 		return nil
 	}
-	if meta.slots == nil {
-		return &ar.space[int(meta.base)+a.Off]
+	if w&patBroken == 0 {
+		return &ar.space[(w>>patBaseShift)&patBaseMask+uint64(a.Off)]
 	}
-	return &ar.space[meta.slots[a.Off]]
+	return &ar.space[ar.slots[a.Region][a.Off]]
 }
 
 // Get dereferences a.
@@ -211,24 +238,28 @@ func (ar *Arena[V]) Only(keep []Name) error {
 			remaining = append(remaining, n)
 			continue
 		}
-		meta := &ar.metas[n]
-		dead := int(meta.count)
+		w := ar.pat[n]
+		dead := patCount(w)
 		// Zero the dead window so the host GC can free the values now;
-		// the slots themselves are reclaimed at the next scavenge.
-		if meta.slots == nil {
-			for i := meta.base; i < meta.base+meta.count; i++ {
+		// the slots themselves are reclaimed at the next scavenge. (With
+		// pointer-free cells — the packed Cell representation — this
+		// clear is a memset the host GC never revisits.)
+		if w&patBroken == 0 {
+			base := patBase(w)
+			for i := base; i < base+dead; i++ {
 				ar.space[i] = zero
 			}
 		} else {
-			for _, idx := range meta.slots {
+			for _, idx := range ar.slots[n] {
 				ar.space[idx] = zero
 			}
+			delete(ar.slots, n)
 		}
 		ar.stats.RegionsReclaimed++
 		ar.stats.CellsReclaimed += dead
 		ar.live -= dead
 		ar.garbage += dead
-		*meta = arenaMeta{}
+		ar.pat[n] = 0
 	}
 	ar.scratch = ar.order[:0]
 	ar.order = remaining
@@ -249,18 +280,23 @@ func (ar *Arena[V]) Only(keep []Name) error {
 // the fingers meet, and the spaces flip.
 func (ar *Arena[V]) scavenge() {
 	// Evacuation: copy each live region's cells into to-space in creation
-	// order, advancing the allocation finger past each.
+	// order, advancing the allocation finger past each. The relocated
+	// bases are staged per order position — the pattern words are only
+	// rewritten by the scan finger below.
 	to := ar.spare[:0]
+	newBases := ar.newBases[:0]
 	for _, n := range ar.order {
 		if n == CD {
+			newBases = append(newBases, 0)
 			continue
 		}
-		meta := &ar.metas[n]
-		meta.newBase = int32(len(to))
-		if meta.slots == nil {
-			to = append(to, ar.space[meta.base:meta.base+meta.count]...)
+		w := ar.pat[n]
+		newBases = append(newBases, int32(len(to)))
+		if w&patBroken == 0 {
+			base := patBase(w)
+			to = append(to, ar.space[base:base+patCount(w)]...)
 		} else {
-			for _, idx := range meta.slots {
+			for _, idx := range ar.slots[n] {
 				to = append(to, ar.space[idx])
 			}
 		}
@@ -270,28 +306,29 @@ func (ar *Arena[V]) scavenge() {
 	// Scan: advance the scan finger over the evacuated cells until it
 	// meets the allocation finger. λGC cell contents hold logical ν.ℓ
 	// addresses that survive relocation unchanged, so the per-cell fix
-	// reduces to redirecting each region's window to its to-space
-	// position; evacuation made every survivor contiguous, so slot
-	// tables are dropped.
+	// reduces to repacking each region's pattern word at its to-space
+	// position; evacuation made every survivor contiguous, so the broken
+	// bits and the slot tables are dropped wholesale.
 	scan := 0
-	for _, n := range ar.order {
+	for i, n := range ar.order {
 		if n == CD {
 			continue
 		}
-		meta := &ar.metas[n]
-		if scan != int(meta.newBase) {
-			panic(fmt.Sprintf("regions: scavenge fingers out of sync at %s: scan %d, base %d", n, scan, meta.newBase))
+		w := ar.pat[n]
+		if scan != int(newBases[i]) {
+			panic(fmt.Sprintf("regions: scavenge fingers out of sync at %s: scan %d, base %d", n, scan, newBases[i]))
 		}
-		meta.base = meta.newBase
-		meta.slots = nil
-		scan += int(meta.count)
+		ar.pat[n] = patLive | uint64(newBases[i])<<patBaseShift | uint64(patCount(w))<<patCountShift
+		scan += patCount(w)
 	}
 	if scan != alloc {
 		panic(fmt.Sprintf("regions: scavenge fingers never met: scan %d, alloc %d", scan, alloc))
 	}
+	clear(ar.slots)
+	ar.newBases = newBases[:0]
 
 	// Flip: the old from-space becomes the next to-space. Clearing it
-	// drops the dead cells' references for the host GC.
+	// drops the dead cells' contents for the host GC.
 	clear(ar.space)
 	ar.spare = ar.space[:0]
 	ar.space = to
@@ -314,7 +351,7 @@ func (ar *Arena[V]) Size(n Name) int {
 	if !ar.Has(n) {
 		return 0
 	}
-	return int(ar.metas[n].count)
+	return patCount(ar.pat[n])
 }
 
 // LiveCells returns the number of live cells outside the code region.

@@ -288,7 +288,10 @@ func TestArenaScavengeRestoresContiguity(t *testing.T) {
 		ar.Put(r1, i)
 		ar.Put(r2, 100+i)
 	}
-	if ar.metas[r1].slots == nil || ar.metas[r2].slots == nil {
+	if ar.pat[r1]&patBroken == 0 || ar.pat[r2]&patBroken == 0 {
+		t.Fatalf("interleaved regions should carry the broken bit")
+	}
+	if ar.slots[r1] == nil || ar.slots[r2] == nil {
 		t.Fatalf("interleaved regions should carry slot tables")
 	}
 	junk := ar.NewRegion()
@@ -300,11 +303,11 @@ func TestArenaScavengeRestoresContiguity(t *testing.T) {
 	if err := ar.Only([]Name{r1, r2}); err != nil {
 		t.Fatal(err)
 	}
-	if ar.metas[r1].slots != nil || ar.metas[r2].slots != nil {
+	if ar.pat[r1]&patBroken != 0 || ar.pat[r2]&patBroken != 0 || len(ar.slots) != 0 {
 		t.Errorf("scavenge left slot tables in place")
 	}
-	if ar.metas[r1].base != 0 || ar.metas[r2].base != 10 {
-		t.Errorf("survivors not compacted: bases %d, %d", ar.metas[r1].base, ar.metas[r2].base)
+	if patBase(ar.pat[r1]) != 0 || patBase(ar.pat[r2]) != 10 {
+		t.Errorf("survivors not compacted: bases %d, %d", patBase(ar.pat[r1]), patBase(ar.pat[r2]))
 	}
 	if len(ar.space) != 20 {
 		t.Errorf("to-space holds %d cells, want 20", len(ar.space))
@@ -341,8 +344,8 @@ func TestArenaScavengeRestoresContiguity(t *testing.T) {
 	if err := ar.Only([]Name{r1}); err != nil {
 		t.Fatal(err)
 	}
-	if ar.garbage != 0 || len(ar.space) != 11 || ar.metas[r1].base != 0 {
-		t.Errorf("second scavenge: garbage %d, space %d, base %d", ar.garbage, len(ar.space), ar.metas[r1].base)
+	if ar.garbage != 0 || len(ar.space) != 11 || patBase(ar.pat[r1]) != 0 {
+		t.Errorf("second scavenge: garbage %d, space %d, base %d", ar.garbage, len(ar.space), patBase(ar.pat[r1]))
 	}
 	if v, err := ar.Get(Addr{Region: r1, Off: 10}); err != nil || v != 999 {
 		t.Errorf("post-flip cell = %d, %v", v, err)

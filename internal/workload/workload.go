@@ -275,7 +275,7 @@ func (c CollectOnce) run(fuel int, env bool) (RunStats, error) {
 	// Regions in creation order: cd, mutator region(s), then the
 	// collector's (to-space and) continuation region — the last one.
 	maxCont := 0
-	sample := func(mem regions.Store[gclang.Value]) {
+	sample := func(mem regions.Store[gclang.Cell]) {
 		rs := mem.Regions()
 		if len(rs) >= 1+c.MutatorRegions+1 {
 			cont := rs[len(rs)-1]
@@ -285,7 +285,7 @@ func (c CollectOnce) run(fuel int, env bool) (RunStats, error) {
 		}
 	}
 	var (
-		mem   regions.Store[gclang.Value]
+		mem   regions.Store[gclang.Cell]
 		steps int
 		err   error
 	)
