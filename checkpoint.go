@@ -1,0 +1,279 @@
+package psgc
+
+// Checkpoint/resume for paused runs.
+//
+// A Checkpoint is a run frozen at a step boundary: the machine image
+// (control state, environment, pools, heap image with region pattern
+// words), the fuel left, the collection count, the attached profiler's
+// aggregate, and the identity metadata a fleet needs to route it (source
+// hash, trace ID). Checkpoints serialize through internal/checkpoint's
+// versioned self-validating wire format and restore onto *any* backend —
+// a run captured on the arena resumes on the map store and vice versa,
+// with bit-identical results and counters, because the heap image is the
+// backend-neutral canonical form both stores round-trip through.
+//
+// Decoding is re-certification, not trust: the collector prefix of the
+// carried program must match this process's own verified collector
+// bit-for-bit, the mutator blocks are re-typechecked, the cell image is
+// re-validated cell by cell, and the profiler image is bounds-checked —
+// exactly the peer-cache import discipline. A corrupt, truncated, or
+// malicious blob yields an error; it can never yield a runnable machine
+// that was not certified here.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"psgc/internal/checkpoint"
+	"psgc/internal/gclang"
+	"psgc/internal/obs"
+	"psgc/internal/regions"
+)
+
+// ErrCheckpointed is returned (wrapped) by Run when the run stopped at a
+// checkpoint: an on-demand Checkpointer request, or OnCheckpoint
+// returning false. The accompanying Result carries the partial
+// execution's statistics, like ErrOutOfFuel.
+var ErrCheckpointed = errors.New("psgc: run checkpointed")
+
+// ParseCollector parses a collector name as produced by Collector.String:
+// "basic", "forwarding", "generational".
+func ParseCollector(s string) (Collector, error) {
+	switch s {
+	case "basic":
+		return Basic, nil
+	case "forwarding":
+		return Forwarding, nil
+	case "generational":
+		return Generational, nil
+	default:
+		return 0, fmt.Errorf("psgc: unknown collector %q", s)
+	}
+}
+
+// CheckpointMeta is identity metadata stamped into checkpoints captured
+// from a run. Neither field affects execution; they let a fleet key a
+// resumed run back to its origin (the gate's idempotent migration keys on
+// TraceID).
+type CheckpointMeta struct {
+	SourceHash string
+	TraceID    string
+}
+
+// Checkpoint is a paused run. Capture one with RunOptions.Checkpointer or
+// RunOptions.CheckpointEvery; serialize with Encode; rebuild from a blob
+// with DecodeCheckpoint; continue it — on any backend — with Resume.
+type Checkpoint struct {
+	// SourceHash and TraceID are the CheckpointMeta of the captured run.
+	SourceHash string
+	TraceID    string
+	// Collector and Engine the run was using; Backend it was captured on.
+	// Resume keeps the engine but honors its own RunOptions.Backend, which
+	// is what makes cross-backend migration a one-liner.
+	Collector Collector
+	Backend   regions.Backend
+	Engine    Engine
+	// Steps taken, collections counted, and fuel left when captured.
+	Steps         int
+	Collections   int
+	FuelRemaining int
+
+	compiled *Compiled
+	image    gclang.MachineImage
+	profiler *obs.ProfilerImage
+}
+
+// Compiled returns the certified program the checkpoint resumes — for a
+// decoded checkpoint, the re-certified one built by DecodeCheckpoint.
+func (ck *Checkpoint) Compiled() *Compiled { return ck.compiled }
+
+// Encode serializes the checkpoint into the versioned wire format
+// (internal/checkpoint): magic, format version, gob header and body, and
+// a SHA-256 trailer over everything.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	return checkpoint.Encode(&checkpoint.Snapshot{
+		SourceHash:    ck.SourceHash,
+		Collector:     ck.Collector.String(),
+		Backend:       ck.Backend.String(),
+		Engine:        ck.Engine.String(),
+		TraceID:       ck.TraceID,
+		Collections:   ck.Collections,
+		FuelRemaining: ck.FuelRemaining,
+		Machine:       ck.image,
+		Profiler:      ck.profiler,
+		Program:       ck.compiled.Prog,
+	})
+}
+
+// DecodeCheckpoint deserializes and fully re-certifies a checkpoint blob.
+// Everything that will run is re-checked before this returns: checksum
+// and header cross-checks (internal/checkpoint), collector prefix
+// compared bit-for-bit against the locally certified collector with the
+// mutator re-typechecked (the peer-cache import discipline), the machine
+// image validated cell by cell, and the profiler image bounds-checked. A
+// blob that fails any check is rejected with an error — never a panic,
+// never a machine that could compute a wrong answer silently.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	_, s, err := checkpoint.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	col, err := ParseCollector(s.Collector)
+	if err != nil {
+		return nil, fmt.Errorf("psgc: decode checkpoint: %w", err)
+	}
+	be, err := regions.ParseBackend(s.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("psgc: decode checkpoint: %w", err)
+	}
+	eng, err := ParseEngine(s.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("psgc: decode checkpoint: %w", err)
+	}
+	if s.Collections < 0 || s.FuelRemaining < 0 {
+		return nil, fmt.Errorf("psgc: decode checkpoint: negative counters (collections %d, fuel %d)",
+			s.Collections, s.FuelRemaining)
+	}
+	if col.Dialect() != s.Machine.Dialect {
+		return nil, fmt.Errorf("psgc: decode checkpoint: collector %v is dialect %v but image is %v",
+			col, col.Dialect(), s.Machine.Dialect)
+	}
+	c, err := recertify(col, s.Program)
+	if err != nil {
+		return nil, fmt.Errorf("psgc: decode checkpoint: %w", err)
+	}
+	if err := gclang.ValidateImage(c.Prog, &s.Machine); err != nil {
+		return nil, fmt.Errorf("psgc: decode checkpoint: %w", err)
+	}
+	if eng == EngineSubst &&
+		len(s.Machine.EnvCells)+len(s.Machine.EnvTags)+len(s.Machine.EnvRegs)+len(s.Machine.EnvTyps) != 0 {
+		return nil, errors.New("psgc: decode checkpoint: substitution-engine image carries an environment")
+	}
+	if s.Profiler != nil {
+		// A trial restore bounds-checks the profiler image now, so a
+		// corrupt one is a decode-time rejection, not a resume-time surprise.
+		if err := obs.NewProfiler(c.entryNames, c.collectorFuns).Restore(*s.Profiler); err != nil {
+			return nil, fmt.Errorf("psgc: decode checkpoint: %w", err)
+		}
+	}
+	return &Checkpoint{
+		SourceHash:    s.SourceHash,
+		TraceID:       s.TraceID,
+		Collector:     col,
+		Backend:       be,
+		Engine:        eng,
+		Steps:         s.Machine.Steps,
+		Collections:   s.Collections,
+		FuelRemaining: s.FuelRemaining,
+		compiled:      c,
+		image:         s.Machine,
+		profiler:      s.Profiler,
+	}, nil
+}
+
+// Resume continues the checkpointed run under opts. The engine comes from
+// the checkpoint (an env image resumes on the environment machine, a
+// subst image on the substitution machine; opts.Engine is ignored), and
+// heap capacity and growth policy come from the heap image, but the
+// backend is opts.Backend — resuming an arena checkpoint with
+// Backend: regions.BackendMap is cross-backend migration. With opts.Fuel
+// zero the run inherits the checkpoint's remaining fuel, so an
+// interrupted budget stays a budget. CoCheck on an env checkpoint rebuilds
+// the substitution oracle from the same image (gclang.RestoreOracle), so
+// the lockstep counter comparison stays exact across the checkpoint.
+// Ghost, CheckEveryStep, and WrapStore are not supported on resume.
+func (ck *Checkpoint) Resume(opts RunOptions) (Result, error) {
+	opts.ResumeFrom = ck
+	return ck.compiled.Run(opts)
+}
+
+// Checkpointer requests an on-demand checkpoint from a running Run: call
+// Request (from any goroutine) and the run captures its state at the next
+// step boundary, delivers it on Checkpoints, and stops with
+// ErrCheckpointed. The service's POST /snapshot uses this to pause a
+// streaming run; the gate migrates the resulting blob to a peer. One
+// Checkpointer serves one run.
+type Checkpointer struct {
+	flag atomic.Bool
+	ch   chan *Checkpoint
+}
+
+// NewCheckpointer returns a Checkpointer ready to pass in
+// RunOptions.Checkpointer.
+func NewCheckpointer() *Checkpointer {
+	return &Checkpointer{ch: make(chan *Checkpoint, 1)}
+}
+
+// Request asks the run to checkpoint and stop at its next step boundary.
+// Safe to call from any goroutine; calling it more than once is the same
+// as calling it once.
+func (cp *Checkpointer) Request() { cp.flag.Store(true) }
+
+// Checkpoints delivers the captured checkpoint. Nothing arrives unless
+// Request was called; at most one checkpoint is ever delivered. If the
+// run halts or errors before reaching a step boundary, nothing arrives —
+// pair a receive with the Run returning.
+func (cp *Checkpointer) Checkpoints() <-chan *Checkpoint { return cp.ch }
+
+func (cp *Checkpointer) take() bool { return cp.flag.CompareAndSwap(true, false) }
+
+func (cp *Checkpointer) deliver(ck *Checkpoint) {
+	select {
+	case cp.ch <- ck:
+	default:
+	}
+}
+
+// newCheckpoint assembles a Checkpoint around a freshly captured machine
+// image.
+func (c *Compiled) newCheckpoint(img gclang.MachineImage, be regions.Backend, eng Engine, opts *RunOptions, collections, fuelLeft int) *Checkpoint {
+	ck := &Checkpoint{
+		SourceHash:    opts.CheckpointMeta.SourceHash,
+		TraceID:       opts.CheckpointMeta.TraceID,
+		Collector:     c.Collector,
+		Backend:       be,
+		Engine:        eng,
+		Steps:         img.Steps,
+		Collections:   collections,
+		FuelRemaining: fuelLeft,
+		compiled:      c,
+		image:         img,
+	}
+	if opts.Profiler != nil {
+		pi := opts.Profiler.Image()
+		ck.profiler = &pi
+	}
+	return ck
+}
+
+func (c *Compiled) captureEnv(m *gclang.EnvMachine, opts *RunOptions, collections, fuelLeft int) (*Checkpoint, error) {
+	img, err := m.Image()
+	if err != nil {
+		return nil, fmt.Errorf("psgc: checkpoint: %w", err)
+	}
+	return c.newCheckpoint(img, m.Mem.Backend(), EngineEnv, opts, collections, fuelLeft), nil
+}
+
+func (c *Compiled) captureSubst(m *gclang.Machine, opts *RunOptions, collections, fuelLeft int) (*Checkpoint, error) {
+	img, err := m.Image()
+	if err != nil {
+		return nil, fmt.Errorf("psgc: checkpoint: %w", err)
+	}
+	return c.newCheckpoint(img, m.Mem.Backend(), EngineSubst, opts, collections, fuelLeft), nil
+}
+
+// restoreProfiler replays the checkpoint's profiler aggregate into the
+// profiler attached to a resumed run, so the resumed profile — including
+// the reservoir sampler's exact state — continues where the original left
+// off.
+func restoreProfiler(opts *RunOptions) error {
+	ck := opts.ResumeFrom
+	if ck == nil || opts.Profiler == nil || ck.profiler == nil {
+		return nil
+	}
+	if err := opts.Profiler.Restore(*ck.profiler); err != nil {
+		return fmt.Errorf("psgc: resume profiler: %w", err)
+	}
+	return nil
+}

@@ -31,6 +31,8 @@
 //	-peer url             gate peer-fetch endpoint for the fleet cache tier (off by default)
 //	-self url             this node's advertised base URL, excluded from its own peer fetches
 //	-batch-max N          max items per /batch request (default 256)
+//	-incident-dir dir     persist the incident log as <dir>/incidents.jsonl, replayed on boot (off by default)
+//	-snapshot-wait-ms N   how long POST /snapshot waits for a step boundary (default 2000)
 package main
 
 import (
@@ -79,6 +81,9 @@ func main() {
 		peerURL    = flag.String("peer", "", "gate peer-fetch endpoint for the fleet cache tier (e.g. http://gate:8371/peer/fetch; empty disables)")
 		peerSelf   = flag.String("self", "", "this node's advertised base URL, so the gate skips it on peer fetches")
 		batchMax   = flag.Int("batch-max", 0, "max items per /batch request (0 = default 256)")
+
+		incidentDir  = flag.String("incident-dir", "", "directory for the persistent incident log (<dir>/incidents.jsonl, replayed on boot; empty keeps incidents in memory)")
+		snapshotWait = flag.Int("snapshot-wait-ms", 0, "how long POST /snapshot waits for the run's next step boundary (0 = default 2000)")
 	)
 	flag.Parse()
 
@@ -127,6 +132,8 @@ func main() {
 		PeerFetchURL:    *peerURL,
 		PeerSelf:        *peerSelf,
 		MaxBatchItems:   *batchMax,
+		IncidentDir:     *incidentDir,
+		SnapshotWaitMs:  *snapshotWait,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -150,10 +157,14 @@ func main() {
 	log.Printf("shutting down (%s drain window)", *drainWindow)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
 	defer cancel()
-	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("http shutdown: %v", err)
-	}
+	// Drain the service before the listener: svc.Shutdown flips /healthz to
+	// shutting_down, and the listener must still be accepting so a fronting
+	// gate can see the drain and POST /snapshot to migrate in-flight
+	// streaming runs to a peer (which is also what frees their workers).
 	if err := svc.Shutdown(drainCtx); err != nil {
 		log.Printf("worker pool shutdown: %v", err)
+	}
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
 	}
 }

@@ -24,10 +24,18 @@
 //	-cocheck                             co-step the env engine against the substitution oracle
 //	-chaos spec                          install fault injection ("point=prob[:delay],...")
 //	-chaos-seed N                        deterministic seed for -chaos (default 1)
+//	-checkpoint file                     write a checkpoint blob to file every -checkpoint-every steps
+//	-checkpoint-every N                  checkpoint cadence in steps (default 50000)
+//	-checkpoint-stop                     stop the run after the first checkpoint is written
+//	-resume file                         resume a checkpoint blob (no source argument; -backend
+//	                                     picks the substrate, so resuming an arena checkpoint
+//	                                     with -backend map is a cross-backend migration)
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -84,6 +92,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cocheck   = fs.Bool("cocheck", false, "co-step the env engine against the substitution oracle; a divergence fails the run")
 		chaosSpec = fs.String("chaos", "", `fault-injection spec, "point=prob[:delay],..."`)
 		chaosSeed = fs.Int64("chaos-seed", 1, "deterministic seed for -chaos")
+		ckptFile  = fs.String("checkpoint", "", "write a checkpoint blob to this file every -checkpoint-every steps")
+		ckptEvery = fs.Int("checkpoint-every", 0, "checkpoint cadence in machine steps (default 50000)")
+		ckptStop  = fs.Bool("checkpoint-stop", false, "stop the run after the first checkpoint is written")
+		resumePth = fs.String("resume", "", "resume a checkpoint blob instead of compiling a program")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -102,6 +114,80 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// The registry is process-global; uninstall on the way out so the
 		// in-process CLI tests (and any other embedder) don't inherit it.
 		defer fault.Install(nil)
+	}
+
+	// applyCheckpointFlags wires -checkpoint/-checkpoint-every/-checkpoint-stop
+	// into run options; ckptErr carries an encode/write failure out of the
+	// callback. Blobs are written via a temp file and rename so a kill
+	// mid-write never leaves a torn checkpoint under the final name.
+	var ckptErr error
+	applyCheckpointFlags := func(opts *psgc.RunOptions) {
+		if *ckptFile == "" {
+			return
+		}
+		every := *ckptEvery
+		if every <= 0 {
+			every = psgc.DefaultProgressEvery
+		}
+		opts.CheckpointEvery = every
+		opts.OnCheckpoint = func(ck *psgc.Checkpoint) bool {
+			blob, err := ck.Encode()
+			if err == nil {
+				tmp := *ckptFile + ".tmp"
+				if err = os.WriteFile(tmp, blob, 0o644); err == nil {
+					err = os.Rename(tmp, *ckptFile)
+				}
+			}
+			if err != nil {
+				ckptErr = err
+				return false
+			}
+			fmt.Fprintf(stderr, "psgc: checkpoint at step %d -> %s\n", ck.Steps, *ckptFile)
+			return !*ckptStop
+		}
+	}
+	// finish prints the outcome shared by fresh and resumed runs; a
+	// checkpoint stop is a pause, not a failure.
+	finish := func(res psgc.Result, err error) int {
+		if ckptErr != nil {
+			return fail(fmt.Errorf("write checkpoint: %w", ckptErr))
+		}
+		if err != nil {
+			if errors.Is(err, psgc.ErrCheckpointed) {
+				fmt.Fprintf(stderr, "psgc: run paused at step %d (resume with -resume %s)\n", res.Steps, *ckptFile)
+				return 0
+			}
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, res.Value)
+		if *stats {
+			fmt.Fprintf(stderr, "steps:       %d\n", res.Steps)
+			fmt.Fprintf(stderr, "collections: %d\n", res.Collections)
+			fmt.Fprintf(stderr, "puts:        %d\n", res.Stats.Puts)
+		}
+		return 0
+	}
+
+	if *resumePth != "" {
+		if *expr != "" || fs.NArg() > 0 {
+			return fail(errors.New("-resume takes no source program (the checkpoint carries it)"))
+		}
+		blob, err := os.ReadFile(*resumePth)
+		if err != nil {
+			return fail(err)
+		}
+		ck, err := psgc.DecodeCheckpoint(blob)
+		if err != nil {
+			return fail(err)
+		}
+		be, err := regions.ParseBackend(*backend)
+		if err != nil {
+			return fail(err)
+		}
+		opts := psgc.RunOptions{Backend: be, CoCheck: *cocheck,
+			CheckpointMeta: psgc.CheckpointMeta{SourceHash: ck.SourceHash, TraceID: ck.TraceID}}
+		applyCheckpointFlags(&opts)
+		return finish(ck.Resume(opts))
 	}
 
 	var src string
@@ -195,7 +281,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Backend:        be,
 		Policy:         pol,
 		Decision:       decision,
+		CheckpointMeta: psgc.CheckpointMeta{SourceHash: fmt.Sprintf("%x", sha256.Sum256([]byte(src)))},
 	}
+	applyCheckpointFlags(&opts)
 	var divergence *psgc.Divergence
 	if *cocheck {
 		opts.CoCheck = true
@@ -208,7 +296,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Recorder = rec
 	}
 	res, err := compiled.Run(opts)
-	if err != nil {
+	if err != nil || ckptErr != nil {
+		if ckptErr != nil {
+			return fail(fmt.Errorf("write checkpoint: %w", ckptErr))
+		}
+		if errors.Is(err, psgc.ErrCheckpointed) {
+			fmt.Fprintf(stderr, "psgc: run paused at step %d (resume with -resume %s)\n", res.Steps, *ckptFile)
+			return 0
+		}
 		return fail(err)
 	}
 	if divergence != nil {

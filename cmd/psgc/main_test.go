@@ -218,3 +218,64 @@ func TestChaosSpecRejectedCLI(t *testing.T) {
 		t.Errorf("stderr %q does not name the bad point", errOut)
 	}
 }
+
+// TestCheckpointResumeCLI pauses a run with -checkpoint/-checkpoint-stop,
+// then resumes the blob on the *other* backend and checks the final value
+// and step count match an uninterrupted run.
+func TestCheckpointResumeCLI(t *testing.T) {
+	src := "fun build (n : int) : int =\n  if0 n then 0\n  else let p = (n, (n, n)) in fst p + build (n - 1)\ndo build 60"
+	code, out, errOut := runCLI(t, "-stats", "-capacity", "32", "-backend", "arena", "-e", src)
+	if code != 0 {
+		t.Fatalf("reference run: exit %d, stderr %q", code, errOut)
+	}
+	wantVal := strings.TrimSpace(out)
+	wantSteps := ""
+	for _, line := range strings.Split(errOut, "\n") {
+		if strings.HasPrefix(line, "steps:") {
+			wantSteps = strings.TrimSpace(strings.TrimPrefix(line, "steps:"))
+		}
+	}
+	if wantSteps == "" {
+		t.Fatalf("no steps line in stderr %q", errOut)
+	}
+
+	blob := filepath.Join(t.TempDir(), "run.ckpt")
+	code, out, errOut = runCLI(t, "-capacity", "32", "-backend", "arena",
+		"-checkpoint", blob, "-checkpoint-every", "500", "-checkpoint-stop", "-e", src)
+	if code != 0 {
+		t.Fatalf("checkpoint run: exit %d, stderr %q", code, errOut)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("paused run printed a value: %q", out)
+	}
+	if !strings.Contains(errOut, "run paused at step") {
+		t.Fatalf("no pause notice in stderr %q", errOut)
+	}
+	if _, err := os.Stat(blob); err != nil {
+		t.Fatalf("checkpoint blob missing: %v", err)
+	}
+
+	// Resume on the other backend: cross-backend migration from the CLI.
+	code, out, errOut = runCLI(t, "-stats", "-backend", "map", "-resume", blob)
+	if code != 0 {
+		t.Fatalf("resume: exit %d, stderr %q", code, errOut)
+	}
+	if strings.TrimSpace(out) != wantVal {
+		t.Errorf("resumed value %q, want %q", strings.TrimSpace(out), wantVal)
+	}
+	if !strings.Contains(errOut, "steps:       "+wantSteps) {
+		t.Errorf("resumed steps differ: stderr %q, want steps %s", errOut, wantSteps)
+	}
+}
+
+// TestResumeRejectsCorruptBlob: a truncated blob fails with a clean error.
+func TestResumeRejectsCorruptBlob(t *testing.T) {
+	blob := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(blob, []byte("psgcckp1 definitely not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "-resume", blob)
+	if code != 1 || !strings.Contains(errOut, "checkpoint") {
+		t.Fatalf("exit %d, stderr %q; want failure mentioning checkpoint", code, errOut)
+	}
+}

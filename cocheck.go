@@ -38,19 +38,52 @@ func (c *Compiled) runCoChecked(opts RunOptions) (Result, error) {
 	// while the shadow honors opts.Backend. A co-checked arena run is
 	// therefore also a cell-by-cell differential test of the arena against
 	// the reference implementation.
-	oracleOpts := opts
-	oracleOpts.Backend = regions.BackendMap
-	oracleOpts.WrapStore = nil // a trace recorder watches the shadow, not the oracle
-	oracle := c.NewMachine(oracleOpts)
-	shadow := c.NewEnvMachine(opts)
+	var oracle *gclang.Machine
+	var shadow *gclang.EnvMachine
+	collections := 0
+	if ck := opts.ResumeFrom; ck != nil {
+		// Resuming co-checked: both engines are rebuilt from the *same*
+		// image — the shadow directly, the oracle by folding the image's
+		// environment into the control term — so they start from the
+		// identical configuration and the per-step counter comparison
+		// stays exact across the checkpoint.
+		var err error
+		shadow, err = gclang.RestoreEnvMachine(opts.Backend, c.Collector.Dialect(), c.Prog, ck.image)
+		if err != nil {
+			return Result{}, fmt.Errorf("psgc: resume: %w", err)
+		}
+		oracle, err = gclang.RestoreOracle(c.Prog, ck.image)
+		if err != nil {
+			return Result{}, fmt.Errorf("psgc: resume oracle: %w", err)
+		}
+		collections = ck.Collections
+	} else {
+		oracleOpts := opts
+		oracleOpts.Backend = regions.BackendMap
+		oracleOpts.WrapStore = nil // a trace recorder watches the shadow, not the oracle
+		oracle = c.NewMachine(oracleOpts)
+		shadow = c.NewEnvMachine(opts)
+	}
 	if opts.Recorder != nil {
 		opts.Recorder.Attach(oracle)
+	}
+	if err := restoreProfiler(&opts); err != nil {
+		return Result{}, err
 	}
 	if opts.Profiler != nil {
 		opts.Profiler.Attach(oracle)
 	}
+	// capture checkpoints from the shadow while it is alive (env-engine
+	// image on opts.Backend, the resumable common case); after a divergence
+	// the oracle is all that is left, so its subst image is captured.
+	capture := func(fuelLeft int) (*Checkpoint, error) {
+		if shadow != nil {
+			return c.captureEnv(shadow, &opts, collections, fuelLeft)
+		}
+		return c.captureSubst(oracle, &opts, collections, fuelLeft)
+	}
 	fuel, every := runBudgets(opts)
-	collections := 0
+	lastCk := oracle.Steps
 	diverge := func(step int, format string, args ...any) {
 		shadow = nil
 		if opts.OnDivergence != nil {
@@ -58,6 +91,24 @@ func (c *Compiled) runCoChecked(opts RunOptions) (Result, error) {
 		}
 	}
 	for !oracle.Halted {
+		if opts.Checkpointer != nil && opts.Checkpointer.take() {
+			ck, err := capture(fuel)
+			if err != nil {
+				return Result{}, err
+			}
+			opts.Checkpointer.deliver(ck)
+			return partialResult(oracle.Steps, collections, oracle.Mem), fmt.Errorf("%w at step %d", ErrCheckpointed, oracle.Steps)
+		}
+		if opts.CheckpointEvery > 0 && oracle.Steps != lastCk && oracle.Steps%opts.CheckpointEvery == 0 {
+			lastCk = oracle.Steps
+			ck, err := capture(fuel)
+			if err != nil {
+				return Result{}, err
+			}
+			if !opts.OnCheckpoint(ck) {
+				return partialResult(oracle.Steps, collections, oracle.Mem), fmt.Errorf("%w at step %d", ErrCheckpointed, oracle.Steps)
+			}
+		}
 		if fuel <= 0 {
 			return partialResult(oracle.Steps, collections, oracle.Mem), fmt.Errorf("%w after %d steps", ErrOutOfFuel, oracle.Steps)
 		}

@@ -51,6 +51,11 @@ const (
 	// CacheEvict triggers an eviction storm that flushes the probationary
 	// segment of the compiled-program cache.
 	CacheEvict Point = "cache.evict"
+	// CheckpointCorrupt flips a byte in an encoded checkpoint blob before
+	// it leaves the service, modeling snapshot storage or transport
+	// corruption. The restore path must reject the blob (incident + 422),
+	// never resume into a wrong-answer run.
+	CheckpointCorrupt Point = "checkpoint.corrupt"
 	// PolicyFlip perturbs the adaptive policy engine's collector choice,
 	// rotating it to a different (still certified) collector. Because
 	// policy sits outside the TCB, a flipped decision may cost time but
@@ -61,7 +66,7 @@ const (
 
 // Points returns every defined injection point, sorted by name.
 func Points() []Point {
-	ps := []Point{CompileParse, MachineStep, MachineStall, HeapCorrupt, WorkerPanic, WorkerLatency, CacheEvict, PolicyFlip}
+	ps := []Point{CompileParse, MachineStep, MachineStall, HeapCorrupt, WorkerPanic, WorkerLatency, CacheEvict, CheckpointCorrupt, PolicyFlip}
 	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
 	return ps
 }

@@ -21,8 +21,11 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
+
+	"psgc/internal/obs"
 )
 
 // Config sizes the gate.
@@ -108,6 +111,16 @@ type Gate struct {
 	ring     *Ring
 	backends map[string]*backendState
 
+	// streams tracks in-flight SSE runs by gate-minted trace ID, the
+	// migration unit when a backend degrades (see migrate.go).
+	streamMu sync.Mutex
+	streams  map[string]*liveStream
+
+	// compiling is the fleet-wide compile singleflight: key -> the backend
+	// URL currently compiling it (see peer.go).
+	sfMu      sync.Mutex
+	compiling map[string]string
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -130,15 +143,17 @@ func New(cfg Config) (*Gate, error) {
 		return nil, fmt.Errorf("gate: no backends configured")
 	}
 	g := &Gate{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		metrics:  &Metrics{},
-		start:    time.Now(),
-		backends: map[string]*backendState{},
-		rng:      rand.New(rand.NewSource(int64(cfg.Seed))),
-		client:   &http.Client{},
-		probe:    &http.Client{Timeout: cfg.HealthTimeout},
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		metrics:   &Metrics{},
+		start:     time.Now(),
+		backends:  map[string]*backendState{},
+		streams:   map[string]*liveStream{},
+		compiling: map[string]string{},
+		rng:       rand.New(rand.NewSource(int64(cfg.Seed))),
+		client:    &http.Client{},
+		probe:     &http.Client{Timeout: cfg.HealthTimeout},
+		stop:      make(chan struct{}),
 	}
 	for _, b := range cfg.Backends {
 		if _, dup := g.backends[b]; dup {
@@ -205,9 +220,13 @@ func (g *Gate) checkAll() {
 		}(b)
 	}
 	g.mu.Lock()
+	var left []string
 	for range g.cfg.Backends {
 		v := <-results
 		st := g.backends[v.url]
+		if st.state == "up" && v.state != "up" {
+			left = append(left, v.url)
+		}
 		st.state = v.state
 		st.lastErr = v.lastErr
 		st.checks++
@@ -217,6 +236,11 @@ func (g *Gate) checkAll() {
 	}
 	g.rebuildLocked()
 	g.mu.Unlock()
+	// A backend that left "up" takes its in-flight streams with it unless
+	// they move: snapshot each and resume on a ring successor.
+	for _, b := range left {
+		g.migrateStreams(b)
+	}
 }
 
 // checkBackend probes one /healthz. "up" needs a 200 with status "ok" and
@@ -271,12 +295,19 @@ func (g *Gate) checkBackend(base string) (state, errMsg string, pol backendPolic
 // dead node.
 func (g *Gate) markDown(base string, err error) {
 	g.mu.Lock()
+	transitioned := false
 	if st, ok := g.backends[base]; ok && st.state != "down" {
 		st.state = "down"
 		st.lastErr = err.Error()
 		g.rebuildLocked()
+		transitioned = true
 	}
 	g.mu.Unlock()
+	if transitioned {
+		// Best-effort: a transport-dead node will fail the snapshot POST
+		// too, but a node that only broke for one request may still serve it.
+		g.migrateStreams(base)
+	}
 }
 
 // rebuildLocked recomputes ring membership from backend states. Up nodes
@@ -372,6 +403,11 @@ func (g *Gate) forward(r *http.Request, path string, body []byte, candidates []s
 		if accept := r.Header.Get("Accept"); accept != "" {
 			req.Header.Set("Accept", accept)
 		}
+		// The gate stamps streaming runs with its own trace ID (and passes
+		// caller IDs through) so POST /snapshot can later name the run.
+		if id := r.Header.Get("X-Trace-Id"); id != "" {
+			req.Header.Set("X-Trace-Id", id)
+		}
 		resp, err := g.client.Do(req)
 		if err != nil {
 			if r.Context().Err() != nil {
@@ -403,19 +439,32 @@ func (g *Gate) handleProxy(w http.ResponseWriter, r *http.Request) {
 	var aff struct {
 		Source    string `json:"source"`
 		Collector string `json:"collector"`
+		Stream    bool   `json:"stream"`
 	}
 	// Affinity extraction is best-effort: a body the backend will reject
 	// still routes deterministically off its raw bytes.
 	if err := json.Unmarshal(body, &aff); err != nil {
 		aff.Source = string(body)
 	}
-	candidates := g.candidates(affinityKey(aff.Source, aff.Collector))
+	key := affinityKey(aff.Source, aff.Collector)
+	candidates := g.candidates(key)
 	if len(candidates) == 0 {
 		w.Header().Set("Retry-After", "1")
 		g.writeError(w, http.StatusServiceUnavailable, "no healthy backends")
 		return
 	}
-	resp, _, err := g.forward(r, r.URL.Path, body, candidates)
+	// Streaming runs get a gate-minted trace ID (unless the caller sent
+	// one) so the migration loop can address them by name.
+	var st *liveStream
+	if r.URL.Path == "/run" && (aff.Stream || queryFlag(r, "stream")) {
+		traceID := r.Header.Get("X-Trace-Id")
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+			r.Header.Set("X-Trace-Id", traceID)
+		}
+		st = &liveStream{traceID: traceID, key: key, blobCh: make(chan []byte, 1)}
+	}
+	resp, base, err := g.forward(r, r.URL.Path, body, candidates)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
@@ -424,8 +473,24 @@ func (g *Gate) handleProxy(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusServiceUnavailable, "all backends failed: "+err.Error())
 		return
 	}
+	if st != nil && resp.StatusCode == http.StatusOK &&
+		strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		st.setBackend(base)
+		g.registerStream(st)
+		defer g.unregisterStream(st.traceID)
+		defer resp.Body.Close()
+		g.relayStream(w, r, resp, st)
+		return
+	}
 	defer resp.Body.Close()
 	g.relay(w, resp)
+}
+
+// queryFlag reports whether a boolean query knob is on, mirroring the
+// backends' flagged() semantics closely enough for routing decisions.
+func queryFlag(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v != "" && v != "0" && v != "false"
 }
 
 // relay copies a backend response to the client, streaming the body with

@@ -1,0 +1,295 @@
+package gate_test
+
+// PR 10 integration tests: live-stream migration off a draining backend
+// (snapshot on the old node, resume on a ring peer, one unbroken SSE
+// stream for the client) and the gate-level compile singleflight.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"psgc/internal/fault"
+	"psgc/internal/gate"
+	"psgc/internal/service"
+	"psgc/internal/workload"
+)
+
+// readEvent consumes one SSE event from a live stream.
+func readEvent(sc *bufio.Scanner) (name string, data []byte, ok bool) {
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if name != "" || data != nil {
+				return name, data, true
+			}
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+	return name, data, false
+}
+
+// TestGateStreamMigration is the fleet acceptance scenario: a streaming
+// run through the gate is mid-flight when its backend drains for
+// shutdown; the gate snapshots the run there, resumes it on a ring peer,
+// and the client's single SSE connection ends in a result bit-identical
+// to an uninterrupted run — with no "checkpointed" seam visible.
+func TestGateStreamMigration(t *testing.T) {
+	// Slow the machine down so the run is still in flight when the health
+	// loop notices the drain.
+	fault.Install(fault.NewRegistry(1).EnableDelay(fault.MachineStall, 0.05, 200*time.Microsecond))
+	defer fault.Install(nil)
+
+	f := startFleet(t, 3,
+		gate.Config{Seed: 7, HealthEvery: 100 * time.Millisecond},
+		service.Config{Workers: 2, QueueDepth: 16})
+
+	// Uninterrupted reference, directly on a backend.
+	capacity := 32
+	req := service.RunRequest{
+		CompileRequest: service.CompileRequest{Source: workload.AllocHeavySrc(30), Collector: "forwarding"},
+		Capacity:       &capacity,
+	}
+	resp, body := post(t, f.backends[0].url+"/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference run: %d (%s)", resp.StatusCode, body)
+	}
+	ref := decodeAs[service.RunResponse](t, body)
+
+	// The same run, streamed through the gate.
+	req.ProgressSteps = 100
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := http.Post(f.gateURL+"/run?stream=1", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", stream.StatusCode)
+	}
+	trace := stream.Header.Get("X-Trace-Id")
+	if trace == "" {
+		t.Fatal("gate stream has no X-Trace-Id")
+	}
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if name, _, ok := readEvent(sc); !ok || name != "progress" {
+		t.Fatalf("first stream event %q (ok=%v), want progress", name, ok)
+	}
+
+	// Which backend is serving the stream?
+	var serving *backendProc
+	for _, b := range f.backends {
+		if b.svc.Metrics().StreamRequests.Load() == 1 {
+			serving = b
+		}
+	}
+	if serving == nil {
+		t.Fatal("no backend reports the streaming run")
+	}
+
+	// Drain it. Its /healthz flips to shutting_down; the gate's next
+	// health pass takes it off the ring and migrates its live streams.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serving.svc.Shutdown(shutCtx) }()
+
+	// The client keeps reading one uninterrupted stream: progress events,
+	// then a result. Never an error, never a visible checkpointed seam.
+	var last string
+	var lastData []byte
+	for {
+		name, data, ok := readEvent(sc)
+		if !ok {
+			break
+		}
+		last, lastData = name, data
+	}
+	if last != "result" {
+		t.Fatalf("terminal stream event %q (%s), want result", last, lastData)
+	}
+	rr := decodeAs[service.RunResponse](t, lastData)
+	if rr.Value != ref.Value {
+		t.Errorf("migrated run value %d, want %d", rr.Value, ref.Value)
+	}
+	if rr.Stats != ref.Stats {
+		t.Errorf("migrated run stats diverged:\n  migrated      %+v\n  uninterrupted %+v", rr.Stats, ref.Stats)
+	}
+	if !rr.Resumed || rr.ResumedFromStep <= 0 {
+		t.Errorf("resumed/from = %v/%d, want a mid-run resume", rr.Resumed, rr.ResumedFromStep)
+	}
+	if rr.TraceID != trace {
+		t.Errorf("result trace %q, want the stream's %q", rr.TraceID, trace)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("drained backend shutdown: %v", err)
+	}
+	if got := f.gate.Metrics().Migrations.Load(); got != 1 {
+		t.Errorf("gate migrations = %d, want 1", got)
+	}
+	if got := f.gate.Metrics().MigrationFailures.Load(); got != 0 {
+		t.Errorf("gate migration failures = %d, want 0", got)
+	}
+	// The run moved: the drained node snapshotted it, a peer resumed it.
+	if got := serving.svc.Metrics().Snapshots.Load(); got != 1 {
+		t.Errorf("drained backend snapshots = %d, want 1", got)
+	}
+	var resumes int64
+	for _, b := range f.backends {
+		if b != serving {
+			resumes += b.svc.Metrics().Resumes.Load()
+		}
+	}
+	if resumes != 1 {
+		t.Errorf("peer resumes = %d, want 1", resumes)
+	}
+}
+
+// TestGateCompileSingleflight pins the designation protocol: the first
+// fleet-wide miss makes its requester the compile owner (404 — it
+// compiles), and a follower arriving mid-compile is served from the
+// owner's cache instead of being told to compile too.
+func TestGateCompileSingleflight(t *testing.T) {
+	f := startFleet(t, 2, gate.Config{Seed: 7}, service.Config{Workers: 2, QueueDepth: 16})
+	a, b := f.backends[0], f.backends[1]
+	src := workload.AllocHeavySrc(23)
+	hash := service.SourceHash(src)
+	fetchURL := func(exclude string) string {
+		return f.gateURL + "/peer/fetch?hash=" + hash + "&collector=forwarding&exclude=" + url.QueryEscape(exclude)
+	}
+
+	// First miss: A is designated owner and told to compile.
+	resp, err := http.Get(fetchURL(a.url))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("first fleet-wide miss: %d, want 404 (requester compiles)", resp.StatusCode)
+	}
+
+	// Follower arrives while A's compile is "in flight": it must wait for
+	// A's cache rather than get a 404 of its own.
+	type result struct {
+		status int
+		peer   string
+		err    error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(fetchURL(b.url))
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		got <- result{status: resp.StatusCode, peer: resp.Header.Get("X-Psgc-Peer")}
+	}()
+
+	// A's compile lands a beat later.
+	time.Sleep(250 * time.Millisecond)
+	cresp, cbody := post(t, a.url+"/compile", service.CompileRequest{Source: src, Collector: "forwarding"})
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("owner compile: %d (%s)", cresp.StatusCode, cbody)
+	}
+
+	r := <-got
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.status != http.StatusOK || r.peer != a.url {
+		t.Fatalf("follower fetch: status %d peer %q, want 200 from the owner %s", r.status, r.peer, a.url)
+	}
+	if got := f.gate.Metrics().CompileCoalesced.Load(); got != 1 {
+		t.Errorf("compile_coalesced = %d, want 1", got)
+	}
+
+	// The counter is in the gate's /metrics surface.
+	resp, err = http.Get(f.gateURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		PeerCache struct {
+			CompileCoalesced int64 `json:"compile_coalesced"`
+		} `json:"peer_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.PeerCache.CompileCoalesced != 1 {
+		t.Errorf("gate /metrics compile_coalesced = %d, want 1", snap.PeerCache.CompileCoalesced)
+	}
+}
+
+// TestGateCompileStorm: every backend misses the same program at once;
+// the fleet compiles it exactly once.
+func TestGateCompileStorm(t *testing.T) {
+	f := startFleet(t, 3, gate.Config{Seed: 7}, service.Config{Workers: 4, QueueDepth: 32})
+	src := workload.AllocHeavySrc(21)
+
+	const perBackend = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, perBackend*len(f.backends))
+	for _, b := range f.backends {
+		for i := 0; i < perBackend; i++ {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				buf, _ := json.Marshal(service.RunRequest{
+					CompileRequest: service.CompileRequest{Source: src, Collector: "forwarding"},
+				})
+				resp, err := http.Post(u+"/run", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				defer resp.Body.Close()
+				body, _ := io.ReadAll(resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					errs <- string(body)
+					return
+				}
+				var rr service.RunResponse
+				if err := json.Unmarshal(body, &rr); err != nil || rr.Value != wantValue(21) {
+					errs <- string(body)
+				}
+			}(b.url)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("storm request failed: %s", e)
+	}
+
+	// Every local miss was either served by a peer or was THE compile:
+	// across the fleet, exactly one node paid for the program.
+	var compiles int64
+	for _, b := range f.backends {
+		m := b.svc.Metrics()
+		compiles += m.CacheMisses.Load() - m.PeerHits.Load()
+	}
+	if compiles != 1 {
+		t.Errorf("fleet compiled the program %d times, want exactly 1", compiles)
+	}
+}

@@ -22,9 +22,18 @@ type Metrics struct {
 	Rebalances atomic.Int64
 
 	// PeerHits and PeerMisses count /peer/fetch outcomes: a hit means some
-	// backend's compile was reused across the fleet.
-	PeerHits   atomic.Int64
-	PeerMisses atomic.Int64
+	// backend's compile was reused across the fleet. CompileCoalesced
+	// counts fetches served by waiting out another node's in-flight compile
+	// (the gate-level singleflight) instead of compiling again.
+	PeerHits         atomic.Int64
+	PeerMisses       atomic.Int64
+	CompileCoalesced atomic.Int64
+
+	// Migrations counts streaming runs moved off a degrading backend via
+	// snapshot/resume; MigrationFailures counts runs that checkpointed but
+	// could not be resumed anywhere (their streams end in an error event).
+	Migrations        atomic.Int64
+	MigrationFailures atomic.Int64
 
 	// BatchRequests and BatchItems count /batch traffic; BatchSplits
 	// counts items per backend after the affinity split.
@@ -65,9 +74,14 @@ func (m *Metrics) Snapshot() map[string]any {
 		"retries":          m.Retries.Load(),
 		"ring_rebalances":  m.Rebalances.Load(),
 		"peer_cache": map[string]any{
-			"hits":      m.PeerHits.Load(),
-			"misses":    m.PeerMisses.Load(),
-			"hit_ratio": m.PeerHitRatio(),
+			"hits":              m.PeerHits.Load(),
+			"misses":            m.PeerMisses.Load(),
+			"hit_ratio":         m.PeerHitRatio(),
+			"compile_coalesced": m.CompileCoalesced.Load(),
+		},
+		"migrations": map[string]int64{
+			"completed": m.Migrations.Load(),
+			"failed":    m.MigrationFailures.Load(),
 		},
 		"batch": map[string]any{
 			"requests": m.BatchRequests.Load(),
@@ -100,6 +114,13 @@ func (m *Metrics) WritePrometheus(w *obs.PromWriter, backendStates map[string]st
 	w.Gauge("psgc_gate_peer_hit_ratio",
 		"Fraction of peer fetches that found a compiled entry.",
 		obs.Sample{Value: m.PeerHitRatio()})
+	w.Counter("psgc_gate_compile_coalesced_total",
+		"Peer fetches served by waiting out another node's in-flight compile.",
+		obs.Sample{Value: float64(m.CompileCoalesced.Load())})
+	w.Counter("psgc_gate_migrations_total",
+		"Streaming runs moved between backends via snapshot/resume, by outcome.",
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "completed"}}, Value: float64(m.Migrations.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "failed"}}, Value: float64(m.MigrationFailures.Load())})
 	w.Counter("psgc_gate_batch_requests_total",
 		"Batch requests accepted by the gate.",
 		obs.Sample{Value: float64(m.BatchRequests.Load())})

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 )
 
 func (g *Gate) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
@@ -50,8 +51,76 @@ func (g *Gate) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Fleet-wide miss: somebody has to compile. The singleflight makes it
+	// exactly one somebody — the first requester is designated owner (404,
+	// it compiles as usual); requesters arriving while that compile is in
+	// flight wait for the owner's cache to fill instead of compiling too.
+	key := hash + "|" + colName
+	if owner := g.compileOwner(key, exclude); owner != "" {
+		if g.waitForCompile(w, r.Context(), owner, exportQ.Encode(), key) {
+			return
+		}
+	}
 	g.metrics.PeerMisses.Add(1)
 	g.writeError(w, http.StatusNotFound, "no peer holds that entry")
+}
+
+const (
+	// compileOwnerTTL bounds how long a designation can pin followers to a
+	// possibly-crashed owner.
+	compileOwnerTTL = 30 * time.Second
+	// compilePollEvery / compilePollMax pace a follower's wait: ~800ms of
+	// polling before it gives up and compiles anyway. The singleflight can
+	// only save work, never add a failure mode.
+	compilePollEvery = 100 * time.Millisecond
+	compilePollMax   = 8
+)
+
+// compileOwner implements the fleet compile singleflight. The first miss
+// for a key designates its requester as the owner and returns "" (that
+// node compiles); later misses get the owner's URL to poll. An anonymous
+// requester (no exclude=self) can be neither owner nor follower — there
+// is no address to poll.
+func (g *Gate) compileOwner(key, requester string) string {
+	g.sfMu.Lock()
+	defer g.sfMu.Unlock()
+	if owner, ok := g.compiling[key]; ok && owner != requester {
+		return owner
+	}
+	if requester == "" {
+		return ""
+	}
+	if _, ok := g.compiling[key]; !ok {
+		g.compiling[key] = requester
+		time.AfterFunc(compileOwnerTTL, func() {
+			g.sfMu.Lock()
+			if g.compiling[key] == requester {
+				delete(g.compiling, key)
+			}
+			g.sfMu.Unlock()
+		})
+	}
+	return ""
+}
+
+// waitForCompile polls the designated owner's cache until its in-flight
+// compile lands, then streams the entry to the requester.
+func (g *Gate) waitForCompile(w http.ResponseWriter, ctx context.Context, owner, query, key string) bool {
+	for attempt := 0; attempt < compilePollMax; attempt++ {
+		select {
+		case <-time.After(compilePollEvery):
+		case <-ctx.Done():
+			return false
+		}
+		if g.servePeerExport(w, ctx, owner, query) {
+			g.metrics.CompileCoalesced.Add(1)
+			g.sfMu.Lock()
+			delete(g.compiling, key)
+			g.sfMu.Unlock()
+			return true
+		}
+	}
+	return false
 }
 
 // servePeerExport fetches one backend's /cache/export and, on a hit,

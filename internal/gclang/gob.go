@@ -1,0 +1,50 @@
+package gclang
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"psgc/internal/kinds"
+	"psgc/internal/tags"
+)
+
+var gobOnce sync.Once
+
+// RegisterGob registers with encoding/gob every concrete type reachable
+// from a Program or a MachineImage through an interface field (regions,
+// types, values, operations, terms, tags, kinds). Both wire formats built
+// on gob — the peer compiled-entry cache and the checkpoint blob — call
+// this before encoding or decoding; it is idempotent and safe from
+// multiple packages.
+func RegisterGob() {
+	gobOnce.Do(func() {
+		for _, v := range []any{
+			// regions
+			RVar{}, RName{},
+			// types
+			IntT{}, ProdT{}, CodeT{}, ExistT{},
+			AtT{}, MT{}, CT{}, AlphaT{},
+			ExistAlphaT{}, TransT{}, LeftT{},
+			RightT{}, SumT{}, ExistRT{},
+			// values
+			Num{}, Var{}, AddrV{}, PairV{},
+			PackTag{}, PackAlpha{}, PackRegion{},
+			TAppV{}, LamV{}, InlV{}, InrV{},
+			// operations
+			ValOp{}, ProjOp{}, PutOp{}, GetOp{},
+			StripOp{}, ArithOp{},
+			// terms
+			AppT{}, LetT{}, HaltT{}, IfGCT{},
+			OpenTagT{}, OpenAlphaT{}, LetRegionT{},
+			OnlyT{}, TypecaseT{}, IfLeftT{}, SetT{},
+			WidenT{}, OpenRegionT{}, IfRegT{}, If0T{},
+			// tags
+			tags.Var{}, tags.Int{}, tags.Prod{}, tags.Code{}, tags.Exist{},
+			tags.Lam{}, tags.App{},
+			// kinds
+			kinds.Omega{}, kinds.Arrow{},
+		} {
+			gob.Register(v)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"psgc/internal/gclang"
+	"psgc/internal/regions"
+)
+
+type fakeMem struct {
+	stats regions.Stats
+	live  int
+	dead  map[regions.Name]bool
+}
+
+func (f *fakeMem) Has(n regions.Name) bool { return !f.dead[n] }
+func (f *fakeMem) Stats() regions.Stats    { return f.stats }
+func (f *fakeMem) LiveCells() int          { return f.live }
+
+// driveProfiler feeds a deterministic synthetic event stream covering
+// collection spans, allocations, region births and deaths. It returns the
+// events so a caller can split the stream at an arbitrary point.
+func profilerEvents(n int) []gclang.StepEvent {
+	entry := regions.Addr{Region: regions.CD, Off: 0}
+	mut := regions.Addr{Region: regions.CD, Off: 1}
+	var evs []gclang.StepEvent
+	step := 0
+	ev := func(e gclang.StepEvent) {
+		step++
+		e.Step = step
+		evs = append(evs, e)
+	}
+	for i := 0; i < n; i++ {
+		ev(gclang.StepEvent{Kind: gclang.StepNewRegion, Addr: regions.Addr{Region: regions.Name(i + 1)}})
+		for j := 0; j < 3; j++ {
+			ev(gclang.StepEvent{Kind: gclang.StepPut, Addr: regions.Addr{Region: regions.Name(i + 1), Off: j}, Words: 2})
+		}
+		ev(gclang.StepEvent{Kind: gclang.StepCall, Addr: entry}) // collection starts
+		ev(gclang.StepEvent{Kind: gclang.StepPut, Addr: regions.Addr{Region: regions.Name(i + 1), Off: 3}, Words: 1})
+		ev(gclang.StepEvent{Kind: gclang.StepGet, Addr: regions.Addr{Region: regions.Name(i + 1), Off: 0}})
+		ev(gclang.StepEvent{Kind: gclang.StepSet, Addr: regions.Addr{Region: regions.Name(i + 1), Off: 1}})
+		ev(gclang.StepEvent{Kind: gclang.StepOnly})
+		ev(gclang.StepEvent{Kind: gclang.StepCall, Addr: mut}) // back to mutator
+	}
+	return evs
+}
+
+func feed(p *Profiler, mem *fakeMem, evs []gclang.StepEvent) {
+	for _, ev := range evs {
+		switch ev.Kind {
+		case gclang.StepPut:
+			mem.stats.Puts++
+			mem.live++
+		case gclang.StepGet:
+			mem.stats.Gets++
+		case gclang.StepSet:
+			mem.stats.Sets++
+		case gclang.StepNewRegion:
+			mem.stats.RegionsCreated++
+		case gclang.StepOnly:
+			// Kill the region born 2 iterations ago.
+			old := regions.Name(uint32(ev.Step / 9))
+			if old > 1 && !mem.dead[old-1] {
+				mem.dead[old-1] = true
+				mem.stats.CellsReclaimed += 4
+				mem.live -= 4
+			}
+		}
+		p.ObserveEvent(mem, ev)
+	}
+}
+
+func TestProfilerImageResumesBitIdentical(t *testing.T) {
+	entries := map[regions.Addr]string{{Region: regions.CD, Off: 0}: "gc"}
+	evs := profilerEvents(40) // > ProfileReservoir collections, exercises sampling
+	cut := len(evs) / 2
+
+	ref := NewProfiler(entries, 1)
+	refMem := &fakeMem{dead: map[regions.Name]bool{}}
+	feed(ref, refMem, evs)
+
+	first := NewProfiler(entries, 1)
+	mem := &fakeMem{dead: map[regions.Name]bool{}}
+	feed(first, mem, evs[:cut])
+	img := first.Image()
+
+	resumed := NewProfiler(entries, 1)
+	if err := resumed.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	feed(resumed, mem, evs[cut:])
+
+	got, want := resumed.Profile(), ref.Profile()
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("sample counts: resumed %d, uninterrupted %d", len(got.Samples), len(want.Samples))
+	}
+	for i := range got.Samples {
+		if got.Samples[i] != want.Samples[i] {
+			t.Fatalf("sample %d: resumed %+v, uninterrupted %+v", i, got.Samples[i], want.Samples[i])
+		}
+	}
+	got.Samples, want.Samples = nil, nil
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("profiles diverged:\nresumed:       %+v\nuninterrupted: %+v", got, want)
+	}
+}
+
+func TestProfilerRestoreRejectsCorruptImages(t *testing.T) {
+	entries := map[regions.Addr]string{{Region: regions.CD, Off: 0}: "gc"}
+	p := NewProfiler(entries, 1)
+	mem := &fakeMem{dead: map[regions.Name]bool{}}
+	feed(p, mem, profilerEvents(10))
+	good := p.Image()
+
+	cases := []struct {
+		name   string
+		tamper func(*ProfilerImage)
+	}{
+		{"sample overflow", func(img *ProfilerImage) { img.NSamples = ProfileReservoir + 1 }},
+		{"sample count lie", func(img *ProfilerImage) { img.NSamples++ }},
+		{"ring index", func(img *ProfilerImage) { img.RingNext = profileRegionRing }},
+		{"ring overflow", func(img *ProfilerImage) { img.Ring = make([]RegionBirthImage, profileRegionRing+1) }},
+		{"dead rng", func(img *ProfilerImage) { img.Rng = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := good
+			img.Samples = append([]CollectionSample(nil), good.Samples...)
+			img.Ring = append([]RegionBirthImage(nil), good.Ring...)
+			tc.tamper(&img)
+			if err := NewProfiler(entries, 1).Restore(img); err == nil {
+				t.Fatal("corrupt profiler image restored")
+			}
+		})
+	}
+}
+
+func TestIncidentLogSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incidents.jsonl")
+	l, err := OpenIncidentLog(8, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Record(Incident{Kind: "engine_divergence", TraceID: "t1", Subject: "h1", Detail: "step 5"})
+	l.Record(Incident{Kind: "watchdog_cut", TraceID: "t2", Detail: "stalled"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: both incidents replay, and new ones append after them.
+	l2, err := OpenIncidentLog(8, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Snapshot(); len(got) != 2 || got[0].Kind != "engine_divergence" || got[1].TraceID != "t2" {
+		t.Fatalf("replayed snapshot wrong: %+v", got)
+	}
+	if l2.Total() != 2 {
+		t.Fatalf("total %d after replay, want 2", l2.Total())
+	}
+	l2.Record(Incident{Kind: "checkpoint_rejected", Detail: "bad checksum"})
+	l2.Close()
+
+	// A torn tail line (crash mid-write) must not poison the replay.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"time":"2026-08-07T00:00:00Z","kind":"torn`)
+	f.Close()
+
+	l3, err := OpenIncidentLog(8, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	got := l3.Snapshot()
+	if len(got) != 3 || got[2].Kind != "checkpoint_rejected" {
+		t.Fatalf("snapshot after torn tail: %+v", got)
+	}
+}
+
+func TestIncidentLogRingBoundsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incidents.jsonl")
+	l, err := OpenIncidentLog(4, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Record(Incident{Kind: "k", Detail: string(rune('a' + i))})
+	}
+	l.Close()
+	l2, err := OpenIncidentLog(4, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Snapshot(); len(got) != 4 || got[3].Detail != "j" || got[0].Detail != "g" {
+		t.Fatalf("bounded replay wrong: %+v", got)
+	}
+	if l2.Total() != 10 {
+		t.Fatalf("total %d, want 10 (file keeps full history)", l2.Total())
+	}
+}

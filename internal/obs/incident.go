@@ -1,6 +1,10 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
 	"sync"
 	"time"
 )
@@ -25,6 +29,11 @@ type IncidentLog struct {
 	next  int
 	full  bool
 	total int64
+
+	// file, when non-nil, receives every recorded incident as one JSON
+	// line (see OpenIncidentLog). Persistence is best-effort: a write
+	// error never blocks or fails the recording path.
+	file *os.File
 }
 
 // DefaultIncidentCap bounds the retained incidents when NewIncidentLog is
@@ -39,13 +48,20 @@ func NewIncidentLog(capacity int) *IncidentLog {
 	return &IncidentLog{ring: make([]Incident, capacity)}
 }
 
-// Record appends an incident, stamping Time if unset.
+// Record appends an incident, stamping Time if unset. Logs opened with
+// OpenIncidentLog also append the incident to the backing JSONL file.
 func (l *IncidentLog) Record(in Incident) {
 	if in.Time.IsZero() {
 		in.Time = time.Now()
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.record(in, true)
+}
+
+// record folds one incident into the ring; persist writes it through to
+// the backing file. Caller holds the lock.
+func (l *IncidentLog) record(in Incident, persist bool) {
 	l.ring[l.next] = in
 	l.next++
 	if l.next == len(l.ring) {
@@ -53,6 +69,57 @@ func (l *IncidentLog) Record(in Incident) {
 		l.full = true
 	}
 	l.total++
+	if persist && l.file != nil {
+		if line, err := json.Marshal(in); err == nil {
+			l.file.Write(append(line, '\n'))
+		}
+	}
+}
+
+// OpenIncidentLog returns a log retaining at most capacity incidents in
+// memory, persisted as JSON lines appended to the file at path. Incidents
+// already in the file — from previous processes — are replayed into the
+// ring first, so a restarted service boots with its incident history
+// intact, and the total counts across restarts. Unparseable lines (a torn
+// tail from a crash mid-write) are skipped rather than failing the boot.
+func OpenIncidentLog(capacity int, path string) (*IncidentLog, error) {
+	l := NewIncidentLog(capacity)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var in Incident
+		if err := json.Unmarshal(line, &in); err != nil {
+			continue
+		}
+		l.record(in, false)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.file = f
+	return l, nil
+}
+
+// Close releases the backing file of a persistent log; recording remains
+// legal afterwards but is in-memory only. A no-op for in-memory logs.
+func (l *IncidentLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	err := l.file.Close()
+	l.file = nil
+	return err
 }
 
 // Total reports how many incidents have ever been recorded.

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+
+	"psgc/internal/regions"
+)
+
+// ProfilerImage is the serializable state of a mid-run Profiler, captured
+// at a step boundary alongside the machine image so a resumed run's
+// profile aggregates come out bit-identical to an uninterrupted run's:
+// exact totals continue from the captured RunProfile, the open collection
+// span (if one straddles the checkpoint) is re-opened with its partial
+// counters, and the reservoir keeps both its samples and its xorshift
+// state so later sampling decisions replay exactly.
+type ProfilerImage struct {
+	RP         RunProfile         `json:"rp"`
+	InSpan     bool               `json:"in_span"`
+	CurEntry   string             `json:"cur_entry"`
+	CurStart   int                `json:"cur_start"`
+	CurCopies  int                `json:"cur_copies"`
+	CurScans   int                `json:"cur_scans"`
+	CurForward int                `json:"cur_forward"`
+	FreedAt    int                `json:"freed_at"`
+	NSamples   int                `json:"nsamples"`
+	Samples    []CollectionSample `json:"samples"`
+	Rng        uint64             `json:"rng"`
+	Ring       []RegionBirthImage `json:"ring"`
+	RingNext   int                `json:"ring_next"`
+}
+
+// RegionBirthImage is one tracked in-flight region birth.
+type RegionBirthImage struct {
+	Name regions.Name `json:"name"`
+	Born int          `json:"born"`
+	Live bool         `json:"live"`
+}
+
+// Image captures the profiler's accumulated state. The attachment fields
+// (entry table, step and memory accessors) are not part of the image; a
+// restored profiler is built by NewProfiler against the local compiled
+// program and re-attached to the restored machine.
+func (p *Profiler) Image() ProfilerImage {
+	img := ProfilerImage{
+		RP:         p.rp,
+		InSpan:     p.inSpan,
+		CurEntry:   p.curEntry,
+		CurStart:   p.curStart,
+		CurCopies:  p.curCopies,
+		CurScans:   p.curScans,
+		CurForward: p.curForward,
+		FreedAt:    p.freedAt,
+		NSamples:   p.nsamples,
+		Samples:    append([]CollectionSample(nil), p.samples[:p.nsamples]...),
+		Rng:        p.rng,
+		RingNext:   p.ringNext,
+	}
+	// RP.Samples is only populated by finalization; keep the image minimal.
+	img.RP.Samples = nil
+	for _, b := range p.ring {
+		img.Ring = append(img.Ring, RegionBirthImage{Name: b.name, Born: b.born, Live: b.live})
+	}
+	return img
+}
+
+// Restore loads a captured image into the profiler, which must be freshly
+// built (NewProfiler) for the same program. The image is untrusted: sizes
+// and the xorshift state are validated so a corrupted blob cannot panic
+// the profiler or freeze its sampling.
+func (p *Profiler) Restore(img ProfilerImage) error {
+	if img.NSamples < 0 || img.NSamples > ProfileReservoir || len(img.Samples) != img.NSamples {
+		return fmt.Errorf("obs: profiler image: %d samples with nsamples %d (reservoir %d)",
+			len(img.Samples), img.NSamples, ProfileReservoir)
+	}
+	if len(img.Ring) > profileRegionRing || img.RingNext < 0 || img.RingNext >= profileRegionRing {
+		return fmt.Errorf("obs: profiler image: region ring %d/%d out of range",
+			len(img.Ring), img.RingNext)
+	}
+	if img.Rng == 0 {
+		// Zero is the one absorbing state of the xorshift generator.
+		return fmt.Errorf("obs: profiler image: zero reservoir rng state")
+	}
+	p.rp = img.RP
+	p.rp.Samples = nil
+	p.inSpan = img.InSpan
+	p.curEntry = img.CurEntry
+	p.curStart = img.CurStart
+	p.curCopies = img.CurCopies
+	p.curScans = img.CurScans
+	p.curForward = img.CurForward
+	p.freedAt = img.FreedAt
+	p.nsamples = img.NSamples
+	copy(p.samples[:], img.Samples)
+	p.rng = img.Rng
+	p.ring = [profileRegionRing]regionBirth{}
+	for i, b := range img.Ring {
+		p.ring[i] = regionBirth{name: b.Name, born: b.Born, live: b.Live}
+	}
+	p.ringNext = img.RingNext
+	return nil
+}

@@ -82,6 +82,9 @@ func (ar *Arena[V]) Stats() Stats { return ar.stats }
 // Capacity returns the per-region fullness threshold (see Store).
 func (ar *Arena[V]) Capacity() int { return ar.capacity }
 
+// AutoGrow reports whether the heap-growth policy is enabled.
+func (ar *Arena[V]) AutoGrow() bool { return ar.autoGrow }
+
 // SetAutoGrow enables the survivor-driven heap-growth policy (see Store).
 func (ar *Arena[V]) SetAutoGrow(on bool) { ar.autoGrow = on }
 

@@ -60,6 +60,9 @@ func (m *LegacyString[V]) Stats() Stats { return m.stats }
 // Capacity returns the per-region fullness threshold (see Store).
 func (m *LegacyString[V]) Capacity() int { return m.capacity }
 
+// AutoGrow reports whether the heap-growth policy is enabled.
+func (m *LegacyString[V]) AutoGrow() bool { return m.autoGrow }
+
 // SetAutoGrow enables the survivor-driven heap-growth policy (see Store).
 func (m *LegacyString[V]) SetAutoGrow(on bool) { m.autoGrow = on }
 

@@ -105,6 +105,7 @@ func (t *Trace[V]) Regions() []Name    { return t.Inner.Regions() }
 func (t *Trace[V]) Cells() []Addr      { return t.Inner.Cells() }
 func (t *Trace[V]) Stats() Stats       { return t.Inner.Stats() }
 func (t *Trace[V]) Capacity() int      { return t.Inner.Capacity() }
+func (t *Trace[V]) AutoGrow() bool     { return t.Inner.AutoGrow() }
 func (t *Trace[V]) SetAutoGrow(b bool) { t.Inner.SetAutoGrow(b) }
 func (t *Trace[V]) Backend() Backend   { return t.Inner.Backend() }
 

@@ -118,6 +118,9 @@ type Store[V any] interface {
 	// Puts beyond the capacity still succeed: the paper's semantics never
 	// blocks allocation, fullness only triggers collection.
 	Capacity() int
+	// AutoGrow reports whether the heap-growth policy is enabled. Snapshot
+	// records it so a restored store keeps the policy of the original.
+	AutoGrow() bool
 	// SetAutoGrow enables the heap-growth policy a real collector needs:
 	// after a reclamation (only ∆), if the survivors fill more than half
 	// of the capacity, the capacity doubles to at least twice the live
@@ -216,6 +219,9 @@ func (m *Memory[V]) Stats() Stats { return m.stats }
 
 // Capacity returns the per-region fullness threshold (see Store).
 func (m *Memory[V]) Capacity() int { return m.capacity }
+
+// AutoGrow reports whether the heap-growth policy is enabled.
+func (m *Memory[V]) AutoGrow() bool { return m.autoGrow }
 
 // SetAutoGrow enables the survivor-driven heap-growth policy (see Store).
 func (m *Memory[V]) SetAutoGrow(on bool) { m.autoGrow = on }

@@ -1,0 +1,86 @@
+package service
+
+// Operator endpoints. Breakers open automatically (a co-checked divergence
+// pins the program to the oracle) but only an operator closes them; the
+// co-check sample rate is retunable on a live node so an incident can be
+// investigated at rate 1 without a restart.
+//
+//	GET    /admin/breakers   list open per-program circuit breakers
+//	DELETE /admin/breakers   close one (?hash=...) or all breakers
+//	GET    /admin/cocheck    report the live co-check sample rate
+//	PUT    /admin/cocheck    set the sample rate {"sample": 0..1}
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// BreakersResponse is the GET/DELETE /admin/breakers body.
+type BreakersResponse struct {
+	Breakers []breakerState `json:"breakers"`
+	// Cleared reports how many breakers a DELETE closed.
+	Cleared int    `json:"cleared,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+func (s *Server) handleAdminBreakers(w http.ResponseWriter, r *http.Request) {
+	traceID := s.traceRequest(w, r)
+	switch r.Method {
+	case http.MethodGet:
+		s.writeResponse(w, &response{status: http.StatusOK,
+			body: BreakersResponse{Breakers: s.guard.openBreakers(), TraceID: traceID}})
+	case http.MethodDelete:
+		hash := r.URL.Query().Get("hash")
+		n := s.guard.clearBreakers(hash, traceID)
+		if n == 0 && hash != "" {
+			s.writeResponse(w, &response{status: http.StatusNotFound,
+				body: errorBody{Error: fmt.Sprintf("no open breaker for hash %q", hash), TraceID: traceID}})
+			return
+		}
+		s.metrics.BreakersOpen.Add(int64(-n))
+		s.writeResponse(w, &response{status: http.StatusOK,
+			body: BreakersResponse{Breakers: s.guard.openBreakers(), Cleared: n, TraceID: traceID}})
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		s.writeResponse(w, &response{status: http.StatusMethodNotAllowed,
+			body: errorBody{Error: "use GET or DELETE", TraceID: traceID}})
+	}
+}
+
+// CoCheckRequest is the PUT /admin/cocheck body; CoCheckResponse reports
+// the rate now in force (rounded to the deterministic 1-in-N sampling the
+// guardrails actually apply).
+type CoCheckRequest struct {
+	Sample float64 `json:"sample"`
+}
+
+type CoCheckResponse struct {
+	Sample  float64 `json:"sample"`
+	TraceID string  `json:"trace_id,omitempty"`
+}
+
+func (s *Server) handleAdminCoCheck(w http.ResponseWriter, r *http.Request) {
+	traceID := s.traceRequest(w, r)
+	switch r.Method {
+	case http.MethodGet:
+		s.writeResponse(w, &response{status: http.StatusOK,
+			body: CoCheckResponse{Sample: s.guard.sampleRate(), TraceID: traceID}})
+	case http.MethodPut:
+		var req CoCheckRequest
+		if !s.decode(w, r, &req, traceID) {
+			return
+		}
+		if req.Sample < 0 || req.Sample > 1 {
+			s.writeResponse(w, &response{status: http.StatusBadRequest,
+				body: errorBody{Error: fmt.Sprintf("sample %v out of range [0,1]", req.Sample), TraceID: traceID}})
+			return
+		}
+		s.guard.setSample(req.Sample)
+		s.writeResponse(w, &response{status: http.StatusOK,
+			body: CoCheckResponse{Sample: s.guard.sampleRate(), TraceID: traceID}})
+	default:
+		w.Header().Set("Allow", "GET, PUT")
+		s.writeResponse(w, &response{status: http.StatusMethodNotAllowed,
+			body: errorBody{Error: "use GET or PUT", TraceID: traceID}})
+	}
+}

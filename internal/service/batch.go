@@ -44,7 +44,7 @@ type BatchResponse struct {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.BatchRequests.Add(1)
-	traceID := s.traceRequest(w)
+	traceID := s.traceRequest(w, r)
 	if !s.requirePost(w, r) {
 		return
 	}
@@ -108,7 +108,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		item := item // each job closes over its own copy
 		j := &job{
-			do:      func() *response { return s.doRun(item, col, item.Trace, itemID, nil) },
+			do:      func() *response { return s.doRun(item, col, item.Trace, itemID, nil, nil) },
 			done:    make(chan *response, 1),
 			traceID: itemID,
 		}

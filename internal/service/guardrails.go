@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,15 +21,17 @@ import (
 type guardrails struct {
 	// sampleEvery co-checks every Nth env-engine run (deterministic
 	// counter-based sampling, so tests and capacity planning see an exact
-	// rate); 0 disables co-checking.
-	sampleEvery int64
+	// rate); 0 disables co-checking. Atomic because PUT /admin/cocheck
+	// retunes it on a live server.
+	sampleEvery atomic.Int64
 	counter     atomic.Int64
 
 	mu sync.Mutex
 	// breakers maps a program's source hash to its open breaker. A breaker
-	// opens on the first observed divergence and stays open for the life of
-	// the process: a program that diverged once is evidence of an engine
-	// bug, and correctness beats speed until someone looks.
+	// opens on the first observed divergence and stays open until an
+	// operator clears it (DELETE /admin/breakers): a program that diverged
+	// once is evidence of an engine bug, and correctness beats speed until
+	// someone looks.
 	breakers  map[string]*breakerState
 	incidents *obs.IncidentLog
 }
@@ -43,29 +46,53 @@ type breakerState struct {
 	LastDetail  string    `json:"last_detail"`
 }
 
-func newGuardrails(sample float64) *guardrails {
+// newGuardrails builds the guardrail state. incidents may be nil for a
+// plain in-memory log; the server passes a persistent one when
+// Config.IncidentDir is set.
+func newGuardrails(sample float64, incidents *obs.IncidentLog) *guardrails {
+	if incidents == nil {
+		incidents = obs.NewIncidentLog(0)
+	}
 	g := &guardrails{
 		breakers:  map[string]*breakerState{},
-		incidents: obs.NewIncidentLog(0),
+		incidents: incidents,
 	}
+	g.setSample(sample)
+	return g
+}
+
+// setSample retunes the co-check sample rate (clamped to [0,1]; 0
+// disables).
+func (g *guardrails) setSample(sample float64) {
+	var every int64
 	if sample > 0 {
 		if sample > 1 {
 			sample = 1
 		}
-		g.sampleEvery = int64(1/sample + 0.5)
-		if g.sampleEvery < 1 {
-			g.sampleEvery = 1
+		every = int64(1/sample + 0.5)
+		if every < 1 {
+			every = 1
 		}
 	}
-	return g
+	g.sampleEvery.Store(every)
+}
+
+// sampleRate reports the effective co-check rate (1/sampleEvery).
+func (g *guardrails) sampleRate() float64 {
+	every := g.sampleEvery.Load()
+	if every <= 0 {
+		return 0
+	}
+	return 1 / float64(every)
 }
 
 // shouldCoCheck reports whether this env-engine run is in the sample.
 func (g *guardrails) shouldCoCheck() bool {
-	if g.sampleEvery <= 0 {
+	every := g.sampleEvery.Load()
+	if every <= 0 {
 		return false
 	}
-	return (g.counter.Add(1)-1)%g.sampleEvery == 0
+	return (g.counter.Add(1)-1)%every == 0
 }
 
 // breakerOpen reports whether the program's breaker is open.
@@ -100,6 +127,30 @@ func (g *guardrails) trip(hash, col, traceID string, d psgc.Divergence) bool {
 		LastDetail:  d.Detail,
 	}
 	return true
+}
+
+// clearBreakers closes the breaker for one hash ("" clears them all),
+// recording the operator action as an incident. Reports how many closed.
+func (g *guardrails) clearBreakers(hash, traceID string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	if hash == "" {
+		n = len(g.breakers)
+		g.breakers = map[string]*breakerState{}
+	} else if _, ok := g.breakers[hash]; ok {
+		delete(g.breakers, hash)
+		n = 1
+	}
+	if n > 0 {
+		g.incidents.Record(obs.Incident{
+			Kind:    "breaker_cleared",
+			TraceID: traceID,
+			Subject: hash,
+			Detail:  fmt.Sprintf("operator cleared %d breaker(s)", n),
+		})
+	}
+	return n
 }
 
 // openBreakers lists the open breakers sorted by source hash, for /healthz.

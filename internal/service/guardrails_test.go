@@ -93,7 +93,7 @@ func TestCoCheckSamplingRate(t *testing.T) {
 		{0, 0}, {1, 100}, {0.5, 50}, {0.25, 25}, {0.01, 1},
 	}
 	for _, c := range cases {
-		g := newGuardrails(c.sample)
+		g := newGuardrails(c.sample, nil)
 		got := 0
 		for i := 0; i < 100; i++ {
 			if g.shouldCoCheck() {
@@ -106,7 +106,7 @@ func TestCoCheckSamplingRate(t *testing.T) {
 	}
 	// The first run must be in the sample, so a freshly configured server
 	// co-checks immediately rather than after 1/s warm-up runs.
-	if g := newGuardrails(0.1); !g.shouldCoCheck() {
+	if g := newGuardrails(0.1, nil); !g.shouldCoCheck() {
 		t.Error("first run not sampled at rate 0.1")
 	}
 }

@@ -59,6 +59,14 @@ type Metrics struct {
 	BatchRequests    atomic.Int64 // /batch requests
 	BatchItems       atomic.Int64 // run items carried by /batch requests
 
+	// Checkpoint/resume counters (PR 10): POST /snapshot pauses, blob
+	// resumes, and the restore path's defenses.
+	Snapshots        atomic.Int64 // runs paused and serialized by POST /snapshot
+	SnapshotMisses   atomic.Int64 // snapshot requests that found no live run or timed out
+	Resumes          atomic.Int64 // checkpoints resumed by POST /resume
+	ResumesRejected  atomic.Int64 // blobs the certifying decoder refused (422)
+	ResumesDuplicate atomic.Int64 // duplicate resumes of an already-resumed snapshot (409)
+
 	// Adaptive-policy counters (PR 8). PolicyChosen is indexed by the
 	// decided psgc.Collector.
 	ProfiledRuns    atomic.Int64    // completed runs folded into the profile store
@@ -193,6 +201,13 @@ func (m *Metrics) Snapshot() map[string]any {
 			"requests": m.BatchRequests.Load(),
 			"items":    m.BatchItems.Load(),
 		},
+		"checkpoint": map[string]int64{
+			"snapshots":         m.Snapshots.Load(),
+			"snapshot_misses":   m.SnapshotMisses.Load(),
+			"resumes":           m.Resumes.Load(),
+			"resumes_rejected":  m.ResumesRejected.Load(),
+			"resumes_duplicate": m.ResumesDuplicate.Load(),
+		},
 		"policy": map[string]any{
 			"profiled_runs": m.ProfiledRuns.Load(),
 			"decisions":     m.PolicyDecisions.Load(),
@@ -286,6 +301,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		obs.Sample{Value: float64(m.BatchRequests.Load())})
 	p.Counter("psgc_batch_items_total", "Run items carried by batch requests.",
 		obs.Sample{Value: float64(m.BatchItems.Load())})
+	p.Counter("psgc_checkpoint_total", "Checkpoint/resume events, by kind.",
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "snapshot"}}, Value: float64(m.Snapshots.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "snapshot_miss"}}, Value: float64(m.SnapshotMisses.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "resume"}}, Value: float64(m.Resumes.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "resume_rejected"}}, Value: float64(m.ResumesRejected.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "event", Value: "resume_duplicate"}}, Value: float64(m.ResumesDuplicate.Load())},
+	)
 	p.Counter("psgc_profiled_runs_total", "Completed runs folded into the profile store.",
 		obs.Sample{Value: float64(m.ProfiledRuns.Load())})
 	p.Counter("psgc_policy_decisions_total", "Adaptive policy decisions, by outcome.",

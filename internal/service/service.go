@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -77,6 +78,10 @@ type Config struct {
 	StepsPerMilli int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// MaxResumeBytes bounds POST /resume bodies separately: they carry a
+	// checkpoint heap image, which routinely dwarfs a source program
+	// (default 64 MiB).
+	MaxResumeBytes int64
 	// CoCheckSample is the fraction of env-engine /run requests co-stepped
 	// against the substitution oracle (sampled oracle co-checking). 0
 	// disables; 1 co-checks every run. Sampling is deterministic: a rate of
@@ -125,6 +130,15 @@ type Config struct {
 	// for every run regardless of policy; the store is what the adaptive
 	// policy reads.
 	ProfileCapacity int
+	// IncidentDir, when non-empty, persists the incident log as JSON lines
+	// in <dir>/incidents.jsonl. Incidents recorded by previous processes
+	// are replayed on boot, so divergences and rejected checkpoints
+	// survive restarts.
+	IncidentDir string
+	// SnapshotWaitMs bounds how long POST /snapshot waits for the paused
+	// run to reach a step boundary and deliver its checkpoint
+	// (default 2000).
+	SnapshotWaitMs int
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +168,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.MaxResumeBytes <= 0 {
+		c.MaxResumeBytes = 64 << 20
+	}
 	if c.ShedThreshold == 0 {
 		c.ShedThreshold = 0.75
 	} else if c.ShedThreshold < 0 {
@@ -181,6 +198,9 @@ func (c Config) withDefaults() Config {
 	if c.ProfileCapacity <= 0 {
 		c.ProfileCapacity = obs.DefaultProfileCapacity
 	}
+	if c.SnapshotWaitMs <= 0 {
+		c.SnapshotWaitMs = 2000
+	}
 	return c
 }
 
@@ -206,6 +226,15 @@ type Server struct {
 	// peer is the fleet peer-fetch client, swappable at runtime (the gate's
 	// address may only be known after the backend starts).
 	peer atomic.Pointer[peerClient]
+
+	// liveMu guards the checkpoint/resume state: live maps the trace ID of
+	// each in-flight streaming run to the Checkpointer that can pause it
+	// (POST /snapshot), and resumed records which snapshots (trace@step)
+	// have already been resumed so a duplicate resume is rejected instead
+	// of running the work twice.
+	liveMu  sync.Mutex
+	live    map[string]*psgc.Checkpointer
+	resumed map[string]bool
 
 	// mu guards jobs against Shutdown closing the channel while a
 	// request goroutine is submitting.
@@ -233,13 +262,31 @@ type response struct {
 // New builds the server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// The incident log persists to IncidentDir when configured, replaying
+	// the previous process's incidents on boot. A directory that cannot be
+	// opened degrades to in-memory logging with the failure recorded as
+	// the first incident — observability must not take the service down.
+	var incidents *obs.IncidentLog
+	if cfg.IncidentDir != "" {
+		var err error
+		incidents, err = obs.OpenIncidentLog(0, filepath.Join(cfg.IncidentDir, "incidents.jsonl"))
+		if err != nil {
+			incidents = obs.NewIncidentLog(0)
+			incidents.Record(obs.Incident{
+				Kind:   "incident_log_open_failed",
+				Detail: err.Error(),
+			})
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		cache:   newCompiledCache(cfg.CacheSize, cfg.CacheWeight),
 		metrics: &Metrics{},
-		guard:   newGuardrails(cfg.CoCheckSample),
+		guard:   newGuardrails(cfg.CoCheckSample, incidents),
 		start:   time.Now(),
+		live:    map[string]*psgc.Checkpointer{},
+		resumed: map[string]bool{},
 		jobs:    make(chan *job, cfg.QueueDepth),
 	}
 	s.profiles = obs.NewProfileStore(cfg.ProfileCapacity)
@@ -252,6 +299,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/cache/export", s.handleCacheExport)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/resume", s.handleResume)
+	s.mux.HandleFunc("/admin/breakers", s.handleAdminBreakers)
+	s.mux.HandleFunc("/admin/cocheck", s.handleAdminCoCheck)
 	if cfg.PeerFetchURL != "" {
 		s.SetPeerFetch(cfg.PeerFetchURL, cfg.PeerSelf)
 	}
@@ -294,6 +345,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.guard.incidents.Close()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -519,6 +571,12 @@ type RunResponse struct {
 	// Diverged marks co-checked runs where the engines disagreed; the
 	// value is the oracle's.
 	Diverged bool `json:"diverged,omitempty"`
+	// Resumed marks runs continued from a checkpoint by POST /resume;
+	// ResumedFromStep is the step the checkpoint was captured at. Stats
+	// and Value cover the whole logical run, so a resumed run's response
+	// is bit-identical to an uninterrupted one's.
+	Resumed         bool `json:"resumed,omitempty"`
+	ResumedFromStep int  `json:"resumed_from_step,omitempty"`
 	// Policy reports the run policy that configured this execution, and
 	// Decision the adaptive engine's resolved choice (nil for static runs).
 	// A decided collector overrides the request's, so Collector above
@@ -568,16 +626,45 @@ func parseCollector(name string) (psgc.Collector, error) {
 }
 
 // traceRequest assigns the request a trace ID and exposes it in the
-// response headers before any body is written.
-func (s *Server) traceRequest(w http.ResponseWriter) string {
-	id := obs.NewTraceID()
+// response headers before any body is written. A well-formed incoming
+// X-Trace-Id is honored — the gate stamps streams with its own IDs so a
+// later POST /snapshot can name the run it wants paused — anything else
+// gets a fresh one.
+func (s *Server) traceRequest(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get("X-Trace-Id")
+	if !validTraceID(id) {
+		id = obs.NewTraceID()
+	}
 	w.Header().Set("X-Trace-Id", id)
 	return id
 }
 
+// validTraceID bounds what this server accepts as a caller-supplied trace
+// ID: short and header/JSON-safe.
+func validTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // decode parses a JSON body with the configured size limit.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any, traceID string) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	return s.decodeWithin(w, r, into, traceID, s.cfg.MaxBodyBytes)
+}
+
+// decodeWithin parses a JSON body under an explicit size limit (the
+// resume path carries heap images and gets its own, larger bound).
+func (s *Server) decodeWithin(w http.ResponseWriter, r *http.Request, into any, traceID string, limit int64) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
@@ -667,7 +754,7 @@ func flagged(r *http.Request, name string, body bool) bool {
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.metrics.CompileRequests.Add(1)
-	traceID := s.traceRequest(w)
+	traceID := s.traceRequest(w, r)
 	if !s.requirePost(w, r) {
 		return
 	}
@@ -707,7 +794,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.metrics.RunRequests.Add(1)
-	traceID := s.traceRequest(w)
+	traceID := s.traceRequest(w, r)
 	if !s.requirePost(w, r) {
 		return
 	}
@@ -772,7 +859,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.submit(w, r, traceID, func() *response {
-		return s.doRun(req, col, trace, traceID, nil)
+		return s.doRun(req, col, trace, traceID, nil, nil)
 	})
 }
 
@@ -788,8 +875,10 @@ func (s *Server) overloaded() bool {
 // doRun is the shared run path behind the JSON and SSE variants of /run:
 // compile (or fetch), execute with the request's fuel budget, record
 // metrics, and shape the response. progress, if non-nil, receives
-// execution snapshots and can cancel the run by returning false.
-func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID string, progress func(psgc.Progress) bool) *response {
+// execution snapshots and can cancel the run by returning false. cp, if
+// non-nil, lets POST /snapshot pause this run at a step boundary; the run
+// then answers with a CheckpointedResponse instead of a result.
+func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID string, progress func(psgc.Progress) bool, cp *psgc.Checkpointer) *response {
 	// Validated in handleRun; re-parsed here so doRun stands alone.
 	engine, err := psgc.ParseEngine(req.Engine)
 	if err != nil {
@@ -839,6 +928,11 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 		Backend:       backend,
 		Policy:        polName,
 		Decision:      decision,
+		Checkpointer:  cp,
+		CheckpointMeta: psgc.CheckpointMeta{
+			SourceHash: hash,
+			TraceID:    traceID,
+		},
 	}
 	diverged := false
 	if engine == psgc.EngineEnv {
@@ -935,6 +1029,18 @@ func (s *Server) doRun(req RunRequest, col psgc.Collector, trace bool, traceID s
 			return &response{status: statusClientClosedRequest,
 				body: errorBody{Error: err.Error(), Partial: &partial, TraceID: traceID}}
 		}
+		if errors.Is(err, psgc.ErrCheckpointed) {
+			// POST /snapshot paused this run at a step boundary; the
+			// checkpoint itself is delivered through the Checkpointer. The
+			// stream answers with a "checkpointed" event so relays know the
+			// run will continue elsewhere.
+			return &response{status: http.StatusOK, body: CheckpointedResponse{
+				Checkpointed: true,
+				SourceHash:   hash,
+				Steps:        res.Steps,
+				TraceID:      traceID,
+			}}
+		}
 		return &response{status: http.StatusInternalServerError,
 			body: errorBody{Error: err.Error(), TraceID: traceID}}
 	}
@@ -982,21 +1088,37 @@ const statusClientClosedRequest = 499
 // events while the machine executes, then a final "result" (or "error")
 // event carrying the same JSON body the non-streaming endpoint returns.
 // Queue rejection and shutdown still answer with plain JSON status codes —
-// the stream only starts once the job is accepted.
+// the stream only starts once the job is accepted. While the run is live
+// it is registered under its trace ID so POST /snapshot can pause it; a
+// paused run ends the stream with a "checkpointed" event instead of a
+// result.
 func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, req RunRequest, col psgc.Collector, trace bool, traceID string) {
 	s.metrics.StreamRequests.Add(1)
+	cp := psgc.NewCheckpointer()
+	s.registerLive(traceID, cp)
+	defer s.unregisterLive(traceID)
+	s.streamJob(w, r, traceID, func(progress func(psgc.Progress) bool) *response {
+		return s.doRun(req, col, trace, traceID, progress, cp)
+	})
+}
+
+// streamJob runs one pool job over SSE, pumping "progress" events and the
+// final "result"/"error"/"checkpointed" event. Shared by /run?stream=1 and
+// /resume?stream=1. It reports whether the job was admitted to the pool
+// (a rejected job has already been answered with plain JSON).
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, traceID string, run func(progress func(psgc.Progress) bool) *response) bool {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		s.writeResponse(w, &response{status: http.StatusInternalServerError,
 			body: errorBody{Error: "streaming unsupported by this connection", TraceID: traceID}})
-		return
+		return false
 	}
 	var cancelled atomic.Bool
 	events := make(chan psgc.Progress, 16)
 	j := &job{traceID: traceID, done: make(chan *response, 1)}
 	j.do = func() *response {
 		defer close(events)
-		return s.doRun(req, col, trace, traceID, func(ev psgc.Progress) bool {
+		return run(func(ev psgc.Progress) bool {
 			if cancelled.Load() {
 				return false
 			}
@@ -1008,7 +1130,7 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, req RunReques
 		})
 	}
 	if !s.enqueue(w, j) {
-		return
+		return false
 	}
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -1029,14 +1151,16 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, req RunReques
 			name := "result"
 			if resp.status >= 400 {
 				name = "error"
+			} else if _, ck := resp.body.(CheckpointedResponse); ck {
+				name = "checkpointed"
 			}
 			writeSSE(w, fl, name, resp.body)
-			return
+			return true
 		case <-r.Context().Done():
 			// Client gone: tell the machine to stop at its next progress
 			// tick; the worker finishes into the buffered done channel.
 			cancelled.Store(true)
-			return
+			return true
 		}
 	}
 }
@@ -1069,7 +1193,7 @@ func (s *Server) fuelBudget(fuel, deadlineMs int) int {
 
 func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InterpretRequests.Add(1)
-	traceID := s.traceRequest(w)
+	traceID := s.traceRequest(w, r)
 	if !s.requirePost(w, r) {
 		return
 	}
@@ -1136,9 +1260,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cache_weight":    s.cache.totalWeight(),
 		"cache_probation": probation,
 		"cache_protected": protected,
-		// Guardrail state (PR 5): the co-check sample rate, what it has
-		// caught, and how degraded the instance currently is.
-		"cocheck_sample":      s.cfg.CoCheckSample,
+		// Guardrail state (PR 5): the co-check sample rate (live value —
+		// PUT /admin/cocheck can retune it), what it has caught, and how
+		// degraded the instance currently is.
+		"cocheck_sample":      s.guard.sampleRate(),
 		"cocheck_divergences": s.metrics.CoCheckDivergences.Load(),
 		"open_breakers":       s.guard.openBreakers(),
 		"watchdog_ms":         s.cfg.WatchdogMs,

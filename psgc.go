@@ -363,6 +363,31 @@ type RunOptions struct {
 	// co-checker's oracle is never wrapped, and the boxed baseline
 	// (RunBoxed) ignores it — its store carries boxed Values, not Cells.
 	WrapStore func(regions.Store[gclang.Cell]) regions.Store[gclang.Cell]
+	// CheckpointEvery, if > 0, captures a checkpoint every CheckpointEvery
+	// machine steps and hands it to OnCheckpoint (which is then required).
+	// Checkpoints are only ever taken at step boundaries — never
+	// mid-transition, so never mid-scavenge: a collection in flight simply
+	// finishes its current step like any other.
+	CheckpointEvery int
+	// OnCheckpoint receives periodic checkpoints (see CheckpointEvery).
+	// Returning false stops the run: Run returns ErrCheckpointed with the
+	// partial Result. Returning true continues it.
+	OnCheckpoint func(*Checkpoint) bool
+	// Checkpointer, if non-nil, lets another goroutine pause this run on
+	// demand: after Checkpointer.Request the run captures a checkpoint at
+	// its next step boundary, delivers it on Checkpointer.Checkpoints, and
+	// stops with ErrCheckpointed.
+	Checkpointer *Checkpointer
+	// ResumeFrom resumes the given checkpoint instead of starting fresh.
+	// Most callers use Checkpoint.Resume, which sets this. The checkpoint
+	// dictates the engine; Backend is honored (cross-backend migration);
+	// capacity and growth policy come from the heap image; a zero Fuel
+	// inherits the checkpoint's remaining fuel. Ghost, CheckEveryStep, and
+	// WrapStore are incompatible with resuming.
+	ResumeFrom *Checkpoint
+	// CheckpointMeta is stamped into every checkpoint captured from this
+	// run (it does not affect execution).
+	CheckpointMeta CheckpointMeta
 }
 
 // Progress is a point-in-time execution snapshot delivered to
@@ -477,6 +502,31 @@ func (c *Compiled) Run(opts RunOptions) (Result, error) {
 	if err := c.applyPolicy(&opts); err != nil {
 		return Result{}, err
 	}
+	if opts.CheckpointEvery > 0 && opts.OnCheckpoint == nil {
+		return Result{}, errors.New("psgc: CheckpointEvery requires OnCheckpoint")
+	}
+	if (opts.CheckpointEvery > 0 || opts.Checkpointer != nil) && (opts.Ghost || opts.CheckEveryStep) {
+		return Result{}, errors.New("psgc: checkpointing is not supported in ghost mode")
+	}
+	if ck := opts.ResumeFrom; ck != nil {
+		if ck.compiled != c {
+			return Result{}, errors.New("psgc: checkpoint belongs to a different compiled program (use Checkpoint.Resume)")
+		}
+		if opts.Ghost || opts.CheckEveryStep {
+			return Result{}, errors.New("psgc: cannot resume a checkpoint into ghost mode")
+		}
+		if opts.WrapStore != nil {
+			return Result{}, errors.New("psgc: WrapStore is not supported on resume")
+		}
+		// The checkpoint dictates the engine: a subst image resumes on the
+		// substitution machine, an env image on the environment machine
+		// (co-checked if opts.CoCheck, with the oracle rebuilt from the
+		// same image).
+		opts.Engine = ck.Engine
+		if opts.Fuel == 0 && ck.FuelRemaining > 0 {
+			opts.Fuel = ck.FuelRemaining
+		}
+	}
 	if opts.Engine == EngineSubst || opts.Ghost || opts.CheckEveryStep {
 		return c.runSubst(opts)
 	}
@@ -499,16 +549,48 @@ func runBudgets(opts RunOptions) (fuel, every int) {
 }
 
 func (c *Compiled) runSubst(opts RunOptions) (Result, error) {
-	m := c.NewMachine(opts)
+	var m *gclang.Machine
+	collections := 0
+	if ck := opts.ResumeFrom; ck != nil {
+		var err error
+		m, err = gclang.RestoreMachine(opts.Backend, c.Collector.Dialect(), c.Prog, ck.image)
+		if err != nil {
+			return Result{}, fmt.Errorf("psgc: resume: %w", err)
+		}
+		collections = ck.Collections
+	} else {
+		m = c.NewMachine(opts)
+	}
 	if opts.Recorder != nil {
 		opts.Recorder.Attach(m)
+	}
+	if err := restoreProfiler(&opts); err != nil {
+		return Result{}, err
 	}
 	if opts.Profiler != nil {
 		opts.Profiler.Attach(m)
 	}
 	fuel, every := runBudgets(opts)
-	collections := 0
+	lastCk := m.Steps
 	for !m.Halted {
+		if opts.Checkpointer != nil && opts.Checkpointer.take() {
+			ck, err := c.captureSubst(m, &opts, collections, fuel)
+			if err != nil {
+				return Result{}, err
+			}
+			opts.Checkpointer.deliver(ck)
+			return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w at step %d", ErrCheckpointed, m.Steps)
+		}
+		if opts.CheckpointEvery > 0 && m.Steps != lastCk && m.Steps%opts.CheckpointEvery == 0 {
+			lastCk = m.Steps
+			ck, err := c.captureSubst(m, &opts, collections, fuel)
+			if err != nil {
+				return Result{}, err
+			}
+			if !opts.OnCheckpoint(ck) {
+				return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w at step %d", ErrCheckpointed, m.Steps)
+			}
+		}
 		if fuel <= 0 {
 			return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w after %d steps", ErrOutOfFuel, m.Steps)
 		}
@@ -542,16 +624,48 @@ func (c *Compiled) runSubst(opts RunOptions) (Result, error) {
 }
 
 func (c *Compiled) runEnv(opts RunOptions) (Result, error) {
-	m := c.NewEnvMachine(opts)
+	var m *gclang.EnvMachine
+	collections := 0
+	if ck := opts.ResumeFrom; ck != nil {
+		var err error
+		m, err = gclang.RestoreEnvMachine(opts.Backend, c.Collector.Dialect(), c.Prog, ck.image)
+		if err != nil {
+			return Result{}, fmt.Errorf("psgc: resume: %w", err)
+		}
+		collections = ck.Collections
+	} else {
+		m = c.NewEnvMachine(opts)
+	}
 	if opts.Recorder != nil {
 		opts.Recorder.AttachEnv(m)
+	}
+	if err := restoreProfiler(&opts); err != nil {
+		return Result{}, err
 	}
 	if opts.Profiler != nil {
 		opts.Profiler.AttachEnv(m)
 	}
 	fuel, every := runBudgets(opts)
-	collections := 0
+	lastCk := m.Steps
 	for !m.Halted {
+		if opts.Checkpointer != nil && opts.Checkpointer.take() {
+			ck, err := c.captureEnv(m, &opts, collections, fuel)
+			if err != nil {
+				return Result{}, err
+			}
+			opts.Checkpointer.deliver(ck)
+			return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w at step %d", ErrCheckpointed, m.Steps)
+		}
+		if opts.CheckpointEvery > 0 && m.Steps != lastCk && m.Steps%opts.CheckpointEvery == 0 {
+			lastCk = m.Steps
+			ck, err := c.captureEnv(m, &opts, collections, fuel)
+			if err != nil {
+				return Result{}, err
+			}
+			if !opts.OnCheckpoint(ck) {
+				return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w at step %d", ErrCheckpointed, m.Steps)
+			}
+		}
 		if fuel <= 0 {
 			return partialResult(m.Steps, collections, m.Mem), fmt.Errorf("%w after %d steps", ErrOutOfFuel, m.Steps)
 		}

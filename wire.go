@@ -26,9 +26,7 @@ import (
 
 	"psgc/internal/collector"
 	"psgc/internal/gclang"
-	"psgc/internal/kinds"
 	"psgc/internal/regions"
-	"psgc/internal/tags"
 )
 
 // wireEntry is the gob payload: the collector selection plus the elaborated
@@ -45,35 +43,9 @@ const wireVersion = 1
 
 func init() {
 	// Every concrete type reachable from a gclang.Program through an
-	// interface field must be registered for gob.
-	for _, v := range []any{
-		// regions
-		gclang.RVar{}, gclang.RName{},
-		// types
-		gclang.IntT{}, gclang.ProdT{}, gclang.CodeT{}, gclang.ExistT{},
-		gclang.AtT{}, gclang.MT{}, gclang.CT{}, gclang.AlphaT{},
-		gclang.ExistAlphaT{}, gclang.TransT{}, gclang.LeftT{},
-		gclang.RightT{}, gclang.SumT{}, gclang.ExistRT{},
-		// values
-		gclang.Num{}, gclang.Var{}, gclang.AddrV{}, gclang.PairV{},
-		gclang.PackTag{}, gclang.PackAlpha{}, gclang.PackRegion{},
-		gclang.TAppV{}, gclang.LamV{}, gclang.InlV{}, gclang.InrV{},
-		// operations
-		gclang.ValOp{}, gclang.ProjOp{}, gclang.PutOp{}, gclang.GetOp{},
-		gclang.StripOp{}, gclang.ArithOp{},
-		// terms
-		gclang.AppT{}, gclang.LetT{}, gclang.HaltT{}, gclang.IfGCT{},
-		gclang.OpenTagT{}, gclang.OpenAlphaT{}, gclang.LetRegionT{},
-		gclang.OnlyT{}, gclang.TypecaseT{}, gclang.IfLeftT{}, gclang.SetT{},
-		gclang.WidenT{}, gclang.OpenRegionT{}, gclang.IfRegT{}, gclang.If0T{},
-		// tags
-		tags.Var{}, tags.Int{}, tags.Prod{}, tags.Code{}, tags.Exist{},
-		tags.Lam{}, tags.App{},
-		// kinds
-		kinds.Omega{}, kinds.Arrow{},
-	} {
-		gob.Register(v)
-	}
+	// interface field must be registered for gob. The registry is shared
+	// with the checkpoint wire format, so it lives with the types.
+	gclang.RegisterGob()
 }
 
 // Export serializes the compiled entry for transfer to a peer node. The
@@ -105,34 +77,47 @@ func ImportCompiled(data []byte) (*Compiled, error) {
 	if e.Version != wireVersion {
 		return nil, fmt.Errorf("psgc: import compiled entry: wire version %d, want %d", e.Version, wireVersion)
 	}
-	col := e.Collector
+	c, err := recertify(e.Collector, e.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("psgc: import compiled entry: %w", err)
+	}
+	return c, nil
+}
+
+// recertify links an untrusted elaborated program against the locally
+// certified collector and re-verifies it: the collector prefix must render
+// identically to this process's own certified blocks (which then replace
+// it bit-for-bit), and everything after the prefix is re-run through the
+// λGC typechecker. Both the peer cache import and the checkpoint decoder
+// funnel through here — nothing deserialized enters the TCB unchecked.
+func recertify(col Collector, prog gclang.Program) (*Compiled, error) {
 	if col < Basic || col > Generational {
-		return nil, fmt.Errorf("psgc: import compiled entry: unknown collector %v", col)
+		return nil, fmt.Errorf("unknown collector %v", col)
 	}
 	v, err := collector.Load(col.Dialect())
 	if err != nil {
 		return nil, fmt.Errorf("psgc: internal error: %w", err)
 	}
-	if len(e.Prog.Code) < len(v.Funs) {
-		return nil, fmt.Errorf("psgc: import compiled entry: program has %d code blocks, shorter than the %d-block collector prefix",
-			len(e.Prog.Code), len(v.Funs))
+	if len(prog.Code) < len(v.Funs) {
+		return nil, fmt.Errorf("program has %d code blocks, shorter than the %d-block collector prefix",
+			len(prog.Code), len(v.Funs))
 	}
 	// The trusted prefix is only trusted because it is *ours*: each block
 	// must render identically to the locally certified collector's.
 	for i, want := range v.Funs {
-		got := e.Prog.Code[i]
+		got := prog.Code[i]
 		if got.Name != want.Name || got.Fun.String() != want.Fun.String() {
-			return nil, fmt.Errorf("psgc: import compiled entry: code block %d (%s) differs from the locally certified collector",
+			return nil, fmt.Errorf("code block %d (%s) differs from the locally certified collector",
 				i, want.Name)
 		}
 		// Share the local elaborated blocks so the prefix is certified
-		// bit-for-bit regardless of how the peer serialized it.
-		e.Prog.Code[i] = want
+		// bit-for-bit regardless of how it was serialized.
+		prog.Code[i] = want
 	}
 	checker := &gclang.Checker{Dialect: col.Dialect()}
-	elab, _, err := checker.CheckProgramPrefix(e.Prog, len(v.Funs))
+	elab, _, err := checker.CheckProgramPrefix(prog, len(v.Funs))
 	if err != nil {
-		return nil, fmt.Errorf("psgc: import compiled entry: program does not typecheck: %w", err)
+		return nil, fmt.Errorf("program does not typecheck: %w", err)
 	}
 	entries := map[regions.Addr]bool{}
 	for _, a := range v.Entries {
